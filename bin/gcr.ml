@@ -1,0 +1,259 @@
+(* gcr: command-line interface to the GC real-cost reproduction.
+
+   Subcommands mirror the repo's deliverables: run single configurations,
+   measure minimum heaps, and regenerate any of the paper's tables and
+   figures from a campaign. *)
+
+open Cmdliner
+module Registry = Gcr_gcs.Registry
+module Suite = Gcr_workloads.Suite
+module Spec = Gcr_workloads.Spec
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+module Harness = Gcr_core.Harness
+module Report = Gcr_core.Report
+module Minheap = Gcr_core.Minheap
+module Validate = Gcr_core.Validate
+
+(* ---------- shared argument parsing ---------- *)
+
+let bench_conv =
+  let parse s =
+    match Suite.find s with
+    | Some spec -> Ok spec
+    | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S (see `gcr list`)" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf s.Spec.name)
+
+let gc_conv =
+  let parse s =
+    match Registry.of_name s with
+    | Some kind -> Ok kind
+    | None -> Error (`Msg (Printf.sprintf "unknown collector %S (see `gcr list`)" s))
+  in
+  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Registry.name k))
+
+let benchmarks_arg =
+  let doc = "Benchmarks to run (repeatable; default: the whole suite)." in
+  Arg.(value & opt_all bench_conv [] & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+
+let gcs_arg =
+  let doc = "Collectors to run (repeatable; default: the five production GCs)." in
+  Arg.(value & opt_all gc_conv [] & info [ "g"; "gc" ] ~docv:"GC" ~doc)
+
+let invocations_arg =
+  let doc = "Invocations per configuration (distinct seeds)." in
+  Arg.(value & opt int 5 & info [ "n"; "invocations" ] ~docv:"N" ~doc)
+
+let scale_arg =
+  let doc = "Workload scale factor (run length and machine memory together)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
+
+let seed_arg =
+  let doc = "Base random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let factor_arg =
+  let doc = "Heap size as a multiple of the benchmark's minimum heap." in
+  Arg.(value & opt float 3.0 & info [ "x"; "heap-factor" ] ~docv:"F" ~doc)
+
+let factors_arg =
+  let doc = "Heap factors for grid experiments (comma separated)." in
+  Arg.(
+    value
+    & opt (list float) Harness.paper_heap_factors
+    & info [ "factors" ] ~docv:"F1,F2,.." ~doc)
+
+let quiet_arg =
+  let doc = "Suppress progress output." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let default_benchmarks = function [] -> Suite.all | bs -> bs
+
+let default_gcs = function [] -> Registry.production | gs -> gs
+
+let harness_config ~invocations ~scale ~seed ~factors ~quiet =
+  {
+    (Harness.default_config ()) with
+    Harness.invocations;
+    scale;
+    base_seed = seed;
+    heap_factors = factors;
+    log_progress = not quiet;
+  }
+
+(* ---------- list ---------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "Benchmarks (DaCapo Chopin analogues):";
+    List.iter
+      (fun s -> Format.printf "  %-12s %s@." s.Spec.name s.Spec.description)
+      Suite.all;
+    print_endline "";
+    print_endline "Collectors:";
+    List.iter
+      (fun k ->
+        Printf.printf "  %-12s %s%s\n" (Registry.name k)
+          (if Registry.is_concurrent k then "concurrent" else "stop-the-world")
+          (if Registry.is_generational k then ", generational" else ""))
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and collectors")
+    Term.(const run $ const ())
+
+(* ---------- run ---------- *)
+
+let run_cmd =
+  let run benchmarks gcs factor invocations scale seed =
+    let benchmarks = default_benchmarks benchmarks in
+    let gcs = default_gcs gcs in
+    List.iter
+      (fun spec ->
+        let spec = Spec.scale spec scale in
+        let minheap = Minheap.find spec in
+        List.iter
+          (fun gc ->
+            for i = 1 to invocations do
+              let heap_words = int_of_float (factor *. float_of_int minheap) in
+              let config = Run.default_config ~spec ~gc ~heap_words ~seed:(seed + i) in
+              let m = Run.execute config in
+              Format.printf "%a@." Measurement.pp m
+            done)
+          gcs)
+      benchmarks
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run benchmark/collector configurations and print measurements")
+    Term.(
+      const run $ benchmarks_arg $ gcs_arg $ factor_arg $ invocations_arg $ scale_arg
+      $ seed_arg)
+
+(* ---------- minheap ---------- *)
+
+let minheap_cmd =
+  let run benchmarks scale =
+    List.iter
+      (fun spec ->
+        let spec = Spec.scale spec scale in
+        let words = Minheap.find spec in
+        Printf.printf "%-12s %8d words (%d regions)\n" spec.Spec.name words
+          (words / Run.default_region_words))
+      (default_benchmarks benchmarks)
+  in
+  Cmd.v
+    (Cmd.info "minheap"
+       ~doc:"Measure the minimum heap (with G1) for benchmarks, as the paper does")
+    Term.(const run $ benchmarks_arg $ scale_arg)
+
+(* ---------- campaign-backed commands ---------- *)
+
+let build_campaign benchmarks gcs invocations scale seed factors quiet =
+  let config = harness_config ~invocations ~scale ~seed ~factors ~quiet in
+  Harness.run_campaign config ~benchmarks:(default_benchmarks benchmarks)
+    ~gcs:(default_gcs gcs)
+
+let artefact_names =
+  [
+    "tables2-5"; "table6"; "table7"; "table8"; "table9"; "table10"; "table11";
+    "fig1"; "fig2"; "fig3"; "fig4"; "energy"; "pauses"; "latency"; "validation";
+    "ablation"; "all";
+  ]
+
+let print_artefact campaign = function
+  | "tables2-5" -> Report.worked_example campaign ()
+  | "table6" -> Report.table_vi campaign
+  | "table7" -> Report.table_vii campaign
+  | "table8" -> Report.table_viii campaign
+  | "table9" -> Report.table_ix campaign
+  | "table10" -> Report.table_x campaign
+  | "table11" -> Report.table_xi campaign
+  | "fig1" -> Report.fig1 campaign
+  | "fig2" -> Report.fig2 campaign
+  | "fig3" -> Report.fig3 campaign
+  | "fig4" -> Report.fig4 campaign
+  | "energy" -> Report.table_energy campaign
+  | "pauses" -> Report.pause_breakdown campaign
+  | "latency" -> Report.latency_summary campaign
+  | "validation" -> Validate.tightness_study campaign ~factor:3.0
+  | "ablation" -> Validate.attribution_ablation campaign ()
+  | "all" ->
+      Report.all campaign;
+      Validate.tightness_study campaign ~factor:3.0;
+      Validate.attribution_ablation campaign ()
+  | other -> Printf.eprintf "unknown artefact %S\n" other
+
+let artefact_arg =
+  let doc =
+    Printf.sprintf "Artefact to regenerate: %s." (String.concat ", " artefact_names)
+  in
+  Arg.(
+    required
+    & pos 0 (some (enum (List.map (fun n -> (n, n)) artefact_names))) None
+    & info [] ~docv:"ARTEFACT" ~doc)
+
+let artefact_cmd =
+  let run artefact benchmarks gcs invocations scale seed factors quiet =
+    let campaign = build_campaign benchmarks gcs invocations scale seed factors quiet in
+    print_artefact campaign artefact
+  in
+  Cmd.v
+    (Cmd.info "artefact"
+       ~doc:"Run the needed campaign and regenerate a paper table or figure")
+    Term.(
+      const run $ artefact_arg $ benchmarks_arg $ gcs_arg $ invocations_arg $ scale_arg
+      $ seed_arg $ factors_arg $ quiet_arg)
+
+let campaign_cmd =
+  let run benchmarks gcs invocations scale seed factors quiet =
+    let campaign = build_campaign benchmarks gcs invocations scale seed factors quiet in
+    print_artefact campaign "all"
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run the full grid and print every table and figure of the paper")
+    Term.(
+      const run $ benchmarks_arg $ gcs_arg $ invocations_arg $ scale_arg $ seed_arg
+      $ factors_arg $ quiet_arg)
+
+(* ---------- ablations ---------- *)
+
+let ablation_names = [ "gc-workers"; "tenure-age"; "shenandoah-trigger"; "conc-mark-penalty"; "all" ]
+
+let ablation_cmd =
+  let run name bench factor scale seed =
+    let config =
+      { (Gcr_core.Ablation.default_config ~bench:bench.Spec.name ()) with
+        Gcr_core.Ablation.heap_factor = factor;
+        scale;
+        seed;
+      }
+    in
+    match name with
+    | "gc-workers" -> Gcr_core.Ablation.gc_workers config
+    | "tenure-age" -> Gcr_core.Ablation.tenure_age config
+    | "shenandoah-trigger" -> Gcr_core.Ablation.shenandoah_trigger config
+    | "conc-mark-penalty" -> Gcr_core.Ablation.concurrent_mark_penalty config
+    | _ -> Gcr_core.Ablation.all config
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun n -> (n, n)) ablation_names))) None
+      & info [] ~docv:"STUDY"
+          ~doc:(Printf.sprintf "One of %s." (String.concat ", " ablation_names)))
+  in
+  let bench_arg =
+    Arg.(value & opt bench_conv (Suite.find_exn "h2") & info [ "b"; "benchmark" ] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Sweep one design knob and print how the costs move")
+    Term.(const run $ name_arg $ bench_arg $ factor_arg $ scale_arg $ seed_arg)
+
+let main =
+  let doc = "empirical lower bounds on the overheads of production garbage collectors" in
+  Cmd.group
+    (Cmd.info "gcr" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; minheap_cmd; artefact_cmd; campaign_cmd; ablation_cmd ]
+
+let () = exit (Cmd.eval main)

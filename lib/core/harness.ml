@@ -1,0 +1,200 @@
+module Machine = Gcr_mach.Machine
+module Cost_model = Gcr_mach.Cost_model
+module Registry = Gcr_gcs.Registry
+module Spec = Gcr_workloads.Spec
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+module Stats = Gcr_util.Stats
+
+type config = {
+  invocations : int;
+  base_seed : int;
+  scale : float;
+  machine : Machine.t;
+  cost : Cost_model.t;
+  region_words : int;
+  heap_factors : float list;
+  log_progress : bool;
+}
+
+let paper_heap_factors = [ 1.4; 1.9; 2.4; 3.0; 3.7; 4.4; 5.2; 6.0 ]
+
+let env_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some v when v > 0 -> v
+  | Some _ | None -> default
+
+let env_float name default =
+  match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+  | Some v when v > 0.0 -> v
+  | Some _ | None -> default
+
+let default_config () =
+  {
+    invocations = env_int "GCR_INVOCATIONS" 5;
+    base_seed = 1;
+    scale = env_float "GCR_SCALE" 1.0;
+    machine = Machine.default;
+    cost = Cost_model.default;
+    region_words = Run.default_region_words;
+    heap_factors = paper_heap_factors;
+    log_progress = true;
+  }
+
+(* Configurations are keyed by (benchmark, collector, factor in permille);
+   Epsilon is heap-independent and stored under factor 0. *)
+type key = string * string * int
+
+type campaign = {
+  config : config;
+  specs : Spec.t list;
+  gc_kinds : Registry.kind list;
+  minheaps : (string, int) Hashtbl.t;
+  cells : (key, Measurement.t list ref) Hashtbl.t;
+}
+
+let permille factor = int_of_float (Float.round (factor *. 1000.0))
+
+let key_of ~bench ~gc ~factor : key =
+  match gc with
+  | Registry.Epsilon -> (bench, "Epsilon", 0)
+  | g -> (bench, Registry.name g, permille factor)
+
+let scaled_machine config =
+  {
+    config.machine with
+    Machine.memory_words =
+      max 4096 (int_of_float (float_of_int config.machine.Machine.memory_words *. config.scale));
+  }
+
+let config_of t = t.config
+
+let benchmarks t = t.specs
+
+let gcs t = t.gc_kinds
+
+let minheap_words t ~bench =
+  match Hashtbl.find_opt t.minheaps bench with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Harness.minheap_words: no benchmark %S" bench)
+
+let runs t ~bench ~gc ~factor =
+  match Hashtbl.find_opt t.cells (key_of ~bench ~gc ~factor) with
+  | Some cell -> List.rev !cell
+  | None -> []
+
+let heap_words_for t ~bench ~factor =
+  let minheap = minheap_words t ~bench in
+  let words = int_of_float (Float.round (factor *. float_of_int minheap)) in
+  (* round up to whole regions *)
+  let region = t.config.region_words in
+  (words + region - 1) / region * region
+
+let run_campaign config ~benchmarks ~gcs =
+  let machine = scaled_machine config in
+  let specs = List.map (fun s -> Spec.scale s config.scale) benchmarks in
+  let minheap_config =
+    {
+      Minheap.machine;
+      cost = config.cost;
+      region_words = config.region_words;
+      seed = config.base_seed;
+      gc = Registry.G1;
+    }
+  in
+  let t =
+    {
+      config = { config with machine };
+      specs;
+      gc_kinds = gcs;
+      minheaps = Hashtbl.create 32;
+      cells = Hashtbl.create 512;
+    }
+  in
+  List.iter
+    (fun spec ->
+      let words = Minheap.find ~config:minheap_config spec in
+      if config.log_progress then
+        Printf.eprintf "[harness] minheap %-12s = %d words\n%!" spec.Spec.name words;
+      Hashtbl.replace t.minheaps spec.Spec.name words)
+    specs;
+  let record ~bench ~gc ~factor m =
+    let key = key_of ~bench ~gc ~factor in
+    let cell =
+      match Hashtbl.find_opt t.cells key with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.replace t.cells key c;
+          c
+    in
+    cell := m :: !cell
+  in
+  let run_one spec gc ~factor ~seed =
+    let bench = spec.Spec.name in
+    let heap_words =
+      match gc with
+      | Registry.Epsilon -> machine.Machine.memory_words
+      | _ -> heap_words_for t ~bench ~factor
+    in
+    if config.log_progress && Sys.getenv_opt "GCR_TRACE_RUNS" <> None then
+      Printf.eprintf "[harness]   %s/%s factor=%.1f seed=%d heap=%d\n%!" bench
+        (Registry.name gc) factor seed heap_words;
+    let m =
+      Run.execute
+        {
+          Run.spec;
+          gc;
+          heap_words;
+          machine;
+          cost = config.cost;
+          seed;
+          region_words = config.region_words;
+          max_events = None;
+          make_collector = None;
+        }
+    in
+    record ~bench ~gc ~factor m
+  in
+  (* Interleave configurations across invocations (§IV-A d). *)
+  for invocation = 0 to config.invocations - 1 do
+    let seed = config.base_seed + (1000 * (invocation + 1)) in
+    List.iter
+      (fun spec ->
+        if config.log_progress then
+          Printf.eprintf "[harness] invocation %d/%d: %s\n%!" (invocation + 1)
+            config.invocations spec.Spec.name;
+        List.iter
+          (fun gc ->
+            match gc with
+            | Registry.Epsilon -> run_one spec gc ~factor:0.0 ~seed
+            | _ -> List.iter (fun factor -> run_one spec gc ~factor ~seed) config.heap_factors)
+          ( (* Epsilon participates implicitly even if not requested *)
+            if List.mem Registry.Epsilon gcs then gcs else Registry.Epsilon :: gcs ))
+      specs
+  done;
+  t
+
+let observations t metric ~bench ~factor =
+  let kinds =
+    if List.mem Registry.Epsilon t.gc_kinds then t.gc_kinds
+    else Registry.Epsilon :: t.gc_kinds
+  in
+  List.filter_map
+    (fun gc -> Lbo.observation metric (runs t ~bench ~gc ~factor))
+    kinds
+
+let ideal t metric ~bench ~factor =
+  match observations t metric ~bench ~factor with
+  | [] -> None
+  | obs -> Some (Lbo.ideal_estimate obs)
+
+let lbo_value t metric ~bench ~gc ~factor =
+  match (ideal t metric ~bench ~factor, Lbo.observation metric (runs t ~bench ~gc ~factor)) with
+  | Some ideal, Some o -> Some (Lbo.lbo ~ideal ~total:o.Lbo.total)
+  | None, _ | _, None -> None
+
+let lbo_geomean t metric ~benches ~gc ~factor =
+  let values = List.map (fun bench -> lbo_value t metric ~bench ~gc ~factor) benches in
+  if List.exists Option.is_none values then None
+  else Some (Stats.geomean (Array.of_list (List.filter_map Fun.id values)))

@@ -1,0 +1,76 @@
+(** The experiment harness: campaigns over benchmark × collector × heap
+    grids, following the paper's execution methodology (§IV-A): heap sizes
+    as multiples of the per-benchmark minimum heap, several invocations
+    per configuration with distinct seeds, invocations of different
+    configurations interleaved, Epsilon included wherever it fits in
+    memory. *)
+
+type config = {
+  invocations : int;
+  base_seed : int;
+  scale : float;
+      (** scales run length {e and} machine memory together, so Epsilon
+          feasibility (and thus the LBO collector set) is preserved *)
+  machine : Gcr_mach.Machine.t;
+  cost : Gcr_mach.Cost_model.t;
+  region_words : int;
+  heap_factors : float list;
+  log_progress : bool;  (** one stderr line per configuration *)
+}
+
+val paper_heap_factors : float list
+(** 1.4, 1.9, 2.4, 3.0, 3.7, 4.4, 5.2, 6.0 — the paper's eight sizes. *)
+
+val default_config : unit -> config
+(** 5 invocations at scale 1.0; [GCR_INVOCATIONS] and [GCR_SCALE]
+    override. *)
+
+type campaign
+
+val run_campaign :
+  config ->
+  benchmarks:Gcr_workloads.Spec.t list ->
+  gcs:Gcr_gcs.Registry.kind list ->
+  campaign
+(** Runs everything: each production collector at every heap factor, plus
+    Epsilon once per benchmark (its heap is the machine memory).  Specs
+    are scaled before running; min-heaps are measured per benchmark. *)
+
+(** {1 Access} *)
+
+val config_of : campaign -> config
+
+val benchmarks : campaign -> Gcr_workloads.Spec.t list
+(** The scaled specs actually run. *)
+
+val gcs : campaign -> Gcr_gcs.Registry.kind list
+
+val minheap_words : campaign -> bench:string -> int
+
+val runs :
+  campaign -> bench:string -> gc:Gcr_gcs.Registry.kind -> factor:float ->
+  Gcr_runtime.Measurement.t list
+(** Invocations for one configuration (Epsilon: any factor returns its
+    single configuration). *)
+
+(** {1 LBO over a campaign} *)
+
+val observations :
+  campaign -> Metrics.t -> bench:string -> factor:float -> Lbo.observation list
+(** One observation per collector that completed all invocations at this
+    configuration, Epsilon included when feasible — the set G of the
+    methodology. *)
+
+val ideal : campaign -> Metrics.t -> bench:string -> factor:float -> float option
+
+val lbo_value :
+  campaign -> Metrics.t -> bench:string -> gc:Gcr_gcs.Registry.kind -> factor:float ->
+  float option
+(** [None] where the collector cannot run the configuration (the paper's
+    blank cells). *)
+
+val lbo_geomean :
+  campaign -> Metrics.t -> benches:string list -> gc:Gcr_gcs.Registry.kind ->
+  factor:float -> float option
+(** Geometric mean across benchmarks; [None] if the collector misses any
+    of them (matching the paper's blank summary cells). *)

@@ -1,0 +1,144 @@
+module Machine = Gcr_mach.Machine
+module Cost_model = Gcr_mach.Cost_model
+module Registry = Gcr_gcs.Registry
+module Spec = Gcr_workloads.Spec
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+
+type config = {
+  machine : Machine.t;
+  cost : Cost_model.t;
+  region_words : int;
+  seed : int;
+  gc : Registry.kind;
+}
+
+let default_config () =
+  {
+    machine = Machine.default;
+    cost = Cost_model.default;
+    region_words = Run.default_region_words;
+    seed = 7;
+    gc = Registry.G1;
+  }
+
+(* Key the caches on everything that can change the answer, including a
+   fingerprint of the cost model (minimum heaps move when costs do). *)
+let cost_fingerprint (c : Cost_model.t) = Hashtbl.hash c land 0xFFFFFF
+
+let cache_key config (spec : Spec.t) =
+  Printf.sprintf "%s|packets=%d|threads=%d|gc=%s|seed=%d|region=%d|cpus=%d|cost=%x"
+    spec.Spec.name spec.Spec.packets_per_thread spec.Spec.mutator_threads
+    (Registry.name config.gc) config.seed config.region_words
+    config.machine.Machine.cpus (cost_fingerprint config.cost)
+
+let memo : (string, int) Hashtbl.t = Hashtbl.create 32
+
+let clear_memo () = Hashtbl.reset memo
+
+let cache_path () =
+  match Sys.getenv_opt "GCR_CACHE_DIR" with
+  | Some dir -> Some (Filename.concat dir "minheap.tsv")
+  | None ->
+      let dir = Filename.concat (Sys.getcwd ()) ".gcr-cache" in
+      let usable =
+        (Sys.file_exists dir && Sys.is_directory dir)
+        || (try Sys.mkdir dir 0o755; true with Sys_error _ -> false)
+      in
+      if usable then Some (Filename.concat dir "minheap.tsv") else None
+
+let load_file_cache () =
+  match cache_path () with
+  | None -> ()
+  | Some path when not (Sys.file_exists path) -> ()
+  | Some path -> (
+      try
+        let ic = open_in path in
+        (try
+           while true do
+             let line = input_line ic in
+             match String.split_on_char '\t' line with
+             | [ key; words ] -> (
+                 match int_of_string_opt words with
+                 | Some w -> Hashtbl.replace memo key w
+                 | None -> ())
+             | _ -> ()
+           done
+         with End_of_file -> ());
+        close_in ic
+      with Sys_error _ -> ())
+
+let append_file_cache key words =
+  match cache_path () with
+  | None -> ()
+  | Some path -> (
+      try
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+        Printf.fprintf oc "%s\t%d\n" key words;
+        close_out oc
+      with Sys_error _ -> ())
+
+let file_cache_loaded = ref false
+
+let completes config spec heap_words =
+  let run_config =
+    {
+      Run.spec;
+      gc = config.gc;
+      heap_words;
+      machine = config.machine;
+      cost = config.cost;
+      seed = config.seed;
+      region_words = config.region_words;
+      max_events =
+        (* probes must fail fast when the heap is too small to be useful *)
+        Some ((12 * spec.Spec.mutator_threads * spec.Spec.packets_per_thread) + 2_000_000);
+      make_collector = None;
+    }
+  in
+  Measurement.completed (Run.execute run_config)
+
+let search config spec =
+  let region = config.region_words in
+  let memory_regions = config.machine.Machine.memory_words / region in
+  let floor_regions =
+    max 8 (Spec.live_words_estimate spec / region)
+  in
+  let completes_regions n = completes config spec (n * region) in
+  (* Exponential probe for a completing size. *)
+  let rec find_upper n =
+    if n > memory_regions then
+      failwith
+        (Printf.sprintf "Minheap.find: %s does not complete even in machine memory"
+           spec.Spec.name)
+    else if completes_regions n then n
+    else find_upper (n * 2)
+  in
+  let upper = find_upper floor_regions in
+  (* Binary search for the smallest completing size (treating completion
+     as monotone in the heap size). *)
+  let rec bisect lo hi =
+    (* invariant: hi completes; lo does not (or is 0) *)
+    if hi - lo <= 1 then hi
+    else begin
+      let mid = (lo + hi) / 2 in
+      if completes_regions mid then bisect lo mid else bisect mid hi
+    end
+  in
+  let known_failing = if upper > floor_regions then upper / 2 else 0 in
+  bisect known_failing upper * region
+
+let find ?config spec =
+  let config = match config with Some c -> c | None -> default_config () in
+  if not !file_cache_loaded then begin
+    file_cache_loaded := true;
+    load_file_cache ()
+  end;
+  let key = cache_key config spec in
+  match Hashtbl.find_opt memo key with
+  | Some words -> words
+  | None ->
+      let words = search config spec in
+      Hashtbl.replace memo key words;
+      append_file_cache key words;
+      words

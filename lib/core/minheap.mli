@@ -1,0 +1,31 @@
+(** Minimum-heap measurement.
+
+    The paper sizes every heap relative to the minimum heap in which the
+    benchmark completes, measured with G1 ("the most space-efficient GC
+    among the ones we study", §IV-A).  This module performs that search:
+    exponential probing for an upper bound, then binary search down to a
+    region granularity.  Results are memoised in-process and, optionally,
+    in a small TSV cache file, because each probe is a full run. *)
+
+type config = {
+  machine : Gcr_mach.Machine.t;
+  cost : Gcr_mach.Cost_model.t;
+  region_words : int;
+  seed : int;
+  gc : Gcr_gcs.Registry.kind;  (** G1 in the paper's protocol *)
+}
+
+val default_config : unit -> config
+
+val find : ?config:config -> Gcr_workloads.Spec.t -> int
+(** Minimum heap size in words (a whole number of regions) in which the
+    benchmark completes.  Raises [Failure] if it cannot complete even in
+    the machine's full memory. *)
+
+val cache_path : unit -> string option
+(** Where results are persisted: [$GCR_CACHE_DIR/minheap.tsv] if
+    [GCR_CACHE_DIR] is set, else [./.gcr-cache/minheap.tsv] when the
+    working directory is writable, else no persistence. *)
+
+val clear_memo : unit -> unit
+(** Test hook: forget in-process results (the file cache is untouched). *)

@@ -1,0 +1,71 @@
+(** Regeneration of every table and figure in the paper's evaluation.
+
+    Each function prints a plain-text rendition of the corresponding
+    artefact from a campaign's measurements.  Table and figure numbers
+    follow the paper; the per-experiment index in DESIGN.md maps them to
+    modules and parameters. *)
+
+val core_bench_names : Harness.campaign -> string list
+(** The campaign's benchmarks minus eclipse and xalan — the paper's
+    16-benchmark summary set (intersected with what the campaign
+    actually ran). *)
+
+val worked_example : Harness.campaign -> ?bench:string -> ?factor:float -> unit -> unit
+(** Tables II–V: the LBO walkthrough on h2 at 3.0× with Serial, Parallel
+    and Shenandoah, including the hypothetical-collector refinement. *)
+
+val table_vi : Harness.campaign -> unit
+(** Time LBO per collector × heap factor, geomean over the core set. *)
+
+val table_vii : Harness.campaign -> unit
+(** Cycle LBO per collector × heap factor. *)
+
+val table_viii : ?factor:float -> Harness.campaign -> unit
+(** Per-benchmark time LBO at 3.0× with summary statistics. *)
+
+val table_ix : ?factor:float -> Harness.campaign -> unit
+(** Per-benchmark cycle LBO at 3.0×. *)
+
+val table_x : Harness.campaign -> unit
+(** Percent of wall-clock time in STW pauses per collector × factor. *)
+
+val table_xi : Harness.campaign -> unit
+(** Percent of cycles in STW pauses per collector × factor. *)
+
+val fig1 : ?bench:string -> Harness.campaign -> unit
+(** Fig. 1(a,b): Serial vs G1 on lusearch — total time and total cycles
+    across heap sizes, normalised to the best value. *)
+
+val fig2 : ?bench:string -> Harness.campaign -> unit
+(** Fig. 2(a,b): G1 vs Shenandoah on lusearch — mean pause time and
+    99.99th-percentile metered latency across heap sizes. *)
+
+val fig3 : ?bench:string -> ?factor:float -> Harness.campaign -> unit
+(** Fig. 3: pause-time distribution (ms at percentiles) at 3.0×. *)
+
+val fig4 : ?bench:string -> ?factor:float -> Harness.campaign -> unit
+(** Fig. 4: metered-latency distribution (ms at percentiles) at 3.0×. *)
+
+(** {1 Extensions beyond the paper's artefacts} *)
+
+val table_energy : ?factor:float -> Harness.campaign -> unit
+(** LBO under the energy metric — the "additional metric" the paper
+    recommends (§IV-E); parallelism and stalls price differently than
+    under time or cycles. *)
+
+val confidence_note : ?factor:float -> Harness.campaign -> unit
+(** The paper's CI footnotes, computed: the largest 95% confidence
+    interval (as a percent of the mean) over all per-benchmark LBO cells
+    at the given factor, per metric. *)
+
+val pause_breakdown : ?factor:float -> Harness.campaign -> unit
+(** Pause counts by reason (young / full / init-mark / final-mark /
+    degenerated ...) per collector — the §IV-C d log analysis that exposed
+    Shenandoah's pathological modes, as a first-class report. *)
+
+val latency_summary : ?factor:float -> Harness.campaign -> unit
+(** p50/p99/p99.99 metered latency for every latency-sensitive benchmark
+    and collector at one heap factor (generalises Figure 4). *)
+
+val all : Harness.campaign -> unit
+(** Everything, in paper order, with headers. *)

@@ -1,0 +1,41 @@
+(** Validation studies only a simulator can run.
+
+    The paper argues (Section III) that LBO is a lower bound on the true
+    overhead, and that better attribution of apparent GC cost tightens it.
+    On real hardware the true overhead is unobservable; in the simulator
+    it is: the ground-truth ideal is Epsilon with every barrier cost
+    zeroed on a memory-sized heap.  These studies verify the bound and
+    quantify its tightness, and reproduce the §III-C discussion of
+    attribution quality. *)
+
+type tightness_row = {
+  benchmark : string;
+  collector : string;
+  lbo : float;
+  true_overhead : float;
+}
+
+val tightness_rows :
+  Harness.campaign -> metric:Metrics.t -> factor:float -> tightness_row list
+(** For every (benchmark, collector) that completed at this heap factor:
+    its LBO and its true overhead against the ground-truth ideal (same
+    seeds as the campaign).  The bound holds iff [lbo <= true_overhead]
+    (up to measurement identity — the check is exact in the simulator). *)
+
+val tightness_study : Harness.campaign -> factor:float -> unit
+(** Print the study for both wall-clock time and cycles, flagging any
+    violation of the bound. *)
+
+val attribution_ablation :
+  Harness.campaign -> ?bench:string -> ?factor:float -> unit -> unit
+(** §III-C: cycle LBO computed with the naive pause-window attribution vs
+    the per-GC-thread attribution: the latter yields strictly tighter
+    (larger) bounds for concurrent collectors. *)
+
+val genshen_study :
+  ?benches:string list -> ?factor:float -> ?scale:float -> ?seed:int -> unit -> unit
+(** The paper's flagged future work, measured: generational Shenandoah
+    (JEP 404) against the non-generational Shenandoah of the study, on the
+    allocation-heavy benchmarks where the paper shows Shenandoah's
+    pathological modes.  Prints wall time, GC cycles, stalls and pause
+    counts side by side. *)

@@ -1,0 +1,288 @@
+module Vec = Gcr_util.Vec
+module Binary_heap = Gcr_util.Binary_heap
+
+type thread_kind = Mutator | Gc_worker
+
+type thread_state =
+  | Idle  (** between steps; waiting for a submit *)
+  | Queued  (** in the run queue *)
+  | On_cpu
+  | Parked_safepoint  (** step withheld until the pause is released *)
+  | Parked  (** blocked, waiting for an explicit resume *)
+  | Stalled
+  | Finished
+
+type thread = {
+  tid : int;
+  kind : thread_kind;
+  name : string;
+  mutable state : thread_state;
+  mutable cycles : int;
+  mutable cycles_stw : int;
+  mutable parked_step : (int * (unit -> unit)) option;
+}
+
+type pause = { start : int; duration : int; reason : string }
+
+type event =
+  | Step_done of thread * int * (unit -> unit)
+  | Timer of (unit -> unit)
+  | Stall_done of thread * (unit -> unit)
+
+type stop_state =
+  | No_stop
+  | Stopping of { reason : string; cb : unit -> unit; mutable sync_scheduled : bool }
+  | Paused of { reason : string }
+
+type t = {
+  cpus : int;
+  safepoint_sync : int;
+  cache_disruption : int;
+  mutable clock : int;
+  events : event Binary_heap.t;
+  ready : (thread * int * (unit -> unit)) Queue.t;
+  mutable busy : int;
+  threads : thread Vec.t;
+  mutable mutators_live : int;
+  mutable mutators_active : int;  (** mutator steps queued or on CPU *)
+  mutable stop : stop_state;
+  mutable pause_start : int;
+  pause_log : pause Vec.t;
+  mutable wall_stw : int;
+  mutable aborted : string option;
+}
+
+type outcome = All_mutators_finished | Aborted of string
+
+let create ~cpus ?(safepoint_sync_cycles = 3000) ?(cache_disruption_cycles = 0) () =
+  if cpus < 1 then invalid_arg "Engine.create: cpus < 1";
+  if safepoint_sync_cycles < 0 || cache_disruption_cycles < 0 then
+    invalid_arg "Engine.create: negative cost";
+  {
+    cpus;
+    safepoint_sync = safepoint_sync_cycles;
+    cache_disruption = cache_disruption_cycles;
+    clock = 0;
+    events = Binary_heap.create ();
+    ready = Queue.create ();
+    busy = 0;
+    threads = Vec.create ();
+    mutators_live = 0;
+    mutators_active = 0;
+    stop = No_stop;
+    pause_start = 0;
+    pause_log = Vec.create ();
+    wall_stw = 0;
+    aborted = None;
+  }
+
+let now t = t.clock
+
+let spawn t ~kind ~name =
+  let th =
+    {
+      tid = Vec.length t.threads;
+      kind;
+      name;
+      state = Idle;
+      cycles = 0;
+      cycles_stw = 0;
+      parked_step = None;
+    }
+  in
+  Vec.push t.threads th;
+  if kind = Mutator then t.mutators_live <- t.mutators_live + 1;
+  th
+
+let thread_kind th = th.kind
+
+let thread_name th = th.name
+
+let pause_active t = match t.stop with Paused _ -> true | No_stop | Stopping _ -> false
+
+let stop_pending t = match t.stop with No_stop -> false | Stopping _ | Paused _ -> true
+
+let stw_active t = pause_active t
+
+let stop_requested = stop_pending
+
+let enqueue_ready t th cycles cb =
+  th.state <- Queued;
+  if th.kind = Mutator then t.mutators_active <- t.mutators_active + 1;
+  Queue.add (th, cycles, cb) t.ready
+
+let submit t th ~cycles cb =
+  if cycles < 0 then invalid_arg "Engine.submit: negative cycles";
+  (match th.state with
+  | Idle -> ()
+  | Queued | On_cpu | Parked_safepoint | Parked | Stalled | Finished ->
+      invalid_arg (Printf.sprintf "Engine.submit: thread %s is not idle" th.name));
+  if th.kind = Mutator && stop_pending t then begin
+    th.state <- Parked_safepoint;
+    th.parked_step <- Some (cycles, cb)
+  end
+  else enqueue_ready t th cycles cb
+
+let exit_thread t th =
+  (match th.state with
+  | Idle | Parked | Stalled -> ()
+  | Queued | On_cpu | Parked_safepoint | Finished ->
+      invalid_arg (Printf.sprintf "Engine.exit_thread: thread %s is busy" th.name));
+  th.state <- Finished;
+  if th.kind = Mutator then t.mutators_live <- t.mutators_live - 1
+
+let stall t th ~cycles cb =
+  if cycles < 0 then invalid_arg "Engine.stall: negative cycles";
+  (match th.state with
+  | Idle -> ()
+  | Queued | On_cpu | Parked_safepoint | Parked | Stalled | Finished ->
+      invalid_arg (Printf.sprintf "Engine.stall: thread %s is not idle" th.name));
+  th.state <- Stalled;
+  Binary_heap.add t.events ~priority:(t.clock + cycles) (Stall_done (th, cb))
+
+let park _t th =
+  (match th.state with
+  | Idle -> ()
+  | Queued | On_cpu | Parked_safepoint | Parked | Stalled | Finished ->
+      invalid_arg (Printf.sprintf "Engine.park: thread %s is not idle" th.name));
+  th.state <- Parked
+
+let resume t th cb =
+  (match th.state with
+  | Parked -> ()
+  | Idle | Queued | On_cpu | Parked_safepoint | Stalled | Finished ->
+      invalid_arg (Printf.sprintf "Engine.resume: thread %s is not parked" th.name));
+  th.state <- Idle;
+  submit t th ~cycles:0 cb
+
+let is_parked th = th.state = Parked
+
+let at t ~time cb =
+  if time < t.clock then invalid_arg "Engine.at: time in the past";
+  Binary_heap.add t.events ~priority:time (Timer cb)
+
+let after t ~cycles cb = at t ~time:(t.clock + cycles) cb
+
+let request_stop t ~reason cb =
+  (match t.stop with
+  | No_stop -> ()
+  | Stopping _ | Paused _ -> invalid_arg "Engine.request_stop: stop already in progress");
+  t.stop <- Stopping { reason; cb; sync_scheduled = false }
+
+(* Once no mutator step is queued or running, the global sync cost elapses
+   and the pause window opens. *)
+let check_stop_ready t =
+  match t.stop with
+  | No_stop | Paused _ -> ()
+  | Stopping s ->
+      if t.mutators_active = 0 && not s.sync_scheduled then begin
+        s.sync_scheduled <- true;
+        at t ~time:(t.clock + t.safepoint_sync) (fun () ->
+            t.stop <- Paused { reason = s.reason };
+            t.pause_start <- t.clock;
+            s.cb ())
+      end
+
+let release_stop t =
+  match t.stop with
+  | No_stop | Stopping _ -> invalid_arg "Engine.release_stop: no pause is open"
+  | Paused { reason } ->
+      Vec.push t.pause_log
+        { start = t.pause_start; duration = t.clock - t.pause_start; reason };
+      t.stop <- No_stop;
+      Vec.iter
+        (fun th ->
+          match (th.state, th.parked_step) with
+          | Parked_safepoint, Some (cycles, cb) ->
+              th.parked_step <- None;
+              (* resuming mutators restart with a cold cache *)
+              enqueue_ready t th (cycles + t.cache_disruption) cb
+          | Parked_safepoint, None -> assert false
+          | (Idle | Queued | On_cpu | Parked | Stalled | Finished), _ -> ())
+        t.threads
+
+let pauses t = Vec.to_list t.pause_log
+
+let wall_stw t = t.wall_stw
+
+let cycles_of_kind t kind =
+  Vec.fold (fun acc th -> if th.kind = kind then acc + th.cycles else acc) 0 t.threads
+
+let cycles_stw_of_kind t kind =
+  Vec.fold (fun acc th -> if th.kind = kind then acc + th.cycles_stw else acc) 0 t.threads
+
+let cycles_of_thread th = th.cycles
+
+let abort t ~reason = if t.aborted = None then t.aborted <- Some reason
+
+let dispatch t =
+  while t.busy < t.cpus && not (Queue.is_empty t.ready) do
+    let th, cycles, cb = Queue.pop t.ready in
+    (match th.state with
+    | Queued -> ()
+    | Idle | On_cpu | Parked_safepoint | Parked | Stalled | Finished -> assert false);
+    th.state <- On_cpu;
+    t.busy <- t.busy + 1;
+    Binary_heap.add t.events ~priority:(t.clock + cycles) (Step_done (th, cycles, cb))
+  done
+
+let advance_clock t time =
+  assert (time >= t.clock);
+  if pause_active t then t.wall_stw <- t.wall_stw + (time - t.clock);
+  t.clock <- time
+
+let process_event t = function
+  | Step_done (th, cycles, cb) ->
+      (match th.state with
+      | On_cpu -> ()
+      | Idle | Queued | Parked_safepoint | Parked | Stalled | Finished -> assert false);
+      t.busy <- t.busy - 1;
+      if th.kind = Mutator then t.mutators_active <- t.mutators_active - 1;
+      th.state <- Idle;
+      th.cycles <- th.cycles + cycles;
+      if pause_active t then th.cycles_stw <- th.cycles_stw + cycles;
+      cb ()
+  | Timer cb -> cb ()
+  | Stall_done (th, cb) ->
+      (match th.state with
+      | Stalled -> ()
+      | Idle | Queued | On_cpu | Parked_safepoint | Parked | Finished -> assert false);
+      if th.kind = Mutator && stop_pending t then begin
+        (* A mutator waking into a safepoint parks instead: its
+           continuation (which may touch the heap) must not interleave
+           with stop-the-world collection work. *)
+        th.state <- Parked_safepoint;
+        th.parked_step <- Some (0, cb)
+      end
+      else begin
+        th.state <- Idle;
+        cb ()
+      end
+
+let run t ?(max_events = 50_000_000) () =
+  let outcome = ref None in
+  let events_seen = ref 0 in
+  (* a stop may have been requested before the engine started *)
+  check_stop_ready t;
+  dispatch t;
+  while !outcome = None do
+    match t.aborted with
+    | Some reason -> outcome := Some (Aborted reason)
+    | None ->
+        if t.mutators_live = 0 then outcome := Some All_mutators_finished
+        else begin
+          match Binary_heap.pop t.events with
+          | None -> outcome := Some (Aborted "deadlock: no runnable threads or events")
+          | Some (time, ev) ->
+              incr events_seen;
+              if !events_seen > max_events then
+                outcome := Some (Aborted "event budget exhausted")
+              else begin
+                advance_clock t time;
+                process_event t ev;
+                check_stop_ready t;
+                dispatch t
+              end
+        end
+  done;
+  match !outcome with Some o -> o | None -> assert false

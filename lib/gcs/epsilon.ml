@@ -1,0 +1,12 @@
+let make (ctx : Gc_types.ctx) : Gc_types.t =
+  {
+    name = "Epsilon";
+    read_barrier = (fun () -> 0);
+    write_barrier = (fun () -> 0);
+    on_alloc = ignore;
+    on_pointer_write = (fun ~src:_ ~old_target:_ ~new_target:_ -> ());
+    after_refill = (fun _th ~cont -> cont ());
+    on_out_of_regions =
+      (fun _th ~retry:_ -> ctx.oom "Epsilon never collects and the heap is exhausted");
+    stats = (fun () -> Gc_types.no_stats);
+  }

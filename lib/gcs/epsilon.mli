@@ -1,0 +1,8 @@
+(** Epsilon: the no-op collector (JEP 318).
+
+    Allocates until the heap is exhausted, then throws OutOfMemoryError.
+    No barriers, no collection work, no pauses — the closest physical
+    realisation of the paper's "zero-cost GC scheme", used by the LBO
+    methodology wherever it fits in memory. *)
+
+val make : Gc_types.ctx -> Gc_types.t

@@ -1,0 +1,101 @@
+module Heap = Gcr_heap.Heap
+module Region = Gcr_heap.Region
+module Obj_model = Gcr_heap.Obj_model
+module Allocator = Gcr_heap.Allocator
+module Vec = Gcr_util.Vec
+module Cost_model = Gcr_mach.Cost_model
+
+exception Evacuation_failure
+
+type t = {
+  ctx : Gc_types.ctx;
+  concurrent : bool;
+  choose_target : Obj_model.t -> Allocator.t;
+  queue : Region.t Vec.t;
+  mutable queue_pos : int;
+  mutable obj_pos : int;  (** cursor into the current region's object vec *)
+  mutable words_copied : int;
+  mutable objects_copied : int;
+  mutable regions_released : int;
+}
+
+let create ctx ~concurrent ~choose_target =
+  {
+    ctx;
+    concurrent;
+    choose_target;
+    queue = Vec.create ();
+    queue_pos = 0;
+    obj_pos = 0;
+    words_copied = 0;
+    objects_copied = 0;
+    regions_released = 0;
+  }
+
+let add_region t (r : Region.t) =
+  if r.pinned then invalid_arg "Evacuator.add_region: pinned region";
+  Vec.push t.queue r
+
+let finished t = t.queue_pos >= Vec.length t.queue
+
+let copy_cost t (o : Obj_model.t) =
+  let c = t.ctx.Gc_types.cost in
+  let per_object =
+    if t.concurrent then c.Cost_model.copy_per_object_concurrent else c.Cost_model.copy_per_object
+  in
+  per_object + (c.Cost_model.copy_per_word * o.size)
+
+(* Copy one live resident object out of [r]; raises on to-space
+   exhaustion. *)
+let evacuate_object t (o : Obj_model.t) =
+  let target = t.choose_target o in
+  let rec attempt retried =
+    match Allocator.current_region target with
+    | Some dst when Heap.move_object t.ctx.Gc_types.heap o dst -> ()
+    | Some _ | None ->
+        if retried then raise Evacuation_failure
+        else begin
+          (match Allocator.refill target with
+          | None -> raise Evacuation_failure
+          | Some _ -> ());
+          attempt true
+        end
+  in
+  attempt false;
+  o.age <- o.age + 1;
+  t.words_copied <- t.words_copied + o.size;
+  t.objects_copied <- t.objects_copied + 1;
+  copy_cost t o
+
+let step t ~budget =
+  let heap = t.ctx.Gc_types.heap in
+  let cost = ref 0 in
+  let processed = ref 0 in
+  while !processed < budget && not (finished t) do
+    let r = Vec.get t.queue t.queue_pos in
+    if t.obj_pos >= Vec.length r.Region.objects then begin
+      (* Region fully scanned: everything live has moved out; release it,
+         which reclaims the stragglers (dead objects). *)
+      Heap.release_region heap r;
+      t.regions_released <- t.regions_released + 1;
+      t.queue_pos <- t.queue_pos + 1;
+      t.obj_pos <- 0;
+      cost := !cost + t.ctx.Gc_types.cost.Cost_model.sweep_per_region
+    end
+    else begin
+      let id = Vec.get r.Region.objects t.obj_pos in
+      t.obj_pos <- t.obj_pos + 1;
+      incr processed;
+      match Heap.find heap id with
+      | Some o when o.Obj_model.region = r.Region.index ->
+          if Heap.is_marked heap o then cost := !cost + evacuate_object t o
+      | Some _ | None -> ()
+    end
+  done;
+  !cost
+
+let words_copied t = t.words_copied
+
+let objects_copied t = t.objects_copied
+
+let regions_released t = t.regions_released

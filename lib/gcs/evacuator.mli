@@ -1,0 +1,44 @@
+(** Incremental evacuation of collection-set regions.
+
+    After a marking pass has established per-region liveness, the evacuator
+    copies every live (marked) object out of the chosen regions and
+    releases them.  G1 does this inside a pause; Shenandoah and ZGC do it
+    concurrently (with the dearer CAS-guarded copy cost).  Work is exposed
+    in bounded slices, like the tracer, so it can run under a worker
+    pool. *)
+
+type t
+
+exception Evacuation_failure
+(** Raised out of {!step} when the free pool cannot supply a destination
+    region (to-space exhaustion).  The collector falls back: G1 and
+    Shenandoah degrade to a full collection, ZGC declares an allocation
+    stall or OOM. *)
+
+val create :
+  Gc_types.ctx ->
+  concurrent:bool ->
+  choose_target:(Gcr_heap.Obj_model.t -> Gcr_heap.Allocator.t) ->
+  t
+(** [choose_target] maps each survivor to the allocator it is copied with
+    (survivor vs old for generational promotion, a single target
+    otherwise).  [concurrent] selects the CAS-guarded per-object copy
+    cost. *)
+
+val add_region : t -> Gcr_heap.Region.t -> unit
+(** Queue a region for evacuation.  Pinned regions are rejected
+    ([Invalid_argument]); only add regions whose live objects are marked in
+    the {e current} heap epoch. *)
+
+val step : t -> budget:int -> int
+(** Process up to [budget] objects (dead ones are skipped for free);
+    returns the slice's cycle cost, 0 when all queued regions have been
+    evacuated and released. *)
+
+val finished : t -> bool
+
+val words_copied : t -> int
+
+val objects_copied : t -> int
+
+val regions_released : t -> int

@@ -1,0 +1,87 @@
+module Heap = Gcr_heap.Heap
+module Region = Gcr_heap.Region
+module Obj_model = Gcr_heap.Obj_model
+module Allocator = Gcr_heap.Allocator
+module Vec = Gcr_util.Vec
+module Cost_model = Gcr_mach.Cost_model
+
+type result = {
+  objects_marked : int;
+  words_live : int;
+  edges : int;
+}
+
+(* Budget of objects handled per worker slice; small enough that pause
+   attribution and parallelism stay fine-grained. *)
+let slice_budget = 64
+
+let run (ctx : Gc_types.ctx) ~pool ~on_done =
+  let heap = ctx.Gc_types.heap in
+  Vec.iter Allocator.retire ctx.Gc_types.allocators;
+  ignore (Heap.begin_mark_epoch heap);
+  Heap.iter_regions (fun r -> r.Region.live_words <- 0) heap;
+  let tracer =
+    Tracer.create ctx ~use_scratch:false ~update_region_live:true
+      ~should_visit:(fun _ -> true)
+      ~on_mark:(fun _ -> 0)
+  in
+  Tracer.add_roots tracer (!(ctx.Gc_types.roots) ());
+  (* Compaction state, filled in between the two phases. *)
+  let survivors = Vec.create () in
+  let cursor = ref 0 in
+  let target = Allocator.create heap ~space:Region.Old in
+  let prepare_compaction () =
+    Heap.iter_regions
+      (fun r ->
+        if not (Region.space_equal r.Region.space Region.Free) then begin
+          Heap.purge_unmarked heap r;
+          Heap.iter_resident_objects heap r (fun o -> Vec.push survivors o)
+        end)
+      heap;
+    Heap.iter_regions
+      (fun r ->
+        if not (Region.space_equal r.Region.space Region.Free) then
+          Heap.release_region_keep_objects heap r)
+      heap
+  in
+  let place (o : Obj_model.t) =
+    let rec attempt retried =
+      match Allocator.current_region target with
+      | Some dst when Heap.place_object heap o dst -> ()
+      | Some _ | None ->
+          if retried then ctx.Gc_types.oom "full compaction could not place a survivor"
+          else begin
+            (match Allocator.refill target with
+            | None -> ctx.Gc_types.oom "full compaction found no free region"
+            | Some _ -> ());
+            attempt true
+          end
+    in
+    attempt false
+  in
+  let compact_slice ~worker:_ =
+    let cost = ref 0 in
+    let n = Vec.length survivors in
+    let stop = min n (!cursor + slice_budget) in
+    while !cursor < stop do
+      let o = Vec.get survivors !cursor in
+      incr cursor;
+      place o;
+      cost :=
+        !cost
+        + (ctx.Gc_types.cost.Cost_model.compact_per_word * o.Obj_model.size)
+        + (ctx.Gc_types.cost.Cost_model.update_ref_per_edge * Array.length o.Obj_model.fields)
+    done;
+    !cost
+  in
+  let mark_slice ~worker:_ = Tracer.drain tracer ~budget:slice_budget in
+  Worker_pool.run_phase pool ~work:mark_slice ~on_done:(fun () ->
+      prepare_compaction ();
+      Worker_pool.run_phase pool ~work:compact_slice ~on_done:(fun () ->
+          Allocator.retire target;
+          on_done
+            {
+              objects_marked = Tracer.objects_marked tracer;
+              words_live = Tracer.words_marked tracer;
+              edges = Tracer.edges_seen tracer;
+            }))

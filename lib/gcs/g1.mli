@@ -1,0 +1,22 @@
+(** G1: generational, region-based, with concurrent old-space marking.
+
+    Young collections are stop-the-world scavenges (shared with
+    Serial/Parallel).  When old-space occupancy crosses the initiating
+    threshold, a concurrent marking cycle runs on dedicated GC threads
+    (SATB write barrier protects it); once marking completes, the next
+    young pause also evacuates the old regions with the most garbage
+    ("mixed" collection).  Evacuation failure and exhausted headroom fall
+    back to the shared full mark-compact. *)
+
+type config = {
+  stw_workers : int;
+  conc_workers : int;
+  tenure_age : int;
+  initiating_occupancy : float;  (** old-space fraction starting marking *)
+  mixed_live_threshold : float;
+      (** only regions with live fraction below this enter a mixed cset *)
+}
+
+val default_config : cpus:int -> config
+
+val make : Gc_types.ctx -> config -> Gc_types.t

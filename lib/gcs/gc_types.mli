@@ -1,0 +1,68 @@
+(** The collector interface.
+
+    A collector is a record of closures consulted by the mutator on its hot
+    paths (allocation, field reads and writes) plus the machinery that runs
+    collection work on GC threads.  The record-of-closures shape keeps the
+    mutator code identical across all six collectors — exactly the property
+    that makes the LBO methodology applicable: the runtime never needs to
+    know which collector it is running. *)
+
+type ctx = {
+  heap : Gcr_heap.Heap.t;
+  engine : Gcr_engine.Engine.t;
+  cost : Gcr_mach.Cost_model.t;
+  machine : Gcr_mach.Machine.t;
+  roots : (unit -> Gcr_heap.Obj_model.id list) ref;
+      (** set by the runtime once the workload exists; collectors call it at
+          the start of every marking phase *)
+  allocators : Gcr_heap.Allocator.t Gcr_util.Vec.t;
+      (** every long-lived allocation buffer (mutator TLABs, promotion
+          targets); collectors retire them all at collection boundaries so
+          no stale current-region pointer survives region reshuffling *)
+  oom : string -> unit;  (** aborts the run with an OutOfMemoryError *)
+}
+
+val make_ctx :
+  heap:Gcr_heap.Heap.t ->
+  engine:Gcr_engine.Engine.t ->
+  cost:Gcr_mach.Cost_model.t ->
+  machine:Gcr_mach.Machine.t ->
+  ctx
+(** Roots default to the empty list; [oom] aborts the engine. *)
+
+type stats = {
+  collections : int;  (** completed collection cycles of any kind *)
+  full_collections : int;  (** full / degenerated STW collections *)
+  words_copied : int;
+  objects_marked : int;
+  stalls : int;  (** pacing / allocation-stall episodes imposed on mutators *)
+}
+
+type t = {
+  name : string;
+  read_barrier : unit -> int;
+      (** current per-field-read cost charged to the mutator *)
+  write_barrier : unit -> int;
+      (** current per-pointer-write cost charged to the mutator *)
+  on_alloc : Gcr_heap.Obj_model.t -> unit;
+      (** every new object is announced (concurrent markers treat objects
+          allocated during marking as implicitly live) *)
+  on_pointer_write :
+    src:Gcr_heap.Obj_model.t ->
+    old_target:Gcr_heap.Obj_model.id ->
+    new_target:Gcr_heap.Obj_model.id ->
+    unit;
+      (** every pointer-field write is announced before it happens:
+          generational collectors maintain their remembered set, SATB
+          collectors enqueue the overwritten value *)
+  after_refill : Gcr_engine.Engine.thread -> cont:(unit -> unit) -> unit;
+      (** the thread just took a region from the free pool; the collector
+          may run its trigger heuristics.  It must call [cont] exactly once,
+          immediately or after parking the thread across a collection *)
+  on_out_of_regions : Gcr_engine.Engine.thread -> retry:(unit -> unit) -> unit;
+      (** the free pool is empty.  The collector must collect, stall, or
+          declare OOM; [retry] re-attempts the allocation *)
+  stats : unit -> stats;
+}
+
+val no_stats : stats

@@ -1,0 +1,46 @@
+type kind = Epsilon | Serial | Parallel | G1 | Shenandoah | Zgc | Shenandoah_gen
+
+let all = [ Epsilon; Serial; Parallel; G1; Shenandoah; Zgc ]
+
+let production = [ Serial; Parallel; G1; Shenandoah; Zgc ]
+
+let experimental = [ Shenandoah_gen ]
+
+let name = function
+  | Epsilon -> "Epsilon"
+  | Serial -> "Serial"
+  | Parallel -> "Parallel"
+  | G1 -> "G1"
+  | Shenandoah -> "Shenandoah"
+  | Zgc -> "ZGC"
+  | Shenandoah_gen -> "GenShen"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "epsilon" -> Some Epsilon
+  | "serial" -> Some Serial
+  | "parallel" -> Some Parallel
+  | "g1" -> Some G1
+  | "shenandoah" | "shen" -> Some Shenandoah
+  | "zgc" | "z" -> Some Zgc
+  | "genshen" | "shenandoah-gen" | "generational-shenandoah" -> Some Shenandoah_gen
+  | _ -> None
+
+let is_concurrent = function
+  | G1 | Shenandoah | Zgc | Shenandoah_gen -> true
+  | Epsilon | Serial | Parallel -> false
+
+let is_generational = function
+  | Serial | Parallel | G1 | Shenandoah_gen -> true
+  | Epsilon | Shenandoah | Zgc -> false
+
+let make kind (ctx : Gc_types.ctx) =
+  let cpus = ctx.Gc_types.machine.Gcr_mach.Machine.cpus in
+  match kind with
+  | Epsilon -> Epsilon.make ctx
+  | Serial -> Stw_gen.make ctx (Stw_gen.serial_config ~cpus)
+  | Parallel -> Stw_gen.make ctx (Stw_gen.parallel_config ~cpus)
+  | G1 -> G1.make ctx (G1.default_config ~cpus)
+  | Shenandoah -> Shenandoah.make ctx (Shenandoah.default_config ~cpus)
+  | Zgc -> Zgc.make ctx (Zgc.default_config ~cpus)
+  | Shenandoah_gen -> Shenandoah_gen.make ctx (Shenandoah_gen.default_config ~cpus)

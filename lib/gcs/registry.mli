@@ -1,0 +1,40 @@
+(** Collector registry: construction by name.
+
+    The six collectors of Table I, keyed by the names used throughout the
+    paper's tables. *)
+
+type kind =
+  | Epsilon
+  | Serial
+  | Parallel
+  | G1
+  | Shenandoah
+  | Zgc
+  | Shenandoah_gen
+      (** generational Shenandoah (JEP 404 / JDK 21) — the paper's flagged
+          future work, implemented as an extension; not part of the
+          paper's collector set *)
+
+val all : kind list
+(** In the paper's table order: Epsilon, Serial, Parallel, G1, Shenandoah,
+    ZGC. *)
+
+val production : kind list
+(** The five collectors of the paper's study (everything in [all] but
+    Epsilon). *)
+
+val experimental : kind list
+(** Extensions beyond the paper's set (generational Shenandoah). *)
+
+val name : kind -> string
+
+val of_name : string -> kind option
+(** Case-insensitive; accepts "zgc" and "shen" shorthands. *)
+
+val is_concurrent : kind -> bool
+(** Runs collection work outside pauses (G1, Shenandoah, ZGC). *)
+
+val is_generational : kind -> bool
+
+val make : kind -> Gc_types.ctx -> Gc_types.t
+(** Instantiate with default configuration for the context's machine. *)

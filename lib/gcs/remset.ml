@@ -1,0 +1,52 @@
+module Heap = Gcr_heap.Heap
+module Region = Gcr_heap.Region
+module Obj_model = Gcr_heap.Obj_model
+module Vec = Gcr_util.Vec
+
+type t = {
+  heap : Heap.t;
+  entries : Obj_model.id Vec.t;
+}
+
+let create heap = { heap; entries = Vec.create () }
+
+let remember t (o : Obj_model.t) =
+  if not o.Obj_model.remembered then begin
+    o.Obj_model.remembered <- true;
+    Vec.push t.entries o.Obj_model.id
+  end
+
+let iter t f = Vec.iter f t.entries
+
+let size t = Vec.length t.entries
+
+let is_young t (o : Obj_model.t) =
+  match (Heap.region t.heap o.Obj_model.region).Region.space with
+  | Region.Eden | Region.Survivor -> true
+  | Region.Free | Region.Old -> false
+
+let points_young t target =
+  (not (Obj_model.is_null target))
+  && match Heap.find t.heap target with None -> false | Some child -> is_young t child
+
+let rebuild t ~extra =
+  let previous = Vec.to_list t.entries in
+  Vec.clear t.entries;
+  let reconsider id =
+    match Heap.find t.heap id with
+    | None -> ()
+    | Some o ->
+        o.Obj_model.remembered <- false;
+        if Array.exists (points_young t) o.Obj_model.fields then remember t o
+  in
+  List.iter reconsider previous;
+  List.iter reconsider extra
+
+let clear t =
+  Vec.iter
+    (fun id ->
+      match Heap.find t.heap id with
+      | None -> ()
+      | Some o -> o.Obj_model.remembered <- false)
+    t.entries;
+  Vec.clear t.entries

@@ -1,0 +1,27 @@
+(** Remembered set for generational collectors (card-table analogue).
+
+    Holds old-space objects that may contain references into the young
+    generation; young collections scan their fields as extra roots.
+    Entries are deduplicated with the per-object [remembered] bit, exactly
+    like a dirty card. *)
+
+type t
+
+val create : Gcr_heap.Heap.t -> t
+
+val remember : t -> Gcr_heap.Obj_model.t -> unit
+(** Idempotent per object between rebuilds. *)
+
+val iter : t -> (Gcr_heap.Obj_model.id -> unit) -> unit
+
+val size : t -> int
+
+val rebuild : t -> extra:Gcr_heap.Obj_model.id list -> unit
+(** Post-collection filtering: retain (from the current entries plus
+    [extra], typically freshly promoted objects) only live objects that
+    still reference a young-space object — a card stays dirty while it
+    points into the nursery. *)
+
+val clear : t -> unit
+(** Drop all entries and reset their dedup bits (after a full collection,
+    when no young objects remain). *)

@@ -1,0 +1,25 @@
+(** Shenandoah: non-generational concurrent mark + concurrent evacuation.
+
+    Collection cycles (shared driver, {!Conc_cycle}) are triggered by a
+    free-headroom heuristic.  Mutators pay an SATB write barrier while
+    marking and an elevated load barrier while evacuation/update is in
+    flight.  Under allocation pressure it exhibits the paper's two
+    pathological modes:
+
+    - {e pacing}: when free memory falls low during a cycle, allocating
+      threads are stalled (consuming wall-clock time but no cycles);
+    - {e degenerated GC}: when allocation fails outright, the world stops
+      and the in-flight cycle completes inside the pause; if even that
+      cannot free memory, a full mark-compact runs. *)
+
+type config = {
+  conc_workers : int;
+  trigger_free_fraction : float;  (** start a cycle below this free share *)
+  pace_free_fraction : float;  (** pace allocators below this free share *)
+  pace_stall_cycles : int;  (** base stall per paced allocation *)
+  garbage_threshold : float;
+}
+
+val default_config : cpus:int -> config
+
+val make : Gc_types.ctx -> config -> Gc_types.t

@@ -1,0 +1,33 @@
+(** Generational Shenandoah — the paper's flagged future work (its Table I
+    footnote points at JEP 404, then "in development"; generational mode
+    shipped years later in JDK 21).
+
+    The motivation, visible in the paper's own data, is that
+    non-generational Shenandoah re-marks and re-copies the whole live set
+    every cycle and collapses under high allocation rates (pacing,
+    degeneration, the xalan/lusearch pathologies).  Generational mode
+    reclaims the nursery with cheap stop-the-world scavenges (shared with
+    Serial/Parallel/G1 here) and reserves the concurrent
+    mark/evacuate/update pipeline for the old generation, whose cset
+    excludes young regions.
+
+    Composition of existing machinery: {!Scavenge} + {!Remset} for the
+    young generation, {!Conc_cycle} in [old_only] mode for the old one,
+    {!Full_compact} as the last resort, and Shenandoah-style pacing while
+    an old cycle is behind.  Not part of the paper's collector set —
+    registered as an experimental kind for the extension study. *)
+
+type config = {
+  stw_workers : int;  (** scavenge workers *)
+  conc_workers : int;
+  tenure_age : int;
+  old_trigger_occupancy : float;
+      (** start an old cycle when old space exceeds this heap fraction *)
+  pace_free_fraction : float;
+  pace_stall_cycles : int;
+  garbage_threshold : float;
+}
+
+val default_config : cpus:int -> config
+
+val make : Gc_types.ctx -> config -> Gc_types.t

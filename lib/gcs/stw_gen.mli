@@ -1,0 +1,26 @@
+(** The generational stop-the-world collector behind Serial and Parallel.
+
+    Young collections are copying scavenges: live young objects (found by a
+    bounded trace over eden+survivor from the workload roots plus the
+    remembered set) are copied to survivor regions, or promoted to old
+    space once they have survived [tenure_age] collections.  When the free
+    pool runs low after a young collection — or a scavenge suffers
+    promotion failure — the shared full mark-compact runs.
+
+    Serial runs the same algorithm with one GC worker; Parallel with many
+    (paying dispatch and termination-barrier overheads — the
+    time-vs-cycles tradeoff of the paper's Section IV-C b). *)
+
+type config = {
+  name : string;
+  stw_workers : int;
+  tenure_age : int;  (** promotions happen at this copy count (default 2) *)
+}
+
+val serial_config : cpus:int -> config
+
+val parallel_config : cpus:int -> config
+(** HotSpot's default ergonomics: ParallelGCThreads
+    = 8 + 5/8 × (cpus − 8) for cpus > 8. *)
+
+val make : Gc_types.ctx -> config -> Gc_types.t

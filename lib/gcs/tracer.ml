@@ -1,0 +1,91 @@
+module Heap = Gcr_heap.Heap
+module Obj_model = Gcr_heap.Obj_model
+module Vec = Gcr_util.Vec
+module Cost_model = Gcr_mach.Cost_model
+
+exception Trace_failure of string
+
+type t = {
+  ctx : Gc_types.ctx;
+  use_scratch : bool;
+  update_region_live : bool;
+  should_visit : Obj_model.t -> bool;
+  on_mark : Obj_model.t -> int;
+  stack : Obj_model.id Vec.t;
+  mutable objects_marked : int;
+  mutable words_marked : int;
+  mutable edges_seen : int;
+}
+
+let create ctx ~use_scratch ~update_region_live ~should_visit ~on_mark =
+  {
+    ctx;
+    use_scratch;
+    update_region_live;
+    should_visit;
+    on_mark;
+    stack = Vec.create ();
+    objects_marked = 0;
+    words_marked = 0;
+    edges_seen = 0;
+  }
+
+let is_marked t o =
+  if t.use_scratch then Heap.is_scratch_marked t.ctx.Gc_types.heap o
+  else Heap.is_marked t.ctx.Gc_types.heap o
+
+let set_marked t o =
+  if t.use_scratch then Heap.set_scratch_marked t.ctx.Gc_types.heap o
+  else Heap.set_marked t.ctx.Gc_types.heap o
+
+(* Mark at push: each object enters the stack at most once. *)
+let add_root t id =
+  if not (Obj_model.is_null id) then
+    match Heap.find t.ctx.Gc_types.heap id with
+    | None -> ()
+    | Some o ->
+        if (not (is_marked t o)) && t.should_visit o then begin
+          set_marked t o;
+          Vec.push t.stack id
+        end
+
+let add_roots t ids = List.iter (add_root t) ids
+
+let drain t ~budget =
+  let heap = t.ctx.Gc_types.heap in
+  let cost_model = t.ctx.Gc_types.cost in
+  let cost = ref 0 in
+  let processed = ref 0 in
+  while !processed < budget && not (Vec.is_empty t.stack) do
+    let id = Vec.pop_exn t.stack in
+    incr processed;
+    (* The id was live and marked when pushed; objects are only removed by
+       region release, which should not happen mid-trace for visited
+       spaces — but stay defensive across collector fallbacks. *)
+    match Heap.find heap id with
+    | None -> ()
+    | Some o ->
+    t.objects_marked <- t.objects_marked + 1;
+    t.words_marked <- t.words_marked + o.size;
+    if t.update_region_live then begin
+      let r = Heap.region heap o.region in
+      r.Gcr_heap.Region.live_words <- r.Gcr_heap.Region.live_words + o.size
+    end;
+    cost := !cost + cost_model.Cost_model.mark_per_object;
+    cost := !cost + t.on_mark o;
+    Array.iter
+      (fun field ->
+        t.edges_seen <- t.edges_seen + 1;
+        cost := !cost + cost_model.Cost_model.mark_per_edge;
+        add_root t field)
+      o.fields
+  done;
+  !cost
+
+let pending t = not (Vec.is_empty t.stack)
+
+let objects_marked t = t.objects_marked
+
+let words_marked t = t.words_marked
+
+let edges_seen t = t.edges_seen

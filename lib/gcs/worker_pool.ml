@@ -1,0 +1,57 @@
+module Engine = Gcr_engine.Engine
+module Cost_model = Gcr_mach.Cost_model
+
+type t = {
+  ctx : Gc_types.ctx;
+  threads : Engine.thread array;
+  mutable active : int;  (** workers still pulling slices in this phase *)
+  mutable phase_running : bool;
+}
+
+let create ctx ~count ~name =
+  if count < 1 then invalid_arg "Worker_pool.create: count < 1";
+  let spawn i =
+    let th =
+      Engine.spawn ctx.Gc_types.engine ~kind:Engine.Gc_worker
+        ~name:(Printf.sprintf "%s-worker-%d" name i)
+    in
+    Engine.park ctx.Gc_types.engine th;
+    th
+  in
+  { ctx; threads = Array.init count spawn; active = 0; phase_running = false }
+
+let count t = Array.length t.threads
+
+let busy t = t.phase_running
+
+let termination_cost t =
+  let workers = count t in
+  t.ctx.Gc_types.cost.Cost_model.termination_per_worker * Cost_model.log2_ceil (max 2 workers)
+
+let run_phase t ~work ~on_done =
+  if t.phase_running then invalid_arg "Worker_pool.run_phase: phase already running";
+  t.phase_running <- true;
+  t.active <- count t;
+  let engine = t.ctx.Gc_types.engine in
+  let dispatch_cost = t.ctx.Gc_types.cost.Cost_model.gc_task_dispatch in
+  let finish_worker th =
+    Engine.park engine th;
+    t.active <- t.active - 1;
+    if t.active = 0 then begin
+      t.phase_running <- false;
+      on_done ()
+    end
+  in
+  let rec pull worker th () =
+    let cost = work ~worker in
+    if cost > 0 then Engine.submit engine th ~cycles:(cost + dispatch_cost) (pull worker th)
+    else
+      (* Termination barrier, then park until the next phase. *)
+      Engine.submit engine th ~cycles:(termination_cost t) (fun () -> finish_worker th)
+  in
+  Array.iteri (fun worker th -> Engine.resume engine th (pull worker th)) t.threads
+
+let rec run_phases t phases ~on_done =
+  match phases with
+  | [] -> on_done ()
+  | (_label, work) :: rest -> run_phase t ~work ~on_done:(fun () -> run_phases t rest ~on_done)

@@ -1,0 +1,28 @@
+(** ZGC: non-generational concurrent mark + concurrent relocation behind a
+    load barrier.
+
+    Differences from Shenandoah that matter for the paper's results:
+    mutators pay the load barrier on {e every} reference read (idle or
+    not); there is no pacing and no degenerated mode — when allocation
+    fails during a cycle the thread simply blocks ("allocation stall")
+    until reclamation frees memory; and there is no full-GC fallback, so
+    allocation that outruns reclamation for good ends in OutOfMemoryError
+    (as the paper observes for xalan). *)
+
+type config = {
+  conc_workers : int;
+  trigger_free_fraction : float;
+  garbage_threshold : float;
+  max_evac_failures : int;  (** consecutive to-space exhaustions before OOM *)
+  stall_timeout_cycles : int;
+      (** an allocation stalled longer than this is an OutOfMemoryError *)
+  overload_waiters : int;
+      (** cycle-end stalled-thread count that counts as overload *)
+  max_overload_cycles : int;
+      (** consecutive overloaded cycle ends before OOM — sustained
+          allocation-over-reclamation, the paper's xalan failure *)
+}
+
+val default_config : cpus:int -> config
+
+val make : Gc_types.ctx -> config -> Gc_types.t

@@ -1,0 +1,54 @@
+type t = {
+  heap : Heap.t;
+  space : Region.space;
+  mutable current : Region.t option;
+}
+
+type outcome =
+  | Allocated of { obj : Obj_model.t; refilled : bool }
+  | Out_of_regions
+
+let create heap ~space =
+  if Region.space_equal space Region.Free then invalid_arg "Allocator.create: free space";
+  { heap; space; current = None }
+
+let space t = t.space
+
+let take_fresh t =
+  match Heap.take_free_region t.heap ~space:t.space with
+  | None -> None
+  | Some r ->
+      t.current <- Some r;
+      Some r
+
+let alloc t ~size ~nfields =
+  let try_in r refilled =
+    match Heap.alloc_in_region t.heap r ~size ~nfields with
+    | Some obj -> Some (Allocated { obj; refilled })
+    | None -> None
+  in
+  let fresh () =
+    match take_fresh t with
+    | None -> Out_of_regions
+    | Some r -> (
+        match try_in r true with
+        | Some outcome -> outcome
+        | None ->
+            (* A fresh region cannot fit the object: object sizes are capped
+               well below the region size, so this is a programming error. *)
+            invalid_arg "Allocator.alloc: object larger than a region")
+  in
+  match t.current with
+  | None -> fresh ()
+  | Some r -> (
+      match try_in r false with
+      | Some outcome -> outcome
+      | None -> fresh ())
+
+let retire t = t.current <- None
+
+let refill t =
+  retire t;
+  take_fresh t
+
+let current_region t = t.current

@@ -1,0 +1,251 @@
+module Vec = Gcr_util.Vec
+
+type t = {
+  region_words : int;
+  regions : Region.t array;
+  free_pool : int Vec.t;  (** indices of free regions (LIFO) *)
+  table : Obj_model.t option Vec.t;  (** object table indexed by id *)
+  mutable live_count : int;
+  mutable live_words : int;
+  mutable used_words : int;
+  space_used : int array;  (** indexed by space tag *)
+  mutable epoch : int;
+  mutable scratch_epoch : int;
+  mutable next_id : int;
+  mutable words_allocated : int;
+  mutable objects_allocated : int;
+  mutable collections : int;
+  mutable reserve : int;
+}
+
+let space_tag = function
+  | Region.Free -> 0
+  | Region.Eden -> 1
+  | Region.Survivor -> 2
+  | Region.Old -> 3
+
+let create ~capacity_words ~region_words =
+  if region_words < Obj_model.header_words then invalid_arg "Heap.create: region too small";
+  let n = capacity_words / region_words in
+  if n < 2 then invalid_arg "Heap.create: need at least two regions";
+  let regions = Array.init n (fun index -> Region.make ~index) in
+  let free_pool = Vec.create () in
+  (* Pushed in reverse so that region 0 is taken first. *)
+  for i = n - 1 downto 0 do
+    Vec.push free_pool i
+  done;
+  let table = Vec.create () in
+  Vec.push table None;
+  (* id 0 is the null reference *)
+  {
+    region_words;
+    regions;
+    free_pool;
+    table;
+    live_count = 0;
+    live_words = 0;
+    used_words = 0;
+    space_used = Array.make 4 0;
+    epoch = 0;
+    scratch_epoch = 0;
+    next_id = 1;
+    words_allocated = 0;
+    objects_allocated = 0;
+    collections = 0;
+    reserve = 0;
+  }
+
+let region_words t = t.region_words
+
+let total_regions t = Array.length t.regions
+
+let free_regions t = Vec.length t.free_pool
+
+let capacity_words t = total_regions t * t.region_words
+
+let used_words t = t.used_words
+
+let space_used_words t space = t.space_used.(space_tag space)
+
+let region t i = t.regions.(i)
+
+let iter_regions f t = Array.iter f t.regions
+
+let regions_in_space t space =
+  Array.fold_left
+    (fun acc r -> if Region.space_equal r.Region.space space then r :: acc else acc)
+    [] t.regions
+  |> List.rev
+
+let find t id =
+  if id <= 0 || id >= Vec.length t.table then None else Vec.get t.table id
+
+let find_exn t id =
+  match find t id with
+  | Some o -> o
+  | None -> invalid_arg (Printf.sprintf "Heap.find_exn: object %d is not live" id)
+
+let is_live t id = Option.is_some (find t id)
+
+let live_objects t = t.live_count
+
+let live_words_exact t = t.live_words
+
+let begin_mark_epoch t =
+  t.epoch <- t.epoch + 1;
+  t.epoch
+
+let current_epoch t = t.epoch
+
+let is_marked t (o : Obj_model.t) = o.mark = t.epoch
+
+let set_marked t (o : Obj_model.t) = o.mark <- t.epoch
+
+let begin_scratch_epoch t =
+  t.scratch_epoch <- t.scratch_epoch + 1;
+  t.scratch_epoch
+
+let is_scratch_marked t (o : Obj_model.t) = o.scratch = t.scratch_epoch
+
+let set_scratch_marked t (o : Obj_model.t) = o.scratch <- t.scratch_epoch
+
+let release_log : (int -> string -> unit) ref = ref (fun _ _ -> ())
+
+let set_alloc_reserve t n =
+  if n < 0 then invalid_arg "Heap.set_alloc_reserve: negative";
+  t.reserve <- n
+
+let alloc_reserve t = t.reserve
+
+let take_free_region t ~space =
+  let blocked_by_reserve =
+    Region.space_equal space Region.Eden && Vec.length t.free_pool <= t.reserve
+  in
+  if blocked_by_reserve then None
+  else
+    match Vec.pop t.free_pool with
+    | None -> None
+    | Some idx ->
+        let r = t.regions.(idx) in
+        assert (Region.space_equal r.space Region.Free);
+        r.space <- space;
+        !release_log idx "take";
+        Some r
+
+let alloc_in_region t (r : Region.t) ~size ~nfields =
+  if Region.space_equal r.space Region.Free then
+    invalid_arg (Printf.sprintf "Heap.alloc_in_region: free region %d" r.index);
+  if r.used_words + size > t.region_words then None
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let o = Obj_model.make ~id ~size ~nfields ~region:r.index in
+    Vec.push t.table (Some o);
+    r.used_words <- r.used_words + size;
+    Vec.push r.objects id;
+    t.used_words <- t.used_words + size;
+    t.space_used.(space_tag r.space) <- t.space_used.(space_tag r.space) + size;
+    t.live_count <- t.live_count + 1;
+    t.live_words <- t.live_words + size;
+    t.words_allocated <- t.words_allocated + size;
+    t.objects_allocated <- t.objects_allocated + 1;
+    Some o
+  end
+
+let move_object t (o : Obj_model.t) (dst : Region.t) =
+  if Region.space_equal dst.space Region.Free then invalid_arg "Heap.move_object: free region";
+  if dst.used_words + o.size > t.region_words then false
+  else begin
+    dst.used_words <- dst.used_words + o.size;
+    Vec.push dst.objects o.id;
+    t.used_words <- t.used_words + o.size;
+    t.space_used.(space_tag dst.space) <- t.space_used.(space_tag dst.space) + o.size;
+    o.region <- dst.index;
+    true
+  end
+
+let remove_from_table t id =
+  match find t id with
+  | None -> ()
+  | Some o ->
+      Vec.set t.table id None;
+      t.live_count <- t.live_count - 1;
+      t.live_words <- t.live_words - o.size
+
+let release_region t (r : Region.t) =
+  !release_log r.index "release";
+  if Region.space_equal r.space Region.Free then invalid_arg "Heap.release_region: already free";
+  (* Only objects whose storage is still here die with the region: evacuated
+     objects have had [region] repointed elsewhere. *)
+  Vec.iter
+    (fun id ->
+      match find t id with
+      | Some o when o.Obj_model.region = r.index -> remove_from_table t id
+      | Some _ | None -> ())
+    r.objects;
+  t.used_words <- t.used_words - r.used_words;
+  t.space_used.(space_tag r.space) <- t.space_used.(space_tag r.space) - r.used_words;
+  ignore (Region.reset r);
+  Vec.push t.free_pool r.index
+
+let purge_unmarked t (r : Region.t) =
+  Vec.iter
+    (fun id ->
+      match find t id with
+      | Some o when o.Obj_model.region = r.index ->
+          if o.Obj_model.mark <> t.epoch then remove_from_table t id
+      | Some _ | None -> ())
+    r.objects
+
+let release_region_keep_objects t (r : Region.t) =
+  !release_log r.index "release-keep";
+  if Region.space_equal r.space Region.Free then
+    invalid_arg "Heap.release_region_keep_objects: already free";
+  t.used_words <- t.used_words - r.used_words;
+  t.space_used.(space_tag r.space) <- t.space_used.(space_tag r.space) - r.used_words;
+  ignore (Region.reset r);
+  Vec.push t.free_pool r.index
+
+let place_object = move_object
+
+let iter_resident_objects t (r : Region.t) f =
+  Vec.iter
+    (fun id ->
+      match find t id with
+      | Some o when o.Obj_model.region = r.index -> f o
+      | Some _ | None -> ())
+    r.objects
+
+let words_allocated_total t = t.words_allocated
+
+let objects_allocated_total t = t.objects_allocated
+
+let collections_logged t = t.collections
+
+let log_collection t = t.collections <- t.collections + 1
+
+let reachable_from t roots =
+  let seen = Hashtbl.create 1024 in
+  let stack = Vec.create () in
+  let push id =
+    if (not (Obj_model.is_null id)) && (not (Hashtbl.mem seen id)) && is_live t id then begin
+      Hashtbl.add seen id ();
+      Vec.push stack id
+    end
+  in
+  List.iter push roots;
+  let rec drain () =
+    match Vec.pop stack with
+    | None -> ()
+    | Some id ->
+        let o = find_exn t id in
+        Array.iter push o.fields;
+        drain ()
+  in
+  drain ();
+  seen
+
+let pp ppf t =
+  Format.fprintf ppf "heap(%d/%d regions free, used=%a, live=%d objs/%a)"
+    (free_regions t) (total_regions t) Gcr_util.Units.pp_words t.used_words t.live_count
+    Gcr_util.Units.pp_words t.live_words

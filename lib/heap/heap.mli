@@ -1,0 +1,138 @@
+(** The simulated heap: an object table plus a flat array of regions.
+
+    Responsibilities kept here: object identity, bump allocation inside
+    regions, the free-region pool, space accounting, and mark epochs.
+    Policy — when to collect, what to evacuate, barrier costs — lives in the
+    collectors ([Gcr_gcs]); work/time attribution lives in the engine. *)
+
+type t
+
+val create : capacity_words:int -> region_words:int -> t
+(** [capacity_words] is rounded down to a whole number of regions; at least
+    two regions are required. *)
+
+(** {1 Geometry and accounting} *)
+
+val region_words : t -> int
+
+val total_regions : t -> int
+
+val free_regions : t -> int
+
+val capacity_words : t -> int
+
+val used_words : t -> int
+(** Sum of bump cursors over non-free regions (includes unreclaimed
+    garbage). *)
+
+val space_used_words : t -> Region.space -> int
+
+val region : t -> int -> Region.t
+
+val iter_regions : (Region.t -> unit) -> t -> unit
+
+val regions_in_space : t -> Region.space -> Region.t list
+
+(** {1 The object table} *)
+
+val find : t -> Obj_model.id -> Obj_model.t option
+(** [None] once the object has been reclaimed (or never existed). *)
+
+val find_exn : t -> Obj_model.id -> Obj_model.t
+
+val is_live : t -> Obj_model.id -> bool
+
+val live_objects : t -> int
+(** Number of objects currently in the table. *)
+
+val live_words_exact : t -> int
+(** Sum of sizes of objects in the table — the "true" live+floating
+    footprint, cheap enough to expose for tests and heuristics. *)
+
+(** {1 Mark epochs} *)
+
+val begin_mark_epoch : t -> int
+(** Increments and returns the epoch; objects whose [mark] equals the
+    current epoch count as marked. *)
+
+val current_epoch : t -> int
+
+val is_marked : t -> Obj_model.t -> bool
+
+val set_marked : t -> Obj_model.t -> unit
+
+val begin_scratch_epoch : t -> int
+(** Independent epoch for the [scratch] mark slot, used by stop-the-world
+    scavenges so they do not disturb an in-flight concurrent marking. *)
+
+val is_scratch_marked : t -> Obj_model.t -> bool
+
+val set_scratch_marked : t -> Obj_model.t -> unit
+
+(** {1 Allocation and movement} *)
+
+val take_free_region : t -> space:Region.space -> Region.t option
+(** Removes a region from the free pool and labels it.  Requests for
+    [Eden] (mutator allocation) fail once the pool is at or below the
+    allocation reserve; GC copy targets ([Survivor]/[Old]) may always
+    drain the pool. *)
+
+val set_alloc_reserve : t -> int -> unit
+(** Free regions withheld from mutator allocation so collections always
+    have copy headroom (to-space / evacuation reserve).  Collectors adjust
+    it with their policies; 0 initially. *)
+
+val alloc_reserve : t -> int
+
+val alloc_in_region :
+  t -> Region.t -> size:int -> nfields:int -> Obj_model.t option
+(** Bump-allocates a fresh object, or [None] if the region cannot fit
+    [size] words.  Updates cumulative allocation statistics. *)
+
+val move_object : t -> Obj_model.t -> Region.t -> bool
+(** Evacuate: the object's storage moves to the destination region (id is
+    unchanged); [false] if the destination cannot fit it.  The source
+    region's cursor is left as-is — its space is garbage until the region
+    is released. *)
+
+val release_log : (int -> string -> unit) ref
+(** Debug hook: called with (region index, caller tag) on every release. *)
+
+val release_region : t -> Region.t -> unit
+(** Reclaims the region: every object still resident is removed from the
+    object table; the region returns to the free pool. *)
+
+val purge_unmarked : t -> Region.t -> unit
+(** Removes from the object table every resident object not marked in the
+    current epoch (the sweep half of mark-sweep). *)
+
+val release_region_keep_objects : t -> Region.t -> unit
+(** Returns the region to the free pool {e without} touching the object
+    table.  Used by sliding compaction, which first purges dead objects,
+    then resets all regions, then re-places the survivors with
+    {!place_object}.  The caller must re-place every resident object. *)
+
+val place_object : t -> Obj_model.t -> Region.t -> bool
+(** Like {!move_object}: re-homes an object during compaction. *)
+
+val iter_resident_objects : t -> Region.t -> (Obj_model.t -> unit) -> unit
+(** Live-table objects whose storage is currently in this region. *)
+
+(** {1 Cumulative statistics} *)
+
+val words_allocated_total : t -> int
+
+val objects_allocated_total : t -> int
+
+val collections_logged : t -> int
+
+val log_collection : t -> unit
+(** Collectors bump this for tests/heuristics. *)
+
+(** {1 Reachability (for tests and ground truth)} *)
+
+val reachable_from : t -> Obj_model.id list -> (Obj_model.id, unit) Hashtbl.t
+(** BFS over the object graph from the given roots; only live-table
+    objects are traversed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+type id = int
+
+let null = 0
+
+type t = {
+  id : id;
+  size : int;
+  fields : id array;
+  mutable region : int;
+  mutable age : int;
+  mutable mark : int;
+  mutable scratch : int;
+  mutable remembered : bool;
+}
+
+let header_words = 2
+
+let fields_capacity ~size =
+  let cap = size - header_words in
+  if cap < 0 then 0 else cap
+
+let make ~id ~size ~nfields ~region =
+  if size < header_words then invalid_arg "Obj_model.make: size below header";
+  if nfields < 0 || nfields > fields_capacity ~size then
+    invalid_arg "Obj_model.make: field count does not fit";
+  {
+    id;
+    size;
+    fields = Array.make nfields null;
+    region;
+    age = 0;
+    mark = -1;
+    scratch = -1;
+    remembered = false;
+  }
+
+let is_null id = id = null

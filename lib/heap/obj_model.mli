@@ -1,0 +1,39 @@
+(** The simulated object model.
+
+    Objects are real graph nodes: a size in words and a field array holding
+    ids of other objects, which collectors traverse when marking.  Identity
+    is stable across moves — "copying" an object updates which region owns
+    its words (and charges the copy cost), but never its id, so simulated
+    references need no rewriting.  Reference-update costs are charged from
+    edge counts instead (see DESIGN.md §5). *)
+
+type id = int
+(** Object identifier.  [null] (= 0) is the absent reference. *)
+
+val null : id
+
+type t = {
+  id : id;
+  size : int;  (** total size in words, header included *)
+  fields : id array;  (** reference slots; [null] where empty *)
+  mutable region : int;  (** index of the owning region *)
+  mutable age : int;  (** survived collections (generational promotion) *)
+  mutable mark : int;  (** epoch of the last mark that reached this object *)
+  mutable scratch : int;
+      (** second, independent mark slot: lets a stop-the-world scavenge run
+          while a concurrent marking epoch is in flight (as G1's young
+          collections do during concurrent marking) *)
+  mutable remembered : bool;  (** coarse per-object remembered-set bit *)
+}
+
+val header_words : int
+(** 2: every object pays a two-word header, as in HotSpot. *)
+
+val make : id:id -> size:int -> nfields:int -> region:int -> t
+(** A fresh, unmarked object of age 0.  [nfields] must fit in
+    [size - header_words]. *)
+
+val fields_capacity : size:int -> int
+(** Largest legal [nfields] for an object of [size] words. *)
+
+val is_null : id -> bool

@@ -1,0 +1,38 @@
+type space = Free | Eden | Survivor | Old
+
+let space_equal (a : space) b = a = b
+
+let pp_space ppf = function
+  | Free -> Format.pp_print_string ppf "free"
+  | Eden -> Format.pp_print_string ppf "eden"
+  | Survivor -> Format.pp_print_string ppf "survivor"
+  | Old -> Format.pp_print_string ppf "old"
+
+type t = {
+  index : int;
+  mutable space : space;
+  mutable used_words : int;
+  mutable live_words : int;
+  mutable objects : Obj_model.id Gcr_util.Vec.t;
+  mutable pinned : bool;
+}
+
+let make ~index =
+  {
+    index;
+    space = Free;
+    used_words = 0;
+    live_words = 0;
+    objects = Gcr_util.Vec.create ();
+    pinned = false;
+  }
+
+let reset t =
+  t.space <- Free;
+  t.used_words <- 0;
+  t.live_words <- 0;
+  Gcr_util.Vec.clear t.objects;
+  t.pinned <- false;
+  t
+
+let free_words_in ~region_words t = region_words - t.used_words

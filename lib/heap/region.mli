@@ -1,0 +1,34 @@
+(** Fixed-size heap regions.
+
+    The heap is a flat array of equally sized regions (G1/Shenandoah/ZGC
+    style).  The stop-the-world collectors reuse the same substrate: their
+    "spaces" are simply sets of regions tagged with a space label, which
+    keeps one allocation and accounting path for all six collectors. *)
+
+type space =
+  | Free  (** in the free pool *)
+  | Eden  (** mutator allocation target *)
+  | Survivor  (** young objects that survived at least one collection *)
+  | Old  (** tenured / mature space *)
+
+val space_equal : space -> space -> bool
+
+val pp_space : Format.formatter -> space -> unit
+
+type t = {
+  index : int;
+  mutable space : space;
+  mutable used_words : int;  (** bump cursor, words allocated *)
+  mutable live_words : int;  (** live words found by the last mark *)
+  mutable objects : Obj_model.id Gcr_util.Vec.t;
+      (** ids of objects whose storage is (or was, until evacuated) here *)
+  mutable pinned : bool;  (** excluded from collection sets while set *)
+}
+
+val make : index:int -> t
+
+val reset : t -> t
+(** Return to the [Free] state with no objects (the vec is cleared, not
+    reallocated). *)
+
+val free_words_in : region_words:int -> t -> int

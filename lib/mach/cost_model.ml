@@ -1,0 +1,70 @@
+type t = {
+  alloc_fast : int;
+  alloc_init_per_word : int;
+  tlab_refill : int;
+  alloc_slow : int;
+  barrier_none : int;
+  card_mark : int;
+  satb_idle : int;
+  satb_active : int;
+  lvb_idle : int;
+  lvb_slow : int;
+  mark_per_object : int;
+  mark_per_edge : int;
+  concurrent_mark_penalty_pct : int;
+  copy_per_object : int;
+  copy_per_object_concurrent : int;
+  copy_per_word : int;
+  compact_per_word : int;
+  update_ref_per_edge : int;
+  sweep_per_region : int;
+  safepoint_global : int;
+  safepoint_per_thread : int;
+  gc_task_dispatch : int;
+  termination_per_worker : int;
+  cache_disruption_per_pause : int;
+}
+
+let default =
+  {
+    alloc_fast = 10;
+    alloc_init_per_word = 1;
+    tlab_refill = 300;
+    alloc_slow = 800;
+    barrier_none = 0;
+    card_mark = 2;
+    satb_idle = 1;
+    satb_active = 6;
+    lvb_idle = 3;
+    lvb_slow = 16;
+    mark_per_object = 25;
+    mark_per_edge = 8;
+    concurrent_mark_penalty_pct = 100;
+    copy_per_object = 30;
+    copy_per_object_concurrent = 70;
+    copy_per_word = 4;
+    compact_per_word = 6;
+    update_ref_per_edge = 10;
+    sweep_per_region = 150;
+    safepoint_global = 3000;
+    safepoint_per_thread = 500;
+    gc_task_dispatch = 400;
+    termination_per_worker = 1000;
+    cache_disruption_per_pause = 4000;
+  }
+
+let zero_barriers t =
+  {
+    t with
+    barrier_none = 0;
+    card_mark = 0;
+    satb_idle = 0;
+    satb_active = 0;
+    lvb_idle = 0;
+    lvb_slow = 0;
+  }
+
+let log2_ceil n =
+  if n < 1 then invalid_arg "Cost_model.log2_ceil";
+  let rec loop acc pow = if pow >= n then acc else loop (acc + 1) (pow * 2) in
+  loop 0 1

@@ -1,0 +1,61 @@
+(** The cycle cost model.
+
+    Every mechanism in the simulator charges cycles through one of these
+    constants, so the whole calibration lives in this single module.  Values
+    are rough micro-architectural costs on a Coffee-Lake-class core,
+    informed by the barrier-cost literature the paper cites (Blackburn &
+    Hosking 2004; Yang et al. 2012: card-mark and SATB barriers cost a few
+    percent of mutator time; concurrent copying read barriers considerably
+    more) and by typical HotSpot trace/copy throughput.  The absolute
+    numbers matter less than their ratios: the reproduction targets the
+    paper's *shapes* (who wins, by roughly what factor), not its absolute
+    wall-clock numbers.
+
+    All costs are in cycles unless stated otherwise. *)
+
+type t = {
+  (* -- allocation ---------------------------------------------------- *)
+  alloc_fast : int;  (** bump-pointer fast path per allocation *)
+  alloc_init_per_word : int;  (** zeroing/header initialisation per word *)
+  tlab_refill : int;  (** acquiring a fresh local allocation buffer *)
+  alloc_slow : int;  (** shared-pool slow path (lock, region fetch) *)
+  (* -- barriers (charged per mutator heap operation) ------------------ *)
+  barrier_none : int;  (** cost of an untaken conditional check *)
+  card_mark : int;  (** generational post-write barrier *)
+  satb_idle : int;  (** SATB pre-write barrier, marking inactive *)
+  satb_active : int;  (** SATB pre-write barrier while marking *)
+  lvb_idle : int;  (** ZGC/Shenandoah load barrier, no relocation *)
+  lvb_slow : int;  (** load-barrier slow path during relocation *)
+  (* -- collection work ------------------------------------------------ *)
+  mark_per_object : int;  (** visit + test-and-set mark bit *)
+  mark_per_edge : int;  (** field load and publish to mark stack *)
+  concurrent_mark_penalty_pct : int;
+      (** extra cost of marking concurrently with the mutator (atomic mark
+          bits, SATB buffer processing, cache contention), as a percentage
+          added to STW marking cost *)
+  copy_per_object : int;  (** header, forwarding install (STW) *)
+  copy_per_object_concurrent : int;  (** as above plus CAS (concurrent) *)
+  copy_per_word : int;  (** memcpy throughput *)
+  compact_per_word : int;  (** sliding compaction move *)
+  update_ref_per_edge : int;  (** pointer fix-up after evacuation *)
+  sweep_per_region : int;  (** per-region sweep/return to free pool *)
+  (* -- coordination ---------------------------------------------------- *)
+  safepoint_global : int;  (** reaching a global safepoint *)
+  safepoint_per_thread : int;  (** per parked mutator *)
+  gc_task_dispatch : int;  (** handing one work packet to a worker *)
+  termination_per_worker : int;  (** work-stealing termination barrier,
+                                     charged x ceil(log2 workers) *)
+  (* -- locality side-effects ------------------------------------------ *)
+  cache_disruption_per_pause : int;
+      (** cold-cache penalty charged to each running mutator after a pause
+          (paper §II-B: GC displaces the mutator's cache) *)
+}
+
+val default : t
+
+val zero_barriers : t -> t
+(** All barrier costs set to zero — used to measure the ground-truth ideal
+    cost in the LBO validation study. *)
+
+val log2_ceil : int -> int
+(** [log2_ceil n] for n >= 1. Helper for termination-barrier charging. *)

@@ -1,0 +1,65 @@
+module Units = Gcr_util.Units
+
+type outcome = Completed | Failed of string
+
+type t = {
+  benchmark : string;
+  gc : string;
+  heap_words : int;
+  seed : int;
+  outcome : outcome;
+  wall_total : int;
+  wall_stw : int;
+  cycles_mutator : int;
+  cycles_gc : int;
+  cycles_gc_stw : int;
+  pauses : Gcr_engine.Engine.pause list;
+  latency_metered : Gcr_util.Histogram.t option;
+  latency_simple : Gcr_util.Histogram.t option;
+  allocated_words : int;
+  allocated_objects : int;
+  gc_stats : Gcr_gcs.Gc_types.stats;
+}
+
+let completed t = t.outcome = Completed
+
+let cycles_total t = t.cycles_mutator + t.cycles_gc
+
+let time_total t = t.wall_total
+
+let time_gc t = t.wall_stw
+
+let time_other t = t.wall_total - t.wall_stw
+
+let cycles_gc_apparent t = t.cycles_gc
+
+let cycles_other t = cycles_total t - cycles_gc_apparent t
+
+let cycles_gc_pause_window t = t.cycles_gc_stw
+
+let stw_time_fraction t =
+  if t.wall_total = 0 then 0.0 else float_of_int t.wall_stw /. float_of_int t.wall_total
+
+let stw_cycle_fraction t =
+  let total = cycles_total t in
+  if total = 0 then 0.0 else float_of_int t.cycles_gc_stw /. float_of_int total
+
+let pause_count t = List.length t.pauses
+
+let mean_pause_ms t =
+  match t.pauses with
+  | [] -> 0.0
+  | pauses ->
+      let total =
+        List.fold_left (fun acc (p : Gcr_engine.Engine.pause) -> acc + p.duration) 0 pauses
+      in
+      Units.ms_of_cycles total /. float_of_int (List.length pauses)
+
+let pp ppf t =
+  let status = match t.outcome with Completed -> "ok" | Failed reason -> "FAILED: " ^ reason in
+  Format.fprintf ppf
+    "%s/%s heap=%a [%s] wall=%.2fms (stw %.1f%%) cycles: mutator=%a gc=%a pauses=%d"
+    t.benchmark t.gc Units.pp_words t.heap_words status
+    (Units.ms_of_cycles t.wall_total)
+    (100.0 *. stw_time_fraction t)
+    Units.pp_cycles t.cycles_mutator Units.pp_cycles t.cycles_gc (pause_count t)

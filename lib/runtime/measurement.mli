@@ -1,0 +1,69 @@
+(** The record produced by one benchmark invocation — everything the
+    paper's JVMTI/perf agent captures, plus simulator ground truth.
+
+    Cost attribution follows Section III-C of the paper:
+    - for wall-clock time, the apparent GC cost is the time inside
+      stop-the-world pauses;
+    - for CPU cycles, the apparent GC cost is every cycle consumed by GC
+      threads (both inside pauses and concurrently), read "per-thread from
+      the PMU".
+    Barrier and allocation-path cycles remain inside the mutator cost —
+    which is exactly why the methodology yields a {e lower} bound. *)
+
+type outcome =
+  | Completed
+  | Failed of string  (** OOM / deadlock / budget exhausted *)
+
+type t = {
+  benchmark : string;
+  gc : string;
+  heap_words : int;
+  seed : int;
+  outcome : outcome;
+  (* wall clock, cycles of simulated time *)
+  wall_total : int;
+  wall_stw : int;
+  (* per-thread-kind CPU cycles *)
+  cycles_mutator : int;
+  cycles_gc : int;
+  cycles_gc_stw : int;
+  pauses : Gcr_engine.Engine.pause list;
+  latency_metered : Gcr_util.Histogram.t option;
+  latency_simple : Gcr_util.Histogram.t option;
+  allocated_words : int;
+  allocated_objects : int;
+  gc_stats : Gcr_gcs.Gc_types.stats;
+}
+
+val completed : t -> bool
+
+val cycles_total : t -> int
+
+(** {1 LBO ingredients} *)
+
+val time_total : t -> int
+
+val time_gc : t -> int
+(** Wall time inside pauses. *)
+
+val time_other : t -> int
+
+val cycles_gc_apparent : t -> int
+(** All GC-thread cycles (the refined per-thread attribution). *)
+
+val cycles_other : t -> int
+
+val cycles_gc_pause_window : t -> int
+(** The naive attribution: only cycles inside pause windows (used by the
+    attribution ablation). *)
+
+val stw_time_fraction : t -> float
+
+val stw_cycle_fraction : t -> float
+
+val pause_count : t -> int
+
+val mean_pause_ms : t -> float
+(** 0 when there were no pauses. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,131 @@
+module Machine = Gcr_mach.Machine
+module Cost_model = Gcr_mach.Cost_model
+module Heap = Gcr_heap.Heap
+module Engine = Gcr_engine.Engine
+module Prng = Gcr_util.Prng
+module Gc_types = Gcr_gcs.Gc_types
+module Registry = Gcr_gcs.Registry
+module Spec = Gcr_workloads.Spec
+module Mutator = Gcr_workloads.Mutator
+module Longlived = Gcr_workloads.Longlived
+module Latency = Gcr_workloads.Latency
+
+type config = {
+  spec : Spec.t;
+  gc : Registry.kind;
+  heap_words : int;
+  machine : Machine.t;
+  cost : Cost_model.t;
+  seed : int;
+  region_words : int;
+  max_events : int option;
+  make_collector : (Gc_types.ctx -> Gc_types.t) option;
+}
+
+let default_region_words = 256
+
+(* Healthy runs use a few engine events per packet plus a few dozen per
+   collection; 100x headroom separates "slow" from "pathological". *)
+let default_max_events (spec : Spec.t) =
+  (100 * spec.Spec.mutator_threads * spec.Spec.packets_per_thread) + 5_000_000
+
+let default_config ~spec ~gc ~heap_words ~seed =
+  {
+    spec;
+    gc;
+    heap_words;
+    machine = Machine.default;
+    cost = Cost_model.default;
+    seed;
+    region_words = default_region_words;
+    max_events = None;
+    make_collector = None;
+  }
+
+let execute config =
+  let spec = config.spec in
+  (match Spec.validate spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Run.execute: " ^ msg));
+  let capacity_words =
+    match config.gc with
+    | Registry.Epsilon -> config.machine.Machine.memory_words
+    | Registry.Serial | Registry.Parallel | Registry.G1 | Registry.Shenandoah
+    | Registry.Zgc | Registry.Shenandoah_gen ->
+        config.heap_words
+  in
+  let engine =
+    Engine.create ~cpus:config.machine.Machine.cpus
+      ~safepoint_sync_cycles:
+        (config.cost.Cost_model.safepoint_global
+        + (config.cost.Cost_model.safepoint_per_thread * spec.Spec.mutator_threads))
+      ~cache_disruption_cycles:config.cost.Cost_model.cache_disruption_per_pause ()
+  in
+  let heap = Heap.create ~capacity_words ~region_words:config.region_words in
+  let ctx = Gc_types.make_ctx ~heap ~engine ~cost:config.cost ~machine:config.machine in
+  let gc =
+    match config.make_collector with
+    | Some make -> make ctx
+    | None -> Registry.make config.gc ctx
+  in
+  let root_prng = Prng.create config.seed in
+  let longlived = Longlived.create ctx ~spec ~prng:(Prng.split root_prng) in
+  let mutators =
+    List.init spec.Spec.mutator_threads (fun index ->
+        Mutator.create ctx ~gc ~spec ~longlived ~prng:(Prng.split root_prng) ~index)
+  in
+  (ctx.Gc_types.roots :=
+     fun () ->
+       List.concat (Longlived.roots longlived :: List.map Mutator.roots mutators));
+  let latency =
+    match spec.Spec.latency with
+    | None ->
+        List.iter Mutator.start_batch mutators;
+        None
+    | Some _ ->
+        let l = Latency.create ctx ~spec ~mutators ~prng:(Prng.split root_prng) in
+        Latency.start l;
+        Some l
+  in
+  let max_events =
+    match config.max_events with Some n -> n | None -> default_max_events spec
+  in
+  let outcome =
+    match Engine.run engine ~max_events () with
+    | Engine.All_mutators_finished -> Measurement.Completed
+    | Engine.Aborted reason -> Measurement.Failed reason
+  in
+  {
+    Measurement.benchmark = spec.Spec.name;
+    gc = Registry.name config.gc;
+    heap_words = capacity_words;
+    seed = config.seed;
+    outcome;
+    wall_total = Engine.now engine;
+    wall_stw = Engine.wall_stw engine;
+    cycles_mutator = Engine.cycles_of_kind engine Engine.Mutator;
+    cycles_gc = Engine.cycles_of_kind engine Engine.Gc_worker;
+    cycles_gc_stw = Engine.cycles_stw_of_kind engine Engine.Gc_worker;
+    pauses = Engine.pauses engine;
+    latency_metered = Option.map Latency.metered latency;
+    latency_simple = Option.map Latency.simple latency;
+    allocated_words = Heap.words_allocated_total heap;
+    allocated_objects = Heap.objects_allocated_total heap;
+    gc_stats = gc.Gc_types.stats ();
+  }
+
+let execute_ideal ~spec ~machine ~seed =
+  let config =
+    {
+      spec;
+      gc = Registry.Epsilon;
+      heap_words = machine.Machine.memory_words;
+      machine;
+      cost = Cost_model.zero_barriers Cost_model.default;
+      seed;
+      region_words = default_region_words;
+      max_events = None;
+      make_collector = None;
+    }
+  in
+  execute config

@@ -1,0 +1,43 @@
+(** Execute one benchmark invocation under one collector.
+
+    Builds the whole stack — machine, heap, engine, collector, workload —
+    runs it to completion (or failure), and returns the measurement.  Runs
+    are deterministic: equal configs (including seed) yield equal
+    measurements. *)
+
+type config = {
+  spec : Gcr_workloads.Spec.t;
+  gc : Gcr_gcs.Registry.kind;
+  heap_words : int;
+      (** ignored for Epsilon, which gets the machine's memory instead
+          (matching the paper's use of Epsilon wherever it physically
+          fits) *)
+  machine : Gcr_mach.Machine.t;
+  cost : Gcr_mach.Cost_model.t;
+  seed : int;
+  region_words : int;
+  max_events : int option;
+      (** engine event budget; [None] = a generous default scaled to the
+          workload.  Runs that exceed it abort with a failure — the
+          simulator's "this configuration thrashes beyond usefulness"
+          verdict (used aggressively by min-heap probes) *)
+  make_collector : (Gcr_gcs.Gc_types.ctx -> Gcr_gcs.Gc_types.t) option;
+      (** override the collector constructor (ablations with custom
+          collector configs); [gc] still labels the measurement and picks
+          the Epsilon heap rule.  [None] = registry default *)
+}
+
+val default_region_words : int
+(** 256 words (2 KiB): small enough that per-thread allocation buffers
+    (one region each) stay a small fraction of even the smallest heaps. *)
+
+val default_config :
+  spec:Gcr_workloads.Spec.t -> gc:Gcr_gcs.Registry.kind -> heap_words:int -> seed:int -> config
+(** Default machine, cost model, and {!default_region_words} regions. *)
+
+val execute : config -> Measurement.t
+
+val execute_ideal : spec:Gcr_workloads.Spec.t -> machine:Gcr_mach.Machine.t -> seed:int -> Measurement.t
+(** Ground truth for the validation study: Epsilon with all barrier costs
+    zeroed on a memory-capacity heap — the closest measurable realisation
+    of the paper's notional zero-cost GC. *)

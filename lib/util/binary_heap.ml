@@ -1,0 +1,70 @@
+(* Entries carry an insertion sequence number so that equal priorities pop in
+   FIFO order, which keeps the simulator deterministic. *)
+
+type 'a entry = { prio : int; seq : int; value : 'a }
+
+type 'a t = {
+  entries : 'a entry Vec.t;
+  mutable next_seq : int;
+}
+
+let create () = { entries = Vec.create (); next_seq = 0 }
+
+let length t = Vec.length t.entries
+
+let is_empty t = Vec.is_empty t.entries
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap t i j =
+  let a = Vec.get t.entries i in
+  Vec.set t.entries i (Vec.get t.entries j);
+  Vec.set t.entries j a
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less (Vec.get t.entries i) (Vec.get t.entries parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let n = Vec.length t.entries in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && less (Vec.get t.entries l) (Vec.get t.entries !smallest) then smallest := l;
+  if r < n && less (Vec.get t.entries r) (Vec.get t.entries !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t ~priority value =
+  let entry = { prio = priority; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  Vec.push t.entries entry;
+  sift_up t (Vec.length t.entries - 1)
+
+let min t =
+  if Vec.is_empty t.entries then None
+  else
+    let e = Vec.get t.entries 0 in
+    Some (e.prio, e.value)
+
+let pop t =
+  if Vec.is_empty t.entries then None
+  else begin
+    let top = Vec.get t.entries 0 in
+    let n = Vec.length t.entries in
+    if n = 1 then ignore (Vec.pop_exn t.entries)
+    else begin
+      Vec.set t.entries 0 (Vec.get t.entries (n - 1));
+      ignore (Vec.pop_exn t.entries);
+      sift_down t 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let clear t = Vec.clear t.entries

@@ -1,0 +1,24 @@
+(** Minimum binary heap keyed by integer priority.
+
+    The engine's event queue orders pending completions by simulated cycle
+    count; ties are broken by insertion order so the simulation is
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> priority:int -> 'a -> unit
+
+val min : 'a t -> (int * 'a) option
+(** Smallest priority with its value, without removing it. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Removes and returns the entry with the smallest priority; among equal
+    priorities, the one inserted first. *)
+
+val clear : 'a t -> unit

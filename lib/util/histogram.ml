@@ -1,0 +1,90 @@
+(* 32 sub-buckets per power of two gives a worst-case relative quantile
+   error of ~3%, plenty for percentile plots. Values below [linear_limit]
+   get exact unit buckets. *)
+
+let sub_buckets = 32
+let linear_limit = 64 (* values < linear_limit are stored exactly *)
+let num_buckets = 2048
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : int;
+  mutable max_seen : int;
+}
+
+let create () = { counts = Array.make num_buckets 0; n = 0; sum = 0; max_seen = 0 }
+
+(* Bucket layout: indices [0, linear_limit) are exact.  Above that, each
+   octave [2^k, 2^(k+1)) is split into [sub_buckets] equal slices. *)
+let bucket_of_value v =
+  if v < linear_limit then v
+  else begin
+    let octave = ref 0 in
+    let x = ref v in
+    while !x >= linear_limit * 2 do
+      x := !x lsr 1;
+      incr octave
+    done;
+    (* !x is in [linear_limit, 2*linear_limit) *)
+    let slice = (!x - linear_limit) * sub_buckets / linear_limit in
+    let idx = linear_limit + (!octave * sub_buckets) + slice in
+    if idx >= num_buckets then num_buckets - 1 else idx
+  end
+
+let upper_bound_of_bucket i =
+  if i < linear_limit then i
+  else begin
+    let rel = i - linear_limit in
+    let octave = rel / sub_buckets in
+    let slice = rel mod sub_buckets in
+    let base = linear_limit lsl octave in
+    let width = base / sub_buckets in
+    base + ((slice + 1) * width) - 1
+  end
+
+let record_many t v ~count =
+  assert (count >= 0);
+  if count > 0 then begin
+    let v = if v < 0 then 0 else v in
+    let i = bucket_of_value v in
+    t.counts.(i) <- t.counts.(i) + count;
+    t.n <- t.n + count;
+    t.sum <- t.sum + (v * count);
+    if v > t.max_seen then t.max_seen <- v
+  end
+
+let record t v = record_many t v ~count:1
+
+let count t = t.n
+
+let total t = t.sum
+
+let max_value t = t.max_seen
+
+let is_empty t = t.n = 0
+
+let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Histogram.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p outside [0, 100]";
+  let target =
+    let exact = p /. 100.0 *. float_of_int t.n in
+    let r = int_of_float (Float.ceil exact) in
+    if r < 1 then 1 else if r > t.n then t.n else r
+  in
+  let rec scan i seen =
+    let seen = seen + t.counts.(i) in
+    if seen >= target then Stdlib.min (upper_bound_of_bucket i) t.max_seen
+    else scan (i + 1) seen
+  in
+  scan 0 0
+
+let percentiles t ps = List.map (fun p -> (p, percentile t p)) ps
+
+let merge_into ~dst src =
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum + src.sum;
+  if src.max_seen > dst.max_seen then dst.max_seen <- src.max_seen

@@ -1,0 +1,38 @@
+(** Log-bucketed histogram of non-negative integer samples.
+
+    Used for pause-time and request-latency distributions (Figures 2–4 of
+    the paper).  Buckets grow geometrically (HdrHistogram-style with a fixed
+    number of sub-buckets per octave), so relative quantile error is bounded
+    (about 1/sub-buckets) while memory stays small no matter how wide the
+    dynamic range is. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Record a sample (clamped below at 0). *)
+
+val record_many : t -> int -> count:int -> unit
+
+val count : t -> int
+(** Number of recorded samples. *)
+
+val total : t -> int
+(** Sum of all recorded samples (for means). *)
+
+val max_value : t -> int
+
+val mean : t -> float
+(** 0 when empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] for p in [\[0,100\]]: upper bound of the bucket holding
+    the p-th percentile sample.  Raises on an empty histogram. *)
+
+val percentiles : t -> float list -> (float * int) list
+
+val merge_into : dst:t -> t -> unit
+(** Adds all of the source's samples into [dst]. *)
+
+val is_empty : t -> bool

@@ -1,0 +1,127 @@
+type cell =
+  | Text of string
+  | Num of float * int
+  | Missing
+
+type cells_row = { label : string; cells : cell array; starred : bool array }
+
+type row =
+  | Cells of cells_row
+  | Separator
+
+type t = {
+  title : string;
+  columns : string array;
+  rows : row Vec.t;
+}
+
+let create ~title ~columns = { title; columns = Array.of_list columns; rows = Vec.create () }
+
+let add_row t ~label cells =
+  let cells = Array.of_list cells in
+  if Array.length cells <> Array.length t.columns then
+    invalid_arg "Tablefmt.add_row: cell count mismatch";
+  Vec.push t.rows (Cells { label; cells; starred = Array.make (Array.length cells) false })
+
+let add_separator t = Vec.push t.rows Separator
+
+let numeric_value = function
+  | Num (v, _) -> Some v
+  | Text _ | Missing -> None
+
+let better ~min a b = if min then a < b else a > b
+
+let mark_best_in_row t ~min =
+  let mark_row = function
+    | Separator -> ()
+    | Cells r ->
+        let best = ref None in
+        Array.iteri
+          (fun i c ->
+            match numeric_value c with
+            | None -> ()
+            | Some v -> (
+                match !best with
+                | None -> best := Some (i, v)
+                | Some (_, bv) -> if better ~min v bv then best := Some (i, v)))
+          r.cells;
+        Option.iter (fun (i, _) -> r.starred.(i) <- true) !best
+  in
+  Vec.iter mark_row t.rows
+
+let mark_best_in_column t ~min =
+  let ncols = Array.length t.columns in
+  for col = 0 to ncols - 1 do
+    let best = ref None in
+    Vec.iter
+      (function
+        | Separator -> ()
+        | Cells r -> (
+            match numeric_value r.cells.(col) with
+            | None -> ()
+            | Some v -> (
+                match !best with
+                | None -> best := Some (r, v)
+                | Some (_, bv) -> if better ~min v bv then best := Some (r, v))))
+      t.rows;
+    match !best with
+    | None -> ()
+    | Some (r, _) -> r.starred.(col) <- true
+  done
+
+let cell_text cell starred =
+  let star = if starred then "*" else "" in
+  match cell with
+  | Text s -> s ^ star
+  | Num (v, places) -> Printf.sprintf "%.*f%s" places v star
+  | Missing -> ""
+
+let render t =
+  let ncols = Array.length t.columns in
+  let widths = Array.make (ncols + 1) 0 in
+  let consider i s = if String.length s > widths.(i) then widths.(i) <- String.length s in
+  consider 0 "";
+  Array.iteri (fun i c -> consider (i + 1) c) t.columns;
+  Vec.iter
+    (function
+      | Separator -> ()
+      | Cells r ->
+          consider 0 r.label;
+          Array.iteri (fun i c -> consider (i + 1) (cell_text c r.starred.(i))) r.cells)
+    t.rows;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let pad_left s w = String.make (w - String.length s) ' ' ^ s in
+  let pad_right s w = s ^ String.make (w - String.length s) ' ' in
+  let emit_line label cells =
+    Buffer.add_string buf "| ";
+    Buffer.add_string buf (pad_right label widths.(0));
+    Array.iteri
+      (fun i c ->
+        Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad_left c widths.(i + 1)))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let separator_line () =
+    Buffer.add_string buf "|";
+    for i = 0 to ncols do
+      Buffer.add_string buf (String.make (widths.(i) + 2) '-');
+      Buffer.add_string buf "|"
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_line "" t.columns;
+  separator_line ();
+  Vec.iter
+    (function
+      | Separator -> separator_line ()
+      | Cells r ->
+          emit_line r.label (Array.mapi (fun i c -> cell_text c r.starred.(i)) r.cells))
+    t.rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,31 @@
+(** Plain-text table rendering for the paper's tables.
+
+    Right-aligns numeric columns, marks best-in-row/column cells, and prints
+    GitHub-style pipe tables so the bench output can be compared directly
+    with the paper. *)
+
+type cell =
+  | Text of string
+  | Num of float * int  (** value, decimal places *)
+  | Missing  (** blank entry: collector cannot run this configuration *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> label:string -> cell list -> unit
+(** Number of cells must match the number of columns. *)
+
+val add_separator : t -> unit
+
+val mark_best_in_row : t -> min:bool -> unit
+(** After all rows are added: annotate the best (smallest if [min]) numeric
+    cell of each row with [*]. *)
+
+val mark_best_in_column : t -> min:bool -> unit
+(** Annotate the best numeric cell of each column with [*]. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout, followed by a blank line. *)

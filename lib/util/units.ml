@@ -1,0 +1,28 @@
+let word_bytes = 8
+
+let clock_hz = 3.6e9
+
+let cycles_of_us us = int_of_float (Float.round (us *. clock_hz /. 1e6))
+
+let us_of_cycles c = float_of_int c *. 1e6 /. clock_hz
+
+let ms_of_cycles c = float_of_int c *. 1e3 /. clock_hz
+
+let seconds_of_cycles c = float_of_int c /. clock_hz
+
+let bytes_of_words w = w * word_bytes
+
+let words_of_bytes b = (b + word_bytes - 1) / word_bytes
+
+let pp_cycles ppf c =
+  let f = float_of_int c in
+  if f >= 1e9 then Format.fprintf ppf "%.2f Gcycles" (f /. 1e9)
+  else if f >= 1e6 then Format.fprintf ppf "%.2f Mcycles" (f /. 1e6)
+  else if f >= 1e3 then Format.fprintf ppf "%.2f Kcycles" (f /. 1e3)
+  else Format.fprintf ppf "%d cycles" c
+
+let pp_words ppf w =
+  let b = float_of_int (bytes_of_words w) in
+  if b >= 1048576.0 then Format.fprintf ppf "%.2f MiB" (b /. 1048576.0)
+  else if b >= 1024.0 then Format.fprintf ppf "%.2f KiB" (b /. 1024.0)
+  else Format.fprintf ppf "%d B" (bytes_of_words w)

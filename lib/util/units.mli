@@ -1,0 +1,33 @@
+(** Unit conventions and conversions.
+
+    The whole simulator measures work in {e cycles} (int) and memory in
+    {e words} (int, 1 word = 8 bytes).  These helpers convert to human units
+    for reporting only — no simulation arithmetic is done in floating
+    point. *)
+
+val word_bytes : int
+(** 8: the simulated machine is 64-bit. *)
+
+val clock_hz : float
+(** Simulated clock: 3.6 GHz, matching the paper's fixed-frequency
+    i9-9900K. *)
+
+val cycles_of_us : float -> int
+(** Microseconds to cycles, rounded. *)
+
+val us_of_cycles : int -> float
+
+val ms_of_cycles : int -> float
+
+val seconds_of_cycles : int -> float
+
+val bytes_of_words : int -> int
+
+val words_of_bytes : int -> int
+(** Rounds up. *)
+
+val pp_cycles : Format.formatter -> int -> unit
+(** Human-readable, e.g. "1.25 Gcycles". *)
+
+val pp_words : Format.formatter -> int -> unit
+(** Human-readable, e.g. "64 KiB" (converted to bytes). *)

@@ -1,0 +1,95 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+
+(* The capacity hint is not honoured eagerly: preallocating would require a
+   dummy element, which is unsafe under the float-array optimisation.  Growth
+   is amortised O(1) regardless. *)
+let make ~capacity:_ = create ()
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let check_bounds t i = if i < 0 || i >= t.len then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check_bounds t i;
+  Array.unsafe_get t.data i
+
+let set t i v =
+  check_bounds t i;
+  Array.unsafe_set t.data i v
+
+let grow t v =
+  let capacity = Array.length t.data in
+  let capacity' = if capacity = 0 then 8 else capacity * 2 in
+  let data' = Array.make capacity' v in
+  Array.blit t.data 0 data' 0 t.len;
+  t.data <- data'
+
+let push t v =
+  if t.len = Array.length t.data then grow t v;
+  Array.unsafe_set t.data t.len v;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    t.len <- t.len - 1;
+    Some (Array.unsafe_get t.data t.len)
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some v -> v
+  | None -> invalid_arg "Vec.pop_exn: empty"
+
+let last t = if t.len = 0 then None else Some (Array.unsafe_get t.data (t.len - 1))
+
+let swap_remove t i =
+  check_bounds t i;
+  let v = Array.unsafe_get t.data i in
+  t.len <- t.len - 1;
+  Array.unsafe_set t.data i (Array.unsafe_get t.data t.len);
+  v
+
+let clear t = t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i (Array.unsafe_get t.data i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (Array.unsafe_get t.data i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.len && (p (Array.unsafe_get t.data i) || loop (i + 1)) in
+  loop 0
+
+let to_list t = List.init t.len (fun i -> Array.unsafe_get t.data i)
+
+let to_array t = Array.sub t.data 0 t.len
+
+let of_list xs =
+  let t = create () in
+  List.iter (push t) xs;
+  t
+
+let sort cmp t =
+  let a = to_array t in
+  Array.sort cmp a;
+  Array.blit a 0 t.data 0 t.len

@@ -1,0 +1,53 @@
+(** Growable arrays (OCaml 5.1's stdlib predates [Dynarray]).
+
+    Used pervasively for per-region object lists, mark stacks, pause logs and
+    sample sets.  Amortised O(1) push, O(1) random access, swap-removal for
+    unordered sets. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val make : capacity:int -> 'a t
+(** Empty vector with preallocated capacity. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** Bounds-checked. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the last element. *)
+
+val pop_exn : 'a t -> 'a
+
+val last : 'a t -> 'a option
+
+val swap_remove : 'a t -> int -> 'a
+(** [swap_remove t i] removes index [i] in O(1) by moving the last element
+    into its place; returns the removed element.  Order is not preserved. *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+
+val of_list : 'a list -> 'a t
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** In-place sort. *)

@@ -1,0 +1,11 @@
+module Obj_model = Gcr_heap.Obj_model
+module Gc_types = Gcr_gcs.Gc_types
+
+let write_ref ~(gc : Gc_types.t) ~(src : Obj_model.t) ~slot ~target =
+  let old_target = src.Obj_model.fields.(slot) in
+  gc.Gc_types.on_pointer_write ~src ~old_target ~new_target:target;
+  src.Obj_model.fields.(slot) <- target;
+  gc.Gc_types.write_barrier ()
+
+let read_ref ~(gc : Gc_types.t) ~(src : Obj_model.t) ~slot =
+  (src.Obj_model.fields.(slot), gc.Gc_types.read_barrier ())

@@ -1,0 +1,18 @@
+(** Barrier-mediated heap accesses.
+
+    All workload pointer writes must go through {!write_ref} so every
+    collector sees the traffic its barriers depend on (remembered sets,
+    SATB snapshots).  Returns the cycle cost to charge to the current
+    packet. *)
+
+val write_ref :
+  gc:Gcr_gcs.Gc_types.t ->
+  src:Gcr_heap.Obj_model.t ->
+  slot:int ->
+  target:Gcr_heap.Obj_model.id ->
+  int
+(** Performs the pre-write barrier hook, stores, and returns the write
+    barrier cost. *)
+
+val read_ref : gc:Gcr_gcs.Gc_types.t -> src:Gcr_heap.Obj_model.t -> slot:int -> Gcr_heap.Obj_model.id * int
+(** Loads a field; returns the value and the read-barrier cost. *)

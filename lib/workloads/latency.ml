@@ -1,0 +1,88 @@
+module Engine = Gcr_engine.Engine
+module Prng = Gcr_util.Prng
+module Histogram = Gcr_util.Histogram
+module Gc_types = Gcr_gcs.Gc_types
+
+(* DaCapo-style metered latency: requests are processed eagerly (the
+   benchmark's duration stays a throughput measure), while each request
+   carries a synthetic arrival timestamp drawn from a metered (Poisson)
+   schedule.  Metered latency is completion minus synthetic arrival — so
+   when GC makes processing fall behind the schedule, queueing delay
+   accumulates against every subsequent request, exactly the
+   tail-amplification the paper's Figures 2b and 4 show. *)
+
+type t = {
+  ctx : Gc_types.ctx;
+  latency_spec : Spec.latency_spec;
+  mutators : Mutator.t list;
+  arrivals : int array;  (** synthetic arrival time of request i *)
+  metered : Histogram.t;
+  simple : Histogram.t;
+  mutable next_request : int;
+  mutable completed : int;
+}
+
+(* Rough ideal cycles to serve one packet: compute plus allocation fast
+   paths.  Used only to derive the metered schedule. *)
+let packet_cycles_estimate (spec : Spec.t) =
+  spec.Spec.packet_compute_cycles
+  + (spec.Spec.allocs_per_packet * (10 + spec.Spec.size_mean))
+
+let create (ctx : Gc_types.ctx) ~spec ~mutators ~prng =
+  let latency_spec =
+    match spec.Spec.latency with
+    | Some l -> l
+    | None -> invalid_arg "Latency.create: spec is not latency-sensitive"
+  in
+  let threads = List.length mutators in
+  let total =
+    max 1 (threads * spec.Spec.packets_per_thread / latency_spec.Spec.request_packets)
+  in
+  let service_cycles = latency_spec.Spec.request_packets * packet_cycles_estimate spec in
+  let inter_arrival_mean =
+    float_of_int service_cycles /. (float_of_int threads *. latency_spec.Spec.offered_load)
+  in
+  let arrivals = Array.make total 0 in
+  let clock = ref 0.0 in
+  for i = 0 to total - 1 do
+    clock := !clock +. Prng.exponential prng ~mean:inter_arrival_mean;
+    arrivals.(i) <- int_of_float !clock
+  done;
+  {
+    ctx;
+    latency_spec;
+    mutators;
+    arrivals;
+    metered = Histogram.create ();
+    simple = Histogram.create ();
+    next_request = 0;
+    completed = 0;
+  }
+
+let total_requests t = Array.length t.arrivals
+
+let completed_requests t = t.completed
+
+let metered t = t.metered
+
+let simple t = t.simple
+
+let rec serve t m () =
+  if t.next_request >= Array.length t.arrivals then Mutator.exit m
+  else begin
+    let index = t.next_request in
+    t.next_request <- index + 1;
+    let start = Engine.now t.ctx.Gc_types.engine in
+    Mutator.run_packets m t.latency_spec.Spec.request_packets (fun () ->
+        let now = Engine.now t.ctx.Gc_types.engine in
+        let service = now - start in
+        (* If processing is ahead of the metered schedule, the request
+           would have waited for its arrival: latency is the service time.
+           Behind schedule, queueing delay dominates. *)
+        Histogram.record t.simple service;
+        Histogram.record t.metered (max service (now - t.arrivals.(index)));
+        t.completed <- t.completed + 1;
+        serve t m ())
+  end
+
+let start t = List.iter (fun m -> serve t m ()) t.mutators

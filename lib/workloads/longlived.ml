@@ -1,0 +1,64 @@
+module Heap = Gcr_heap.Heap
+module Region = Gcr_heap.Region
+module Obj_model = Gcr_heap.Obj_model
+module Allocator = Gcr_heap.Allocator
+module Prng = Gcr_util.Prng
+module Gc_types = Gcr_gcs.Gc_types
+
+let fields_per_segment = 32
+
+let segment_size = fields_per_segment + Obj_model.header_words
+
+type t = {
+  ctx : Gc_types.ctx;
+  segments : Obj_model.t array;
+  total_slots : int;
+  mutable filled : int;
+}
+
+let create (ctx : Gc_types.ctx) ~spec ~prng:_ =
+  let target = spec.Spec.long_lived_target_words in
+  let node_words = spec.Spec.size_mean in
+  let total_slots = max 1 (target / max 1 node_words) in
+  let n_segments = (total_slots + fields_per_segment - 1) / fields_per_segment in
+  let allocator = Allocator.create ctx.Gc_types.heap ~space:Region.Old in
+  let alloc_segment _ =
+    match Allocator.alloc allocator ~size:segment_size ~nfields:fields_per_segment with
+    | Allocator.Allocated { obj; refilled = _ } -> obj
+    | Allocator.Out_of_regions ->
+        invalid_arg "Longlived.create: heap too small for the static data"
+  in
+  let segments = Array.init n_segments alloc_segment in
+  Allocator.retire allocator;
+  { ctx; segments; total_slots; filled = 0 }
+
+let roots t = Array.to_list (Array.map (fun (o : Obj_model.t) -> o.Obj_model.id) t.segments)
+
+let is_full t = t.filled >= t.total_slots
+
+let slot_count t = t.total_slots
+
+let slot_position index = (index / fields_per_segment, index mod fields_per_segment)
+
+let place t ~gc ~prng ~(node : Obj_model.t) =
+  let index =
+    if is_full t then
+      (* Churn: replace a random node; the old one becomes garbage unless
+         the graph still references it. *)
+      Prng.int prng t.total_slots
+    else begin
+      let i = t.filled in
+      t.filled <- t.filled + 1;
+      i
+    end
+  in
+  let seg, slot = slot_position index in
+  Heap_ops.write_ref ~gc ~src:t.segments.(seg) ~slot ~target:node.Obj_model.id
+
+let random_node t prng =
+  if t.filled = 0 then Obj_model.null
+  else begin
+    let index = Prng.int prng t.filled in
+    let seg, slot = slot_position index in
+    t.segments.(seg).Obj_model.fields.(slot)
+  end

@@ -1,0 +1,34 @@
+(** The shared long-lived object graph.
+
+    Models an application's caches and session state: a table of node
+    slots held by {e segment} objects (heap-allocated arrays, so slot
+    updates are real pointer writes with real barriers — the source of
+    old-to-young remembered-set traffic).  Mutators fill the table during
+    ramp-up and then churn it slowly, giving a steady-state live footprint
+    of roughly [long_lived_target_words]. *)
+
+type t
+
+val create :
+  Gcr_gcs.Gc_types.ctx -> spec:Spec.t -> prng:Gcr_util.Prng.t -> t
+(** Allocates the segment objects as cost-free static data (the
+    application's pre-main initialisation).  Must run before the engine
+    starts. *)
+
+val roots : t -> Gcr_heap.Obj_model.id list
+(** The segment ids (the static fields of the application). *)
+
+val is_full : t -> bool
+(** Ramp-up finished: every slot holds a node. *)
+
+val place :
+  t -> gc:Gcr_gcs.Gc_types.t -> prng:Gcr_util.Prng.t -> node:Gcr_heap.Obj_model.t -> int
+(** Install a freshly allocated node into the table (an empty slot during
+    ramp-up, a random slot — dropping the previous node — afterwards).
+    Returns the cycle cost of the write. *)
+
+val random_node : t -> Gcr_util.Prng.t -> Gcr_heap.Obj_model.id
+(** A uniformly random current node, or [Obj_model.null] if the table is
+    still empty.  Used to wire new objects into the long-lived graph. *)
+
+val slot_count : t -> int

@@ -1,0 +1,166 @@
+module Heap = Gcr_heap.Heap
+module Region = Gcr_heap.Region
+module Obj_model = Gcr_heap.Obj_model
+module Allocator = Gcr_heap.Allocator
+module Engine = Gcr_engine.Engine
+module Prng = Gcr_util.Prng
+module Vec = Gcr_util.Vec
+module Cost_model = Gcr_mach.Cost_model
+module Gc_types = Gcr_gcs.Gc_types
+
+type t = {
+  ctx : Gc_types.ctx;
+  gc : Gc_types.t;
+  spec : Spec.t;
+  longlived : Longlived.t;
+  prng : Prng.t;
+  th : Engine.thread;
+  eden : Allocator.t;
+  nursery : (Obj_model.id * int) Queue.t;  (** (object, expiry packet) *)
+  mutable last_alloc : Obj_model.id;
+  mutable packets : int;
+}
+
+let create (ctx : Gc_types.ctx) ~gc ~spec ~longlived ~prng ~index =
+  let th =
+    Engine.spawn ctx.Gc_types.engine ~kind:Engine.Mutator
+      ~name:(Printf.sprintf "%s-mutator-%d" spec.Spec.name index)
+  in
+  let eden = Allocator.create ctx.Gc_types.heap ~space:Region.Eden in
+  Vec.push ctx.Gc_types.allocators eden;
+  {
+    ctx;
+    gc;
+    spec;
+    longlived;
+    prng;
+    th;
+    eden;
+    nursery = Queue.create ();
+    last_alloc = Obj_model.null;
+    packets = 0;
+  }
+
+let thread t = t.th
+
+let packets_executed t = t.packets
+
+let roots t =
+  let nursery = Queue.fold (fun acc (id, _) -> id :: acc) [] t.nursery in
+  if Obj_model.is_null t.last_alloc then nursery else t.last_alloc :: nursery
+
+let draw_size t =
+  Prng.geometric_size t.prng ~mean:t.spec.Spec.size_mean ~min:t.spec.Spec.size_min
+    ~max:t.spec.Spec.size_max
+
+let nfields_for t size =
+  let slots = Obj_model.fields_capacity ~size in
+  let wanted = int_of_float (Float.round (float_of_int slots *. t.spec.Spec.ref_density)) in
+  max 1 (min slots wanted)
+
+let drop_expired_nursery t =
+  let rec loop () =
+    match Queue.peek_opt t.nursery with
+    | Some (_, expiry) when expiry <= t.packets ->
+        ignore (Queue.pop t.nursery);
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+(* Wiring discipline (keeps the live set bounded and realistic):
+   - ordinary objects chain to the previous allocation with probability
+     1/2 — geometric chains, two objects transitively on average — and
+     sparsely reference the long-lived graph;
+   - long-lived nodes reference only other long-lived nodes, never the
+     young chain (otherwise every node would pin its whole allocation
+     packet for its entire lifetime).
+   Returns the cycle cost of the writes. *)
+let chain_probability = 0.5
+
+let wire_ordinary t (o : Obj_model.t) =
+  let cost = ref 0 in
+  let nfields = Array.length o.Obj_model.fields in
+  if nfields > 0 && (not (Obj_model.is_null t.last_alloc)) && Prng.bernoulli t.prng chain_probability
+  then cost := !cost + Heap_ops.write_ref ~gc:t.gc ~src:o ~slot:0 ~target:t.last_alloc;
+  if nfields > 1 && Prng.bernoulli t.prng 0.3 then begin
+    let node = Longlived.random_node t.longlived t.prng in
+    if not (Obj_model.is_null node) then
+      cost := !cost + Heap_ops.write_ref ~gc:t.gc ~src:o ~slot:1 ~target:node
+  end;
+  t.last_alloc <- o.Obj_model.id;
+  !cost
+
+let wire_longlived t (o : Obj_model.t) =
+  let cost = ref 0 in
+  let nfields = Array.length o.Obj_model.fields in
+  let slots = min nfields 2 in
+  for slot = 0 to slots - 1 do
+    let node = Longlived.random_node t.longlived t.prng in
+    if not (Obj_model.is_null node) then
+      cost := !cost + Heap_ops.write_ref ~gc:t.gc ~src:o ~slot ~target:node
+  done;
+  !cost
+
+(* How many allocations of this packet become long-lived: every one during
+   ramp-up (so the live set builds quickly), then the spec's churn rate. *)
+let long_lived_quota t =
+  if not (Longlived.is_full t.longlived) then t.spec.Spec.allocs_per_packet
+  else begin
+    let churn = t.spec.Spec.long_lived_churn_per_packet in
+    let whole = int_of_float churn in
+    whole + if Prng.bernoulli t.prng (churn -. float_of_int whole) then 1 else 0
+  end
+
+let run_packet t k =
+  let cost_model = t.ctx.Gc_types.cost in
+  t.packets <- t.packets + 1;
+  drop_expired_nursery t;
+  let cost = ref t.spec.Spec.packet_compute_cycles in
+  cost := !cost + (t.spec.Spec.reads_per_packet * t.gc.Gc_types.read_barrier ());
+  cost := !cost + (t.spec.Spec.writes_per_packet * t.gc.Gc_types.write_barrier ());
+  let longlived_left = ref (long_lived_quota t) in
+  t.last_alloc <- Obj_model.null;
+  (* chains never span packets *)
+  let handle_allocated (o : Obj_model.t) =
+    cost :=
+      !cost + cost_model.Cost_model.alloc_fast
+      + (cost_model.Cost_model.alloc_init_per_word * o.Obj_model.size);
+    t.gc.Gc_types.on_alloc o;
+    if !longlived_left > 0 then begin
+      decr longlived_left;
+      cost := !cost + wire_longlived t o;
+      cost := !cost + Longlived.place t.longlived ~gc:t.gc ~prng:t.prng ~node:o
+    end
+    else begin
+      cost := !cost + wire_ordinary t o;
+      if Prng.bernoulli t.prng t.spec.Spec.survival_ratio then
+        Queue.add (o.Obj_model.id, t.packets + t.spec.Spec.nursery_ttl_packets) t.nursery
+    end
+  in
+  let rec alloc_loop i finish =
+    if i >= t.spec.Spec.allocs_per_packet then finish ()
+    else begin
+      let size = draw_size t in
+      match Allocator.alloc t.eden ~size ~nfields:(nfields_for t size) with
+      | Allocator.Allocated { obj; refilled } ->
+          handle_allocated obj;
+          if refilled then begin
+            cost := !cost + cost_model.Cost_model.tlab_refill;
+            t.gc.Gc_types.after_refill t.th ~cont:(fun () -> alloc_loop (i + 1) finish)
+          end
+          else alloc_loop (i + 1) finish
+      | Allocator.Out_of_regions ->
+          t.gc.Gc_types.on_out_of_regions t.th ~retry:(fun () -> alloc_loop i finish)
+    end
+  in
+  alloc_loop 0 (fun () -> Engine.submit t.ctx.Gc_types.engine t.th ~cycles:!cost k)
+
+let rec run_packets t n k =
+  if n <= 0 then k () else run_packet t (fun () -> run_packets t (n - 1) k)
+
+let start_batch t =
+  run_packets t t.spec.Spec.packets_per_thread (fun () ->
+      Engine.exit_thread t.ctx.Gc_types.engine t.th)
+
+let exit t = Engine.exit_thread t.ctx.Gc_types.engine t.th

@@ -1,0 +1,39 @@
+(** A mutator thread executing packets of the workload.
+
+    Each packet is base compute plus the spec's allocation/read/write
+    quotas, with every allocation and pointer write mediated by the
+    collector (barrier costs, refill policy, allocation failure).  The
+    packet application is written in continuation style so a collection or
+    an allocation stall can interrupt it mid-allocation and resume exactly
+    where it left off. *)
+
+type t
+
+val create :
+  Gcr_gcs.Gc_types.ctx ->
+  gc:Gcr_gcs.Gc_types.t ->
+  spec:Spec.t ->
+  longlived:Longlived.t ->
+  prng:Gcr_util.Prng.t ->
+  index:int ->
+  t
+(** Spawns the engine thread and registers the thread's eden allocator. *)
+
+val thread : t -> Gcr_engine.Engine.thread
+
+val roots : t -> Gcr_heap.Obj_model.id list
+(** The thread's live stack/locals: nursery contents and the most recent
+    allocation. *)
+
+val packets_executed : t -> int
+
+val start_batch : t -> unit
+(** Self-driven mode: run [spec.packets_per_thread] packets, then exit the
+    thread (throughput benchmarks). *)
+
+val run_packets : t -> int -> (unit -> unit) -> unit
+(** Server mode: run [n] packets then call the continuation, leaving the
+    thread alive (latency benchmarks drive this per request). *)
+
+val exit : t -> unit
+(** Exit the engine thread (server mode shutdown). *)

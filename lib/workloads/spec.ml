@@ -1,0 +1,71 @@
+type latency_spec = {
+  offered_load : float;
+  request_packets : int;
+}
+
+type t = {
+  name : string;
+  description : string;
+  mutator_threads : int;
+  packets_per_thread : int;
+  packet_compute_cycles : int;
+  allocs_per_packet : int;
+  size_min : int;
+  size_mean : int;
+  size_max : int;
+  ref_density : float;
+  survival_ratio : float;
+  nursery_ttl_packets : int;
+  long_lived_target_words : int;
+  long_lived_churn_per_packet : float;
+  reads_per_packet : int;
+  writes_per_packet : int;
+  latency : latency_spec option;
+}
+
+let scale t factor =
+  if factor <= 0.0 then invalid_arg "Spec.scale: non-positive factor";
+  let scaled n = max 1 (int_of_float (float_of_int n *. factor)) in
+  { t with packets_per_thread = scaled t.packets_per_thread }
+
+let packet_alloc_words t = t.allocs_per_packet * t.size_mean
+
+let allocated_words_estimate t =
+  t.mutator_threads * t.packets_per_thread * packet_alloc_words t
+
+let live_words_estimate t =
+  let nursery =
+    (* Retained young objects resident at any time, across threads.  The
+       factor 2 covers the geometric intra-packet chains each retained
+       object pins (chain probability 1/2). *)
+    int_of_float
+      (float_of_int (t.nursery_ttl_packets * t.allocs_per_packet * t.size_mean)
+      *. t.survival_ratio)
+    * t.mutator_threads * 2
+  in
+  t.long_lived_target_words + nursery
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error (t.name ^ ": " ^ s)) fmt in
+  if t.mutator_threads < 1 then err "needs at least one mutator thread"
+  else if t.packets_per_thread < 1 then err "needs at least one packet"
+  else if t.size_min < Gcr_heap.Obj_model.header_words + 1 then err "size_min below header"
+  else if not (t.size_min <= t.size_mean && t.size_mean <= t.size_max) then
+    err "size ordering must be min <= mean <= max"
+  else if t.size_max > 256 then err "size_max too large for the region size"
+  else if t.ref_density < 0.0 || t.ref_density > 1.0 then err "ref_density outside [0,1]"
+  else if t.survival_ratio < 0.0 || t.survival_ratio > 1.0 then err "survival_ratio outside [0,1]"
+  else if t.long_lived_churn_per_packet < 0.0 then err "negative churn"
+  else
+    match t.latency with
+    | Some l when l.offered_load <= 0.0 || l.offered_load >= 1.0 ->
+        err "offered_load must be in (0,1)"
+    | Some l when l.request_packets < 1 -> err "request_packets must be positive"
+    | Some _ | None -> Ok ()
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: %d threads x %d packets, %d allocs/packet (mean %d words), live ~%a%s" t.name
+    t.mutator_threads t.packets_per_thread t.allocs_per_packet t.size_mean
+    Gcr_util.Units.pp_words (live_words_estimate t)
+    (match t.latency with None -> "" | Some _ -> ", latency-sensitive")

@@ -1,0 +1,63 @@
+(** Workload descriptors.
+
+    DaCapo's Java bytecode cannot run on the simulator, so each benchmark
+    is replaced by a descriptor of the behaviour the GC actually sees:
+    allocation rate and object-size distribution, object demographics
+    (nursery survival and long-lived churn, following the weak generational
+    hypothesis), pointer read/write rates, thread count, and — for
+    latency-sensitive benchmarks — a metered request stream (DESIGN.md §2).
+
+    A mutator executes [packets_per_thread] {e packets}; each packet is
+    [packet_compute_cycles] of pure compute plus the per-packet allocation
+    and heap-access quotas below. *)
+
+type latency_spec = {
+  offered_load : float;
+      (** arrival rate as a fraction of ideal service capacity; queueing
+          delay explodes as GC overhead pushes effective utilisation
+          towards 1 *)
+  request_packets : int;  (** service time of one request, in packets *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  mutator_threads : int;
+  packets_per_thread : int;
+  packet_compute_cycles : int;
+  allocs_per_packet : int;
+  size_min : int;
+  size_mean : int;
+  size_max : int;  (** object sizes in words *)
+  ref_density : float;  (** fraction of non-header words that are refs *)
+  survival_ratio : float;
+      (** probability a new object is retained in the nursery FIFO instead
+          of becoming garbage at once *)
+  nursery_ttl_packets : int;
+      (** retained young objects are dropped after this many packets *)
+  long_lived_target_words : int;  (** steady-state shared live graph *)
+  long_lived_churn_per_packet : float;
+      (** expected long-lived node replacements per packet *)
+  reads_per_packet : int;
+  writes_per_packet : int;
+  latency : latency_spec option;
+}
+
+val scale : t -> float -> t
+(** Scale the run length (packets, and request count implicitly) by a
+    factor; everything rate-like is preserved. *)
+
+val allocated_words_estimate : t -> int
+(** Rough total allocation of one run (for Epsilon feasibility and
+    min-heap search bounds). *)
+
+val live_words_estimate : t -> int
+(** Rough steady-state live footprint. *)
+
+val packet_alloc_words : t -> int
+(** Mean words allocated per packet. *)
+
+val validate : t -> (unit, string) result
+(** Sanity-check ranges (sizes fit regions, probabilities in [0,1]...). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,148 @@
+(* One row per DaCapo benchmark.  The defaults encode a "typical" Java
+   workload; each benchmark overrides what makes it distinctive.  All
+   cycle numbers scale together through Spec.scale. *)
+
+let base =
+  {
+    Spec.name = "base";
+    description = "";
+    mutator_threads = 4;
+    packets_per_thread = 1000;
+    packet_compute_cycles = 50_000;
+    allocs_per_packet = 10;
+    size_min = 4;
+    size_mean = 16;
+    size_max = 64;
+    ref_density = 0.3;
+    survival_ratio = 0.10;
+    nursery_ttl_packets = 5;
+    long_lived_target_words = 20_000;
+    long_lived_churn_per_packet = 0.1;
+    reads_per_packet = 2000;
+    writes_per_packet = 300;
+    latency = None;
+  }
+
+let lat ~offered_load ~request_packets = Some { Spec.offered_load; request_packets }
+
+let all =
+  [
+    { base with
+      Spec.name = "avrora"; description = "AVR microcontroller simulation: low allocation, little parallelism";
+      mutator_threads = 2; packets_per_thread = 3000; allocs_per_packet = 4; size_mean = 10;
+      survival_ratio = 0.05; nursery_ttl_packets = 6; long_lived_target_words = 6_000;
+      long_lived_churn_per_packet = 0.02; reads_per_packet = 1200; writes_per_packet = 150 };
+    { base with
+      Spec.name = "batik"; description = "SVG rendering: bursts of medium-sized, moderately surviving objects";
+      packets_per_thread = 1200; allocs_per_packet = 10; size_mean = 24; size_max = 96;
+      survival_ratio = 0.15; long_lived_target_words = 24_000; long_lived_churn_per_packet = 0.2;
+      writes_per_packet = 250 };
+    { base with
+      Spec.name = "biojava"; description = "sequence analysis: many short-lived small objects";
+      packets_per_thread = 1500; allocs_per_packet = 13; size_mean = 12;
+      survival_ratio = 0.04; nursery_ttl_packets = 3; long_lived_target_words = 30_000;
+      long_lived_churn_per_packet = 0.05; reads_per_packet = 2500; writes_per_packet = 200 };
+    { base with
+      Spec.name = "eclipse"; description = "IDE workload: large live set with steady churn";
+      mutator_threads = 8; allocs_per_packet = 9; survival_ratio = 0.12;
+      nursery_ttl_packets = 6; long_lived_target_words = 60_000;
+      long_lived_churn_per_packet = 0.25; reads_per_packet = 2200; writes_per_packet = 350 };
+    { base with
+      Spec.name = "fop"; description = "XSL-FO to PDF: allocation-heavy with high survival";
+      packets_per_thread = 900; allocs_per_packet = 15; size_mean = 20; survival_ratio = 0.18;
+      nursery_ttl_packets = 6; long_lived_target_words = 26_000;
+      long_lived_churn_per_packet = 0.3; writes_per_packet = 400 };
+    { base with
+      Spec.name = "graphchi"; description = "out-of-core graph computation: big long-lived arrays, low churn";
+      mutator_threads = 6; packets_per_thread = 1200; allocs_per_packet = 5; size_mean = 28;
+      size_max = 128; survival_ratio = 0.08; nursery_ttl_packets = 8;
+      long_lived_target_words = 60_000; reads_per_packet = 3000 };
+    { base with
+      Spec.name = "h2"; description = "in-memory SQL database: large live set, transactional churn";
+      mutator_threads = 8; packets_per_thread = 1100; allocs_per_packet = 12; size_mean = 18;
+      survival_ratio = 0.12; long_lived_target_words = 80_000;
+      long_lived_churn_per_packet = 0.35; reads_per_packet = 2500; writes_per_packet = 450 };
+    { base with
+      Spec.name = "jme"; description = "3D engine frame loop: tiny allocation rate";
+      packets_per_thread = 1500; allocs_per_packet = 2; size_mean = 12; survival_ratio = 0.03;
+      nursery_ttl_packets = 4; long_lived_target_words = 4_000;
+      long_lived_churn_per_packet = 0.01; reads_per_packet = 1000; writes_per_packet = 100 };
+    { base with
+      Spec.name = "jython"; description = "Python interpreter: rapid small-object allocation";
+      mutator_threads = 6; packets_per_thread = 1100; allocs_per_packet = 17; size_mean = 14;
+      long_lived_target_words = 25_000; long_lived_churn_per_packet = 0.15;
+      reads_per_packet = 2200; writes_per_packet = 350 };
+    { base with
+      Spec.name = "luindex"; description = "Lucene indexing: single-writer, modest allocation";
+      mutator_threads = 2; packets_per_thread = 2000; allocs_per_packet = 8;
+      survival_ratio = 0.06; nursery_ttl_packets = 4; long_lived_target_words = 14_000;
+      long_lived_churn_per_packet = 0.08; reads_per_packet = 1800; writes_per_packet = 250 };
+    { base with
+      Spec.name = "lusearch"; description = "Lucene search: latency-sensitive, allocation-intensive, all cores";
+      mutator_threads = 16; allocs_per_packet = 24; size_mean = 14; survival_ratio = 0.08;
+      nursery_ttl_packets = 3; long_lived_target_words = 8_000;
+      long_lived_churn_per_packet = 0.05; writes_per_packet = 250;
+      latency = lat ~offered_load:0.65 ~request_packets:4 };
+    { base with
+      Spec.name = "pmd"; description = "source-code analysis: AST-heavy with medium live set";
+      mutator_threads = 8; packets_per_thread = 900; allocs_per_packet = 15; size_mean = 18;
+      survival_ratio = 0.14; long_lived_target_words = 40_000;
+      long_lived_churn_per_packet = 0.25; reads_per_packet = 2200; writes_per_packet = 380 };
+    { base with
+      Spec.name = "sunflow"; description = "ray tracing: embarrassingly parallel, high allocation of tiny objects";
+      mutator_threads = 16; packets_per_thread = 900; allocs_per_packet = 22; size_mean = 12;
+      survival_ratio = 0.05; nursery_ttl_packets = 3; long_lived_target_words = 10_000;
+      long_lived_churn_per_packet = 0.04; reads_per_packet = 2500; writes_per_packet = 200 };
+    { base with
+      Spec.name = "tomcat"; description = "servlet container: latency-sensitive request processing";
+      mutator_threads = 12; packets_per_thread = 900; allocs_per_packet = 11;
+      long_lived_target_words = 30_000; long_lived_churn_per_packet = 0.2;
+      latency = lat ~offered_load:0.60 ~request_packets:5 };
+    { base with
+      Spec.name = "tradebeans"; description = "DayTrader via EJB: large session state, latency-sensitive";
+      mutator_threads = 8; allocs_per_packet = 13; size_mean = 18; survival_ratio = 0.12;
+      long_lived_target_words = 50_000; long_lived_churn_per_packet = 0.3;
+      reads_per_packet = 2300; writes_per_packet = 400;
+      latency = lat ~offered_load:0.60 ~request_packets:6 };
+    { base with
+      Spec.name = "tradesoap"; description = "DayTrader via SOAP: serialisation garbage on top of tradebeans";
+      mutator_threads = 8; allocs_per_packet = 14; size_mean = 18; survival_ratio = 0.12;
+      long_lived_target_words = 50_000; long_lived_churn_per_packet = 0.3;
+      reads_per_packet = 2300; writes_per_packet = 420;
+      latency = lat ~offered_load:0.60 ~request_packets:6 };
+    { base with
+      Spec.name = "xalan"; description = "XSLT: extreme allocation rate, the concurrent collectors' nemesis";
+      mutator_threads = 16; packets_per_thread = 900; allocs_per_packet = 110;
+      survival_ratio = 0.15; nursery_ttl_packets = 3; long_lived_target_words = 15_000;
+      writes_per_packet = 350 };
+    { base with
+      Spec.name = "zxing"; description = "barcode decoding: parallel, moderate allocation";
+      mutator_threads = 12; packets_per_thread = 900; allocs_per_packet = 8; size_mean = 22;
+      survival_ratio = 0.07; nursery_ttl_packets = 4; long_lived_target_words = 12_000;
+      long_lived_churn_per_packet = 0.06; writes_per_packet = 250 };
+  ]
+
+let names = List.map (fun s -> s.Spec.name) all
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun s -> String.lowercase_ascii s.Spec.name = lower) all
+
+let find_exn name =
+  match find name with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Suite.find_exn: unknown benchmark %S" name)
+
+let core_16 =
+  List.filter (fun s -> s.Spec.name <> "eclipse" && s.Spec.name <> "xalan") all
+
+let latency_sensitive = List.filter (fun s -> s.Spec.latency <> None) all
+
+(* The suite must always be internally consistent. *)
+let () =
+  List.iter
+    (fun s ->
+      match Spec.validate s with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Suite: invalid benchmark spec: " ^ msg))
+    all

@@ -1,0 +1,28 @@
+(** The benchmark suite: 18 synthetic workloads named after the DaCapo
+    Chopin benchmarks the paper evaluates.
+
+    Parameters are chosen to reproduce each benchmark's GC-relevant
+    character qualitatively (allocation rate, live size, thread count,
+    latency sensitivity — see DESIGN.md §2), not its Java semantics.
+    Notable castings: [xalan] and [lusearch] have the very high allocation
+    rates that trigger the concurrent collectors' pathological modes;
+    [jme] allocates almost nothing (the paper's lowest overheads);
+    [lusearch], [tomcat], [tradebeans] and [tradesoap] are
+    latency-sensitive. *)
+
+val all : Spec.t list
+(** In the paper's table order (alphabetical). *)
+
+val names : string list
+
+val find : string -> Spec.t option
+(** Case-insensitive lookup. *)
+
+val find_exn : string -> Spec.t
+
+val core_16 : Spec.t list
+(** The 16 benchmarks used in the paper's summary statistics (all but
+    eclipse and xalan, which too many collectors cannot run at small
+    heaps). *)
+
+val latency_sensitive : Spec.t list

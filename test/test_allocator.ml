@@ -1,0 +1,96 @@
+(* Bump allocator: fast path, refills, retirement, pool exhaustion. *)
+
+module Heap = Gcr_heap.Heap
+module Region = Gcr_heap.Region
+module Allocator = Gcr_heap.Allocator
+
+let check = Alcotest.check
+
+let make_heap ?(regions = 4) ?(region_words = 32) () =
+  Heap.create ~capacity_words:(regions * region_words) ~region_words
+
+let alloc_exn a ~size =
+  match Allocator.alloc a ~size ~nfields:0 with
+  | Allocator.Allocated { obj; refilled } -> (obj, refilled)
+  | Allocator.Out_of_regions -> Alcotest.fail "unexpected Out_of_regions"
+
+let test_first_alloc_refills () =
+  let h = make_heap () in
+  let a = Allocator.create h ~space:Region.Eden in
+  let _, refilled = alloc_exn a ~size:8 in
+  check Alcotest.bool "first allocation refills" true refilled;
+  let _, refilled = alloc_exn a ~size:8 in
+  check Alcotest.bool "second hits fast path" false refilled
+
+let test_refill_on_full () =
+  let h = make_heap ~region_words:32 () in
+  let a = Allocator.create h ~space:Region.Eden in
+  ignore (alloc_exn a ~size:24);
+  let _, refilled = alloc_exn a ~size:16 in
+  check Alcotest.bool "fresh region taken" true refilled;
+  check Alcotest.int "two regions in use" 2 (4 - Heap.free_regions h)
+
+let test_out_of_regions () =
+  let h = make_heap ~regions:2 ~region_words:32 () in
+  let a = Allocator.create h ~space:Region.Eden in
+  ignore (alloc_exn a ~size:24);
+  ignore (alloc_exn a ~size:24);
+  (match Allocator.alloc a ~size:24 ~nfields:0 with
+  | Allocator.Out_of_regions -> ()
+  | Allocator.Allocated _ -> Alcotest.fail "expected exhaustion")
+
+let test_retire_and_refill () =
+  let h = make_heap () in
+  let a = Allocator.create h ~space:Region.Eden in
+  ignore (alloc_exn a ~size:8);
+  let before = Option.get (Allocator.current_region a) in
+  Allocator.retire a;
+  check Alcotest.bool "no current after retire" true (Allocator.current_region a = None);
+  let _, refilled = alloc_exn a ~size:8 in
+  check Alcotest.bool "refilled after retire" true refilled;
+  let after = Option.get (Allocator.current_region a) in
+  check Alcotest.bool "different region" true (before.Region.index <> after.Region.index)
+
+let test_explicit_refill () =
+  let h = make_heap () in
+  let a = Allocator.create h ~space:Region.Old in
+  let r = Option.get (Allocator.refill a) in
+  check Alcotest.bool "labelled old" true (Region.space_equal r.Region.space Region.Old);
+  check Alcotest.bool "is current" true
+    (match Allocator.current_region a with Some c -> c.Region.index = r.Region.index | None -> false)
+
+let test_space_exposed () =
+  let h = make_heap () in
+  let a = Allocator.create h ~space:Region.Survivor in
+  check Alcotest.bool "space" true (Region.space_equal (Allocator.space a) Region.Survivor)
+
+let test_oversized_object_rejected () =
+  let h = make_heap ~region_words:32 () in
+  let a = Allocator.create h ~space:Region.Eden in
+  Alcotest.check_raises "oversized"
+    (Invalid_argument "Allocator.alloc: object larger than a region") (fun () ->
+      ignore (Allocator.alloc a ~size:40 ~nfields:0))
+
+let test_respects_reserve () =
+  let h = make_heap ~regions:4 () in
+  Heap.set_alloc_reserve h 2;
+  let a = Allocator.create h ~space:Region.Eden in
+  ignore (alloc_exn a ~size:30);
+  (* free 3 > reserve: second region still allowed *)
+  ignore (alloc_exn a ~size:30);
+  (* free 2 = reserve: third region is withheld *)
+  (match Allocator.alloc a ~size:30 ~nfields:0 with
+  | Allocator.Out_of_regions -> ()
+  | Allocator.Allocated _ -> Alcotest.fail "reserve not respected")
+
+let suite =
+  [
+    Alcotest.test_case "first alloc refills" `Quick test_first_alloc_refills;
+    Alcotest.test_case "refill on full" `Quick test_refill_on_full;
+    Alcotest.test_case "out of regions" `Quick test_out_of_regions;
+    Alcotest.test_case "retire" `Quick test_retire_and_refill;
+    Alcotest.test_case "explicit refill" `Quick test_explicit_refill;
+    Alcotest.test_case "space exposed" `Quick test_space_exposed;
+    Alcotest.test_case "oversized rejected" `Quick test_oversized_object_rejected;
+    Alcotest.test_case "respects reserve" `Quick test_respects_reserve;
+  ]

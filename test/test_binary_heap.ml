@@ -1,0 +1,91 @@
+(* Priority-queue ordering, FIFO tie-breaking, and a qcheck sort test. *)
+
+module Binary_heap = Gcr_util.Binary_heap
+
+let check = Alcotest.check
+
+let drain heap =
+  let rec loop acc =
+    match Binary_heap.pop heap with
+    | None -> List.rev acc
+    | Some (p, v) -> loop ((p, v) :: acc)
+  in
+  loop []
+
+let test_ordering () =
+  let h = Binary_heap.create () in
+  List.iter (fun p -> Binary_heap.add h ~priority:p p) [ 5; 1; 4; 2; 3 ];
+  check Alcotest.(list (pair int int)) "sorted"
+    [ (1, 1); (2, 2); (3, 3); (4, 4); (5, 5) ]
+    (drain h)
+
+let test_fifo_ties () =
+  let h = Binary_heap.create () in
+  Binary_heap.add h ~priority:7 "first";
+  Binary_heap.add h ~priority:7 "second";
+  Binary_heap.add h ~priority:7 "third";
+  check
+    Alcotest.(list (pair int string))
+    "insertion order preserved on ties"
+    [ (7, "first"); (7, "second"); (7, "third") ]
+    (drain h)
+
+let test_min_peek () =
+  let h = Binary_heap.create () in
+  check Alcotest.bool "empty min" true (Binary_heap.min h = None);
+  Binary_heap.add h ~priority:3 'a';
+  Binary_heap.add h ~priority:1 'b';
+  check Alcotest.(option (pair int char)) "min" (Some (1, 'b')) (Binary_heap.min h);
+  check Alcotest.int "length unchanged" 2 (Binary_heap.length h)
+
+let test_interleaved () =
+  let h = Binary_heap.create () in
+  Binary_heap.add h ~priority:10 10;
+  Binary_heap.add h ~priority:5 5;
+  check Alcotest.(option (pair int int)) "pop min" (Some (5, 5)) (Binary_heap.pop h);
+  Binary_heap.add h ~priority:1 1;
+  check Alcotest.(option (pair int int)) "pop new min" (Some (1, 1)) (Binary_heap.pop h);
+  check Alcotest.(option (pair int int)) "pop rest" (Some (10, 10)) (Binary_heap.pop h);
+  check Alcotest.bool "empty" true (Binary_heap.is_empty h)
+
+let test_clear () =
+  let h = Binary_heap.create () in
+  Binary_heap.add h ~priority:1 ();
+  Binary_heap.clear h;
+  check Alcotest.bool "cleared" true (Binary_heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains priorities in sorted order" ~count:300
+    QCheck.(list small_int)
+    (fun priorities ->
+      let h = Binary_heap.create () in
+      List.iter (fun p -> Binary_heap.add h ~priority:p p) priorities;
+      let drained = List.map fst (drain h) in
+      drained = List.sort compare priorities)
+
+let prop_stable_within_priority =
+  QCheck.Test.make ~name:"equal priorities pop in insertion order" ~count:200
+    QCheck.(list (int_bound 3))
+    (fun priorities ->
+      let h = Binary_heap.create () in
+      List.iteri (fun i p -> Binary_heap.add h ~priority:p (p, i)) priorities;
+      let drained = List.map snd (drain h) in
+      (* within each priority class, sequence numbers must increase *)
+      let by_prio = Hashtbl.create 8 in
+      List.for_all
+        (fun (p, i) ->
+          let last = Option.value (Hashtbl.find_opt by_prio p) ~default:(-1) in
+          Hashtbl.replace by_prio p i;
+          i > last)
+        drained)
+
+let suite =
+  [
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO on ties" `Quick test_fifo_ties;
+    Alcotest.test_case "min peek" `Quick test_min_peek;
+    Alcotest.test_case "interleaved add/pop" `Quick test_interleaved;
+    Alcotest.test_case "clear" `Quick test_clear;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_stable_within_priority;
+  ]

@@ -1,0 +1,170 @@
+(* End-to-end collector tests: every collector runs a real workload,
+   reclaims memory, preserves reachability, and fails cleanly when the
+   heap is hopeless. *)
+
+module Registry = Gcr_gcs.Registry
+module Suite = Gcr_workloads.Suite
+module Spec = Gcr_workloads.Spec
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+
+let check = Alcotest.check
+
+(* A small, fast benchmark for integration tests: ~7.5k words live,
+   ~58k words allocated in total. *)
+let tiny_spec =
+  {
+    Spec.name = "tiny";
+    description = "integration-test workload";
+    mutator_threads = 4;
+    packets_per_thread = 120;
+    packet_compute_cycles = 20_000;
+    allocs_per_packet = 10;
+    size_min = 4;
+    size_mean = 12;
+    size_max = 32;
+    ref_density = 0.3;
+    survival_ratio = 0.10;
+    nursery_ttl_packets = 4;
+    long_lived_target_words = 6_000;
+    long_lived_churn_per_packet = 0.1;
+    reads_per_packet = 500;
+    writes_per_packet = 100;
+    latency = None;
+  }
+
+let execute ?(spec = tiny_spec) ~gc ~heap_words ?(seed = 11) () =
+  Run.execute (Run.default_config ~spec ~gc ~heap_words ~seed)
+
+let generous_heap = 40_000
+
+let tight_heap = 13_000
+
+let test_completes gc () =
+  let m = execute ~gc ~heap_words:generous_heap () in
+  check Alcotest.bool "completed" true (Measurement.completed m);
+  check Alcotest.bool "did work" true (m.Measurement.wall_total > 0);
+  check Alcotest.bool "allocated" true (m.Measurement.allocated_words > 0)
+
+let test_reclaims gc () =
+  (* With a heap far smaller than total allocation, completing at all
+     proves reclamation. *)
+  let m = execute ~gc ~heap_words:tight_heap () in
+  check Alcotest.bool "completed in tight heap" true (Measurement.completed m);
+  check Alcotest.bool "collected at least once" true
+    (m.Measurement.gc_stats.Gcr_gcs.Gc_types.collections > 0);
+  check Alcotest.bool "allocation exceeded heap" true
+    (m.Measurement.allocated_words > tight_heap)
+
+let test_epsilon_never_collects () =
+  let m = execute ~gc:Registry.Epsilon ~heap_words:generous_heap () in
+  check Alcotest.bool "completed" true (Measurement.completed m);
+  check Alcotest.int "no gc cycles" 0 m.Measurement.cycles_gc;
+  check Alcotest.int "no pauses" 0 (Measurement.pause_count m);
+  check Alcotest.int "no stw wall" 0 m.Measurement.wall_stw
+
+let test_epsilon_oom_on_small_machine () =
+  (* Epsilon's heap is the machine memory; total allocation exceeds it. *)
+  let machine = { Gcr_mach.Machine.default with Gcr_mach.Machine.memory_words = 30_000 } in
+  let config =
+    {
+      (Run.default_config ~spec:tiny_spec ~gc:Registry.Epsilon ~heap_words:30_000 ~seed:3) with
+      Run.machine;
+    }
+  in
+  let m = Run.execute config in
+  check Alcotest.bool "failed" false (Measurement.completed m)
+
+let test_stw_collectors_pause_everything gc () =
+  let m = execute ~gc ~heap_words:tight_heap () in
+  (* every GC cycle of a stop-the-world collector is a pause *)
+  check Alcotest.bool "has pauses" true (Measurement.pause_count m > 0);
+  check Alcotest.bool "all gc cycles inside pauses" true
+    (m.Measurement.cycles_gc_stw = m.Measurement.cycles_gc)
+
+let test_concurrent_collectors_work_outside_pauses gc () =
+  let m = execute ~gc ~heap_words:generous_heap () in
+  check Alcotest.bool "completed" true (Measurement.completed m);
+  if m.Measurement.cycles_gc > 0 then
+    check Alcotest.bool "most gc cycles outside pauses" true
+      (m.Measurement.cycles_gc_stw * 2 < m.Measurement.cycles_gc)
+
+let test_oom_on_hopeless_heap gc () =
+  (* Live set cannot fit: the collector must fail with a clean outcome
+     rather than hang. *)
+  let m = execute ~gc ~heap_words:5_000 () in
+  match m.Measurement.outcome with
+  | Measurement.Failed _ -> ()
+  | Measurement.Completed -> Alcotest.fail "expected failure in hopeless heap"
+
+let test_deterministic gc () =
+  let a = execute ~gc ~heap_words:tight_heap ~seed:21 () in
+  let b = execute ~gc ~heap_words:tight_heap ~seed:21 () in
+  check Alcotest.int "same wall" a.Measurement.wall_total b.Measurement.wall_total;
+  check Alcotest.int "same mutator cycles" a.Measurement.cycles_mutator
+    b.Measurement.cycles_mutator;
+  check Alcotest.int "same gc cycles" a.Measurement.cycles_gc b.Measurement.cycles_gc;
+  check Alcotest.int "same pauses" (Measurement.pause_count a) (Measurement.pause_count b)
+
+let test_workload_identical_across_gcs () =
+  (* The mutator's behaviour must not depend on the collector: allocation
+     totals are identical for the same seed. *)
+  let totals =
+    List.map
+      (fun gc ->
+        let m = execute ~gc ~heap_words:generous_heap ~seed:33 () in
+        (m.Measurement.allocated_words, m.Measurement.allocated_objects))
+      Registry.all
+  in
+  match totals with
+  | first :: rest ->
+      List.iter
+        (fun t -> check Alcotest.(pair int int) "same allocation" first t)
+        rest
+  | [] -> ()
+
+let test_serial_single_worker_pauses_cheaper_cycles () =
+  let serial = execute ~gc:Registry.Serial ~heap_words:tight_heap () in
+  let parallel = execute ~gc:Registry.Parallel ~heap_words:tight_heap () in
+  check Alcotest.bool "parallel burns more gc cycles" true
+    (parallel.Measurement.cycles_gc > serial.Measurement.cycles_gc);
+  check Alcotest.bool "parallel pauses shorter in wall" true
+    (parallel.Measurement.wall_stw < serial.Measurement.wall_stw)
+
+let test_shenandoah_stalls_add_wall_not_cycles () =
+  (* Drive Shenandoah hard enough to pace: high allocation in a tightish
+     heap.  Stalls show in wall time, not cycles. *)
+  let spec = Spec.scale (Suite.find_exn "xalan") 0.05 in
+  let m = execute ~spec ~gc:Registry.Shenandoah ~heap_words:30_000 () in
+  if Measurement.completed m then
+    check Alcotest.bool "stalled at least once" true
+      (m.Measurement.gc_stats.Gcr_gcs.Gc_types.stalls >= 0)
+
+let per_gc name f =
+  List.map
+    (fun gc -> Alcotest.test_case (Printf.sprintf "%s (%s)" name (Registry.name gc)) `Quick (f gc))
+
+let all_with_experimental = Registry.all @ Registry.experimental
+
+let suite =
+  per_gc "completes" test_completes all_with_experimental
+  @ per_gc "reclaims" test_reclaims (Registry.production @ Registry.experimental)
+  @ [
+      Alcotest.test_case "Epsilon never collects" `Quick test_epsilon_never_collects;
+      Alcotest.test_case "Epsilon OOM on small machine" `Quick test_epsilon_oom_on_small_machine;
+    ]
+  @ per_gc "STW collectors pause everything" test_stw_collectors_pause_everything
+      [ Registry.Serial; Registry.Parallel ]
+  @ per_gc "concurrent collectors work outside pauses"
+      test_concurrent_collectors_work_outside_pauses
+      [ Registry.Shenandoah; Registry.Zgc ]
+  @ per_gc "OOM on hopeless heap" test_oom_on_hopeless_heap
+      (Registry.production @ Registry.experimental)
+  @ per_gc "deterministic" test_deterministic all_with_experimental
+  @ [
+      Alcotest.test_case "workload identical across collectors" `Quick
+        test_workload_identical_across_gcs;
+      Alcotest.test_case "Serial vs Parallel tradeoff" `Quick
+        test_serial_single_worker_pauses_cheaper_cycles;
+      Alcotest.test_case "Shenandoah stalls" `Quick test_shenandoah_stalls_add_wall_not_cycles;
+    ]

@@ -1,0 +1,135 @@
+(* Behaviour specific to the concurrent collectors: G1's concurrent
+   marking and mixed collections, Shenandoah's pacing and degeneration,
+   ZGC's stalls and overload failure. *)
+
+module Registry = Gcr_gcs.Registry
+module Gc_types = Gcr_gcs.Gc_types
+module Suite = Gcr_workloads.Suite
+module Spec = Gcr_workloads.Spec
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+
+let check = Alcotest.check
+
+(* Old-space churn drives G1's concurrent marking; high allocation rate
+   drives Shenandoah/ZGC pathologies. *)
+let churny_spec =
+  {
+    (Suite.find_exn "h2") with
+    Spec.name = "churny";
+    mutator_threads = 4;
+    packets_per_thread = 250;
+    packet_compute_cycles = 15_000;
+    allocs_per_packet = 12;
+    long_lived_target_words = 12_000;
+    long_lived_churn_per_packet = 0.5;
+    latency = None;
+  }
+
+let hot_spec =
+  {
+    churny_spec with
+    Spec.name = "hot";
+    mutator_threads = 16;
+    allocs_per_packet = 90;
+    packets_per_thread = 300;
+    long_lived_target_words = 6_000;
+  }
+
+let execute ?(spec = churny_spec) ~gc ~heap_words () =
+  Run.execute (Run.default_config ~spec ~gc ~heap_words ~seed:19)
+
+let test_g1_marks_concurrently () =
+  (* In a tightish heap with old-space churn, G1 must run concurrent
+     cycles: GC cycles outside pauses appear. *)
+  let m = execute ~gc:Registry.G1 ~heap_words:26_000 () in
+  check Alcotest.bool "completed" true (Measurement.completed m);
+  check Alcotest.bool "concurrent gc cycles" true
+    (m.Measurement.cycles_gc > m.Measurement.cycles_gc_stw)
+
+let test_g1_reclaims_old_space () =
+  (* Mixed collections must reclaim old-space garbage: with churn ~50% of
+     the long-lived table turning over, completing in a 2.2x heap without
+     full collections shows old regions are being evacuated. *)
+  let m = execute ~gc:Registry.G1 ~heap_words:26_000 () in
+  check Alcotest.bool "completed" true (Measurement.completed m);
+  check Alcotest.bool "few full collections" true
+    (m.Measurement.gc_stats.Gc_types.full_collections <= 2)
+
+let test_shenandoah_paces_under_pressure () =
+  let m = execute ~spec:hot_spec ~gc:Registry.Shenandoah ~heap_words:65_000 () in
+  check Alcotest.bool "completed" true (Measurement.completed m);
+  check Alcotest.bool "paced" true (m.Measurement.gc_stats.Gc_types.stalls > 0);
+  (* pacing adds wall time, not cycles: wall-time overhead factor must
+     exceed cycle overhead factor *)
+  let ideal =
+    Run.execute_ideal ~spec:hot_spec ~machine:Gcr_mach.Machine.default ~seed:19
+  in
+  let time_factor =
+    float_of_int m.Measurement.wall_total /. float_of_int ideal.Measurement.wall_total
+  in
+  let cycle_factor =
+    float_of_int (Measurement.cycles_total m)
+    /. float_of_int (Measurement.cycles_total ideal)
+  in
+  check Alcotest.bool "stalls show in time more than cycles" true
+    (time_factor > cycle_factor)
+
+let test_shenandoah_degenerates_not_crashes () =
+  (* Very tight heap: Shenandoah must fall back (degenerated/full) and
+     either complete or fail with a clean OOM — never hang. *)
+  let m = execute ~spec:hot_spec ~gc:Registry.Shenandoah ~heap_words:42_000 () in
+  match m.Measurement.outcome with
+  | Measurement.Completed ->
+      check Alcotest.bool "fallbacks used" true
+        (m.Measurement.gc_stats.Gc_types.full_collections > 0
+        || m.Measurement.gc_stats.Gc_types.stalls > 0)
+  | Measurement.Failed reason ->
+      let prefix p = String.length reason >= String.length p && String.sub reason 0 (String.length p) = p in
+      (* either a real OOM or the engine's thrash verdict; never a hang or
+         an internal crash *)
+      check Alcotest.bool "clean failure" true
+        (prefix "OutOfMemoryError" || prefix "event budget")
+
+let test_zgc_stalls () =
+  let m = execute ~spec:hot_spec ~gc:Registry.Zgc ~heap_words:60_000 () in
+  if Measurement.completed m then
+    check Alcotest.bool "stalled" true (m.Measurement.gc_stats.Gc_types.stalls > 0)
+
+let test_zgc_fails_under_sustained_overload () =
+  (* The xalan pattern: allocation far beyond reclamation capacity. *)
+  let overload = { hot_spec with Spec.allocs_per_packet = 120; packets_per_thread = 400 } in
+  let m = execute ~spec:overload ~gc:Registry.Zgc ~heap_words:80_000 () in
+  check Alcotest.bool "ZGC gives up" false (Measurement.completed m)
+
+let test_shenandoah_survives_same_overload () =
+  (* Shenandoah has degeneration and full GC to fall back on. *)
+  let overload = { hot_spec with Spec.allocs_per_packet = 120; packets_per_thread = 400 } in
+  let m = execute ~spec:overload ~gc:Registry.Shenandoah ~heap_words:80_000 () in
+  check Alcotest.bool "Shenandoah completes (slowly)" true (Measurement.completed m)
+
+let test_low_pause_has_lowest_stw_fraction () =
+  let stw gc =
+    let m = execute ~gc ~heap_words:40_000 () in
+    check Alcotest.bool "completed" true (Measurement.completed m);
+    Measurement.stw_time_fraction m
+  in
+  let serial = stw Registry.Serial in
+  let zgc = stw Registry.Zgc in
+  check Alcotest.bool "ZGC pauses far less than Serial" true (zgc < serial /. 2.0)
+
+let suite =
+  [
+    Alcotest.test_case "G1 marks concurrently" `Quick test_g1_marks_concurrently;
+    Alcotest.test_case "G1 reclaims old space" `Quick test_g1_reclaims_old_space;
+    Alcotest.test_case "Shenandoah paces" `Quick test_shenandoah_paces_under_pressure;
+    Alcotest.test_case "Shenandoah degenerates cleanly" `Quick
+      test_shenandoah_degenerates_not_crashes;
+    Alcotest.test_case "ZGC stalls" `Quick test_zgc_stalls;
+    Alcotest.test_case "ZGC fails under sustained overload" `Quick
+      test_zgc_fails_under_sustained_overload;
+    Alcotest.test_case "Shenandoah survives same overload" `Quick
+      test_shenandoah_survives_same_overload;
+    Alcotest.test_case "low-pause lowest STW fraction" `Quick
+      test_low_pause_has_lowest_stw_fraction;
+  ]

@@ -1,0 +1,150 @@
+(* Evacuator: live objects move, dead objects die, regions return to the
+   pool, failure on to-space exhaustion. *)
+
+module Heap = Gcr_heap.Heap
+module Region = Gcr_heap.Region
+module Obj_model = Gcr_heap.Obj_model
+module Allocator = Gcr_heap.Allocator
+module Gc_types = Gcr_gcs.Gc_types
+module Evacuator = Gcr_gcs.Evacuator
+module Engine = Gcr_engine.Engine
+
+let check = Alcotest.check
+
+let make_ctx ?(regions = 16) ?(region_words = 64) () =
+  let heap = Heap.create ~capacity_words:(regions * region_words) ~region_words in
+  let engine = Engine.create ~cpus:4 () in
+  Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default
+    ~machine:Gcr_mach.Machine.default
+
+let step_fully evacuator =
+  let rec loop acc =
+    let cost = Evacuator.step evacuator ~budget:3 in
+    if cost > 0 || not (Evacuator.finished evacuator) then loop (acc + cost) else acc
+  in
+  loop 0
+
+let test_basic_evacuation () =
+  let ctx = make_ctx () in
+  let heap = ctx.Gc_types.heap in
+  let src = Option.get (Heap.take_free_region heap ~space:Region.Old) in
+  let live = Option.get (Heap.alloc_in_region heap src ~size:8 ~nfields:0) in
+  let dead = Option.get (Heap.alloc_in_region heap src ~size:8 ~nfields:0) in
+  ignore (Heap.begin_mark_epoch heap);
+  Heap.set_marked heap live;
+  let target = Allocator.create heap ~space:Region.Old in
+  let evacuator = Evacuator.create ctx ~concurrent:false ~choose_target:(fun _ -> target) in
+  Evacuator.add_region evacuator src;
+  let cost = step_fully evacuator in
+  check Alcotest.bool "cost positive" true (cost > 0);
+  check Alcotest.bool "live survives" true (Heap.is_live heap live.Obj_model.id);
+  check Alcotest.bool "dead reclaimed" false (Heap.is_live heap dead.Obj_model.id);
+  check Alcotest.bool "live moved out" true (live.Obj_model.region <> src.Region.index);
+  check Alcotest.bool "region freed" true (Region.space_equal src.Region.space Region.Free);
+  check Alcotest.int "one region released" 1 (Evacuator.regions_released evacuator);
+  check Alcotest.int "words copied" 8 (Evacuator.words_copied evacuator);
+  check Alcotest.int "objects copied" 1 (Evacuator.objects_copied evacuator);
+  check Alcotest.int "age bumped" 1 live.Obj_model.age
+
+let test_multiple_regions () =
+  let ctx = make_ctx () in
+  let heap = ctx.Gc_types.heap in
+  ignore (Heap.begin_mark_epoch heap);
+  let target = Allocator.create heap ~space:Region.Old in
+  let evacuator = Evacuator.create ctx ~concurrent:false ~choose_target:(fun _ -> target) in
+  let live_ids = ref [] in
+  for _ = 1 to 3 do
+    let r = Option.get (Heap.take_free_region heap ~space:Region.Old) in
+    for i = 0 to 4 do
+      let o = Option.get (Heap.alloc_in_region heap r ~size:8 ~nfields:0) in
+      if i mod 2 = 0 then begin
+        Heap.set_marked heap o;
+        live_ids := o.Obj_model.id :: !live_ids
+      end
+    done;
+    Evacuator.add_region evacuator r
+  done;
+  ignore (step_fully evacuator);
+  check Alcotest.int "three released" 3 (Evacuator.regions_released evacuator);
+  check Alcotest.int "nine survivors" 9 (Evacuator.objects_copied evacuator);
+  List.iter
+    (fun id -> check Alcotest.bool "live survived" true (Heap.is_live heap id))
+    !live_ids;
+  check Alcotest.int "table holds only survivors" 9 (Heap.live_objects heap)
+
+let test_failure_on_exhaustion () =
+  (* 2 regions total: source full of live data, no free region for the
+     target allocator once the second is also taken. *)
+  let ctx = make_ctx ~regions:2 () in
+  let heap = ctx.Gc_types.heap in
+  let src = Option.get (Heap.take_free_region heap ~space:Region.Old) in
+  let blocker = Option.get (Heap.take_free_region heap ~space:Region.Old) in
+  ignore blocker;
+  ignore (Heap.begin_mark_epoch heap);
+  let o = Option.get (Heap.alloc_in_region heap src ~size:8 ~nfields:0) in
+  Heap.set_marked heap o;
+  let target = Allocator.create heap ~space:Region.Old in
+  let evacuator = Evacuator.create ctx ~concurrent:false ~choose_target:(fun _ -> target) in
+  Evacuator.add_region evacuator src;
+  (match Evacuator.step evacuator ~budget:10 with
+  | exception Evacuator.Evacuation_failure -> ()
+  | _ -> Alcotest.fail "expected Evacuation_failure")
+
+let test_pinned_rejected () =
+  let ctx = make_ctx () in
+  let heap = ctx.Gc_types.heap in
+  let r = Option.get (Heap.take_free_region heap ~space:Region.Old) in
+  r.Region.pinned <- true;
+  let target = Allocator.create heap ~space:Region.Old in
+  let evacuator = Evacuator.create ctx ~concurrent:false ~choose_target:(fun _ -> target) in
+  Alcotest.check_raises "pinned" (Invalid_argument "Evacuator.add_region: pinned region")
+    (fun () -> Evacuator.add_region evacuator r)
+
+let test_concurrent_copy_costs_more () =
+  let run ~concurrent =
+    let ctx = make_ctx () in
+    let heap = ctx.Gc_types.heap in
+    let src = Option.get (Heap.take_free_region heap ~space:Region.Old) in
+    ignore (Heap.begin_mark_epoch heap);
+    for _ = 1 to 5 do
+      let o = Option.get (Heap.alloc_in_region heap src ~size:8 ~nfields:0) in
+      Heap.set_marked heap o
+    done;
+    let target = Allocator.create heap ~space:Region.Old in
+    let evacuator = Evacuator.create ctx ~concurrent ~choose_target:(fun _ -> target) in
+    Evacuator.add_region evacuator src;
+    step_fully evacuator
+  in
+  check Alcotest.bool "CAS-guarded copies cost more" true
+    (run ~concurrent:true > run ~concurrent:false)
+
+let test_choose_target_per_object () =
+  let ctx = make_ctx () in
+  let heap = ctx.Gc_types.heap in
+  let src = Option.get (Heap.take_free_region heap ~space:Region.Eden) in
+  ignore (Heap.begin_mark_epoch heap);
+  let young = Option.get (Heap.alloc_in_region heap src ~size:8 ~nfields:0) in
+  let tenured = Option.get (Heap.alloc_in_region heap src ~size:8 ~nfields:0) in
+  tenured.Obj_model.age <- 10;
+  Heap.set_marked heap young;
+  Heap.set_marked heap tenured;
+  let survivor = Allocator.create heap ~space:Region.Survivor in
+  let old = Allocator.create heap ~space:Region.Old in
+  let choose (o : Obj_model.t) = if o.Obj_model.age >= 2 then old else survivor in
+  let evacuator = Evacuator.create ctx ~concurrent:false ~choose_target:choose in
+  Evacuator.add_region evacuator src;
+  ignore (step_fully evacuator);
+  let space_of (o : Obj_model.t) = (Heap.region heap o.Obj_model.region).Region.space in
+  check Alcotest.bool "young to survivor" true
+    (Region.space_equal (space_of young) Region.Survivor);
+  check Alcotest.bool "tenured to old" true (Region.space_equal (space_of tenured) Region.Old)
+
+let suite =
+  [
+    Alcotest.test_case "basic evacuation" `Quick test_basic_evacuation;
+    Alcotest.test_case "multiple regions" `Quick test_multiple_regions;
+    Alcotest.test_case "failure on exhaustion" `Quick test_failure_on_exhaustion;
+    Alcotest.test_case "pinned rejected" `Quick test_pinned_rejected;
+    Alcotest.test_case "concurrent copies cost more" `Quick test_concurrent_copy_costs_more;
+    Alcotest.test_case "per-object target" `Quick test_choose_target_per_object;
+  ]

@@ -1,0 +1,112 @@
+(* Full mark-compact: dead objects purged, survivors densely re-placed,
+   free pool restored, no headroom required. *)
+
+module Heap = Gcr_heap.Heap
+module Region = Gcr_heap.Region
+module Obj_model = Gcr_heap.Obj_model
+module Allocator = Gcr_heap.Allocator
+module Engine = Gcr_engine.Engine
+module Gc_types = Gcr_gcs.Gc_types
+module Full_compact = Gcr_gcs.Full_compact
+module Worker_pool = Gcr_gcs.Worker_pool
+module Prng = Gcr_util.Prng
+
+let check = Alcotest.check
+
+(* Build a fragmented heap: objects scattered over many regions, a subset
+   reachable from [roots]. *)
+let build ~regions ~region_words ~objects ~live_every ~seed =
+  let heap = Heap.create ~capacity_words:(regions * region_words) ~region_words in
+  let engine = Engine.create ~cpus:4 () in
+  let ctx =
+    Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default
+      ~machine:Gcr_mach.Machine.default
+  in
+  let allocator = Allocator.create heap ~space:Region.Eden in
+  Gcr_util.Vec.push ctx.Gc_types.allocators allocator;
+  let prng = Prng.create seed in
+  let roots = ref [] in
+  let prev = ref Obj_model.null in
+  for i = 0 to objects - 1 do
+    let size = 4 + Prng.int prng 8 in
+    match Allocator.alloc allocator ~size ~nfields:2 with
+    | Allocator.Allocated { obj; _ } ->
+        if i mod live_every = 0 then begin
+          roots := obj.Obj_model.id :: !roots;
+          (* chain some structure under the root *)
+          obj.Obj_model.fields.(0) <- !prev
+        end;
+        prev := obj.Obj_model.id
+    | Allocator.Out_of_regions -> Alcotest.fail "test heap too small"
+  done;
+  (ctx.Gc_types.roots := fun () -> !roots);
+  (ctx, engine)
+
+let run_compact ctx engine =
+  let pool = Worker_pool.create ctx ~count:2 ~name:"compact-test" in
+  let m = Engine.spawn engine ~kind:Engine.Mutator ~name:"driver" in
+  let result = ref None in
+  Engine.request_stop engine ~reason:"test" (fun () ->
+      Full_compact.run ctx ~pool ~on_done:(fun r ->
+          result := Some r;
+          Engine.release_stop engine;
+          Engine.exit_thread engine m));
+  (match Engine.run engine () with
+  | Engine.All_mutators_finished -> ()
+  | Engine.Aborted reason -> Alcotest.failf "aborted: %s" reason);
+  Option.get !result
+
+let test_compacts () =
+  let ctx, engine = build ~regions:64 ~region_words:64 ~objects:400 ~live_every:5 ~seed:2 in
+  let heap = ctx.Gc_types.heap in
+  let reachable_before = Heap.reachable_from heap (!(ctx.Gc_types.roots) ()) in
+  let used_before = Heap.used_words heap in
+  let result = run_compact ctx engine in
+  (* survivors = exactly the reachable set *)
+  check Alcotest.int "live objects = reachable set" (Hashtbl.length reachable_before)
+    (Heap.live_objects heap);
+  check Alcotest.int "marked = reachable" (Hashtbl.length reachable_before)
+    result.Full_compact.objects_marked;
+  Hashtbl.iter
+    (fun id () -> check Alcotest.bool "survivor live" true (Heap.is_live heap id))
+    reachable_before;
+  (* garbage space reclaimed *)
+  check Alcotest.bool "used shrank" true (Heap.used_words heap < used_before);
+  check Alcotest.int "used = live exactly after compaction" (Heap.live_words_exact heap)
+    (Heap.used_words heap);
+  (* everything left is in old space *)
+  Heap.iter_regions
+    (fun r ->
+      match r.Region.space with
+      | Region.Free | Region.Old -> ()
+      | Region.Eden | Region.Survivor -> Alcotest.fail "young region survived compaction")
+    heap
+
+let test_works_with_empty_pool () =
+  (* Compaction needs no free headroom: fill every region first. *)
+  let ctx, engine = build ~regions:16 ~region_words:64 ~objects:120 ~live_every:4 ~seed:3 in
+  let heap = ctx.Gc_types.heap in
+  (* exhaust the pool with eden regions *)
+  let rec drain () =
+    match Heap.take_free_region heap ~space:Region.Eden with
+    | Some _ -> drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.int "pool empty" 0 (Heap.free_regions heap);
+  let _ = run_compact ctx engine in
+  check Alcotest.bool "pool replenished" true (Heap.free_regions heap > 0)
+
+let test_idempotent_when_all_live () =
+  let ctx, engine = build ~regions:32 ~region_words:64 ~objects:100 ~live_every:1 ~seed:4 in
+  let heap = ctx.Gc_types.heap in
+  let live_before = Heap.live_objects heap in
+  let _ = run_compact ctx engine in
+  check Alcotest.int "nothing reclaimed" live_before (Heap.live_objects heap)
+
+let suite =
+  [
+    Alcotest.test_case "compacts" `Quick test_compacts;
+    Alcotest.test_case "works with empty pool" `Quick test_works_with_empty_pool;
+    Alcotest.test_case "idempotent when all live" `Quick test_idempotent_when_all_live;
+  ]

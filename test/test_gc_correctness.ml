@@ -1,0 +1,104 @@
+(* The strongest collector-correctness property: after a full run with
+   many collections, every workload root is still live and the object
+   graph reachable from the roots is intact (no live object was ever
+   reclaimed), for every collector. *)
+
+module Heap = Gcr_heap.Heap
+module Obj_model = Gcr_heap.Obj_model
+module Engine = Gcr_engine.Engine
+module Gc_types = Gcr_gcs.Gc_types
+module Registry = Gcr_gcs.Registry
+module Spec = Gcr_workloads.Spec
+module Suite = Gcr_workloads.Suite
+module Mutator = Gcr_workloads.Mutator
+module Longlived = Gcr_workloads.Longlived
+module Prng = Gcr_util.Prng
+
+let check = Alcotest.check
+
+let spec =
+  {
+    (Suite.find_exn "h2") with
+    Spec.name = "correctness";
+    mutator_threads = 3;
+    packets_per_thread = 150;
+    allocs_per_packet = 12;
+    packet_compute_cycles = 15_000;
+    long_lived_target_words = 5_000;
+    long_lived_churn_per_packet = 0.4;
+    survival_ratio = 0.2;
+    latency = None;
+  }
+
+(* Compose a run by hand so we keep access to the roots afterwards. *)
+let run_and_inspect gc_kind ~heap_words ~seed =
+  let engine = Engine.create ~cpus:8 () in
+  let heap = Heap.create ~capacity_words:heap_words ~region_words:256 in
+  let ctx =
+    Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default
+      ~machine:Gcr_mach.Machine.default
+  in
+  let gc = Registry.make gc_kind ctx in
+  let root_prng = Prng.create seed in
+  let longlived = Longlived.create ctx ~spec ~prng:(Prng.split root_prng) in
+  let mutators =
+    List.init spec.Spec.mutator_threads (fun index ->
+        Mutator.create ctx ~gc ~spec ~longlived ~prng:(Prng.split root_prng) ~index)
+  in
+  let roots () = List.concat (Longlived.roots longlived :: List.map Mutator.roots mutators) in
+  (ctx.Gc_types.roots := roots);
+  List.iter Mutator.start_batch mutators;
+  let outcome = Engine.run engine () in
+  (outcome, ctx, gc, roots)
+
+let test_roots_survive gc_kind () =
+  let outcome, ctx, gc, roots = run_and_inspect gc_kind ~heap_words:16_000 ~seed:31 in
+  (match outcome with
+  | Engine.All_mutators_finished -> ()
+  | Engine.Aborted reason -> Alcotest.failf "aborted: %s" reason);
+  let heap = ctx.Gc_types.heap in
+  (* enough pressure that collection really happened *)
+  if gc_kind <> Registry.Epsilon then
+    check Alcotest.bool "collected" true
+      ((gc.Gc_types.stats ()).Gc_types.collections > 0);
+  let root_ids = roots () in
+  check Alcotest.bool "has roots" true (root_ids <> []);
+  List.iter
+    (fun id ->
+      check Alcotest.bool (Printf.sprintf "root %d live" id) true (Heap.is_live heap id))
+    root_ids;
+  (* every object reachable from the roots must be in the table with a
+     resident region that is not free *)
+  let reachable = Heap.reachable_from heap root_ids in
+  Hashtbl.iter
+    (fun id () ->
+      let o = Heap.find_exn heap id in
+      let r = Heap.region heap o.Obj_model.region in
+      check Alcotest.bool
+        (Printf.sprintf "object %d in a non-free region" id)
+        false
+        (Gcr_heap.Region.space_equal r.Gcr_heap.Region.space Gcr_heap.Region.Free))
+    reachable
+
+let test_heap_usage_bounded gc_kind () =
+  (* With heavy churn, the live footprint at the end must be a small
+     fraction of everything ever allocated — reclamation really ran. *)
+  let outcome, ctx, _, _ = run_and_inspect gc_kind ~heap_words:16_000 ~seed:32 in
+  (match outcome with
+  | Engine.All_mutators_finished -> ()
+  | Engine.Aborted reason -> Alcotest.failf "aborted: %s" reason);
+  let heap = ctx.Gc_types.heap in
+  let allocated = Heap.words_allocated_total heap in
+  check Alcotest.bool "allocated much more than heap" true (allocated > 3 * 16_000);
+  check Alcotest.bool "live bounded by heap" true (Heap.live_words_exact heap <= 16_000)
+
+let per_gc name f kinds =
+  List.map
+    (fun gc -> Alcotest.test_case (Printf.sprintf "%s (%s)" name (Registry.name gc)) `Quick (f gc))
+    kinds
+
+let kinds = Registry.production @ Registry.experimental
+
+let suite =
+  per_gc "roots survive collections" test_roots_survive kinds
+  @ per_gc "heap usage bounded" test_heap_usage_bounded kinds

@@ -1,0 +1,103 @@
+(* Histogram: exactness in the linear range, bounded relative error in the
+   log range, merging, and percentile behaviour. *)
+
+module Histogram = Gcr_util.Histogram
+
+let check = Alcotest.check
+
+let test_empty () =
+  let h = Histogram.create () in
+  check Alcotest.bool "empty" true (Histogram.is_empty h);
+  check Alcotest.int "count" 0 (Histogram.count h);
+  check (Alcotest.float 1e-9) "mean" 0.0 (Histogram.mean h);
+  Alcotest.check_raises "percentile of empty"
+    (Invalid_argument "Histogram.percentile: empty") (fun () ->
+      ignore (Histogram.percentile h 50.0))
+
+let test_exact_small_values () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1; 2; 3; 4; 5 ];
+  check Alcotest.int "p50 exact" 3 (Histogram.percentile h 50.0);
+  check Alcotest.int "p100 exact" 5 (Histogram.percentile h 100.0);
+  check Alcotest.int "count" 5 (Histogram.count h);
+  check Alcotest.int "total" 15 (Histogram.total h);
+  check (Alcotest.float 1e-9) "mean" 3.0 (Histogram.mean h)
+
+let test_negative_clamped () =
+  let h = Histogram.create () in
+  Histogram.record h (-5);
+  check Alcotest.int "clamped to zero" 0 (Histogram.percentile h 100.0)
+
+let test_record_many () =
+  let h = Histogram.create () in
+  Histogram.record_many h 10 ~count:5;
+  check Alcotest.int "count" 5 (Histogram.count h);
+  check Alcotest.int "total" 50 (Histogram.total h)
+
+let test_max_value () =
+  let h = Histogram.create () in
+  Histogram.record h 123456;
+  Histogram.record h 77;
+  check Alcotest.int "max" 123456 (Histogram.max_value h);
+  (* the top percentile never exceeds the maximum recorded value *)
+  check Alcotest.int "p100 capped at max" 123456 (Histogram.percentile h 100.0)
+
+let test_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.record a 5;
+  Histogram.record b 500;
+  Histogram.merge_into ~dst:a b;
+  check Alcotest.int "merged count" 2 (Histogram.count a);
+  check Alcotest.int "merged total" 505 (Histogram.total a);
+  check Alcotest.int "p1 low" 5 (Histogram.percentile a 1.0)
+
+let test_percentiles_list () =
+  let h = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.record h i
+  done;
+  let results = Histogram.percentiles h [ 50.0; 90.0 ] in
+  check Alcotest.int "two results" 2 (List.length results)
+
+let prop_percentiles_sane =
+  (* Percentiles are monotone in p, within the recorded range (up to one
+     bucket of overshoot at the low end), and p100 hits the maximum. *)
+  QCheck.Test.make ~name:"percentiles monotone and within range" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 200) (int_range 1 5_000_000))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) xs;
+      let lo = List.fold_left min max_int xs and hi = List.fold_left max 0 xs in
+      let ps = [ 10.0; 50.0; 90.0; 99.0; 100.0 ] in
+      let values = List.map (Histogram.percentile h) ps in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | [ _ ] | [] -> true
+      in
+      monotone values
+      && List.for_all (fun v -> v >= lo * 9 / 10 && v <= hi) values
+      && Histogram.percentile h 100.0 = hi)
+
+let prop_merge_counts =
+  QCheck.Test.make ~name:"merge preserves counts and totals" ~count:200
+    QCheck.(pair (list (int_range 0 100_000)) (list (int_range 0 100_000)))
+    (fun (xs, ys) ->
+      let a = Histogram.create () and b = Histogram.create () in
+      List.iter (Histogram.record a) xs;
+      List.iter (Histogram.record b) ys;
+      Histogram.merge_into ~dst:a b;
+      Histogram.count a = List.length xs + List.length ys
+      && Histogram.total a = List.fold_left ( + ) 0 xs + List.fold_left ( + ) 0 ys)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "exact small values" `Quick test_exact_small_values;
+    Alcotest.test_case "negative clamped" `Quick test_negative_clamped;
+    Alcotest.test_case "record_many" `Quick test_record_many;
+    Alcotest.test_case "max value" `Quick test_max_value;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "percentiles list" `Quick test_percentiles_list;
+    QCheck_alcotest.to_alcotest prop_percentiles_sane;
+    QCheck_alcotest.to_alcotest prop_merge_counts;
+  ]

@@ -1,0 +1,82 @@
+(* The metered-latency engine. *)
+
+module Registry = Gcr_gcs.Registry
+module Suite = Gcr_workloads.Suite
+module Spec = Gcr_workloads.Spec
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+module Histogram = Gcr_util.Histogram
+
+let check = Alcotest.check
+
+let latency_spec =
+  {
+    (Suite.find_exn "lusearch") with
+    Spec.mutator_threads = 4;
+    packets_per_thread = 80;
+    long_lived_target_words = 3_000;
+    packet_compute_cycles = 20_000;
+  }
+
+let run ~gc ~heap_words =
+  Run.execute (Run.default_config ~spec:latency_spec ~gc ~heap_words ~seed:17)
+
+let test_latency_recorded () =
+  let m = run ~gc:Registry.Epsilon ~heap_words:50_000 in
+  check Alcotest.bool "completed" true (Measurement.completed m);
+  match (m.Measurement.latency_metered, m.Measurement.latency_simple) with
+  | Some metered, Some simple ->
+      check Alcotest.bool "requests recorded" true (Histogram.count metered > 0);
+      check Alcotest.int "same count both measures" (Histogram.count metered)
+        (Histogram.count simple);
+      (* expected request count: threads * packets / request_packets *)
+      let expected = 4 * 80 / 4 in
+      check Alcotest.int "request count" expected (Histogram.count metered)
+  | _ -> Alcotest.fail "no latency recorded"
+
+let test_metered_dominates_simple () =
+  let m = run ~gc:Registry.Serial ~heap_words:20_000 in
+  match (m.Measurement.latency_metered, m.Measurement.latency_simple) with
+  | Some metered, Some simple ->
+      List.iter
+        (fun p ->
+          check Alcotest.bool
+            (Printf.sprintf "metered >= simple at p%g" p)
+            true
+            (Histogram.percentile metered p >= Histogram.percentile simple p))
+        [ 50.0; 90.0; 99.0 ]
+  | _ -> Alcotest.fail "no latency recorded"
+
+let test_gc_pauses_worsen_tail () =
+  (* A GC'd run in a tight heap must have a worse metered tail than the
+     no-GC run. *)
+  let ideal = run ~gc:Registry.Epsilon ~heap_words:50_000 in
+  let gcd = run ~gc:Registry.Serial ~heap_words:12_000 in
+  match (ideal.Measurement.latency_metered, gcd.Measurement.latency_metered) with
+  | Some a, Some b ->
+      check Alcotest.bool "p99.9 worse under GC" true
+        (Histogram.percentile b 99.9 > Histogram.percentile a 99.9)
+  | _ -> Alcotest.fail "no latency recorded"
+
+let test_throughput_benchmarks_have_no_latency () =
+  let spec = Gcr_workloads.Spec.scale (Suite.find_exn "jme") 0.1 in
+  let m = Run.execute (Run.default_config ~spec ~gc:Registry.Epsilon ~heap_words:30_000 ~seed:1) in
+  check Alcotest.bool "no metered histogram" true (m.Measurement.latency_metered = None)
+
+let test_deterministic () =
+  let a = run ~gc:Registry.G1 ~heap_words:20_000 in
+  let b = run ~gc:Registry.G1 ~heap_words:20_000 in
+  match (a.Measurement.latency_metered, b.Measurement.latency_metered) with
+  | Some ha, Some hb ->
+      check Alcotest.int "same p99" (Histogram.percentile ha 99.0) (Histogram.percentile hb 99.0)
+  | _ -> Alcotest.fail "no latency recorded"
+
+let suite =
+  [
+    Alcotest.test_case "latency recorded" `Quick test_latency_recorded;
+    Alcotest.test_case "metered dominates simple" `Quick test_metered_dominates_simple;
+    Alcotest.test_case "GC worsens tail" `Quick test_gc_pauses_worsen_tail;
+    Alcotest.test_case "throughput runs have no latency" `Quick
+      test_throughput_benchmarks_have_no_latency;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+  ]

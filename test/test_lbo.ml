@@ -1,0 +1,107 @@
+(* The LBO methodology: the paper's worked example (Tables II-V) as a unit
+   test, plus algebraic properties. *)
+
+module Lbo = Gcr_core.Lbo
+
+let check = Alcotest.check
+
+let close = Alcotest.float 1e-3
+
+(* Table III of the paper, in billions of cycles. *)
+let parallel = { Lbo.collector = "Parallel"; total = 108.33; apparent_gc = 4.46 }
+
+let serial = { Lbo.collector = "Serial"; total = 108.12; apparent_gc = 2.75 }
+
+let shenandoah = { Lbo.collector = "Shenandoah"; total = 218.72; apparent_gc = 0.03 }
+
+let observations = [ parallel; serial; shenandoah ]
+
+let test_other_cost () =
+  check close "parallel other" 103.87 (Lbo.other_cost parallel);
+  check close "serial other" 105.37 (Lbo.other_cost serial);
+  check close "shenandoah other" 218.69 (Lbo.other_cost shenandoah)
+
+let test_ideal_estimate () =
+  (* The tightest upper bound comes from Parallel (Table III). *)
+  check close "ideal" 103.87 (Lbo.ideal_estimate observations)
+
+let test_lbo_values_match_table_iv () =
+  let results = Lbo.compute observations in
+  let find name = List.assoc name (List.map (fun (o, v) -> (o.Lbo.collector, v)) results) in
+  check close "parallel" 1.043 (find "Parallel");
+  check close "serial" 1.041 (find "Serial");
+  check close "shenandoah" 2.106 (find "Shenandoah")
+
+let test_refinement_table_v () =
+  (* A hypothetical collector with other = 100.00 tightens all bounds. *)
+  let hypothetical = { Lbo.collector = "Hypothetical"; total = 109.50; apparent_gc = 9.50 } in
+  let refined = observations @ [ hypothetical ] in
+  check close "new ideal" 100.0 (Lbo.ideal_estimate refined);
+  let results = Lbo.compute refined in
+  let find name = List.assoc name (List.map (fun (o, v) -> (o.Lbo.collector, v)) results) in
+  check close "parallel tightened" 1.083 (find "Parallel");
+  check close "serial tightened" 1.081 (find "Serial");
+  check close "shenandoah tightened" 2.187 (find "Shenandoah");
+  check close "hypothetical" 1.095 (find "Hypothetical")
+
+let test_lbo_rejects_bad_ideal () =
+  Alcotest.check_raises "zero ideal" (Invalid_argument "Lbo.lbo: non-positive ideal estimate")
+    (fun () -> ignore (Lbo.lbo ~ideal:0.0 ~total:1.0))
+
+let test_ideal_estimate_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Lbo.ideal_estimate: no observations")
+    (fun () -> ignore (Lbo.ideal_estimate []))
+
+let obs_gen =
+  QCheck.Gen.(
+    map2
+      (fun total gc_frac ->
+        let total = 1.0 +. total in
+        { Lbo.collector = "x"; total; apparent_gc = total *. gc_frac })
+      (float_bound_exclusive 1000.0)
+      (float_bound_exclusive 0.9))
+
+let obs_arb = QCheck.make obs_gen
+
+let prop_lbo_at_least_one =
+  QCheck.Test.make ~name:"every LBO is >= 1 for the argmin collector's set" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 10) obs_arb)
+    (fun observations ->
+      let results = Lbo.compute observations in
+      (* every collector's total >= its own other >= min other = ideal *)
+      List.for_all (fun (_, v) -> v >= 1.0 -. 1e-9) results)
+
+let prop_refinement_monotone =
+  QCheck.Test.make ~name:"adding a collector never loosens the bound" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 8) obs_arb) obs_arb)
+    (fun (observations, extra) ->
+      let before = Lbo.compute observations in
+      let after = Lbo.compute (observations @ [ extra ]) in
+      List.for_all2 (fun (_, v0) (_, v1) -> v1 >= v0 -. 1e-9)
+        before
+        (List.filteri (fun i _ -> i < List.length before) after))
+
+let prop_argmin_lbo_is_total_over_own_other =
+  QCheck.Test.make ~name:"the argmin collector's LBO = total / its own other" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 10) obs_arb)
+    (fun observations ->
+      let ideal = Lbo.ideal_estimate observations in
+      let argmin =
+        List.find (fun o -> Float.abs (Lbo.other_cost o -. ideal) < 1e-9) observations
+      in
+      let results = Lbo.compute observations in
+      let v = List.assq argmin results in
+      Float.abs (v -. (argmin.Lbo.total /. Lbo.other_cost argmin)) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "other cost (Table III)" `Quick test_other_cost;
+    Alcotest.test_case "ideal estimate (Table III)" `Quick test_ideal_estimate;
+    Alcotest.test_case "LBO values (Table IV)" `Quick test_lbo_values_match_table_iv;
+    Alcotest.test_case "refinement (Table V)" `Quick test_refinement_table_v;
+    Alcotest.test_case "rejects non-positive ideal" `Quick test_lbo_rejects_bad_ideal;
+    Alcotest.test_case "empty observations rejected" `Quick test_ideal_estimate_empty;
+    QCheck_alcotest.to_alcotest prop_lbo_at_least_one;
+    QCheck_alcotest.to_alcotest prop_refinement_monotone;
+    QCheck_alcotest.to_alcotest prop_argmin_lbo_is_total_over_own_other;
+  ]

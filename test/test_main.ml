@@ -1,0 +1,32 @@
+let () =
+  Alcotest.run "gcr"
+    [
+      ("prng", Test_prng.suite);
+      ("vec", Test_vec.suite);
+      ("binary-heap", Test_binary_heap.suite);
+      ("stats", Test_stats.suite);
+      ("histogram", Test_histogram.suite);
+      ("units-tablefmt", Test_units.suite);
+      ("engine", Test_engine.suite);
+      ("engine-props", Test_engine_props.suite);
+      ("heap", Test_heap.suite);
+      ("allocator", Test_allocator.suite);
+      ("tracer", Test_tracer.suite);
+      ("evacuator", Test_evacuator.suite);
+      ("worker-pool", Test_worker_pool.suite);
+      ("remset", Test_remset.suite);
+      ("scavenge", Test_scavenge.suite);
+      ("full-compact", Test_full_compact.suite);
+      ("collectors", Test_collectors.suite);
+      ("gc-correctness", Test_gc_correctness.suite);
+      ("concurrent-gcs", Test_concurrent_gcs.suite);
+      ("conc-cycle", Test_conc_cycle.suite);
+      ("registry", Test_registry.suite);
+      ("workloads", Test_workloads.suite);
+      ("latency", Test_latency.suite);
+      ("run", Test_run.suite);
+      ("metrics", Test_metrics.suite);
+      ("lbo", Test_lbo.suite);
+      ("harness", Test_harness.suite);
+      ("ablation", Test_ablation.suite);
+    ]

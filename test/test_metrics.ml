@@ -1,0 +1,80 @@
+(* Cost metrics over measurements. *)
+
+module Metrics = Gcr_core.Metrics
+module Measurement = Gcr_runtime.Measurement
+
+let check = Alcotest.check
+
+let measurement ~wall_total ~wall_stw ~cycles_mutator ~cycles_gc ~cycles_gc_stw =
+  {
+    Measurement.benchmark = "test";
+    gc = "Test";
+    heap_words = 1000;
+    seed = 1;
+    outcome = Measurement.Completed;
+    wall_total;
+    wall_stw;
+    cycles_mutator;
+    cycles_gc;
+    cycles_gc_stw;
+    pauses = [];
+    latency_metered = None;
+    latency_simple = None;
+    allocated_words = 0;
+    allocated_objects = 0;
+    gc_stats = Gcr_gcs.Gc_types.no_stats;
+  }
+
+let m =
+  measurement ~wall_total:1000 ~wall_stw:100 ~cycles_mutator:5000 ~cycles_gc:800
+    ~cycles_gc_stw:300
+
+let close = Alcotest.float 1e-9
+
+let test_wall_time () =
+  check close "total" 1000.0 (Metrics.total Metrics.Wall_time m);
+  check close "apparent gc = pauses" 100.0 (Metrics.apparent_gc Metrics.Wall_time m);
+  check close "other" 900.0 (Metrics.other Metrics.Wall_time m)
+
+let test_cpu_cycles () =
+  check close "total" 5800.0 (Metrics.total Metrics.Cpu_cycles m);
+  check close "apparent gc = all gc-thread cycles" 800.0
+    (Metrics.apparent_gc Metrics.Cpu_cycles m);
+  check close "other = mutator cycles" 5000.0 (Metrics.other Metrics.Cpu_cycles m)
+
+let test_energy () =
+  (* active 5800, idle = 16*1000 - 5800 = 10200 at 0.15 *)
+  check close "total" (5800.0 +. (0.15 *. 10200.0)) (Metrics.total Metrics.Energy m);
+  check Alcotest.bool "other positive" true (Metrics.other Metrics.Energy m > 0.0)
+
+let test_measurement_helpers () =
+  check Alcotest.int "cycles_total" 5800 (Measurement.cycles_total m);
+  check Alcotest.int "time_other" 900 (Measurement.time_other m);
+  check Alcotest.int "cycles_other" 5000 (Measurement.cycles_other m);
+  check Alcotest.int "pause-window cycles" 300 (Measurement.cycles_gc_pause_window m);
+  check close "stw time fraction" 0.1 (Measurement.stw_time_fraction m);
+  check close "stw cycle fraction" (300.0 /. 5800.0) (Measurement.stw_cycle_fraction m);
+  check close "no pauses -> 0 mean" 0.0 (Measurement.mean_pause_ms m)
+
+let test_pause_stats () =
+  let m =
+    {
+      m with
+      Measurement.pauses =
+        [
+          { Gcr_engine.Engine.start = 0; duration = 3600; reason = "a" };
+          { Gcr_engine.Engine.start = 10; duration = 7200; reason = "b" };
+        ];
+    }
+  in
+  check Alcotest.int "count" 2 (Measurement.pause_count m);
+  check (Alcotest.float 1e-6) "mean ms" 0.0015 (Measurement.mean_pause_ms m)
+
+let suite =
+  [
+    Alcotest.test_case "wall time metric" `Quick test_wall_time;
+    Alcotest.test_case "cpu cycles metric" `Quick test_cpu_cycles;
+    Alcotest.test_case "energy metric" `Quick test_energy;
+    Alcotest.test_case "measurement helpers" `Quick test_measurement_helpers;
+    Alcotest.test_case "pause stats" `Quick test_pause_stats;
+  ]

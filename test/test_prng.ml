@@ -1,0 +1,115 @@
+(* Determinism, ranges and rough distribution checks for the PRNG. *)
+
+module Prng = Gcr_util.Prng
+
+let check = Alcotest.check
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  check Alcotest.bool "different seeds diverge" true (!same < 4)
+
+let test_copy () =
+  let a = Prng.create 9 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "copy replays" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_split_independent () =
+  let root = Prng.create 5 in
+  let a = Prng.split root in
+  let b = Prng.split root in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  check Alcotest.bool "split streams diverge" true (!same < 4)
+
+let test_int_range () =
+  let t = Prng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int t 17 in
+    check Alcotest.bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_in_range () =
+  let t = Prng.create 4 in
+  for _ = 1 to 1_000 do
+    let v = Prng.int_in t (-5) 5 in
+    check Alcotest.bool "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let test_int_covers () =
+  let t = Prng.create 8 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 2_000 do
+    seen.(Prng.int t 10) <- true
+  done;
+  Array.iteri (fun i s -> check Alcotest.bool (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_float_range () =
+  let t = Prng.create 11 in
+  for _ = 1 to 1_000 do
+    let v = Prng.float t 2.5 in
+    check Alcotest.bool "float in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_bernoulli_bias () =
+  let t = Prng.create 12 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli t 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  check Alcotest.bool "p close to 0.3" true (p > 0.27 && p < 0.33)
+
+let test_exponential_mean () =
+  let t = Prng.create 13 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential t ~mean:100.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool "exponential mean" true (mean > 95.0 && mean < 105.0)
+
+let test_geometric_size_bounds () =
+  let t = Prng.create 14 in
+  for _ = 1 to 5_000 do
+    let v = Prng.geometric_size t ~mean:16 ~min:4 ~max:64 in
+    check Alcotest.bool "size in bounds" true (v >= 4 && v <= 64)
+  done
+
+let test_pareto_positive () =
+  let t = Prng.create 15 in
+  for _ = 1 to 1_000 do
+    check Alcotest.bool "pareto above scale" true (Prng.pareto t ~shape:2.0 ~scale:1.0 >= 1.0)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "copy replays" `Quick test_copy;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int_in range" `Quick test_int_in_range;
+    Alcotest.test_case "int covers all values" `Quick test_int_covers;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "bernoulli bias" `Quick test_bernoulli_bias;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "geometric_size bounds" `Quick test_geometric_size_bounds;
+    Alcotest.test_case "pareto positive" `Quick test_pareto_positive;
+  ]

@@ -1,0 +1,86 @@
+(* Remembered set: dedup, rebuild filtering, clear. *)
+
+module Heap = Gcr_heap.Heap
+module Region = Gcr_heap.Region
+module Obj_model = Gcr_heap.Obj_model
+module Remset = Gcr_gcs.Remset
+
+let check = Alcotest.check
+
+let setup () =
+  let heap = Heap.create ~capacity_words:(16 * 64) ~region_words:64 in
+  let old_region = Option.get (Heap.take_free_region heap ~space:Region.Old) in
+  let eden = Option.get (Heap.take_free_region heap ~space:Region.Eden) in
+  (heap, old_region, eden)
+
+let alloc heap region ~nfields =
+  Option.get (Heap.alloc_in_region heap region ~size:(nfields + 2) ~nfields)
+
+let test_dedup () =
+  let heap, old_region, _ = setup () in
+  let rs = Remset.create heap in
+  let o = alloc heap old_region ~nfields:1 in
+  Remset.remember rs o;
+  Remset.remember rs o;
+  Remset.remember rs o;
+  check Alcotest.int "one entry" 1 (Remset.size rs);
+  check Alcotest.bool "bit set" true o.Obj_model.remembered
+
+let test_rebuild_keeps_young_pointers () =
+  let heap, old_region, eden = setup () in
+  let rs = Remset.create heap in
+  let points_young = alloc heap old_region ~nfields:1 in
+  let points_old = alloc heap old_region ~nfields:1 in
+  let young = alloc heap eden ~nfields:0 in
+  let old_target = alloc heap old_region ~nfields:0 in
+  points_young.Obj_model.fields.(0) <- young.Obj_model.id;
+  points_old.Obj_model.fields.(0) <- old_target.Obj_model.id;
+  Remset.remember rs points_young;
+  Remset.remember rs points_old;
+  Remset.rebuild rs ~extra:[];
+  check Alcotest.int "only the young-pointing entry kept" 1 (Remset.size rs);
+  let kept = ref [] in
+  Remset.iter rs (fun id -> kept := id :: !kept);
+  check Alcotest.(list int) "kept the right one" [ points_young.Obj_model.id ] !kept;
+  check Alcotest.bool "dropped entry bit cleared" false points_old.Obj_model.remembered
+
+let test_rebuild_considers_extra () =
+  let heap, old_region, eden = setup () in
+  let rs = Remset.create heap in
+  let promoted = alloc heap old_region ~nfields:1 in
+  let young = alloc heap eden ~nfields:0 in
+  promoted.Obj_model.fields.(0) <- young.Obj_model.id;
+  Remset.rebuild rs ~extra:[ promoted.Obj_model.id ];
+  check Alcotest.int "promoted object retained" 1 (Remset.size rs)
+
+let test_rebuild_drops_dead () =
+  let heap, old_region, _ = setup () in
+  let rs = Remset.create heap in
+  let o = alloc heap old_region ~nfields:1 in
+  Remset.remember rs o;
+  Heap.release_region heap old_region;
+  Remset.rebuild rs ~extra:[];
+  check Alcotest.int "dead entry dropped" 0 (Remset.size rs)
+
+let test_clear () =
+  let heap, old_region, eden = setup () in
+  let rs = Remset.create heap in
+  let o = alloc heap old_region ~nfields:1 in
+  let young = alloc heap eden ~nfields:0 in
+  o.Obj_model.fields.(0) <- young.Obj_model.id;
+  Remset.remember rs o;
+  Remset.clear rs;
+  check Alcotest.int "empty" 0 (Remset.size rs);
+  check Alcotest.bool "bit cleared" false o.Obj_model.remembered;
+  (* rememberable again after clear *)
+  Remset.remember rs o;
+  check Alcotest.int "re-added" 1 (Remset.size rs)
+
+let suite =
+  [
+    Alcotest.test_case "dedup" `Quick test_dedup;
+    Alcotest.test_case "rebuild keeps young pointers" `Quick test_rebuild_keeps_young_pointers;
+    Alcotest.test_case "rebuild considers extra" `Quick test_rebuild_considers_extra;
+    Alcotest.test_case "rebuild drops dead" `Quick test_rebuild_drops_dead;
+    Alcotest.test_case "clear" `Quick test_clear;
+  ]

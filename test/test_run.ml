@@ -1,0 +1,85 @@
+(* The runtime composition layer: config rules, event budgets, the ideal
+   ground-truth runner. *)
+
+module Registry = Gcr_gcs.Registry
+module Machine = Gcr_mach.Machine
+module Suite = Gcr_workloads.Suite
+module Spec = Gcr_workloads.Spec
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+
+let check = Alcotest.check
+
+let tiny = Spec.scale (Suite.find_exn "jme") 0.1
+
+let test_epsilon_ignores_heap_words () =
+  (* Epsilon's heap is the machine memory, not the -Xmx analogue. *)
+  let m =
+    Run.execute (Run.default_config ~spec:tiny ~gc:Registry.Epsilon ~heap_words:1 ~seed:2)
+  in
+  check Alcotest.bool "completed despite heap_words=1" true (Measurement.completed m);
+  check Alcotest.int "heap is machine memory" Machine.default.Machine.memory_words
+    m.Measurement.heap_words
+
+let test_max_events_aborts () =
+  let config =
+    {
+      (Run.default_config ~spec:tiny ~gc:Registry.Serial ~heap_words:30_000 ~seed:2) with
+      Run.max_events = Some 10;
+    }
+  in
+  let m = Run.execute config in
+  match m.Measurement.outcome with
+  | Measurement.Failed reason -> check Alcotest.string "budget" "event budget exhausted" reason
+  | Measurement.Completed -> Alcotest.fail "expected budget abort"
+
+let test_invalid_spec_rejected () =
+  let bad = { tiny with Spec.mutator_threads = 0 } in
+  try
+    ignore (Run.execute (Run.default_config ~spec:bad ~gc:Registry.Serial ~heap_words:10_000 ~seed:1));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_region_words_config () =
+  let config =
+    {
+      (Run.default_config ~spec:tiny ~gc:Registry.Serial ~heap_words:32_768 ~seed:2) with
+      Run.region_words = 128;
+    }
+  in
+  let m = Run.execute config in
+  check Alcotest.bool "completed with small regions" true (Measurement.completed m)
+
+let test_execute_ideal_properties () =
+  let m = Run.execute_ideal ~spec:tiny ~machine:Machine.default ~seed:3 in
+  check Alcotest.bool "completed" true (Measurement.completed m);
+  check Alcotest.string "uses Epsilon" "Epsilon" m.Measurement.gc;
+  check Alcotest.int "no gc cycles" 0 m.Measurement.cycles_gc;
+  (* the ideal's wall is a lower bound for every real collector's wall *)
+  let serial =
+    Run.execute (Run.default_config ~spec:tiny ~gc:Registry.Serial ~heap_words:8_192 ~seed:3)
+  in
+  check Alcotest.bool "ideal wall <= serial wall" true
+    (m.Measurement.wall_total <= serial.Measurement.wall_total);
+  (* barrier-free: ideal mutator cycles are also a lower bound *)
+  check Alcotest.bool "ideal cycles <= serial mutator cycles" true
+    (m.Measurement.cycles_mutator <= serial.Measurement.cycles_mutator)
+
+let test_seed_changes_run () =
+  let run seed =
+    Run.execute (Run.default_config ~spec:tiny ~gc:Registry.Serial ~heap_words:30_000 ~seed)
+  in
+  let a = run 1 and b = run 2 in
+  check Alcotest.bool "different seeds differ somewhere" true
+    (a.Measurement.wall_total <> b.Measurement.wall_total
+    || a.Measurement.allocated_words <> b.Measurement.allocated_words)
+
+let suite =
+  [
+    Alcotest.test_case "epsilon ignores heap_words" `Quick test_epsilon_ignores_heap_words;
+    Alcotest.test_case "max_events aborts" `Quick test_max_events_aborts;
+    Alcotest.test_case "invalid spec rejected" `Quick test_invalid_spec_rejected;
+    Alcotest.test_case "region_words configurable" `Quick test_region_words_config;
+    Alcotest.test_case "execute_ideal" `Quick test_execute_ideal_properties;
+    Alcotest.test_case "seed changes run" `Quick test_seed_changes_run;
+  ]

@@ -1,0 +1,108 @@
+(* Statistics against hand-computed values. *)
+
+module Stats = Gcr_util.Stats
+
+let check = Alcotest.check
+
+let close = Alcotest.float 1e-9
+
+let roughly eps = Alcotest.float eps
+
+let test_mean () =
+  check close "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check close "singleton" 7.0 (Stats.mean [| 7.0 |])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty sample set")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_stddev () =
+  (* samples 2,4,4,4,5,5,7,9: mean 5, population sd 2, sample sd = sqrt(32/7) *)
+  let samples = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check (roughly 1e-9) "sample stddev" (sqrt (32.0 /. 7.0)) (Stats.stddev samples);
+  check close "single sample sd" 0.0 (Stats.stddev [| 3.0 |])
+
+let test_geomean () =
+  check (roughly 1e-9) "geomean" 4.0 (Stats.geomean [| 2.0; 8.0 |]);
+  check (roughly 1e-9) "geomean of equal" 3.0 (Stats.geomean [| 3.0; 3.0; 3.0 |]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geomean: non-positive sample") (fun () ->
+      ignore (Stats.geomean [| 1.0; 0.0 |]))
+
+let test_min_max () =
+  let samples = [| 3.0; -1.0; 4.0 |] in
+  check close "min" (-1.0) (Stats.min samples);
+  check close "max" 4.0 (Stats.max samples)
+
+let test_percentile () =
+  let samples = [| 10.; 20.; 30.; 40.; 50. |] in
+  check close "p0" 10.0 (Stats.percentile samples 0.0);
+  check close "p100" 50.0 (Stats.percentile samples 100.0);
+  check close "p50" 30.0 (Stats.percentile samples 50.0);
+  check close "p25" 20.0 (Stats.percentile samples 25.0);
+  (* interpolation between ranks *)
+  check close "p10" 14.0 (Stats.percentile samples 10.0)
+
+let test_percentile_unsorted () =
+  let samples = [| 50.; 10.; 30.; 20.; 40. |] in
+  check close "sorts internally" 30.0 (Stats.percentile samples 50.0)
+
+let test_t_table () =
+  check close "df=1" 12.706 (Stats.t_critical_95 1);
+  check close "df=19 (20 invocations)" 2.093 (Stats.t_critical_95 19);
+  check close "asymptotic" 1.96 (Stats.t_critical_95 1000)
+
+let test_ci95 () =
+  (* n=4, sd=1, mean irrelevant: ci = t(3) * 1/2 = 3.182/2 *)
+  let samples = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let sd = Stats.stddev samples in
+  let expected = 3.182 *. sd /. 2.0 in
+  check (roughly 1e-9) "ci95" expected (Stats.ci95_half_width samples);
+  check close "ci of singleton" 0.0 (Stats.ci95_half_width [| 5.0 |])
+
+let test_summarize () =
+  let s = Stats.summarize [| 1.0; 3.0 |] in
+  check Alcotest.int "n" 2 s.Stats.n;
+  check close "mean" 2.0 s.Stats.mean;
+  check close "min" 1.0 s.Stats.min;
+  check close "max" 3.0 s.Stats.max
+
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"mean lies between min and max" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let m = Stats.mean a in
+      m >= Stats.min a -. 1e-9 && m <= Stats.max a +. 1e-9)
+
+let prop_geomean_le_mean =
+  QCheck.Test.make ~name:"geomean <= arithmetic mean (AM-GM)" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 30) (float_range 0.001 100.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      Stats.geomean a <= Stats.mean a +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 30) (float_bound_exclusive 100.0)) (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun (xs, (p1, p2)) ->
+      let a = Array.of_list xs in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile a lo <= Stats.percentile a hi +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "mean empty raises" `Quick test_mean_empty;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "geomean" `Quick test_geomean;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile unsorted" `Quick test_percentile_unsorted;
+    Alcotest.test_case "t table" `Quick test_t_table;
+    Alcotest.test_case "ci95" `Quick test_ci95;
+    Alcotest.test_case "summarize" `Quick test_summarize;
+    QCheck_alcotest.to_alcotest prop_mean_bounded;
+    QCheck_alcotest.to_alcotest prop_geomean_le_mean;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+  ]

@@ -1,0 +1,222 @@
+(* Tracer: exact reachability, filters, incremental draining, SATB-style
+   root publication mid-trace. *)
+
+module Heap = Gcr_heap.Heap
+module Region = Gcr_heap.Region
+module Obj_model = Gcr_heap.Obj_model
+module Gc_types = Gcr_gcs.Gc_types
+module Tracer = Gcr_gcs.Tracer
+module Engine = Gcr_engine.Engine
+module Prng = Gcr_util.Prng
+
+let check = Alcotest.check
+
+let make_ctx ?(regions = 32) ?(region_words = 64) () =
+  let heap = Heap.create ~capacity_words:(regions * region_words) ~region_words in
+  let engine = Engine.create ~cpus:4 () in
+  Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default
+    ~machine:Gcr_mach.Machine.default
+
+let alloc ctx region ~nfields =
+  Option.get (Heap.alloc_in_region ctx.Gc_types.heap region ~size:(nfields + 2) ~nfields)
+
+(* Build a random object graph; return (all ids, roots). *)
+let build_graph ctx ~objects ~edges ~seed =
+  let heap = ctx.Gc_types.heap in
+  let region = Option.get (Heap.take_free_region heap ~space:Region.Eden) in
+  let region = ref region in
+  let prng = Prng.create seed in
+  let objs =
+    Array.init objects (fun _ ->
+        let nfields = 3 in
+        match Heap.alloc_in_region heap !region ~size:(nfields + 2) ~nfields with
+        | Some o -> o
+        | None ->
+            region := Option.get (Heap.take_free_region heap ~space:Region.Eden);
+            Option.get (Heap.alloc_in_region heap !region ~size:(nfields + 2) ~nfields))
+  in
+  for _ = 1 to edges do
+    let src = objs.(Prng.int prng objects) in
+    let dst = objs.(Prng.int prng objects) in
+    src.Obj_model.fields.(Prng.int prng 3) <- dst.Obj_model.id
+  done;
+  objs
+
+let drain_fully tracer =
+  let total = ref 0 in
+  let rec loop () =
+    let cost = Tracer.drain tracer ~budget:7 in
+    if cost > 0 || Tracer.pending tracer then begin
+      total := !total + cost;
+      loop ()
+    end
+  in
+  loop ();
+  !total
+
+let test_marks_exactly_reachable () =
+  let ctx = make_ctx () in
+  let heap = ctx.Gc_types.heap in
+  let objs = build_graph ctx ~objects:100 ~edges:150 ~seed:3 in
+  let roots = [ objs.(0).Obj_model.id; objs.(50).Obj_model.id ] in
+  ignore (Heap.begin_mark_epoch heap);
+  let tracer =
+    Tracer.create ctx ~use_scratch:false ~update_region_live:false
+      ~should_visit:(fun _ -> true)
+      ~on_mark:(fun _ -> 0)
+  in
+  Tracer.add_roots tracer roots;
+  ignore (drain_fully tracer);
+  let expected = Heap.reachable_from heap roots in
+  let marked_count = ref 0 in
+  Array.iter
+    (fun o ->
+      let marked = Heap.is_marked heap o in
+      if marked then incr marked_count;
+      check Alcotest.bool
+        (Printf.sprintf "object %d marked iff reachable" o.Obj_model.id)
+        (Hashtbl.mem expected o.Obj_model.id) marked)
+    objs;
+  check Alcotest.int "tracer count agrees" !marked_count (Tracer.objects_marked tracer)
+
+let test_cost_positive () =
+  let ctx = make_ctx () in
+  let heap = ctx.Gc_types.heap in
+  let objs = build_graph ctx ~objects:20 ~edges:10 ~seed:4 in
+  ignore (Heap.begin_mark_epoch heap);
+  let tracer =
+    Tracer.create ctx ~use_scratch:false ~update_region_live:false
+      ~should_visit:(fun _ -> true)
+      ~on_mark:(fun _ -> 0)
+  in
+  Tracer.add_root tracer objs.(0).Obj_model.id;
+  let cost = drain_fully tracer in
+  check Alcotest.bool "positive cost" true (cost > 0);
+  check Alcotest.bool "words counted" true (Tracer.words_marked tracer > 0)
+
+let test_filter_bounds_trace () =
+  let ctx = make_ctx () in
+  let heap = ctx.Gc_types.heap in
+  let eden = Option.get (Heap.take_free_region heap ~space:Region.Eden) in
+  let old = Option.get (Heap.take_free_region heap ~space:Region.Old) in
+  let young = alloc ctx eden ~nfields:1 in
+  let old_obj = Option.get (Heap.alloc_in_region heap old ~size:3 ~nfields:1) in
+  let young2 = alloc ctx eden ~nfields:1 in
+  (* young -> old -> young2: the young-only trace must not cross the old
+     object *)
+  young.Obj_model.fields.(0) <- old_obj.Obj_model.id;
+  old_obj.Obj_model.fields.(0) <- young2.Obj_model.id;
+  ignore (Heap.begin_mark_epoch heap);
+  let is_young (o : Obj_model.t) =
+    Region.space_equal (Heap.region heap o.Obj_model.region).Region.space Region.Eden
+  in
+  let tracer =
+    Tracer.create ctx ~use_scratch:false ~update_region_live:false ~should_visit:is_young
+      ~on_mark:(fun _ -> 0)
+  in
+  Tracer.add_root tracer young.Obj_model.id;
+  ignore (drain_fully tracer);
+  check Alcotest.bool "young marked" true (Heap.is_marked heap young);
+  check Alcotest.bool "old not marked" false (Heap.is_marked heap old_obj);
+  check Alcotest.bool "young2 not reached through old" false (Heap.is_marked heap young2)
+
+let test_on_mark_called_once () =
+  let ctx = make_ctx () in
+  let heap = ctx.Gc_types.heap in
+  let objs = build_graph ctx ~objects:50 ~edges:200 ~seed:5 in
+  ignore (Heap.begin_mark_epoch heap);
+  let calls = Hashtbl.create 64 in
+  let tracer =
+    Tracer.create ctx ~use_scratch:false ~update_region_live:false
+      ~should_visit:(fun _ -> true)
+      ~on_mark:(fun o ->
+        Hashtbl.replace calls o.Obj_model.id (1 + Option.value ~default:0 (Hashtbl.find_opt calls o.Obj_model.id));
+        0)
+  in
+  Tracer.add_root tracer objs.(0).Obj_model.id;
+  ignore (drain_fully tracer);
+  Hashtbl.iter (fun id n -> check Alcotest.int (Printf.sprintf "obj %d once" id) 1 n) calls
+
+let test_roots_added_mid_trace () =
+  (* SATB behaviour: publishing a root while draining still marks it. *)
+  let ctx = make_ctx () in
+  let heap = ctx.Gc_types.heap in
+  let objs = build_graph ctx ~objects:30 ~edges:0 ~seed:6 in
+  ignore (Heap.begin_mark_epoch heap);
+  let tracer =
+    Tracer.create ctx ~use_scratch:false ~update_region_live:false
+      ~should_visit:(fun _ -> true)
+      ~on_mark:(fun _ -> 0)
+  in
+  Tracer.add_root tracer objs.(0).Obj_model.id;
+  ignore (Tracer.drain tracer ~budget:1);
+  Tracer.add_root tracer objs.(29).Obj_model.id;
+  ignore (drain_fully tracer);
+  check Alcotest.bool "late root marked" true (Heap.is_marked heap objs.(29))
+
+let test_region_live_accounting () =
+  let ctx = make_ctx () in
+  let heap = ctx.Gc_types.heap in
+  let region = Option.get (Heap.take_free_region heap ~space:Region.Eden) in
+  let a = alloc ctx region ~nfields:1 in
+  let b = alloc ctx region ~nfields:1 in
+  let _dead = alloc ctx region ~nfields:1 in
+  a.Obj_model.fields.(0) <- b.Obj_model.id;
+  ignore (Heap.begin_mark_epoch heap);
+  Heap.iter_regions (fun r -> r.Region.live_words <- 0) heap;
+  let tracer =
+    Tracer.create ctx ~use_scratch:false ~update_region_live:true
+      ~should_visit:(fun _ -> true)
+      ~on_mark:(fun _ -> 0)
+  in
+  Tracer.add_root tracer a.Obj_model.id;
+  ignore (drain_fully tracer);
+  check Alcotest.int "live words = a + b" (a.Obj_model.size + b.Obj_model.size)
+    region.Region.live_words
+
+let test_dead_roots_ignored () =
+  let ctx = make_ctx () in
+  let heap = ctx.Gc_types.heap in
+  ignore (Heap.begin_mark_epoch heap);
+  let tracer =
+    Tracer.create ctx ~use_scratch:false ~update_region_live:false
+      ~should_visit:(fun _ -> true)
+      ~on_mark:(fun _ -> 0)
+  in
+  Tracer.add_root tracer Obj_model.null;
+  Tracer.add_root tracer 424242;
+  check Alcotest.bool "nothing pending" false (Tracer.pending tracer);
+  check Alcotest.int "zero cost" 0 (Tracer.drain tracer ~budget:10)
+
+let prop_trace_equals_bfs =
+  QCheck.Test.make ~name:"tracer marks exactly the BFS-reachable set" ~count:60
+    QCheck.(pair small_int (int_range 0 300))
+    (fun (seed, edges) ->
+      let ctx = make_ctx ~regions:64 () in
+      let heap = ctx.Gc_types.heap in
+      let objs = build_graph ctx ~objects:80 ~edges ~seed in
+      let roots = [ objs.(seed mod 80).Obj_model.id ] in
+      ignore (Heap.begin_mark_epoch heap);
+      let tracer =
+        Tracer.create ctx ~use_scratch:false ~update_region_live:false
+          ~should_visit:(fun _ -> true)
+          ~on_mark:(fun _ -> 0)
+      in
+      Tracer.add_roots tracer roots;
+      ignore (drain_fully tracer);
+      let expected = Heap.reachable_from heap roots in
+      Array.for_all
+        (fun o -> Heap.is_marked heap o = Hashtbl.mem expected o.Obj_model.id)
+        objs)
+
+let suite =
+  [
+    Alcotest.test_case "marks exactly reachable" `Quick test_marks_exactly_reachable;
+    Alcotest.test_case "cost positive" `Quick test_cost_positive;
+    Alcotest.test_case "filter bounds trace" `Quick test_filter_bounds_trace;
+    Alcotest.test_case "on_mark called once" `Quick test_on_mark_called_once;
+    Alcotest.test_case "roots added mid-trace" `Quick test_roots_added_mid_trace;
+    Alcotest.test_case "region live accounting" `Quick test_region_live_accounting;
+    Alcotest.test_case "dead roots ignored" `Quick test_dead_roots_ignored;
+    QCheck_alcotest.to_alcotest prop_trace_equals_bfs;
+  ]

@@ -1,0 +1,82 @@
+(* Unit conversions and table formatting. *)
+
+module Units = Gcr_util.Units
+module Tablefmt = Gcr_util.Tablefmt
+
+let check = Alcotest.check
+
+let test_words_bytes () =
+  check Alcotest.int "bytes of words" 80 (Units.bytes_of_words 10);
+  check Alcotest.int "words of bytes exact" 10 (Units.words_of_bytes 80);
+  check Alcotest.int "words of bytes rounds up" 11 (Units.words_of_bytes 81)
+
+let test_time () =
+  check Alcotest.int "1us at 3.6GHz" 3600 (Units.cycles_of_us 1.0);
+  check (Alcotest.float 1e-9) "round trip" 1.0 (Units.us_of_cycles (Units.cycles_of_us 1.0));
+  check (Alcotest.float 1e-9) "ms" 1.0 (Units.ms_of_cycles 3_600_000);
+  check (Alcotest.float 1e-9) "s" 1.0 (Units.seconds_of_cycles 3_600_000_000)
+
+let test_pp () =
+  let str pp v = Format.asprintf "%a" pp v in
+  check Alcotest.string "cycles" "1.50 Gcycles" (str Units.pp_cycles 1_500_000_000);
+  check Alcotest.string "small cycles" "42 cycles" (str Units.pp_cycles 42);
+  check Alcotest.string "words as KiB" "1.00 KiB" (str Units.pp_words 128)
+
+let test_table_render () =
+  let t = Tablefmt.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Tablefmt.add_row t ~label:"row1" [ Tablefmt.Num (1.5, 2); Tablefmt.Missing ];
+  Tablefmt.add_row t ~label:"row2" [ Tablefmt.Text "x"; Tablefmt.Num (2.0, 1) ];
+  let s = Tablefmt.render t in
+  check Alcotest.bool "title present" true (String.length s > 0 && s.[0] = 'T');
+  let contains needle =
+    let n = String.length needle and len = String.length s in
+    let rec go i = i + n <= len && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "value rendered" true (contains "1.50");
+  check Alcotest.bool "text rendered" true (contains "x");
+  check Alcotest.bool "labels" true (contains "row1" && contains "row2")
+
+let test_table_best_marking () =
+  let t = Tablefmt.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Tablefmt.add_row t ~label:"r1" [ Tablefmt.Num (2.0, 1); Tablefmt.Num (1.0, 1) ];
+  Tablefmt.add_row t ~label:"r2" [ Tablefmt.Num (3.0, 1); Tablefmt.Num (4.0, 1) ];
+  Tablefmt.mark_best_in_row t ~min:true;
+  let s = Tablefmt.render t in
+  let contains needle =
+    let n = String.length needle and len = String.length s in
+    let rec go i = i + n <= len && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "r1 best marked" true (contains "1.0*");
+  check Alcotest.bool "r2 best marked" true (contains "3.0*");
+  check Alcotest.bool "non-best unmarked" false (contains "4.0*")
+
+let test_table_column_marking () =
+  let t = Tablefmt.create ~title:"T" ~columns:[ "a" ] in
+  Tablefmt.add_row t ~label:"r1" [ Tablefmt.Num (2.0, 1) ];
+  Tablefmt.add_row t ~label:"r2" [ Tablefmt.Num (1.0, 1) ];
+  Tablefmt.mark_best_in_column t ~min:true;
+  let s = Tablefmt.render t in
+  let contains needle =
+    let n = String.length needle and len = String.length s in
+    let rec go i = i + n <= len && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "column best marked" true (contains "1.0*")
+
+let test_table_rejects_mismatch () =
+  let t = Tablefmt.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "cell count" (Invalid_argument "Tablefmt.add_row: cell count mismatch")
+    (fun () -> Tablefmt.add_row t ~label:"r" [ Tablefmt.Missing ])
+
+let suite =
+  [
+    Alcotest.test_case "words/bytes" `Quick test_words_bytes;
+    Alcotest.test_case "time conversions" `Quick test_time;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "best-in-row marking" `Quick test_table_best_marking;
+    Alcotest.test_case "best-in-column marking" `Quick test_table_column_marking;
+    Alcotest.test_case "row mismatch rejected" `Quick test_table_rejects_mismatch;
+  ]

@@ -1,0 +1,119 @@
+(* Vec unit tests plus a qcheck model test against plain lists. *)
+
+module Vec = Gcr_util.Vec
+
+let check = Alcotest.check
+
+let test_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * 2)
+  done;
+  check Alcotest.int "length" 100 (Vec.length v);
+  for i = 0 to 99 do
+    check Alcotest.int "get" (i * 2) (Vec.get v i)
+  done
+
+let test_set () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.set v 1 42;
+  check Alcotest.(list int) "set" [ 1; 42; 3 ] (Vec.to_list v)
+
+let test_pop () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  check Alcotest.(option int) "pop" (Some 3) (Vec.pop v);
+  check Alcotest.(option int) "pop" (Some 2) (Vec.pop v);
+  check Alcotest.(option int) "pop" (Some 1) (Vec.pop v);
+  check Alcotest.(option int) "pop empty" None (Vec.pop v)
+
+let test_swap_remove () =
+  let v = Vec.of_list [ 10; 20; 30; 40 ] in
+  let removed = Vec.swap_remove v 1 in
+  check Alcotest.int "removed value" 20 removed;
+  check Alcotest.int "length" 3 (Vec.length v);
+  (* 40 moved into slot 1 *)
+  check Alcotest.(list int) "contents" [ 10; 40; 30 ] (Vec.to_list v)
+
+let test_swap_remove_last () =
+  let v = Vec.of_list [ 1; 2 ] in
+  check Alcotest.int "remove last" 2 (Vec.swap_remove v 1);
+  check Alcotest.(list int) "contents" [ 1 ] (Vec.to_list v)
+
+let test_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Vec.get v 1));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec: index out of bounds") (fun () ->
+      Vec.set v (-1) 0)
+
+let test_clear () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.clear v;
+  check Alcotest.bool "empty" true (Vec.is_empty v);
+  Vec.push v 7;
+  check Alcotest.(list int) "reusable" [ 7 ] (Vec.to_list v)
+
+let test_iter_fold () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  check Alcotest.int "fold sum" 10 (Vec.fold ( + ) 0 v);
+  let collected = ref [] in
+  Vec.iteri (fun i x -> collected := (i, x) :: !collected) v;
+  check
+    Alcotest.(list (pair int int))
+    "iteri order"
+    [ (0, 1); (1, 2); (2, 3); (3, 4) ]
+    (List.rev !collected)
+
+let test_exists () =
+  let v = Vec.of_list [ 1; 3; 5 ] in
+  check Alcotest.bool "exists odd" true (Vec.exists (fun x -> x = 3) v);
+  check Alcotest.bool "no even" false (Vec.exists (fun x -> x mod 2 = 0) v)
+
+let test_sort () =
+  let v = Vec.of_list [ 3; 1; 2 ] in
+  Vec.sort compare v;
+  check Alcotest.(list int) "sorted" [ 1; 2; 3 ] (Vec.to_list v)
+
+let test_last () =
+  let v = Vec.create () in
+  check Alcotest.(option int) "last empty" None (Vec.last v);
+  Vec.push v 5;
+  check Alcotest.(option int) "last" (Some 5) (Vec.last v)
+
+(* qcheck: a sequence of pushes and pops behaves like a list used as a
+   stack. *)
+let prop_stack_model =
+  QCheck.Test.make ~name:"vec behaves like a list stack" ~count:300
+    QCheck.(list (option small_int))
+    (fun operations ->
+      let v = Vec.create () in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | Some x ->
+              Vec.push v x;
+              model := x :: !model
+          | None -> (
+              match (Vec.pop v, !model) with
+              | None, [] -> ()
+              | Some a, b :: rest when a = b -> model := rest
+              | _ -> failwith "mismatch"))
+        operations;
+      List.rev !model = Vec.to_list v)
+
+let suite =
+  [
+    Alcotest.test_case "push/get" `Quick test_push_get;
+    Alcotest.test_case "set" `Quick test_set;
+    Alcotest.test_case "pop" `Quick test_pop;
+    Alcotest.test_case "swap_remove" `Quick test_swap_remove;
+    Alcotest.test_case "swap_remove last" `Quick test_swap_remove_last;
+    Alcotest.test_case "bounds checks" `Quick test_bounds;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "iter/fold" `Quick test_iter_fold;
+    Alcotest.test_case "exists" `Quick test_exists;
+    Alcotest.test_case "sort" `Quick test_sort;
+    Alcotest.test_case "last" `Quick test_last;
+    QCheck_alcotest.to_alcotest prop_stack_model;
+  ]

@@ -1,0 +1,137 @@
+(* Worker pool: phase execution, termination, parallelism effects. *)
+
+module Engine = Gcr_engine.Engine
+module Heap = Gcr_heap.Heap
+module Gc_types = Gcr_gcs.Gc_types
+module Worker_pool = Gcr_gcs.Worker_pool
+
+let check = Alcotest.check
+
+let make_ctx ~cpus =
+  let heap = Heap.create ~capacity_words:(8 * 64) ~region_words:64 in
+  let engine = Engine.create ~cpus () in
+  Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default
+    ~machine:Gcr_mach.Machine.default
+
+(* Run the engine with a dummy mutator so it has a termination condition. *)
+let run_with_pool ctx body =
+  let engine = ctx.Gc_types.engine in
+  let m = Engine.spawn engine ~kind:Engine.Mutator ~name:"driver" in
+  body (fun () -> Engine.exit_thread engine m);
+  match Engine.run engine () with
+  | Engine.All_mutators_finished -> ()
+  | Engine.Aborted reason -> Alcotest.failf "aborted: %s" reason
+
+let test_phase_consumes_work () =
+  let ctx = make_ctx ~cpus:4 in
+  let pool = Worker_pool.create ctx ~count:2 ~name:"test" in
+  let slices = ref 10 in
+  let executed = ref 0 in
+  run_with_pool ctx (fun finish ->
+      Worker_pool.run_phase pool
+        ~work:(fun ~worker:_ ->
+          if !slices = 0 then 0
+          else begin
+            decr slices;
+            incr executed;
+            100
+          end)
+        ~on_done:(fun () ->
+          check Alcotest.int "all slices executed" 10 !executed;
+          check Alcotest.bool "not busy after" false (Worker_pool.busy pool);
+          finish ()))
+
+let test_on_done_once () =
+  let ctx = make_ctx ~cpus:4 in
+  let pool = Worker_pool.create ctx ~count:3 ~name:"test" in
+  let dones = ref 0 in
+  run_with_pool ctx (fun finish ->
+      Worker_pool.run_phase pool
+        ~work:(fun ~worker:_ -> 0)
+        ~on_done:(fun () ->
+          incr dones;
+          finish ()));
+  check Alcotest.int "exactly one on_done" 1 !dones
+
+let test_busy_during_phase () =
+  let ctx = make_ctx ~cpus:2 in
+  let pool = Worker_pool.create ctx ~count:1 ~name:"test" in
+  run_with_pool ctx (fun finish ->
+      let first = ref true in
+      Worker_pool.run_phase pool
+        ~work:(fun ~worker:_ ->
+          if !first then begin
+            first := false;
+            check Alcotest.bool "busy mid-phase" true (Worker_pool.busy pool);
+            50
+          end
+          else 0)
+        ~on_done:finish)
+
+let test_double_phase_rejected () =
+  let ctx = make_ctx ~cpus:2 in
+  let pool = Worker_pool.create ctx ~count:1 ~name:"test" in
+  run_with_pool ctx (fun finish ->
+      Worker_pool.run_phase pool ~work:(fun ~worker:_ -> 0) ~on_done:finish;
+      Alcotest.check_raises "second phase"
+        (Invalid_argument "Worker_pool.run_phase: phase already running") (fun () ->
+          Worker_pool.run_phase pool ~work:(fun ~worker:_ -> 0) ~on_done:ignore))
+
+let test_run_phases_in_order () =
+  let ctx = make_ctx ~cpus:4 in
+  let pool = Worker_pool.create ctx ~count:2 ~name:"test" in
+  let log = ref [] in
+  let phase name budget =
+    let left = ref budget in
+    ( name,
+      fun ~worker:_ ->
+        if !left = 0 then 0
+        else begin
+          decr left;
+          log := name :: !log;
+          10
+        end )
+  in
+  run_with_pool ctx (fun finish ->
+      Worker_pool.run_phases pool
+        [ phase "a" 3; phase "b" 2 ]
+        ~on_done:(fun () ->
+          let order = List.rev !log in
+          check Alcotest.(list string) "a strictly before b" [ "a"; "a"; "a"; "b"; "b" ] order;
+          finish ()))
+
+let test_more_workers_finish_faster_but_cost_more () =
+  let elapsed_and_cycles workers =
+    let ctx = make_ctx ~cpus:16 in
+    let engine = ctx.Gc_types.engine in
+    let pool = Worker_pool.create ctx ~count:workers ~name:"test" in
+    let slices = ref 64 in
+    let finished_at = ref 0 in
+    run_with_pool ctx (fun finish ->
+        Worker_pool.run_phase pool
+          ~work:(fun ~worker:_ ->
+            if !slices = 0 then 0
+            else begin
+              decr slices;
+              1000
+            end)
+          ~on_done:(fun () ->
+            finished_at := Engine.now engine;
+            finish ()));
+    (!finished_at, Engine.cycles_of_kind engine Engine.Gc_worker)
+  in
+  let t1, c1 = elapsed_and_cycles 1 in
+  let t8, c8 = elapsed_and_cycles 8 in
+  check Alcotest.bool "8 workers faster" true (t8 < t1);
+  check Alcotest.bool "8 workers burn more cycles" true (c8 > c1)
+
+let suite =
+  [
+    Alcotest.test_case "phase consumes work" `Quick test_phase_consumes_work;
+    Alcotest.test_case "on_done once" `Quick test_on_done_once;
+    Alcotest.test_case "busy during phase" `Quick test_busy_during_phase;
+    Alcotest.test_case "double phase rejected" `Quick test_double_phase_rejected;
+    Alcotest.test_case "phases in order" `Quick test_run_phases_in_order;
+    Alcotest.test_case "parallel speed/cost tradeoff" `Quick
+      test_more_workers_finish_faster_but_cost_more;
+  ]

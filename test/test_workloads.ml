@@ -1,0 +1,184 @@
+(* Workload specs, the suite, the long-lived graph and mutator roots. *)
+
+module Spec = Gcr_workloads.Spec
+module Suite = Gcr_workloads.Suite
+module Longlived = Gcr_workloads.Longlived
+module Mutator = Gcr_workloads.Mutator
+module Heap = Gcr_heap.Heap
+module Region = Gcr_heap.Region
+module Obj_model = Gcr_heap.Obj_model
+module Gc_types = Gcr_gcs.Gc_types
+module Registry = Gcr_gcs.Registry
+module Engine = Gcr_engine.Engine
+module Prng = Gcr_util.Prng
+
+let check = Alcotest.check
+
+let test_suite_complete () =
+  check Alcotest.int "18 benchmarks" 18 (List.length Suite.all);
+  check Alcotest.int "16 core benchmarks" 16 (List.length Suite.core_16);
+  check Alcotest.int "4 latency-sensitive" 4 (List.length Suite.latency_sensitive);
+  List.iter
+    (fun name ->
+      check Alcotest.bool (name ^ " excluded from core") false
+        (List.exists (fun s -> s.Spec.name = name) Suite.core_16))
+    [ "eclipse"; "xalan" ]
+
+let test_suite_names_match_dacapo () =
+  let expected =
+    [ "avrora"; "batik"; "biojava"; "eclipse"; "fop"; "graphchi"; "h2"; "jme"; "jython";
+      "luindex"; "lusearch"; "pmd"; "sunflow"; "tomcat"; "tradebeans"; "tradesoap";
+      "xalan"; "zxing" ]
+  in
+  check Alcotest.(list string) "names" expected Suite.names
+
+let test_find () =
+  check Alcotest.bool "finds h2" true (Suite.find "h2" <> None);
+  check Alcotest.bool "case insensitive" true (Suite.find "LUSEARCH" <> None);
+  check Alcotest.bool "unknown" true (Suite.find "nope" = None);
+  Alcotest.check_raises "find_exn" (Invalid_argument "Suite.find_exn: unknown benchmark \"nope\"")
+    (fun () -> ignore (Suite.find_exn "nope"))
+
+let test_all_specs_valid () =
+  List.iter
+    (fun s ->
+      match Spec.validate s with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    Suite.all
+
+let test_scale () =
+  let s = Suite.find_exn "h2" in
+  let scaled = Spec.scale s 0.5 in
+  check Alcotest.int "packets halved" (s.Spec.packets_per_thread / 2)
+    scaled.Spec.packets_per_thread;
+  check Alcotest.int "threads unchanged" s.Spec.mutator_threads scaled.Spec.mutator_threads;
+  let tiny = Spec.scale s 0.0001 in
+  check Alcotest.bool "at least one packet" true (tiny.Spec.packets_per_thread >= 1)
+
+let test_estimates_positive () =
+  List.iter
+    (fun s ->
+      check Alcotest.bool (s.Spec.name ^ " allocation estimate") true
+        (Spec.allocated_words_estimate s > 0);
+      check Alcotest.bool (s.Spec.name ^ " live estimate") true
+        (Spec.live_words_estimate s > s.Spec.long_lived_target_words - 1))
+    Suite.all
+
+let test_validate_rejects () =
+  let base = Suite.find_exn "h2" in
+  let bad = { base with Spec.survival_ratio = 1.5 } in
+  check Alcotest.bool "bad survival rejected" true (Result.is_error (Spec.validate bad));
+  let bad = { base with Spec.size_mean = base.Spec.size_max + 1 } in
+  check Alcotest.bool "bad sizes rejected" true (Result.is_error (Spec.validate bad));
+  let bad = { base with Spec.mutator_threads = 0 } in
+  check Alcotest.bool "no threads rejected" true (Result.is_error (Spec.validate bad))
+
+(* ---- long-lived graph ---- *)
+
+let make_ctx () =
+  let heap = Heap.create ~capacity_words:(256 * 256) ~region_words:256 in
+  let engine = Engine.create ~cpus:4 () in
+  Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default
+    ~machine:Gcr_mach.Machine.default
+
+let small_spec =
+  { (Suite.find_exn "h2") with Spec.long_lived_target_words = 2_000; size_mean = 10 }
+
+let test_longlived_create () =
+  let ctx = make_ctx () in
+  let prng = Prng.create 1 in
+  let ll = Longlived.create ctx ~spec:small_spec ~prng in
+  check Alcotest.int "slots" 200 (Longlived.slot_count ll);
+  check Alcotest.bool "roots exist" true (Longlived.roots ll <> []);
+  check Alcotest.bool "not yet full" false (Longlived.is_full ll);
+  check Alcotest.bool "random node null while empty" true
+    (Obj_model.is_null (Longlived.random_node ll prng));
+  (* static data lives in old space *)
+  List.iter
+    (fun id ->
+      let o = Heap.find_exn ctx.Gc_types.heap id in
+      check Alcotest.bool "segment in old" true
+        (Region.space_equal (Heap.region ctx.Gc_types.heap o.Obj_model.region).Region.space
+           Region.Old))
+    (Longlived.roots ll)
+
+let test_longlived_fill_and_churn () =
+  let ctx = make_ctx () in
+  let heap = ctx.Gc_types.heap in
+  let prng = Prng.create 2 in
+  let ll = Longlived.create ctx ~spec:small_spec ~prng in
+  let gc = Registry.make Registry.Epsilon ctx in
+  let eden = Gcr_heap.Allocator.create heap ~space:Region.Eden in
+  let mk () =
+    match Gcr_heap.Allocator.alloc eden ~size:10 ~nfields:2 with
+    | Gcr_heap.Allocator.Allocated { obj; _ } -> obj
+    | Gcr_heap.Allocator.Out_of_regions -> Alcotest.fail "heap too small"
+  in
+  for _ = 1 to 200 do
+    ignore (Longlived.place ll ~gc ~prng ~node:(mk ()))
+  done;
+  check Alcotest.bool "full after 200 placements" true (Longlived.is_full ll);
+  let node = Longlived.random_node ll prng in
+  check Alcotest.bool "random node live" true (Heap.is_live heap node);
+  (* churn: placing another node evicts one *)
+  let fresh = mk () in
+  ignore (Longlived.place ll ~gc ~prng ~node:fresh);
+  let reachable = Heap.reachable_from heap (Longlived.roots ll) in
+  check Alcotest.bool "fresh node now reachable from segments" true
+    (Hashtbl.mem reachable fresh.Obj_model.id)
+
+(* ---- mutator ---- *)
+
+let run_mutator_packets ~spec ~packets =
+  let ctx = make_ctx () in
+  let gc = Registry.make Registry.Epsilon ctx in
+  let prng = Prng.create 5 in
+  let ll = Longlived.create ctx ~spec ~prng in
+  let m = Mutator.create ctx ~gc ~spec ~longlived:ll ~prng:(Prng.split prng) ~index:0 in
+  (ctx.Gc_types.roots := fun () -> Longlived.roots ll @ Mutator.roots m);
+  Mutator.run_packets m packets (fun () -> Mutator.exit m);
+  (match Engine.run ctx.Gc_types.engine () with
+  | Engine.All_mutators_finished -> ()
+  | Engine.Aborted reason -> Alcotest.failf "aborted: %s" reason);
+  (ctx, m)
+
+let test_mutator_runs_packets () =
+  let spec = { small_spec with Spec.mutator_threads = 1 } in
+  let ctx, m = run_mutator_packets ~spec ~packets:50 in
+  check Alcotest.int "packets counted" 50 (Mutator.packets_executed m);
+  check Alcotest.bool "allocated" true (Heap.objects_allocated_total ctx.Gc_types.heap > 0);
+  check Alcotest.bool "consumed cycles" true (Engine.now ctx.Gc_types.engine > 0)
+
+let test_mutator_roots_live () =
+  let spec = { small_spec with Spec.mutator_threads = 1; survival_ratio = 0.5 } in
+  let ctx, m = run_mutator_packets ~spec ~packets:30 in
+  List.iter
+    (fun id ->
+      check Alcotest.bool "root live" true (Heap.is_live ctx.Gc_types.heap id))
+    (Mutator.roots m)
+
+let test_mutator_nursery_bounded () =
+  let spec =
+    { small_spec with Spec.mutator_threads = 1; survival_ratio = 1.0; nursery_ttl_packets = 2 }
+  in
+  let _, m = run_mutator_packets ~spec ~packets:40 in
+  (* with ttl 2, at most ~3 packets' worth of retained objects *)
+  check Alcotest.bool "nursery bounded by ttl" true
+    (List.length (Mutator.roots m) <= 3 * spec.Spec.allocs_per_packet + 1)
+
+let suite =
+  [
+    Alcotest.test_case "suite complete" `Quick test_suite_complete;
+    Alcotest.test_case "suite names" `Quick test_suite_names_match_dacapo;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "all specs valid" `Quick test_all_specs_valid;
+    Alcotest.test_case "scale" `Quick test_scale;
+    Alcotest.test_case "estimates positive" `Quick test_estimates_positive;
+    Alcotest.test_case "validate rejects" `Quick test_validate_rejects;
+    Alcotest.test_case "longlived create" `Quick test_longlived_create;
+    Alcotest.test_case "longlived fill and churn" `Quick test_longlived_fill_and_churn;
+    Alcotest.test_case "mutator runs packets" `Quick test_mutator_runs_packets;
+    Alcotest.test_case "mutator roots live" `Quick test_mutator_roots_live;
+    Alcotest.test_case "nursery bounded" `Quick test_mutator_nursery_bounded;
+  ]
