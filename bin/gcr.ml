@@ -14,6 +14,8 @@ module Harness = Gcr_core.Harness
 module Report = Gcr_core.Report
 module Minheap = Gcr_core.Minheap
 module Validate = Gcr_core.Validate
+module Pool = Gcr_sched.Pool
+module Result_cache = Gcr_sched.Result_cache
 
 (* ---------- shared argument parsing ---------- *)
 
@@ -68,11 +70,41 @@ let quiet_arg =
   let doc = "Suppress progress output." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains draining the campaign queue (default: $(b,GCR_JOBS) or 1). \
+     Campaign output is bit-identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Directory for the on-disk result cache (default: $(b,GCR_CACHE_DIR) if set). \
+     Already-measured configurations are replayed from disk instead of re-run."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
 let default_benchmarks = function [] -> Suite.all | bs -> bs
 
 let default_gcs = function [] -> Registry.production | gs -> gs
 
-let harness_config ~invocations ~scale ~seed ~factors ~quiet =
+let resolve_jobs = function
+  | Some n when n > 0 -> n
+  | Some _ -> 1
+  | None -> Pool.default_jobs ()
+
+let resolve_cache_dir arg =
+  match (match arg with Some _ -> arg | None -> Sys.getenv_opt "GCR_CACHE_DIR") with
+  | None -> None
+  | Some dir -> (
+      (* validate eagerly: a bad cache location should be a clean CLI
+         error before the campaign starts, not a mid-run exception *)
+      try Some (Result_cache.dir (Result_cache.create ~dir))
+      with Sys_error msg ->
+        Printf.eprintf "gcr: unusable cache directory: %s\n%!" msg;
+        exit 1)
+
+let harness_config ~invocations ~scale ~seed ~factors ~quiet ~jobs ~cache_dir =
   {
     (Harness.default_config ()) with
     Harness.invocations;
@@ -80,6 +112,8 @@ let harness_config ~invocations ~scale ~seed ~factors ~quiet =
     base_seed = seed;
     heap_factors = factors;
     log_progress = not quiet;
+    jobs = resolve_jobs jobs;
+    cache_dir = resolve_cache_dir cache_dir;
   }
 
 (* ---------- list ---------- *)
@@ -105,29 +139,33 @@ let list_cmd =
 (* ---------- run ---------- *)
 
 let run_cmd =
-  let run benchmarks gcs factor invocations scale seed =
+  let run benchmarks gcs factor invocations scale seed jobs cache_dir =
     let benchmarks = default_benchmarks benchmarks in
     let gcs = default_gcs gcs in
-    List.iter
-      (fun spec ->
-        let spec = Spec.scale spec scale in
-        let minheap = Minheap.find spec in
-        List.iter
-          (fun gc ->
-            for i = 1 to invocations do
-              let heap_words = int_of_float (factor *. float_of_int minheap) in
-              let config = Run.default_config ~spec ~gc ~heap_words ~seed:(seed + i) in
-              let m = Run.execute config in
-              Format.printf "%a@." Measurement.pp m
-            done)
-          gcs)
-      benchmarks
+    let cache =
+      Option.map (fun dir -> Result_cache.create ~dir) (resolve_cache_dir cache_dir)
+    in
+    let configs =
+      List.concat_map
+        (fun spec ->
+          let spec = Spec.scale spec scale in
+          let minheap = Minheap.find spec in
+          List.concat_map
+            (fun gc ->
+              List.init invocations (fun i ->
+                  let heap_words = int_of_float (factor *. float_of_int minheap) in
+                  Run.default_config ~spec ~gc ~heap_words ~seed:(seed + i + 1)))
+            gcs)
+        benchmarks
+    in
+    let measurements = Pool.map ~jobs:(resolve_jobs jobs) ?cache configs in
+    List.iter (fun m -> Format.printf "%a@." Measurement.pp m) measurements
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run benchmark/collector configurations and print measurements")
     Term.(
       const run $ benchmarks_arg $ gcs_arg $ factor_arg $ invocations_arg $ scale_arg
-      $ seed_arg)
+      $ seed_arg $ jobs_arg $ cache_dir_arg)
 
 (* ---------- minheap ---------- *)
 
@@ -148,8 +186,8 @@ let minheap_cmd =
 
 (* ---------- campaign-backed commands ---------- *)
 
-let build_campaign benchmarks gcs invocations scale seed factors quiet =
-  let config = harness_config ~invocations ~scale ~seed ~factors ~quiet in
+let build_campaign benchmarks gcs invocations scale seed factors quiet jobs cache_dir =
+  let config = harness_config ~invocations ~scale ~seed ~factors ~quiet ~jobs ~cache_dir in
   Harness.run_campaign config ~benchmarks:(default_benchmarks benchmarks)
     ~gcs:(default_gcs gcs)
 
@@ -193,8 +231,10 @@ let artefact_arg =
     & info [] ~docv:"ARTEFACT" ~doc)
 
 let artefact_cmd =
-  let run artefact benchmarks gcs invocations scale seed factors quiet =
-    let campaign = build_campaign benchmarks gcs invocations scale seed factors quiet in
+  let run artefact benchmarks gcs invocations scale seed factors quiet jobs cache_dir =
+    let campaign =
+      build_campaign benchmarks gcs invocations scale seed factors quiet jobs cache_dir
+    in
     print_artefact campaign artefact
   in
   Cmd.v
@@ -202,11 +242,13 @@ let artefact_cmd =
        ~doc:"Run the needed campaign and regenerate a paper table or figure")
     Term.(
       const run $ artefact_arg $ benchmarks_arg $ gcs_arg $ invocations_arg $ scale_arg
-      $ seed_arg $ factors_arg $ quiet_arg)
+      $ seed_arg $ factors_arg $ quiet_arg $ jobs_arg $ cache_dir_arg)
 
 let campaign_cmd =
-  let run benchmarks gcs invocations scale seed factors quiet =
-    let campaign = build_campaign benchmarks gcs invocations scale seed factors quiet in
+  let run benchmarks gcs invocations scale seed factors quiet jobs cache_dir =
+    let campaign =
+      build_campaign benchmarks gcs invocations scale seed factors quiet jobs cache_dir
+    in
     print_artefact campaign "all"
   in
   Cmd.v
@@ -214,7 +256,7 @@ let campaign_cmd =
        ~doc:"Run the full grid and print every table and figure of the paper")
     Term.(
       const run $ benchmarks_arg $ gcs_arg $ invocations_arg $ scale_arg $ seed_arg
-      $ factors_arg $ quiet_arg)
+      $ factors_arg $ quiet_arg $ jobs_arg $ cache_dir_arg)
 
 (* ---------- ablations ---------- *)
 

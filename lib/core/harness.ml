@@ -5,6 +5,8 @@ module Spec = Gcr_workloads.Spec
 module Run = Gcr_runtime.Run
 module Measurement = Gcr_runtime.Measurement
 module Stats = Gcr_util.Stats
+module Pool = Gcr_sched.Pool
+module Result_cache = Gcr_sched.Result_cache
 
 type config = {
   invocations : int;
@@ -15,6 +17,8 @@ type config = {
   region_words : int;
   heap_factors : float list;
   log_progress : bool;
+  jobs : int;
+  cache_dir : string option;
 }
 
 let paper_heap_factors = [ 1.4; 1.9; 2.4; 3.0; 3.7; 4.4; 5.2; 6.0 ]
@@ -39,6 +43,8 @@ let default_config () =
     region_words = Run.default_region_words;
     heap_factors = paper_heap_factors;
     log_progress = true;
+    jobs = Pool.default_jobs ();
+    cache_dir = Sys.getenv_opt "GCR_CACHE_DIR";
   }
 
 (* Configurations are keyed by (benchmark, collector, factor in permille);
@@ -130,7 +136,12 @@ let run_campaign config ~benchmarks ~gcs =
     in
     cell := m :: !cell
   in
-  let run_one spec gc ~factor ~seed =
+  (* Submission phase: walk the grid in the canonical serial order and
+     queue one run config per cell×invocation.  Execution happens below
+     through the scheduler; because results come back in submission order,
+     the recorded campaign is identical whatever [config.jobs] is. *)
+  let submissions = ref [] in
+  let submit spec gc ~factor ~seed =
     let bench = spec.Spec.name in
     let heap_words =
       match gc with
@@ -140,21 +151,20 @@ let run_campaign config ~benchmarks ~gcs =
     if config.log_progress && Sys.getenv_opt "GCR_TRACE_RUNS" <> None then
       Printf.eprintf "[harness]   %s/%s factor=%.1f seed=%d heap=%d\n%!" bench
         (Registry.name gc) factor seed heap_words;
-    let m =
-      Run.execute
-        {
-          Run.spec;
-          gc;
-          heap_words;
-          machine;
-          cost = config.cost;
-          seed;
-          region_words = config.region_words;
-          max_events = None;
-          make_collector = None;
-        }
+    let run_config =
+      {
+        Run.spec;
+        gc;
+        heap_words;
+        machine;
+        cost = config.cost;
+        seed;
+        region_words = config.region_words;
+        max_events = None;
+        make_collector = None;
+      }
     in
-    record ~bench ~gc ~factor m
+    submissions := (bench, gc, factor, run_config) :: !submissions
   in
   (* Interleave configurations across invocations (§IV-A d). *)
   for invocation = 0 to config.invocations - 1 do
@@ -167,12 +177,18 @@ let run_campaign config ~benchmarks ~gcs =
         List.iter
           (fun gc ->
             match gc with
-            | Registry.Epsilon -> run_one spec gc ~factor:0.0 ~seed
-            | _ -> List.iter (fun factor -> run_one spec gc ~factor ~seed) config.heap_factors)
+            | Registry.Epsilon -> submit spec gc ~factor:0.0 ~seed
+            | _ -> List.iter (fun factor -> submit spec gc ~factor ~seed) config.heap_factors)
           ( (* Epsilon participates implicitly even if not requested *)
             if List.mem Registry.Epsilon gcs then gcs else Registry.Epsilon :: gcs ))
       specs
   done;
+  let ordered = List.rev !submissions in
+  let cache = Option.map (fun dir -> Result_cache.create ~dir) config.cache_dir in
+  let results =
+    Pool.map ~jobs:config.jobs ?cache (List.map (fun (_, _, _, rc) -> rc) ordered)
+  in
+  List.iter2 (fun (bench, gc, factor, _) m -> record ~bench ~gc ~factor m) ordered results;
   t
 
 let observations t metric ~bench ~factor =
@@ -195,6 +211,9 @@ let lbo_value t metric ~bench ~gc ~factor =
   | None, _ | _, None -> None
 
 let lbo_geomean t metric ~benches ~gc ~factor =
-  let values = List.map (fun bench -> lbo_value t metric ~bench ~gc ~factor) benches in
-  if List.exists Option.is_none values then None
-  else Some (Stats.geomean (Array.of_list (List.filter_map Fun.id values)))
+  match benches with
+  | [] -> None (* an empty selection has no mean, not an exception *)
+  | benches ->
+      let values = List.map (fun bench -> lbo_value t metric ~bench ~gc ~factor) benches in
+      if List.exists Option.is_none values then None
+      else Some (Stats.geomean (Array.of_list (List.filter_map Fun.id values)))

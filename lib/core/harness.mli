@@ -16,13 +16,23 @@ type config = {
   region_words : int;
   heap_factors : float list;
   log_progress : bool;  (** one stderr line per configuration *)
+  jobs : int;
+      (** worker domains draining the campaign queue; 1 = serial.  Results
+          are reassembled in submission order, so any value produces
+          bit-identical campaigns (the differential tests in
+          [test/test_sched.ml] hold this to account) *)
+  cache_dir : string option;
+      (** when set, completed runs are stored in (and replayed from) an
+          on-disk {!Gcr_sched.Result_cache} keyed by the full run config;
+          [None] disables result caching *)
 }
 
 val paper_heap_factors : float list
 (** 1.4, 1.9, 2.4, 3.0, 3.7, 4.4, 5.2, 6.0 — the paper's eight sizes. *)
 
 val default_config : unit -> config
-(** 5 invocations at scale 1.0; [GCR_INVOCATIONS] and [GCR_SCALE]
+(** 5 invocations at scale 1.0, serial, no result cache;
+    [GCR_INVOCATIONS], [GCR_SCALE], [GCR_JOBS], and [GCR_CACHE_DIR]
     override. *)
 
 type campaign
@@ -73,4 +83,5 @@ val lbo_geomean :
   campaign -> Metrics.t -> benches:string list -> gc:Gcr_gcs.Registry.kind ->
   factor:float -> float option
 (** Geometric mean across benchmarks; [None] if the collector misses any
-    of them (matching the paper's blank summary cells). *)
+    of them (matching the paper's blank summary cells) or if [benches]
+    is empty. *)

@@ -4,6 +4,8 @@ module Registry = Gcr_gcs.Registry
 module Spec = Gcr_workloads.Spec
 module Run = Gcr_runtime.Run
 module Measurement = Gcr_runtime.Measurement
+module Pool = Gcr_sched.Pool
+module Result_cache = Gcr_sched.Result_cache
 
 type config = {
   machine : Machine.t;
@@ -80,6 +82,11 @@ let append_file_cache key words =
 
 let file_cache_loaded = ref false
 
+(* Probes share the campaign result cache (when GCR_CACHE_DIR is set), so
+   a repeated search replays every probe from disk even in a fresh
+   process, on top of the minheap.tsv memo of final answers. *)
+let result_cache = lazy (Result_cache.of_env ())
+
 let completes config spec heap_words =
   let run_config =
     {
@@ -96,7 +103,7 @@ let completes config spec heap_words =
       make_collector = None;
     }
   in
-  Measurement.completed (Run.execute run_config)
+  Measurement.completed (Pool.execute ?cache:(Lazy.force result_cache) run_config)
 
 let search config spec =
   let region = config.region_words in

@@ -1,0 +1,81 @@
+module Machine = Gcr_mach.Machine
+module Registry = Gcr_gcs.Registry
+module Gc_types = Gcr_gcs.Gc_types
+module Spec = Gcr_workloads.Spec
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+
+let default_jobs () =
+  match Option.bind (Sys.getenv_opt "GCR_JOBS") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | Some _ | None -> 1
+
+let on_execute : (Run.config -> unit) ref = ref (fun _ -> ())
+
+(* The measurement recorded for an invocation whose run raised: same
+   labelling a completed run would have carried, all counters zero.  The
+   engine's own aborts (OOM, event budget) never get here — Run.execute
+   already returns those as Failed measurements with real counters. *)
+let failed_of_exn (config : Run.config) exn =
+  {
+    Measurement.benchmark = config.Run.spec.Spec.name;
+    gc = Registry.name config.Run.gc;
+    heap_words =
+      (match config.Run.gc with
+      | Registry.Epsilon -> config.Run.machine.Machine.memory_words
+      | _ -> config.Run.heap_words);
+    seed = config.Run.seed;
+    outcome = Measurement.Failed ("uncaught exception: " ^ Printexc.to_string exn);
+    wall_total = 0;
+    wall_stw = 0;
+    cycles_mutator = 0;
+    cycles_gc = 0;
+    cycles_gc_stw = 0;
+    pauses = [];
+    latency_metered = None;
+    latency_simple = None;
+    allocated_words = 0;
+    allocated_objects = 0;
+    gc_stats = Gc_types.no_stats;
+  }
+
+let execute_fresh config =
+  !on_execute config;
+  try Run.execute config with exn -> failed_of_exn config exn
+
+let execute ?cache config =
+  match Option.bind cache (fun c -> Result_cache.find c config) with
+  | Some measurement -> measurement
+  | None ->
+      let measurement = execute_fresh config in
+      Option.iter (fun c -> Result_cache.store c config measurement) cache;
+      measurement
+
+let map ?(jobs = 1) ?cache configs =
+  let queue = Array.of_list configs in
+  let n = Array.length queue in
+  let results = Array.make n None in
+  let workers = min jobs n in
+  if workers <= 1 then
+    Array.iteri (fun i config -> results.(i) <- Some (execute ?cache config)) queue
+  else begin
+    (* FIFO via an atomic cursor; each slot of [results] is written by
+       exactly one domain, and the joins below publish every write. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec drain () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (execute ?cache queue.(i));
+          drain ()
+        end
+      in
+      drain ()
+    in
+    let domains = List.init workers (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains
+  end;
+  Array.to_list
+    (Array.map
+       (function Some m -> m | None -> invalid_arg "Pool.map: unfilled slot")
+       results)

@@ -1,0 +1,76 @@
+module Measurement = Gcr_runtime.Measurement
+module Run = Gcr_runtime.Run
+
+type t = { dir : string }
+
+let magic = "GCR-RESULT-CACHE-1"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": not a directory"));
+  { dir }
+
+let of_env () =
+  match Sys.getenv_opt "GCR_CACHE_DIR" with
+  | None -> None
+  | Some dir -> ( try Some (create ~dir) with Sys_error _ -> None)
+
+let dir t = t.dir
+
+let path t ~digest = Filename.concat t.dir (digest ^ ".run")
+
+(* Distinguishes temp files of concurrent writers.  Same-process domains
+   get distinct stamps; cross-process collisions on one key are resolved
+   by the atomic rename (last writer wins, both wrote equal content). *)
+let stamp = Atomic.make 0
+
+let read_entry path : (string * Measurement.t) option =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let entry =
+        (* [input_value] on a truncated or garbage file raises; treat any
+           failure as "not cached". *)
+        match (input_value ic : string * string * Measurement.t) with
+        | exception _ -> None
+        | m, rendering, measurement when m = magic -> Some (rendering, measurement)
+        | _ -> None
+      in
+      close_in_noerr ic;
+      entry
+
+let find t (config : Run.config) =
+  match Cache_key.render config with
+  | None -> None
+  | Some rendering -> (
+      let path = path t ~digest:(Digest.to_hex (Digest.string rendering)) in
+      match read_entry path with
+      | Some (stored, measurement) when String.equal stored rendering -> Some measurement
+      | Some _ | None ->
+          if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
+          None)
+
+let store t (config : Run.config) measurement =
+  match Cache_key.render config with
+  | None -> ()
+  | Some rendering -> (
+      let digest = Digest.to_hex (Digest.string rendering) in
+      let final = path t ~digest in
+      let tmp =
+        Printf.sprintf "%s.tmp.%d.%d" final
+          (Domain.self () :> int)
+          (Atomic.fetch_and_add stamp 1)
+      in
+      try
+        let oc = open_out_bin tmp in
+        output_value oc (magic, rendering, measurement);
+        close_out oc;
+        Sys.rename tmp final
+      with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()))

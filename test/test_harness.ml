@@ -84,6 +84,13 @@ let test_lbo_geomean () =
   | Some v -> check Alcotest.bool "geomean sane" true (v >= 1.0 && v < 10.0)
   | None -> Alcotest.fail "expected geomean"
 
+let test_geomean_empty_benches () =
+  (* regression: used to raise Invalid_argument from Stats.geomean *)
+  let c = Lazy.force campaign in
+  check Alcotest.bool "empty bench list yields None, not an exception" true
+    (Harness.lbo_geomean c Metrics.Cpu_cycles ~benches:[] ~gc:Registry.Serial ~factor:3.0
+    = None)
+
 let test_geomean_blank_on_missing () =
   let c = Lazy.force campaign in
   check Alcotest.bool "missing bench blanks the mean" true
@@ -186,6 +193,7 @@ let suite =
     Alcotest.test_case "observations and lbo" `Quick test_observations_and_lbo;
     Alcotest.test_case "lbo geomean" `Quick test_lbo_geomean;
     Alcotest.test_case "geomean blank on missing" `Quick test_geomean_blank_on_missing;
+    Alcotest.test_case "geomean empty benches" `Quick test_geomean_empty_benches;
     Alcotest.test_case "larger heap cheaper" `Quick test_larger_heap_cheaper;
     Alcotest.test_case "report generators run" `Quick test_report_generators_run;
     Alcotest.test_case "validation bound holds" `Quick test_validation_bound_holds;

@@ -25,6 +25,9 @@ let () =
       ("workloads", Test_workloads.suite);
       ("latency", Test_latency.suite);
       ("run", Test_run.suite);
+      ("run-props", Test_run_props.suite);
+      ("sched", Test_sched.suite);
+      ("result-cache", Test_result_cache.suite);
       ("metrics", Test_metrics.suite);
       ("lbo", Test_lbo.suite);
       ("harness", Test_harness.suite);

@@ -1,0 +1,171 @@
+(* Property tests for the two facts the scheduler's caching and
+   serial-equivalence proofs stand on: Run.execute is a pure function of
+   its config (for every collector kind), and the cache key is a faithful
+   content hash of that config. *)
+
+module Registry = Gcr_gcs.Registry
+module Machine = Gcr_mach.Machine
+module Cost_model = Gcr_mach.Cost_model
+module Suite = Gcr_workloads.Suite
+module Spec = Gcr_workloads.Spec
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+module Cache_key = Gcr_sched.Cache_key
+
+let every_kind = Registry.all @ Registry.experimental
+
+(* A run small enough that hundreds of them stay cheap; fields the
+   generators below perturb still exercise real collector activity. *)
+let tiny = Spec.scale (Suite.find_exn "jme") 0.05
+
+type shape = {
+  kind : Registry.kind;
+  seed : int;
+  packets : int;
+  threads : int;
+  heap_words : int;
+}
+
+let shape_gen =
+  QCheck.Gen.(
+    map
+      (fun (kind, (seed, packets, threads, heap_words)) ->
+        { kind; seed; packets; threads; heap_words })
+      (pair (oneofl every_kind)
+         (quad (int_range 0 10_000) (int_range 3 12) (int_range 1 2)
+            (int_range 20_000 60_000))))
+
+let print_shape s =
+  Printf.sprintf "%s seed=%d packets=%d threads=%d heap=%d" (Registry.name s.kind)
+    s.seed s.packets s.threads s.heap_words
+
+let shape_arb = QCheck.make ~print:print_shape shape_gen
+
+let config_of_shape s =
+  let spec =
+    { tiny with Spec.packets_per_thread = s.packets; mutator_threads = s.threads }
+  in
+  Run.default_config ~spec ~gc:s.kind ~heap_words:s.heap_words ~seed:s.seed
+
+(* Equal config twice => equal measurement, whether the run completes,
+   OOMs, or exhausts its budget.  The config is rebuilt from scratch for
+   each execution so shared mutable state cannot fake the equality. *)
+let prop_execute_deterministic =
+  QCheck.Test.make ~name:"Run.execute deterministic across every kind" ~count:60
+    shape_arb (fun s ->
+      Run.execute (config_of_shape s) = Run.execute (config_of_shape s))
+
+(* Independently-built equal configs must key identically (cache hits),
+   and the key must be derived without Hashtbl.hash-style truncation. *)
+let prop_equal_configs_equal_keys =
+  QCheck.Test.make ~name:"equal configs hash equally" ~count:200 shape_arb (fun s ->
+      let k1 = Cache_key.of_config (config_of_shape s)
+      and k2 = Cache_key.of_config (config_of_shape s) in
+      k1 <> None && k1 = k2)
+
+(* Distinct shapes must never collide: a collision would silently replay
+   one configuration's measurement as another's. *)
+let prop_distinct_shapes_distinct_keys =
+  QCheck.Test.make ~name:"distinct configs hash differently" ~count:200
+    (QCheck.pair shape_arb shape_arb) (fun (a, b) ->
+      QCheck.assume (a <> b);
+      Cache_key.of_config (config_of_shape a) <> Cache_key.of_config (config_of_shape b))
+
+(* Single-field sensitivity: flipping any one field of the run config —
+   spec, collector, heap, machine, cost model, seed, region size, event
+   budget — must change the key. *)
+let base_config = config_of_shape { kind = Registry.G1; seed = 7; packets = 5; threads = 2; heap_words = 40_000 }
+
+let mutations : (string * Run.config) list =
+  let spec = base_config.Run.spec in
+  let with_spec s = { base_config with Run.spec = s } in
+  [
+    ("spec.name", with_spec { spec with Spec.name = "jme2" });
+    ("spec.description", with_spec { spec with Spec.description = "other" });
+    ("spec.mutator_threads", with_spec { spec with Spec.mutator_threads = 3 });
+    ("spec.packets_per_thread", with_spec { spec with Spec.packets_per_thread = 6 });
+    ("spec.packet_compute_cycles",
+     with_spec { spec with Spec.packet_compute_cycles = spec.Spec.packet_compute_cycles + 1 });
+    ("spec.allocs_per_packet",
+     with_spec { spec with Spec.allocs_per_packet = spec.Spec.allocs_per_packet + 1 });
+    ("spec.size_min", with_spec { spec with Spec.size_min = spec.Spec.size_min + 1 });
+    ("spec.size_mean", with_spec { spec with Spec.size_mean = spec.Spec.size_mean + 1 });
+    ("spec.size_max", with_spec { spec with Spec.size_max = spec.Spec.size_max + 1 });
+    ("spec.ref_density", with_spec { spec with Spec.ref_density = spec.Spec.ref_density +. 0.01 });
+    ("spec.survival_ratio",
+     with_spec { spec with Spec.survival_ratio = spec.Spec.survival_ratio +. 0.01 });
+    ("spec.nursery_ttl_packets",
+     with_spec { spec with Spec.nursery_ttl_packets = spec.Spec.nursery_ttl_packets + 1 });
+    ("spec.long_lived_target_words",
+     with_spec { spec with Spec.long_lived_target_words = spec.Spec.long_lived_target_words + 1 });
+    ("spec.long_lived_churn_per_packet",
+     with_spec
+       { spec with Spec.long_lived_churn_per_packet = spec.Spec.long_lived_churn_per_packet +. 0.01 });
+    ("spec.reads_per_packet",
+     with_spec { spec with Spec.reads_per_packet = spec.Spec.reads_per_packet + 1 });
+    ("spec.writes_per_packet",
+     with_spec { spec with Spec.writes_per_packet = spec.Spec.writes_per_packet + 1 });
+    ("spec.latency",
+     with_spec
+       { spec with Spec.latency = Some { Spec.offered_load = 0.5; request_packets = 4 } });
+    ("gc", { base_config with Run.gc = Registry.Zgc });
+    ("heap_words", { base_config with Run.heap_words = base_config.Run.heap_words + 256 });
+    ("machine.cpus",
+     { base_config with Run.machine = Machine.with_cpus base_config.Run.machine 8 });
+    ("machine.memory_words",
+     {
+       base_config with
+       Run.machine =
+         { base_config.Run.machine with
+           Machine.memory_words = base_config.Run.machine.Machine.memory_words + 1 };
+     });
+    ("cost.alloc_fast",
+     {
+       base_config with
+       Run.cost = { base_config.Run.cost with Cost_model.alloc_fast = 11 };
+     });
+    ("cost.cache_disruption_per_pause",
+     {
+       base_config with
+       Run.cost = { base_config.Run.cost with Cost_model.cache_disruption_per_pause = 4001 };
+     });
+    ("cost.zero_barriers",
+     { base_config with Run.cost = Cost_model.zero_barriers base_config.Run.cost });
+    ("seed", { base_config with Run.seed = 8 });
+    ("region_words", { base_config with Run.region_words = 128 });
+    ("max_events.some", { base_config with Run.max_events = Some 1_000_000 });
+    ("max_events.other", { base_config with Run.max_events = Some 1_000_001 });
+  ]
+
+let test_every_field_keyed () =
+  let digest name config =
+    match Cache_key.of_config config with
+    | Some d -> d
+    | None -> Alcotest.fail (name ^ ": expected a cache key")
+  in
+  let keyed = ("base", digest "base" base_config) :: List.map (fun (n, c) -> (n, digest n c)) mutations in
+  List.iteri
+    (fun i (ni, di) ->
+      List.iteri
+        (fun j (nj, dj) ->
+          if i < j then
+            Alcotest.check Alcotest.bool
+              (Printf.sprintf "%s vs %s hash differently" ni nj)
+              true (di <> dj))
+        keyed)
+    keyed
+
+let test_custom_collector_unkeyed () =
+  let custom = { base_config with Run.make_collector = Some (fun _ -> assert false) } in
+  Alcotest.check Alcotest.bool "closures have no content hash" true
+    (Cache_key.of_config custom = None && Cache_key.render custom = None)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_execute_deterministic;
+    QCheck_alcotest.to_alcotest prop_equal_configs_equal_keys;
+    QCheck_alcotest.to_alcotest prop_distinct_shapes_distinct_keys;
+    Alcotest.test_case "every config field is keyed" `Quick test_every_field_keyed;
+    Alcotest.test_case "custom collector configs are unkeyed" `Quick
+      test_custom_collector_unkeyed;
+  ]
