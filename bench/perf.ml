@@ -1,0 +1,527 @@
+(* Tracked performance benchmark harness for the simulator hot paths.
+
+   Two layers:
+   - wall-clock kernels: deterministic workloads timed end-to-end, reported
+     in work-units/second (or seconds for the full-run kernel).  These are
+     the numbers the BENCH_<n>.json trajectory tracks PR over PR.
+   - Bechamel microbenchmarks: ns/run OLS estimates for the finest kernels
+     (event push/pop, object-table lookup, allocation), for diagnosis.
+
+   Usage:
+     perf.exe [--smoke] [--out FILE] [--baseline FILE] [--label TEXT]
+              [--no-micro]
+
+   --smoke      cut repetitions/sizes for CI (~15s total)
+   --out        write the JSON report here (default: BENCH_<n>.json with the
+                first free n in the current directory)
+   --baseline   compare against a previous report; exit 1 when any shared
+                wall-clock kernel regresses by more than 20%
+   --no-micro   skip the Bechamel section (the JSON then carries only the
+                wall-clock kernels)
+
+   The JSON is self-describing: every entry carries its unit and direction,
+   so future PRs can add kernels without breaking the comparison. *)
+
+module Engine = Gcr_engine.Engine
+module Heap = Gcr_heap.Heap
+module Region = Gcr_heap.Region
+module Obj_model = Gcr_heap.Obj_model
+module Allocator = Gcr_heap.Allocator
+module Binary_heap = Gcr_util.Binary_heap
+module Tracer = Gcr_gcs.Tracer
+module Gc_types = Gcr_gcs.Gc_types
+module Cost_model = Gcr_mach.Cost_model
+module Machine = Gcr_mach.Machine
+module Registry = Gcr_gcs.Registry
+module Suite = Gcr_workloads.Suite
+module Spec = Gcr_workloads.Spec
+module Run = Gcr_runtime.Run
+module Prng = Gcr_util.Prng
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type options = {
+  mutable smoke : bool;
+  mutable out : string option;
+  mutable baseline : string option;
+  mutable label : string;
+  mutable micro : bool;
+}
+
+let options = { smoke = false; out = None; baseline = None; label = ""; micro = true }
+
+let parse_args () =
+  let rec loop = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        options.smoke <- true;
+        loop rest
+    | "--no-micro" :: rest ->
+        options.micro <- false;
+        loop rest
+    | "--out" :: file :: rest ->
+        options.out <- Some file;
+        loop rest
+    | "--baseline" :: file :: rest ->
+        options.baseline <- Some file;
+        loop rest
+    | "--label" :: text :: rest ->
+        options.label <- text;
+        loop rest
+    | arg :: _ ->
+        Printf.eprintf
+          "perf.exe: unknown argument %s\n\
+           usage: perf.exe [--smoke] [--out FILE] [--baseline FILE] [--label TEXT] [--no-micro]\n"
+          arg;
+        exit 2
+  in
+  loop (List.tl (Array.to_list Sys.argv))
+
+(* ------------------------------------------------------------------ *)
+(* Result records and JSON                                             *)
+(* ------------------------------------------------------------------ *)
+
+type direction = Higher_is_better | Lower_is_better
+
+type result = {
+  name : string;
+  value : float;
+  unit_ : string;
+  direction : direction;
+  tracked : bool;  (** participates in the --baseline regression gate *)
+}
+
+let results : result list ref = ref []
+
+let record ?(tracked = true) name value unit_ direction =
+  results := { name; value; unit_; direction; tracked } :: !results;
+  Printf.printf "  %-34s %14.1f %s\n%!" name value unit_
+
+(* Minimal JSON emission; the only string fields are identifiers and units
+   we control, so escaping stays simple. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json file =
+  let oc = open_out file in
+  let entries = List.rev !results in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"gcr-bench/1\",\n";
+  Printf.fprintf oc "  \"label\": \"%s\",\n" (json_escape options.label);
+  Printf.fprintf oc "  \"smoke\": %b,\n" options.smoke;
+  Printf.fprintf oc "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", \"higher_is_better\": %b, \"tracked\": %b}%s\n"
+        (json_escape r.name) r.value (json_escape r.unit_)
+        (r.direction = Higher_is_better)
+        r.tracked
+        (if i = List.length entries - 1 then "" else ",")
+    )
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
+let next_bench_file () =
+  let rec free n =
+    let file = Printf.sprintf "BENCH_%d.json" n in
+    if Sys.file_exists file then free (n + 1) else file
+  in
+  free 1
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberately small JSON reader: enough for the files this harness
+   writes (flat "results" array of objects with scalar fields). *)
+let parse_baseline file =
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let entries = ref [] in
+  let find_field obj field =
+    let pat = Printf.sprintf "\"%s\":" field in
+    let rec search from =
+      if from + String.length pat > String.length obj then None
+      else if String.sub obj from (String.length pat) = pat then
+        Some (from + String.length pat)
+      else search (from + 1)
+    in
+    match search 0 with
+    | None -> None
+    | Some start -> Some (String.trim (String.sub obj start (String.length obj - start)))
+  in
+  let scan_string s =
+    (* s starts at the value; expects a leading quote *)
+    if String.length s = 0 || s.[0] <> '"' then None
+    else
+      match String.index_from_opt s 1 '"' with
+      | None -> None
+      | Some close -> Some (String.sub s 1 (close - 1))
+  in
+  let scan_number s =
+    let stop = ref 0 in
+    let n = String.length s in
+    while
+      !stop < n
+      && (match s.[!stop] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr stop
+    done;
+    if !stop = 0 then None else float_of_string_opt (String.sub s 0 !stop)
+  in
+  let scan_bool s =
+    if String.length s >= 4 && String.sub s 0 4 = "true" then Some true
+    else if String.length s >= 5 && String.sub s 0 5 = "false" then Some false
+    else None
+  in
+  (* split on "{" at object depth 2 inside the results array *)
+  (match String.index_opt text '[' with
+  | None -> ()
+  | Some arr_start ->
+      let i = ref arr_start in
+      let n = String.length text in
+      while !i < n do
+        if text.[!i] = '{' then begin
+          (match String.index_from_opt text !i '}' with
+          | None -> i := n
+          | Some close ->
+              let obj = String.sub text !i (close - !i + 1) in
+              (match
+                 ( Option.bind (find_field obj "name") scan_string,
+                   Option.bind (find_field obj "value") scan_number,
+                   Option.bind (find_field obj "higher_is_better") scan_bool,
+                   Option.bind (find_field obj "tracked") scan_bool )
+               with
+              | Some name, Some value, Some hib, tracked ->
+                  entries :=
+                    (name, value, hib, Option.value tracked ~default:true) :: !entries
+              | _ -> ());
+              i := close + 1)
+        end
+        else incr i
+      done);
+  List.rev !entries
+
+let compare_baseline file =
+  let baseline = parse_baseline file in
+  let tolerance = 0.20 in
+  let failures = ref 0 in
+  Printf.printf "\ncomparison vs %s (gate: 20%% on tracked kernels)\n" file;
+  List.iter
+    (fun r ->
+      match List.find_opt (fun (name, _, _, _) -> name = r.name) baseline with
+      | None -> Printf.printf "  %-34s (new kernel, no baseline)\n" r.name
+      | Some (_, old_value, _, old_tracked) ->
+          let ratio = if old_value = 0.0 then 1.0 else r.value /. old_value in
+          let regressed =
+            match r.direction with
+            | Higher_is_better -> ratio < 1.0 -. tolerance
+            | Lower_is_better -> ratio > 1.0 +. tolerance
+          in
+          let gated = r.tracked && old_tracked in
+          let verdict =
+            if regressed && gated then begin
+              incr failures;
+              "REGRESSION"
+            end
+            else if regressed then "regressed (untracked)"
+            else "ok"
+          in
+          Printf.printf "  %-34s %8.2fx vs baseline  %s\n" r.name ratio verdict)
+    (List.rev !results);
+  if !failures > 0 then begin
+    Printf.printf "FAILED: %d tracked kernel(s) regressed more than 20%%\n%!" !failures;
+    exit 1
+  end
+  else Printf.printf "baseline check passed\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock kernels                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Repeat a deterministic kernel and keep the best rate: least-disturbed
+   run, standard practice for throughput kernels. *)
+let best_of reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+(* Event-loop throughput: one engine, [threads] mutators each chaining
+   [steps] fixed-cost steps, plus a timer per step on a second clock line.
+   Events/second of host time is the tracked figure. *)
+let bench_event_loop ~threads ~steps ~reps =
+  let total_events = ref 0 in
+  let run () =
+    let engine = Engine.create ~cpus:4 () in
+    let spawned =
+      List.init threads (fun i ->
+          Engine.spawn engine ~kind:Engine.Mutator ~name:(Printf.sprintf "m%d" i))
+    in
+    total_events := 0;
+    List.iter
+      (fun th ->
+        let remaining = ref steps in
+        let rec step () =
+          incr total_events;
+          if !remaining = 0 then Engine.exit_thread engine th
+          else begin
+            decr remaining;
+            Engine.submit engine th ~cycles:17 step
+          end
+        in
+        Engine.submit engine th ~cycles:13 step)
+      spawned;
+    match Engine.run engine () with
+    | Engine.All_mutators_finished -> ()
+    | Engine.Aborted reason -> failwith ("bench_event_loop aborted: " ^ reason)
+  in
+  let dt = best_of reps run in
+  float_of_int !total_events /. dt
+
+(* Stall/timer-heavy event mix: stresses the event queue with interleaved
+   priorities (stalls land ahead of steps), closer to the concurrent
+   collectors' usage. *)
+let bench_event_mix ~threads ~steps ~reps =
+  let total_events = ref 0 in
+  let run () =
+    let engine = Engine.create ~cpus:2 () in
+    let spawned =
+      List.init threads (fun i ->
+          Engine.spawn engine ~kind:Engine.Gc_worker ~name:(Printf.sprintf "w%d" i))
+    in
+    let sink = Engine.spawn engine ~kind:Engine.Mutator ~name:"sink" in
+    total_events := 0;
+    List.iter
+      (fun th ->
+        let remaining = ref steps in
+        let rec step () =
+          incr total_events;
+          if !remaining = 0 then Engine.exit_thread engine th
+          else begin
+            decr remaining;
+            if !remaining mod 3 = 0 then Engine.stall engine th ~cycles:11 step
+            else Engine.submit engine th ~cycles:29 step
+          end
+        in
+        Engine.submit engine th ~cycles:7 step)
+      spawned;
+    (* keep one mutator alive until the workers drain, then let it exit *)
+    let rec keepalive n =
+      if n = 0 then Engine.exit_thread engine sink
+      else Engine.submit engine sink ~cycles:1000 (fun () -> keepalive (n - 1))
+    in
+    keepalive (threads * steps / 100);
+    match Engine.run engine () with
+    | Engine.All_mutators_finished -> ()
+    | Engine.Aborted reason -> failwith ("bench_event_mix aborted: " ^ reason)
+  in
+  let dt = best_of reps run in
+  float_of_int !total_events /. dt
+
+(* Trace rate: a fixed object graph (geometric chains into a long-lived
+   core, like the workloads build), fully traced per iteration. *)
+let make_traced_heap ~objects =
+  let heap = Heap.create ~capacity_words:(objects * 16 * 2) ~region_words:256 in
+  let alloc = Allocator.create heap ~space:Region.Old in
+  let prng = Prng.create 7 in
+  let ids = Array.make objects Obj_model.null in
+  for i = 0 to objects - 1 do
+    match Allocator.alloc alloc ~size:12 ~nfields:4 with
+    | Allocator.Allocated { obj; _ } ->
+        ids.(i) <- obj.Obj_model.id;
+        (* chain to a recent object and to two random earlier ones *)
+        if i > 0 then begin
+          obj.Obj_model.fields.(0) <- ids.(i - 1);
+          obj.Obj_model.fields.(1) <- ids.(Prng.int prng i);
+          obj.Obj_model.fields.(2) <- ids.(Prng.int prng i)
+        end
+    | Allocator.Out_of_regions -> failwith "make_traced_heap: out of regions"
+  done;
+  (heap, ids.(objects - 1))
+
+let bench_trace_rate ~objects ~reps =
+  let heap, root = make_traced_heap ~objects in
+  let engine = Engine.create ~cpus:4 () in
+  let ctx = Gc_types.make_ctx ~heap ~engine ~cost:Cost_model.default ~machine:Machine.default in
+  let marked = ref 0 in
+  let run () =
+    let tracer =
+      Tracer.create ctx ~use_scratch:false ~update_region_live:false
+        ~should_visit:(fun _ -> true)
+        ~on_mark:(fun _ -> 0)
+    in
+    ignore (Heap.begin_mark_epoch heap);
+    Tracer.add_root tracer root;
+    ignore (Tracer.drain tracer ~budget:max_int);
+    marked := Tracer.objects_marked tracer
+  in
+  let dt = best_of reps run in
+  (float_of_int !marked /. dt, !marked)
+
+(* Allocation fast path: bump-allocate through an allocator until the heap
+   is full, then release every region and go again. *)
+let bench_alloc ~regions ~reps =
+  let region_words = 256 in
+  let heap = Heap.create ~capacity_words:(regions * region_words) ~region_words in
+  let count = ref 0 in
+  let run () =
+    let alloc = Allocator.create heap ~space:Region.Eden in
+    count := 0;
+    let continue_ = ref true in
+    while !continue_ do
+      match Allocator.alloc alloc ~size:8 ~nfields:2 with
+      | Allocator.Allocated _ -> incr count
+      | Allocator.Out_of_regions -> continue_ := false
+    done;
+    Allocator.retire alloc;
+    Heap.iter_regions
+      (fun r ->
+        if not (Region.space_equal r.Region.space Region.Free) then
+          Heap.release_region heap r)
+      heap
+  in
+  let dt = best_of reps run in
+  float_of_int !count /. dt
+
+(* Full-run kernel: lusearch at ~3x its minimum heap, one fixed-seed
+   invocation with the paper's default concurrent collector.  Seconds of
+   host time, the closest proxy for campaign cost. *)
+let bench_full_run ~scale ~reps =
+  let spec = Spec.scale (Suite.find_exn "lusearch") scale in
+  let heap_words = 36_864 in
+  let run () =
+    let m =
+      Run.execute (Run.default_config ~spec ~gc:Registry.G1 ~heap_words ~seed:42)
+    in
+    match m.Gcr_runtime.Measurement.outcome with
+    | Gcr_runtime.Measurement.Completed -> ()
+    | Gcr_runtime.Measurement.Failed reason -> failwith ("bench_full_run failed: " ^ reason)
+  in
+  best_of reps run
+
+let run_wall_clock () =
+  Printf.printf "wall-clock kernels (%s)\n%!" (if options.smoke then "smoke" else "full");
+  let scale_steps n = if options.smoke then n / 4 else n in
+  let reps = if options.smoke then 3 else 5 in
+  let ev = bench_event_loop ~threads:8 ~steps:(scale_steps 120_000) ~reps in
+  record "engine/events_per_sec" ev "events/s" Higher_is_better;
+  let mix = bench_event_mix ~threads:6 ~steps:(scale_steps 60_000) ~reps in
+  record "engine/mixed_events_per_sec" mix "events/s" Higher_is_better;
+  let objects = if options.smoke then 40_000 else 160_000 in
+  let rate, marked = bench_trace_rate ~objects ~reps in
+  record "tracer/objects_per_sec" rate "objects/s" Higher_is_better;
+  record ~tracked:false "tracer/objects_marked" (float_of_int marked) "objects"
+    Higher_is_better;
+  let alloc = bench_alloc ~regions:(if options.smoke then 512 else 2048) ~reps in
+  record "heap/allocs_per_sec" alloc "allocs/s" Higher_is_better;
+  let full = bench_full_run ~scale:0.25 ~reps:(if options.smoke then 2 else 3) in
+  record "run/lusearch_3x_seconds" full "s" Lower_is_better
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let heap_push_pop =
+    Test.make ~name:"micro/binary_heap_push_pop"
+      (Staged.stage (fun () ->
+           let h = Binary_heap.create () in
+           for i = 0 to 255 do
+             Binary_heap.add h ~priority:(i * 7919 mod 1024) i
+           done;
+           while not (Binary_heap.is_empty h) do
+             ignore (Binary_heap.pop h)
+           done))
+  in
+  let table =
+    let heap = Heap.create ~capacity_words:65_536 ~region_words:256 in
+    let alloc = Allocator.create heap ~space:Region.Old in
+    let ids =
+      Array.init 2_000 (fun _ ->
+          match Allocator.alloc alloc ~size:10 ~nfields:2 with
+          | Allocator.Allocated { obj; _ } -> obj.Obj_model.id
+          | Allocator.Out_of_regions -> failwith "micro table setup")
+    in
+    Test.make ~name:"micro/heap_find_live"
+      (Staged.stage (fun () ->
+           let hits = ref 0 in
+           Array.iter (fun id -> if Heap.is_live heap id then incr hits) ids;
+           assert (!hits = Array.length ids)))
+  in
+  let alloc_path =
+    let region_words = 256 in
+    let heap = Heap.create ~capacity_words:(256 * region_words) ~region_words in
+    Test.make ~name:"micro/alloc_fast_path"
+      (Staged.stage (fun () ->
+           let alloc = Allocator.create heap ~space:Region.Eden in
+           for _ = 1 to 512 do
+             match Allocator.alloc alloc ~size:8 ~nfields:2 with
+             | Allocator.Allocated _ -> ()
+             | Allocator.Out_of_regions -> failwith "micro alloc out of regions"
+           done;
+           Allocator.retire alloc;
+           Heap.iter_regions
+             (fun r ->
+               if not (Region.space_equal r.Region.space Region.Free) then
+                 Heap.release_region heap r)
+             heap))
+  in
+  [ heap_push_pop; table; alloc_path ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  Printf.printf "\nBechamel microbenchmarks\n%!";
+  let quota = if options.smoke then 0.25 else 1.0 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let benched = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance benched in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              (* microbenchmarks inform but do not gate: they are noisier
+                 than the wall-clock kernels *)
+              record ~tracked:false name est "ns/run" Lower_is_better
+          | Some _ | None -> Printf.printf "  %-34s (no estimate)\n" name)
+        analyzed)
+    (micro_tests ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  parse_args ();
+  run_wall_clock ();
+  if options.micro then run_micro ();
+  let out = match options.out with Some f -> f | None -> next_bench_file () in
+  write_json out;
+  match options.baseline with None -> () | Some file -> compare_baseline file

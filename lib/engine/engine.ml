@@ -12,6 +12,12 @@ type thread_state =
   | Stalled
   | Finished
 
+(* The pending step (cost + continuation) lives flat on the thread record
+   rather than in per-event tuples/variants: submitting, queueing and
+   completing a step allocates nothing.  [event] is the thread's one
+   preallocated event box, pushed into the event queue whenever the thread
+   is On_cpu or Stalled — the state disambiguates which completion it is.
+   The state machine guarantees the box is in the queue at most once. *)
 type thread = {
   tid : int;
   kind : thread_kind;
@@ -19,15 +25,16 @@ type thread = {
   mutable state : thread_state;
   mutable cycles : int;
   mutable cycles_stw : int;
-  mutable parked_step : (int * (unit -> unit)) option;
+  mutable pending_cycles : int;
+  mutable pending_cb : unit -> unit;
+  event : event;
 }
 
-type pause = { start : int; duration : int; reason : string }
-
-type event =
-  | Step_done of thread * int * (unit -> unit)
+and event =
+  | Thread_ev of thread  (** step or stall completion, per [state] *)
   | Timer of (unit -> unit)
-  | Stall_done of thread * (unit -> unit)
+
+type pause = { start : int; duration : int; reason : string }
 
 type stop_state =
   | No_stop
@@ -40,7 +47,11 @@ type t = {
   cache_disruption : int;
   mutable clock : int;
   events : event Binary_heap.t;
-  ready : (thread * int * (unit -> unit)) Queue.t;
+  (* FIFO run queue: a ring of threads (their step is in the pending
+     fields) *)
+  mutable ready : thread array;
+  mutable ready_head : int;
+  mutable ready_len : int;
   mutable busy : int;
   threads : thread Vec.t;
   mutable mutators_live : int;
@@ -54,6 +65,8 @@ type t = {
 
 type outcome = All_mutators_finished | Aborted of string
 
+let nop () = ()
+
 let create ~cpus ?(safepoint_sync_cycles = 3000) ?(cache_disruption_cycles = 0) () =
   if cpus < 1 then invalid_arg "Engine.create: cpus < 1";
   if safepoint_sync_cycles < 0 || cache_disruption_cycles < 0 then
@@ -64,7 +77,9 @@ let create ~cpus ?(safepoint_sync_cycles = 3000) ?(cache_disruption_cycles = 0) 
     cache_disruption = cache_disruption_cycles;
     clock = 0;
     events = Binary_heap.create ();
-    ready = Queue.create ();
+    ready = [||];
+    ready_head = 0;
+    ready_len = 0;
     busy = 0;
     threads = Vec.create ();
     mutators_live = 0;
@@ -79,7 +94,7 @@ let create ~cpus ?(safepoint_sync_cycles = 3000) ?(cache_disruption_cycles = 0) 
 let now t = t.clock
 
 let spawn t ~kind ~name =
-  let th =
+  let rec th =
     {
       tid = Vec.length t.threads;
       kind;
@@ -87,7 +102,9 @@ let spawn t ~kind ~name =
       state = Idle;
       cycles = 0;
       cycles_stw = 0;
-      parked_step = None;
+      pending_cycles = 0;
+      pending_cb = nop;
+      event = Thread_ev th;
     }
   in
   Vec.push t.threads th;
@@ -106,10 +123,38 @@ let stw_active t = pause_active t
 
 let stop_requested = stop_pending
 
+(* Threads are permanently retained by [t.threads], so ring slots need no
+   scrubbing on pop. *)
+let ready_push t th =
+  let cap = Array.length t.ready in
+  if t.ready_len = cap then begin
+    let cap' = if cap = 0 then 8 else cap * 2 in
+    let ring = Array.make cap' th in
+    for i = 0 to t.ready_len - 1 do
+      let j = t.ready_head + i in
+      ring.(i) <- t.ready.(if j >= cap then j - cap else j)
+    done;
+    t.ready <- ring;
+    t.ready_head <- 0
+  end;
+  let cap = Array.length t.ready in
+  let tail = t.ready_head + t.ready_len in
+  t.ready.(if tail >= cap then tail - cap else tail) <- th;
+  t.ready_len <- t.ready_len + 1
+
+let ready_pop t =
+  let th = t.ready.(t.ready_head) in
+  let head = t.ready_head + 1 in
+  t.ready_head <- (if head >= Array.length t.ready then 0 else head);
+  t.ready_len <- t.ready_len - 1;
+  th
+
 let enqueue_ready t th cycles cb =
   th.state <- Queued;
+  th.pending_cycles <- cycles;
+  th.pending_cb <- cb;
   if th.kind = Mutator then t.mutators_active <- t.mutators_active + 1;
-  Queue.add (th, cycles, cb) t.ready
+  ready_push t th
 
 let submit t th ~cycles cb =
   if cycles < 0 then invalid_arg "Engine.submit: negative cycles";
@@ -119,7 +164,8 @@ let submit t th ~cycles cb =
       invalid_arg (Printf.sprintf "Engine.submit: thread %s is not idle" th.name));
   if th.kind = Mutator && stop_pending t then begin
     th.state <- Parked_safepoint;
-    th.parked_step <- Some (cycles, cb)
+    th.pending_cycles <- cycles;
+    th.pending_cb <- cb
   end
   else enqueue_ready t th cycles cb
 
@@ -129,6 +175,7 @@ let exit_thread t th =
   | Queued | On_cpu | Parked_safepoint | Finished ->
       invalid_arg (Printf.sprintf "Engine.exit_thread: thread %s is busy" th.name));
   th.state <- Finished;
+  th.pending_cb <- nop;
   if th.kind = Mutator then t.mutators_live <- t.mutators_live - 1
 
 let stall t th ~cycles cb =
@@ -138,7 +185,9 @@ let stall t th ~cycles cb =
   | Queued | On_cpu | Parked_safepoint | Parked | Stalled | Finished ->
       invalid_arg (Printf.sprintf "Engine.stall: thread %s is not idle" th.name));
   th.state <- Stalled;
-  Binary_heap.add t.events ~priority:(t.clock + cycles) (Stall_done (th, cb))
+  th.pending_cycles <- 0;
+  th.pending_cb <- cb;
+  Binary_heap.add t.events ~priority:(t.clock + cycles) th.event
 
 let park _t th =
   (match th.state with
@@ -192,13 +241,11 @@ let release_stop t =
       t.stop <- No_stop;
       Vec.iter
         (fun th ->
-          match (th.state, th.parked_step) with
-          | Parked_safepoint, Some (cycles, cb) ->
-              th.parked_step <- None;
+          match th.state with
+          | Parked_safepoint ->
               (* resuming mutators restart with a cold cache *)
-              enqueue_ready t th (cycles + t.cache_disruption) cb
-          | Parked_safepoint, None -> assert false
-          | (Idle | Queued | On_cpu | Parked | Stalled | Finished), _ -> ())
+              enqueue_ready t th (th.pending_cycles + t.cache_disruption) th.pending_cb
+          | Idle | Queued | On_cpu | Parked | Stalled | Finished -> ())
         t.threads
 
 let pauses t = Vec.to_list t.pause_log
@@ -216,14 +263,14 @@ let cycles_of_thread th = th.cycles
 let abort t ~reason = if t.aborted = None then t.aborted <- Some reason
 
 let dispatch t =
-  while t.busy < t.cpus && not (Queue.is_empty t.ready) do
-    let th, cycles, cb = Queue.pop t.ready in
+  while t.busy < t.cpus && t.ready_len > 0 do
+    let th = ready_pop t in
     (match th.state with
     | Queued -> ()
     | Idle | On_cpu | Parked_safepoint | Parked | Stalled | Finished -> assert false);
     th.state <- On_cpu;
     t.busy <- t.busy + 1;
-    Binary_heap.add t.events ~priority:(t.clock + cycles) (Step_done (th, cycles, cb))
+    Binary_heap.add t.events ~priority:(t.clock + th.pending_cycles) th.event
   done
 
 let advance_clock t time =
@@ -232,32 +279,37 @@ let advance_clock t time =
   t.clock <- time
 
 let process_event t = function
-  | Step_done (th, cycles, cb) ->
-      (match th.state with
-      | On_cpu -> ()
-      | Idle | Queued | Parked_safepoint | Parked | Stalled | Finished -> assert false);
-      t.busy <- t.busy - 1;
-      if th.kind = Mutator then t.mutators_active <- t.mutators_active - 1;
-      th.state <- Idle;
-      th.cycles <- th.cycles + cycles;
-      if pause_active t then th.cycles_stw <- th.cycles_stw + cycles;
-      cb ()
+  | Thread_ev th -> (
+      match th.state with
+      | On_cpu ->
+          (* step completion *)
+          let cycles = th.pending_cycles in
+          let cb = th.pending_cb in
+          t.busy <- t.busy - 1;
+          if th.kind = Mutator then t.mutators_active <- t.mutators_active - 1;
+          th.state <- Idle;
+          th.pending_cb <- nop;
+          th.cycles <- th.cycles + cycles;
+          if pause_active t then th.cycles_stw <- th.cycles_stw + cycles;
+          cb ()
+      | Stalled ->
+          (* stall completion *)
+          if th.kind = Mutator && stop_pending t then begin
+            (* A mutator waking into a safepoint parks instead: its
+               continuation (which may touch the heap) must not interleave
+               with stop-the-world collection work. *)
+            th.state <- Parked_safepoint;
+            th.pending_cycles <- 0
+            (* pending_cb already holds the continuation *)
+          end
+          else begin
+            let cb = th.pending_cb in
+            th.state <- Idle;
+            th.pending_cb <- nop;
+            cb ()
+          end
+      | Idle | Queued | Parked_safepoint | Parked | Finished -> assert false)
   | Timer cb -> cb ()
-  | Stall_done (th, cb) ->
-      (match th.state with
-      | Stalled -> ()
-      | Idle | Queued | On_cpu | Parked_safepoint | Parked | Finished -> assert false);
-      if th.kind = Mutator && stop_pending t then begin
-        (* A mutator waking into a safepoint parks instead: its
-           continuation (which may touch the heap) must not interleave
-           with stop-the-world collection work. *)
-        th.state <- Parked_safepoint;
-        th.parked_step <- Some (0, cb)
-      end
-      else begin
-        th.state <- Idle;
-        cb ()
-      end
 
 let run t ?(max_events = 50_000_000) () =
   let outcome = ref None in
@@ -270,19 +322,19 @@ let run t ?(max_events = 50_000_000) () =
     | Some reason -> outcome := Some (Aborted reason)
     | None ->
         if t.mutators_live = 0 then outcome := Some All_mutators_finished
+        else if Binary_heap.is_empty t.events then
+          outcome := Some (Aborted "deadlock: no runnable threads or events")
         else begin
-          match Binary_heap.pop t.events with
-          | None -> outcome := Some (Aborted "deadlock: no runnable threads or events")
-          | Some (time, ev) ->
-              incr events_seen;
-              if !events_seen > max_events then
-                outcome := Some (Aborted "event budget exhausted")
-              else begin
-                advance_clock t time;
-                process_event t ev;
-                check_stop_ready t;
-                dispatch t
-              end
+          incr events_seen;
+          if !events_seen > max_events then outcome := Some (Aborted "event budget exhausted")
+          else begin
+            let time = Binary_heap.min_priority t.events in
+            let ev = Binary_heap.pop_min t.events in
+            advance_clock t time;
+            process_event t ev;
+            check_stop_ready t;
+            dispatch t
+          end
         end
   done;
   match !outcome with Some o -> o | None -> assert false

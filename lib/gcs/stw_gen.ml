@@ -67,7 +67,7 @@ let finish_collection s ~ran_full =
   if ran_full then s.full_collections <- s.full_collections + 1;
   Heap.log_collection heap;
   s.eden_regions_since_gc <- 0;
-  s.last_survivor_regions <- List.length (Heap.regions_in_space heap Region.Survivor);
+  s.last_survivor_regions <- Heap.regions_in_space_count heap Region.Survivor;
   Heap.set_alloc_reserve heap (survivor_reserve s);
   recompute_eden_budget s;
   (* GC-overhead limit: persistent near-zero headroom means the workload

@@ -38,16 +38,20 @@ let set_marked t o =
   if t.use_scratch then Heap.set_scratch_marked t.ctx.Gc_types.heap o
   else Heap.set_marked t.ctx.Gc_types.heap o
 
-(* Mark at push: each object enters the stack at most once. *)
+(* Mark at push: each object enters the stack at most once.  [find_raw]
+   keeps the per-edge liveness check allocation-free. *)
 let add_root t id =
-  if not (Obj_model.is_null id) then
-    match Heap.find t.ctx.Gc_types.heap id with
-    | None -> ()
-    | Some o ->
-        if (not (is_marked t o)) && t.should_visit o then begin
-          set_marked t o;
-          Vec.push t.stack id
-        end
+  if not (Obj_model.is_null id) then begin
+    let o = Heap.find_raw t.ctx.Gc_types.heap id in
+    if
+      o.Obj_model.id <> Obj_model.null
+      && (not (is_marked t o))
+      && t.should_visit o
+    then begin
+      set_marked t o;
+      Vec.push t.stack id
+    end
+  end
 
 let add_roots t ids = List.iter (add_root t) ids
 
@@ -62,23 +66,23 @@ let drain t ~budget =
     (* The id was live and marked when pushed; objects are only removed by
        region release, which should not happen mid-trace for visited
        spaces — but stay defensive across collector fallbacks. *)
-    match Heap.find heap id with
-    | None -> ()
-    | Some o ->
-    t.objects_marked <- t.objects_marked + 1;
-    t.words_marked <- t.words_marked + o.size;
-    if t.update_region_live then begin
-      let r = Heap.region heap o.region in
-      r.Gcr_heap.Region.live_words <- r.Gcr_heap.Region.live_words + o.size
-    end;
-    cost := !cost + cost_model.Cost_model.mark_per_object;
-    cost := !cost + t.on_mark o;
-    Array.iter
-      (fun field ->
-        t.edges_seen <- t.edges_seen + 1;
-        cost := !cost + cost_model.Cost_model.mark_per_edge;
-        add_root t field)
-      o.fields
+    let o = Heap.find_raw heap id in
+    if o.Obj_model.id <> Obj_model.null then begin
+      t.objects_marked <- t.objects_marked + 1;
+      t.words_marked <- t.words_marked + o.size;
+      if t.update_region_live then begin
+        let r = Heap.region heap o.region in
+        r.Gcr_heap.Region.live_words <- r.Gcr_heap.Region.live_words + o.size
+      end;
+      cost := !cost + cost_model.Cost_model.mark_per_object;
+      cost := !cost + t.on_mark o;
+      Array.iter
+        (fun field ->
+          t.edges_seen <- t.edges_seen + 1;
+          cost := !cost + cost_model.Cost_model.mark_per_edge;
+          add_root t field)
+        o.fields
+    end
   done;
   !cost
 

@@ -4,11 +4,16 @@ type t = {
   region_words : int;
   regions : Region.t array;
   free_pool : int Vec.t;  (** indices of free regions (LIFO) *)
-  table : Obj_model.t option Vec.t;  (** object table indexed by id *)
+  table : Obj_model.t Vec.t;
+      (** object table indexed by id; dead slots hold [dead] — checking
+          [id <> Obj_model.null] replaces option boxing on the lookup fast
+          path *)
+  dead : Obj_model.t;  (** shared sentinel, [id = Obj_model.null] *)
   mutable live_count : int;
   mutable live_words : int;
   mutable used_words : int;
-  space_used : int array;  (** indexed by space tag *)
+  space_used : int array;  (** words used, indexed by space tag *)
+  space_regions : int array;  (** region count, indexed by space tag *)
   mutable epoch : int;
   mutable scratch_epoch : int;
   mutable next_id : int;
@@ -29,23 +34,28 @@ let create ~capacity_words ~region_words =
   let n = capacity_words / region_words in
   if n < 2 then invalid_arg "Heap.create: need at least two regions";
   let regions = Array.init n (fun index -> Region.make ~index) in
-  let free_pool = Vec.create () in
+  let free_pool = Vec.make ~capacity:n in
   (* Pushed in reverse so that region 0 is taken first. *)
   for i = n - 1 downto 0 do
     Vec.push free_pool i
   done;
+  let dead = Obj_model.make ~id:Obj_model.null ~size:Obj_model.header_words ~nfields:0 ~region:(-1) in
   let table = Vec.create () in
-  Vec.push table None;
+  Vec.push table dead;
   (* id 0 is the null reference *)
+  let space_regions = Array.make 4 0 in
+  space_regions.(0) <- n;
   {
     region_words;
     regions;
     free_pool;
     table;
+    dead;
     live_count = 0;
     live_words = 0;
     used_words = 0;
     space_used = Array.make 4 0;
+    space_regions;
     epoch = 0;
     scratch_epoch = 0;
     next_id = 1;
@@ -77,15 +87,22 @@ let regions_in_space t space =
     [] t.regions
   |> List.rev
 
+let regions_in_space_count t space = t.space_regions.(space_tag space)
+
+let find_raw t id =
+  if id <= 0 || id >= Vec.length t.table then t.dead else Vec.get t.table id
+
 let find t id =
-  if id <= 0 || id >= Vec.length t.table then None else Vec.get t.table id
+  let o = find_raw t id in
+  if o.Obj_model.id = Obj_model.null then None else Some o
 
 let find_exn t id =
-  match find t id with
-  | Some o -> o
-  | None -> invalid_arg (Printf.sprintf "Heap.find_exn: object %d is not live" id)
+  let o = find_raw t id in
+  if o.Obj_model.id = Obj_model.null then
+    invalid_arg (Printf.sprintf "Heap.find_exn: object %d is not live" id)
+  else o
 
-let is_live t id = Option.is_some (find t id)
+let is_live t id = (find_raw t id).Obj_model.id <> Obj_model.null
 
 let live_objects t = t.live_count
 
@@ -117,6 +134,12 @@ let set_alloc_reserve t n =
 
 let alloc_reserve t = t.reserve
 
+let retag_region t (r : Region.t) space =
+  t.space_regions.(space_tag r.Region.space) <-
+    t.space_regions.(space_tag r.Region.space) - 1;
+  t.space_regions.(space_tag space) <- t.space_regions.(space_tag space) + 1;
+  r.Region.space <- space
+
 let take_free_region t ~space =
   let blocked_by_reserve =
     Region.space_equal space Region.Eden && Vec.length t.free_pool <= t.reserve
@@ -128,7 +151,7 @@ let take_free_region t ~space =
     | Some idx ->
         let r = t.regions.(idx) in
         assert (Region.space_equal r.space Region.Free);
-        r.space <- space;
+        retag_region t r space;
         !release_log idx "take";
         Some r
 
@@ -140,7 +163,7 @@ let alloc_in_region t (r : Region.t) ~size ~nfields =
     let id = t.next_id in
     t.next_id <- id + 1;
     let o = Obj_model.make ~id ~size ~nfields ~region:r.index in
-    Vec.push t.table (Some o);
+    Vec.push t.table o;
     r.used_words <- r.used_words + size;
     Vec.push r.objects id;
     t.used_words <- t.used_words + size;
@@ -164,13 +187,13 @@ let move_object t (o : Obj_model.t) (dst : Region.t) =
     true
   end
 
-let remove_from_table t id =
-  match find t id with
-  | None -> ()
-  | Some o ->
-      Vec.set t.table id None;
-      t.live_count <- t.live_count - 1;
-      t.live_words <- t.live_words - o.size
+let free_region_bookkeeping t (r : Region.t) =
+  t.used_words <- t.used_words - r.used_words;
+  t.space_used.(space_tag r.space) <- t.space_used.(space_tag r.space) - r.used_words;
+  t.space_regions.(space_tag r.space) <- t.space_regions.(space_tag r.space) - 1;
+  t.space_regions.(space_tag Region.Free) <- t.space_regions.(space_tag Region.Free) + 1;
+  ignore (Region.reset r);
+  Vec.push t.free_pool r.index
 
 let release_region t (r : Region.t) =
   !release_log r.index "release";
@@ -179,41 +202,43 @@ let release_region t (r : Region.t) =
      objects have had [region] repointed elsewhere. *)
   Vec.iter
     (fun id ->
-      match find t id with
-      | Some o when o.Obj_model.region = r.index -> remove_from_table t id
-      | Some _ | None -> ())
+      let o = find_raw t id in
+      if o.Obj_model.id <> Obj_model.null && o.Obj_model.region = r.index then begin
+        Vec.set t.table id t.dead;
+        t.live_count <- t.live_count - 1;
+        t.live_words <- t.live_words - o.Obj_model.size
+      end)
     r.objects;
-  t.used_words <- t.used_words - r.used_words;
-  t.space_used.(space_tag r.space) <- t.space_used.(space_tag r.space) - r.used_words;
-  ignore (Region.reset r);
-  Vec.push t.free_pool r.index
+  free_region_bookkeeping t r
 
 let purge_unmarked t (r : Region.t) =
   Vec.iter
     (fun id ->
-      match find t id with
-      | Some o when o.Obj_model.region = r.index ->
-          if o.Obj_model.mark <> t.epoch then remove_from_table t id
-      | Some _ | None -> ())
+      let o = find_raw t id in
+      if
+        o.Obj_model.id <> Obj_model.null
+        && o.Obj_model.region = r.index
+        && o.Obj_model.mark <> t.epoch
+      then begin
+        Vec.set t.table id t.dead;
+        t.live_count <- t.live_count - 1;
+        t.live_words <- t.live_words - o.Obj_model.size
+      end)
     r.objects
 
 let release_region_keep_objects t (r : Region.t) =
   !release_log r.index "release-keep";
   if Region.space_equal r.space Region.Free then
     invalid_arg "Heap.release_region_keep_objects: already free";
-  t.used_words <- t.used_words - r.used_words;
-  t.space_used.(space_tag r.space) <- t.space_used.(space_tag r.space) - r.used_words;
-  ignore (Region.reset r);
-  Vec.push t.free_pool r.index
+  free_region_bookkeeping t r
 
 let place_object = move_object
 
 let iter_resident_objects t (r : Region.t) f =
   Vec.iter
     (fun id ->
-      match find t id with
-      | Some o when o.Obj_model.region = r.index -> f o
-      | Some _ | None -> ())
+      let o = find_raw t id in
+      if o.Obj_model.id <> Obj_model.null && o.Obj_model.region = r.index then f o)
     r.objects
 
 let words_allocated_total t = t.words_allocated
@@ -224,13 +249,21 @@ let collections_logged t = t.collections
 
 let log_collection t = t.collections <- t.collections + 1
 
+(* The visited set is the scratch mark slot under a fresh epoch — no
+   per-call Hashtbl on the traversal itself; the result table is built only
+   for the caller (tests and ground-truth checks). *)
 let reachable_from t roots =
+  ignore (begin_scratch_epoch t);
   let seen = Hashtbl.create 1024 in
   let stack = Vec.create () in
   let push id =
-    if (not (Obj_model.is_null id)) && (not (Hashtbl.mem seen id)) && is_live t id then begin
-      Hashtbl.add seen id ();
-      Vec.push stack id
+    if not (Obj_model.is_null id) then begin
+      let o = find_raw t id in
+      if o.Obj_model.id <> Obj_model.null && not (is_scratch_marked t o) then begin
+        set_scratch_marked t o;
+        Hashtbl.add seen id ();
+        Vec.push stack id
+      end
     end
   in
   List.iter push roots;

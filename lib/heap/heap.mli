@@ -32,15 +32,34 @@ val region : t -> int -> Region.t
 val iter_regions : (Region.t -> unit) -> t -> unit
 
 val regions_in_space : t -> Region.space -> Region.t list
+(** Allocates a fresh list by scanning every region — test/debug use only;
+    hot paths should use {!regions_in_space_count}. *)
 
-(** {1 The object table} *)
+val regions_in_space_count : t -> Region.space -> int
+(** Number of regions currently labelled with that space.  O(1) from
+    maintained counters — the allocation-free replacement for
+    [List.length (regions_in_space t space)] in collector pacing. *)
+
+(** {1 The object table}
+
+    Internally the table stores a shared {e dead sentinel} (whose [id] is
+    [Obj_model.null]) in reclaimed slots, so lookups need not box an
+    option. *)
 
 val find : t -> Obj_model.id -> Obj_model.t option
-(** [None] once the object has been reclaimed (or never existed). *)
+(** [None] once the object has been reclaimed (or never existed).
+    Allocates the [Some]; hot paths should use {!find_raw} or
+    {!find_exn}. *)
+
+val find_raw : t -> Obj_model.id -> Obj_model.t
+(** Allocation-free lookup: returns the dead sentinel when the object is
+    not live, so callers test [(find_raw t id).id <> Obj_model.null].
+    Never mutate the returned object without checking liveness first. *)
 
 val find_exn : t -> Obj_model.id -> Obj_model.t
 
 val is_live : t -> Obj_model.id -> bool
+(** Allocation-free. *)
 
 val live_objects : t -> int
 (** Number of objects currently in the table. *)
@@ -133,6 +152,8 @@ val log_collection : t -> unit
 
 val reachable_from : t -> Obj_model.id list -> (Obj_model.id, unit) Hashtbl.t
 (** BFS over the object graph from the given roots; only live-table
-    objects are traversed. *)
+    objects are traversed.  Begins a fresh scratch epoch (the visited set
+    is the scratch mark slot), so do not call it while a scratch-marking
+    scavenge is in flight. *)
 
 val pp : Format.formatter -> t -> unit

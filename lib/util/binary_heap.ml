@@ -1,70 +1,134 @@
-(* Entries carry an insertion sequence number so that equal priorities pop in
-   FIFO order, which keeps the simulator deterministic. *)
+(* Structure-of-arrays minimum heap.
 
-type 'a entry = { prio : int; seq : int; value : 'a }
+   Priorities and insertion sequence numbers live in two parallel [int]
+   arrays (unboxed), values in a third array — no per-entry record, so the
+   engine's event queue allocates nothing on the push/pop fast path.  The
+   sequence number breaks priority ties in FIFO order, which keeps the
+   simulator deterministic.
+
+   Sift operations move the hole rather than swapping triples: one read of
+   the displaced entry, then parent/child moves, then a single write. *)
 
 type 'a t = {
-  entries : 'a entry Vec.t;
+  mutable prio : int array;
+  mutable seq : int array;
+  mutable values : 'a array;
+  mutable len : int;
   mutable next_seq : int;
 }
 
-let create () = { entries = Vec.create (); next_seq = 0 }
+let create () = { prio = [||]; seq = [||]; values = [||]; len = 0; next_seq = 0 }
 
-let length t = Vec.length t.entries
+let length t = t.len
 
-let is_empty t = Vec.is_empty t.entries
+let is_empty t = t.len = 0
 
-let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+(* Unused value slots must not retain popped values; a surviving element is
+   the only safe dummy under the float-array optimisation (see Vec). *)
+let grow t v =
+  let capacity = Array.length t.prio in
+  let capacity' = if capacity = 0 then 8 else capacity * 2 in
+  let prio' = Array.make capacity' 0 in
+  let seq' = Array.make capacity' 0 in
+  let values' = Array.make capacity' v in
+  Array.blit t.prio 0 prio' 0 t.len;
+  Array.blit t.seq 0 seq' 0 t.len;
+  Array.blit t.values 0 values' 0 t.len;
+  if t.len > 0 then begin
+    let dummy = Array.unsafe_get values' 0 in
+    for i = t.len to capacity' - 1 do
+      Array.unsafe_set values' i dummy
+    done
+  end;
+  t.prio <- prio';
+  t.seq <- seq';
+  t.values <- values'
 
-let swap t i j =
-  let a = Vec.get t.entries i in
-  Vec.set t.entries i (Vec.get t.entries j);
-  Vec.set t.entries j a
+(* (p, s) < entry at index [j]? *)
+let before t p s j =
+  let pj = Array.unsafe_get t.prio j in
+  p < pj || (p = pj && s < Array.unsafe_get t.seq j)
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if less (Vec.get t.entries i) (Vec.get t.entries parent) then begin
-      swap t i parent;
-      sift_up t parent
-    end
-  end
+let set_entry t i p s v =
+  Array.unsafe_set t.prio i p;
+  Array.unsafe_set t.seq i s;
+  Array.unsafe_set t.values i v
 
-let rec sift_down t i =
-  let n = Vec.length t.entries in
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < n && less (Vec.get t.entries l) (Vec.get t.entries !smallest) then smallest := l;
-  if r < n && less (Vec.get t.entries r) (Vec.get t.entries !smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
+let move t ~src ~dst =
+  Array.unsafe_set t.prio dst (Array.unsafe_get t.prio src);
+  Array.unsafe_set t.seq dst (Array.unsafe_get t.seq src);
+  Array.unsafe_set t.values dst (Array.unsafe_get t.values src)
 
 let add t ~priority value =
-  let entry = { prio = priority; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
-  Vec.push t.entries entry;
-  sift_up t (Vec.length t.entries - 1)
+  if t.len = Array.length t.prio then grow t value;
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  (* sift the hole up from the new slot *)
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before t priority s parent then begin
+      move t ~src:parent ~dst:!i;
+      i := parent
+    end
+    else continue_ := false
+  done;
+  set_entry t !i priority s value
+
+let min_priority t =
+  if t.len = 0 then invalid_arg "Binary_heap.min_priority: empty";
+  Array.unsafe_get t.prio 0
+
+let pop_min t =
+  if t.len = 0 then invalid_arg "Binary_heap.pop_min: empty";
+  let top = Array.unsafe_get t.values 0 in
+  let n = t.len - 1 in
+  t.len <- n;
+  if n > 0 then begin
+    (* displaced last entry sifts down from the root hole *)
+    let p = Array.unsafe_get t.prio n in
+    let s = Array.unsafe_get t.seq n in
+    let v = Array.unsafe_get t.values n in
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue_ := false
+      else begin
+        let r = l + 1 in
+        let smallest = if r < n && before t (Array.unsafe_get t.prio r) (Array.unsafe_get t.seq r) l then r else l in
+        if before t p s smallest then continue_ := false
+        else begin
+          move t ~src:smallest ~dst:!i;
+          i := smallest
+        end
+      end
+    done;
+    set_entry t !i p s v;
+    (* clear the freed slot only now: before the sift, slot 0 still held
+       [top], and the dummy must be a surviving element *)
+    Array.unsafe_set t.values n (Array.unsafe_get t.values 0)
+  end;
+  top
 
 let min t =
-  if Vec.is_empty t.entries then None
-  else
-    let e = Vec.get t.entries 0 in
-    Some (e.prio, e.value)
+  if t.len = 0 then None
+  else Some (Array.unsafe_get t.prio 0, Array.unsafe_get t.values 0)
 
 let pop t =
-  if Vec.is_empty t.entries then None
+  if t.len = 0 then None
   else begin
-    let top = Vec.get t.entries 0 in
-    let n = Vec.length t.entries in
-    if n = 1 then ignore (Vec.pop_exn t.entries)
-    else begin
-      Vec.set t.entries 0 (Vec.get t.entries (n - 1));
-      ignore (Vec.pop_exn t.entries);
-      sift_down t 0
-    end;
-    Some (top.prio, top.value)
+    let p = Array.unsafe_get t.prio 0 in
+    Some (p, pop_min t)
   end
 
-let clear t = Vec.clear t.entries
+let clear t =
+  if t.len > 0 then begin
+    let dummy = Array.unsafe_get t.values 0 in
+    for i = 1 to t.len - 1 do
+      Array.unsafe_set t.values i dummy
+    done;
+    t.len <- 0
+  end

@@ -1,8 +1,10 @@
-(** Minimum binary heap keyed by integer priority.
+(** Minimum binary heap keyed by integer priority, stored as parallel
+    priority/sequence/value arrays (structure of arrays).
 
     The engine's event queue orders pending completions by simulated cycle
     count; ties are broken by insertion order so the simulation is
-    deterministic. *)
+    deterministic.  The hot path — {!add}, {!min_priority}, {!pop_min} —
+    allocates nothing beyond amortised array growth. *)
 
 type 'a t
 
@@ -14,11 +16,26 @@ val is_empty : 'a t -> bool
 
 val add : 'a t -> priority:int -> 'a -> unit
 
+val min_priority : 'a t -> int
+(** Smallest priority without removing it; raises [Invalid_argument] when
+    empty.  Allocation-free. *)
+
+val pop_min : 'a t -> 'a
+(** Removes and returns the value with the smallest priority (FIFO among
+    equal priorities); raises [Invalid_argument] when empty.
+    Allocation-free: pair with {!min_priority} when the priority is also
+    needed. *)
+
 val min : 'a t -> (int * 'a) option
-(** Smallest priority with its value, without removing it. *)
+(** Smallest priority with its value, without removing it.  Allocating
+    convenience wrapper over {!min_priority}. *)
 
 val pop : 'a t -> (int * 'a) option
 (** Removes and returns the entry with the smallest priority; among equal
-    priorities, the one inserted first. *)
+    priorities, the one inserted first.  Allocating convenience wrapper
+    over {!pop_min}. *)
 
 val clear : 'a t -> unit
+(** Empties the heap.  The insertion-sequence counter is preserved, so
+    FIFO ordering holds across a clear.  Retains at most the one dummy
+    element documented in {!Vec.pop}. *)

@@ -1,16 +1,22 @@
 type 'a t = {
   mutable data : 'a array;
   mutable len : int;
+  mutable capacity_hint : int;
 }
 
-let create () = { data = [||]; len = 0 }
+let create () = { data = [||]; len = 0; capacity_hint = 0 }
 
-(* The capacity hint is not honoured eagerly: preallocating would require a
-   dummy element, which is unsafe under the float-array optimisation.  Growth
-   is amortised O(1) regardless. *)
-let make ~capacity:_ = create ()
+(* Preallocating eagerly would require a dummy element, which is unsafe
+   under the float-array optimisation, so the hint is honoured at the first
+   push: the backing array jumps straight to [max capacity 8] instead of
+   re-growing through 8 -> 16 -> ... *)
+let make ~capacity =
+  if capacity < 0 then invalid_arg "Vec.make: negative capacity";
+  { data = [||]; len = 0; capacity_hint = capacity }
 
 let length t = t.len
+
+let capacity t = Array.length t.data
 
 let is_empty t = t.len = 0
 
@@ -26,9 +32,18 @@ let set t i v =
 
 let grow t v =
   let capacity = Array.length t.data in
-  let capacity' = if capacity = 0 then 8 else capacity * 2 in
+  let capacity' = if capacity = 0 then max t.capacity_hint 8 else capacity * 2 in
   let data' = Array.make capacity' v in
   Array.blit t.data 0 data' 0 t.len;
+  (* [Array.make] filled the tail with [v]; re-point those slots at a
+     surviving element, or popping [v] later would leave stale copies of it
+     alive in the unused tail (see the removal note below). *)
+  if t.len > 0 then begin
+    let dummy = Array.unsafe_get data' 0 in
+    for i = t.len to capacity' - 1 do
+      Array.unsafe_set data' i dummy
+    done
+  end;
   t.data <- data'
 
 let push t v =
@@ -36,11 +51,22 @@ let push t v =
   Array.unsafe_set t.data t.len v;
   t.len <- t.len + 1
 
+(* Slots beyond [len] must not retain the elements that once lived there
+   (closures, heap objects) — that would keep them alive for as long as the
+   vector itself.  There is no universal dummy ('a may be float, so
+   [Obj.magic] tricks are unsafe); a surviving element serves instead, so a
+   vector that becomes empty retains exactly one element until the next
+   push or collection of the vector itself. *)
+let clear_slot t i =
+  if t.len > 0 then Array.unsafe_set t.data i (Array.unsafe_get t.data 0)
+
 let pop t =
   if t.len = 0 then None
   else begin
     t.len <- t.len - 1;
-    Some (Array.unsafe_get t.data t.len)
+    let v = Array.unsafe_get t.data t.len in
+    clear_slot t t.len;
+    Some v
   end
 
 let pop_exn t =
@@ -55,9 +81,17 @@ let swap_remove t i =
   let v = Array.unsafe_get t.data i in
   t.len <- t.len - 1;
   Array.unsafe_set t.data i (Array.unsafe_get t.data t.len);
+  clear_slot t t.len;
   v
 
-let clear t = t.len <- 0
+let clear t =
+  if t.len > 0 then begin
+    let dummy = Array.unsafe_get t.data 0 in
+    for i = 1 to t.len - 1 do
+      Array.unsafe_set t.data i dummy
+    done;
+    t.len <- 0
+  end
 
 let iter f t =
   for i = 0 to t.len - 1 do

@@ -9,9 +9,15 @@ type 'a t
 val create : unit -> 'a t
 
 val make : capacity:int -> 'a t
-(** Empty vector with preallocated capacity. *)
+(** Empty vector that will allocate [max capacity 8] slots at the first
+    push (first-push semantics: preallocating eagerly would need a dummy
+    element, which the float-array optimisation forbids).  A vector that
+    knows its size avoids re-growing through 8, 16, 32, ... *)
 
 val length : 'a t -> int
+
+val capacity : 'a t -> int
+(** Allocated slots in the backing array (0 until the first push). *)
 
 val is_empty : 'a t -> bool
 
@@ -23,7 +29,13 @@ val set : 'a t -> int -> 'a -> unit
 val push : 'a t -> 'a -> unit
 
 val pop : 'a t -> 'a option
-(** Removes and returns the last element. *)
+(** Removes and returns the last element.
+
+    Removal ([pop], {!swap_remove}, {!clear}) overwrites freed slots with a
+    surviving element so the vector does not retain references to removed
+    values.  Residual case: there is no universal dummy element, so a
+    vector that becomes empty keeps its slot-0 reference alive until the
+    next push (and [clear] retains exactly that one element). *)
 
 val pop_exn : 'a t -> 'a
 

@@ -79,9 +79,79 @@ let prop_stable_within_priority =
           i > last)
         drained)
 
+(* Model test: under arbitrary add/pop interleavings the heap must agree
+   with a reference model — a sorted list of (priority, insertion index)
+   entries — at every pop.  FIFO among equal priorities falls out of the
+   model's lexicographic order on (priority, insertion index).  This is the
+   determinism contract the engine's event loop relies on; the SoA rewrite
+   must preserve it exactly. *)
+let prop_model_interleaved =
+  (* ops: Some p = add with priority p, None = pop *)
+  QCheck.Test.make ~name:"add/pop interleavings match a sorted-list model" ~count:500
+    QCheck.(list (option (int_bound 7)))
+    (fun ops ->
+      let h = Binary_heap.create () in
+      let model = ref [] (* sorted (priority, seq) list *) in
+      let next_seq = ref 0 in
+      let insert entry =
+        let rec go = function
+          | [] -> [ entry ]
+          | e :: rest -> if entry < e then entry :: e :: rest else e :: go rest
+        in
+        model := go !model
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some p ->
+              let s = !next_seq in
+              incr next_seq;
+              Binary_heap.add h ~priority:p s;
+              insert (p, s);
+              Binary_heap.length h = List.length !model
+          | None -> (
+              match (Binary_heap.pop h, !model) with
+              | None, [] -> true
+              | Some (p, s), (mp, ms) :: rest ->
+                  model := rest;
+                  p = mp && s = ms
+              | Some _, [] | None, _ :: _ -> false))
+        ops)
+
+(* The allocation-free accessors must agree with the boxing wrappers. *)
+let test_pop_min_agrees () =
+  let h = Binary_heap.create () in
+  List.iter (fun p -> Binary_heap.add h ~priority:p (p * 10)) [ 4; 2; 9; 2; 7 ];
+  check Alcotest.int "min_priority" 2 (Binary_heap.min_priority h);
+  check Alcotest.int "pop_min value" 20 (Binary_heap.pop_min h);
+  check Alcotest.int "second of the tied pair" 20 (Binary_heap.pop_min h);
+  check Alcotest.int "next priority" 4 (Binary_heap.min_priority h);
+  Alcotest.check_raises "empty min_priority"
+    (Invalid_argument "Binary_heap.min_priority: empty") (fun () ->
+      ignore (Binary_heap.min_priority (Binary_heap.create () : int Binary_heap.t)));
+  Alcotest.check_raises "empty pop_min"
+    (Invalid_argument "Binary_heap.pop_min: empty") (fun () ->
+      ignore (Binary_heap.pop_min (Binary_heap.create () : int Binary_heap.t)))
+
+let test_fifo_across_clear () =
+  let h = Binary_heap.create () in
+  Binary_heap.add h ~priority:1 "a";
+  Binary_heap.clear h;
+  (* the sequence counter survives clear, so FIFO keeps holding *)
+  Binary_heap.add h ~priority:5 "b";
+  Binary_heap.add h ~priority:5 "c";
+  check
+    Alcotest.(list (pair int string))
+    "FIFO after clear"
+    [ (5, "b"); (5, "c") ]
+    (drain h)
+
 let suite =
   [
     Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "pop_min/min_priority" `Quick test_pop_min_agrees;
+    Alcotest.test_case "FIFO across clear" `Quick test_fifo_across_clear;
+    QCheck_alcotest.to_alcotest prop_model_interleaved;
     Alcotest.test_case "FIFO on ties" `Quick test_fifo_ties;
     Alcotest.test_case "min peek" `Quick test_min_peek;
     Alcotest.test_case "interleaved add/pop" `Quick test_interleaved;

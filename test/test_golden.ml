@@ -1,0 +1,143 @@
+(* Golden determinism test: one fixed-seed lusearch run per collector, with
+   the complete measurement fingerprint checked against values recorded from
+   the pre-optimisation simulator.  Hot-path rewrites (event queue, object
+   table, engine step plumbing) must keep simulation results bit-identical;
+   any silent behavioural change fails here loudly.
+
+   To re-record after an *intentional* simulation change:
+     GCR_GOLDEN_RECORD=1 dune exec test/test_main.exe -- test golden -e
+   and paste the printed table over [expected] below. *)
+
+module Suite = Gcr_workloads.Suite
+module Spec = Gcr_workloads.Spec
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+module Registry = Gcr_gcs.Registry
+module Gc_types = Gcr_gcs.Gc_types
+
+let spec = Spec.scale (Suite.find_exn "lusearch") 0.1
+
+let heap_words = 36_864 (* 144 regions of 256 words: ~3x the live estimate *)
+
+let seed = 42
+
+type fingerprint = {
+  gc : string;
+  outcome : string;
+  wall_total : int;
+  wall_stw : int;
+  cycles_mutator : int;
+  cycles_gc : int;
+  cycles_gc_stw : int;
+  pause_count : int;
+  allocated_words : int;
+  allocated_objects : int;
+  collections : int;
+}
+
+let fingerprint_of (m : Measurement.t) (stats : Gc_types.stats) =
+  {
+    gc = m.Measurement.gc;
+    outcome =
+      (match m.Measurement.outcome with
+      | Measurement.Completed -> "ok"
+      | Measurement.Failed reason -> "failed: " ^ reason);
+    wall_total = m.Measurement.wall_total;
+    wall_stw = m.Measurement.wall_stw;
+    cycles_mutator = m.Measurement.cycles_mutator;
+    cycles_gc = m.Measurement.cycles_gc;
+    cycles_gc_stw = m.Measurement.cycles_gc_stw;
+    pause_count = Measurement.pause_count m;
+    allocated_words = m.Measurement.allocated_words;
+    allocated_objects = m.Measurement.allocated_objects;
+    collections = stats.Gc_types.collections;
+  }
+
+let run gc =
+  let m = Run.execute (Run.default_config ~spec ~gc ~heap_words ~seed) in
+  fingerprint_of m m.Measurement.gc_stats
+
+let collectors =
+  [
+    Registry.Epsilon;
+    Registry.Serial;
+    Registry.Parallel;
+    Registry.G1;
+    Registry.Shenandoah;
+    Registry.Zgc;
+    Registry.Shenandoah_gen;
+  ]
+
+(* Recorded from the seed simulator (pre hot-path rewrite); every field is an
+   exact integer equality.  Do not edit casually: a diff here means the
+   simulation itself changed. *)
+let expected : fingerprint list =
+  [
+    { gc = "Epsilon"; outcome = "ok"; wall_total = 5098553; wall_stw = 0;
+      cycles_mutator = 81536905; cycles_gc = 0; cycles_gc_stw = 0;
+      pause_count = 0; allocated_words = 519017; allocated_objects = 38418;
+      collections = 0 };
+    { gc = "Serial"; outcome = "ok"; wall_total = 11715106; wall_stw = 2496634;
+      cycles_mutator = 82767112; cycles_gc = 2496634; cycles_gc_stw = 2496634;
+      pause_count = 98; allocated_words = 519184; allocated_objects = 38418;
+      collections = 98 };
+    { gc = "Parallel"; outcome = "ok"; wall_total = 10516333; wall_stw = 1297861;
+      cycles_mutator = 82767112; cycles_gc = 7596634; cycles_gc_stw = 7596634;
+      pause_count = 98; allocated_words = 519184; allocated_objects = 38418;
+      collections = 98 };
+    { gc = "G1"; outcome = "ok"; wall_total = 9521793; wall_stw = 1235607;
+      cycles_mutator = 83299764; cycles_gc = 7745947; cycles_gc_stw = 7380199;
+      pause_count = 85; allocated_words = 519026; allocated_objects = 38418;
+      collections = 85 };
+    { gc = "Shenandoah"; outcome = "ok"; wall_total = 18106099; wall_stw = 643062;
+      cycles_mutator = 97909266; cycles_gc = 19923042; cycles_gc_stw = 1843444;
+      pause_count = 169; allocated_words = 520489; allocated_objects = 38418;
+      collections = 84 };
+    { gc = "ZGC"; outcome = "ok"; wall_total = 9185490; wall_stw = 116840;
+      cycles_mutator = 101573698; cycles_gc = 5124376; cycles_gc_stw = 168840;
+      pause_count = 52; allocated_words = 514910; allocated_objects = 38418;
+      collections = 26 };
+    { gc = "GenShen"; outcome = "ok"; wall_total = 9979885; wall_stw = 966084;
+      cycles_mutator = 92875024; cycles_gc = 5990001; cycles_gc_stw = 5603179;
+      pause_count = 70; allocated_words = 519135; allocated_objects = 38418;
+      collections = 72 };
+  ]
+
+let print_fingerprint f =
+  Printf.printf
+    "    { gc = %S; outcome = %S; wall_total = %d; wall_stw = %d;\n\
+    \      cycles_mutator = %d; cycles_gc = %d; cycles_gc_stw = %d;\n\
+    \      pause_count = %d; allocated_words = %d; allocated_objects = %d;\n\
+    \      collections = %d };\n"
+    f.gc f.outcome f.wall_total f.wall_stw f.cycles_mutator f.cycles_gc
+    f.cycles_gc_stw f.pause_count f.allocated_words f.allocated_objects
+    f.collections
+
+let check_one expected_f =
+  let actual = run (Option.get (Registry.of_name expected_f.gc)) in
+  Alcotest.(check string) (expected_f.gc ^ " outcome") expected_f.outcome actual.outcome;
+  let field name e a = Alcotest.(check int) (expected_f.gc ^ " " ^ name) e a in
+  field "wall_total" expected_f.wall_total actual.wall_total;
+  field "wall_stw" expected_f.wall_stw actual.wall_stw;
+  field "cycles_mutator" expected_f.cycles_mutator actual.cycles_mutator;
+  field "cycles_gc" expected_f.cycles_gc actual.cycles_gc;
+  field "cycles_gc_stw" expected_f.cycles_gc_stw actual.cycles_gc_stw;
+  field "pause_count" expected_f.pause_count actual.pause_count;
+  field "allocated_words" expected_f.allocated_words actual.allocated_words;
+  field "allocated_objects" expected_f.allocated_objects actual.allocated_objects;
+  field "collections" expected_f.collections actual.collections
+
+let test_golden () =
+  if Sys.getenv_opt "GCR_GOLDEN_RECORD" <> None then begin
+    Printf.printf "let expected : fingerprint list =\n  [\n";
+    List.iter (fun gc -> print_fingerprint (run gc)) collectors;
+    Printf.printf "  ]\n%!"
+  end
+  else begin
+    Alcotest.(check int)
+      "golden table covers every collector" (List.length collectors)
+      (List.length expected);
+    List.iter check_one expected
+  end
+
+let suite = [ Alcotest.test_case "fixed-seed lusearch per collector" `Quick test_golden ]

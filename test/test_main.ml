@@ -32,4 +32,5 @@ let () =
       ("lbo", Test_lbo.suite);
       ("harness", Test_harness.suite);
       ("ablation", Test_ablation.suite);
+      ("golden", Test_golden.suite);
     ]

@@ -80,6 +80,65 @@ let test_last () =
   Vec.push v 5;
   check Alcotest.(option int) "last" (Some 5) (Vec.last v)
 
+let test_capacity_hint () =
+  let v = Vec.make ~capacity:100 in
+  check Alcotest.int "no eager allocation" 0 (Vec.capacity v);
+  Vec.push v 1;
+  check Alcotest.int "hint honoured at first push" 100 (Vec.capacity v);
+  for i = 2 to 100 do
+    Vec.push v i
+  done;
+  check Alcotest.int "no re-grow within hint" 100 (Vec.capacity v);
+  Vec.push v 101;
+  check Alcotest.int "doubles past the hint" 200 (Vec.capacity v);
+  let small = Vec.make ~capacity:2 in
+  Vec.push small 1;
+  check Alcotest.int "minimum capacity" 8 (Vec.capacity small)
+
+(* Removal must not retain references to removed elements: a dead element
+   only reachable through a freed slot must be collected.  The removal runs
+   in a non-inlined helper so no stale register or stack slot of the test
+   frame keeps the last removed value alive across the major GC. *)
+let assert_collected name removed =
+  Gc.full_major ();
+  check Alcotest.bool name false
+    (List.exists (fun w -> Weak.check w 0) removed)
+
+let weak_of x =
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some x);
+  w
+
+let[@inline never] remove_tracked v ~n remove =
+  List.init n (fun _ -> weak_of (remove v))
+
+let test_pop_releases () =
+  let v = Vec.create () in
+  for i = 0 to 9 do
+    Vec.push v (ref i)
+  done;
+  let removed = remove_tracked v ~n:5 (fun v -> Option.get (Vec.pop v)) in
+  assert_collected "popped elements are collectable" removed;
+  check Alcotest.int "remaining" 5 (Vec.length v)
+
+let test_swap_remove_releases () =
+  let v = Vec.create () in
+  for i = 0 to 9 do
+    Vec.push v (ref i)
+  done;
+  let removed = remove_tracked v ~n:5 (fun v -> Vec.swap_remove v 0) in
+  assert_collected "swap-removed elements are collectable" removed
+
+let test_clear_releases () =
+  let v = Vec.create () in
+  for i = 0 to 9 do
+    Vec.push v (ref i)
+  done;
+  (* slot 0 is the documented residual: it survives clear as the dummy *)
+  let removed = List.init 9 (fun i -> weak_of (Vec.get v (i + 1))) in
+  Vec.clear v;
+  assert_collected "cleared elements are collectable" removed
+
 (* qcheck: a sequence of pushes and pops behaves like a list used as a
    stack. *)
 let prop_stack_model =
@@ -115,5 +174,9 @@ let suite =
     Alcotest.test_case "exists" `Quick test_exists;
     Alcotest.test_case "sort" `Quick test_sort;
     Alcotest.test_case "last" `Quick test_last;
+    Alcotest.test_case "capacity hint honoured" `Quick test_capacity_hint;
+    Alcotest.test_case "pop releases elements" `Quick test_pop_releases;
+    Alcotest.test_case "swap_remove releases elements" `Quick test_swap_remove_releases;
+    Alcotest.test_case "clear releases elements" `Quick test_clear_releases;
     QCheck_alcotest.to_alcotest prop_stack_model;
   ]
