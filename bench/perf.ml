@@ -352,12 +352,12 @@ let make_traced_heap ~objects =
   for i = 0 to objects - 1 do
     match Allocator.alloc alloc ~size:12 ~nfields:4 with
     | Allocator.Allocated { obj; _ } ->
-        ids.(i) <- obj.Obj_model.id;
+        ids.(i) <- obj;
         (* chain to a recent object and to two random earlier ones *)
         if i > 0 then begin
-          obj.Obj_model.fields.(0) <- ids.(i - 1);
-          obj.Obj_model.fields.(1) <- ids.(Prng.int prng i);
-          obj.Obj_model.fields.(2) <- ids.(Prng.int prng i)
+          Heap.set_field heap obj 0 ids.(i - 1);
+          Heap.set_field heap obj 1 ids.(Prng.int prng i);
+          Heap.set_field heap obj 2 ids.(Prng.int prng i)
         end
     | Allocator.Out_of_regions -> failwith "make_traced_heap: out of regions"
   done;
@@ -464,7 +464,7 @@ let micro_tests () =
     let ids =
       Array.init 2_000 (fun _ ->
           match Allocator.alloc alloc ~size:10 ~nfields:2 with
-          | Allocator.Allocated { obj; _ } -> obj.Obj_model.id
+          | Allocator.Allocated { obj; _ } -> obj
           | Allocator.Out_of_regions -> failwith "micro table setup")
     in
     Test.make ~name:"micro/heap_find_live"

@@ -57,9 +57,9 @@ let satb_publish t id =
   | Marking, Some tracer -> Tracer.add_root tracer id
   | (Marking | Idle | Evacuating | Updating), _ -> ()
 
-let mark_new_object t o =
+let mark_new_object t id =
   match t.phase with
-  | Marking -> Heap.set_marked t.ctx.Gc_types.heap o
+  | Marking -> Heap.set_marked t.ctx.Gc_types.heap id
   | Idle | Evacuating | Updating -> ()
 
 (* Greedy cset selection: garbage-richest regions first, bounded by the
@@ -114,7 +114,7 @@ let one_shot_cost cost =
     remaining := 0;
     c
 
-let root_scan_cost roots = 20 * List.length roots
+let root_scan_cost nroots = 20 * nroots
 
 let start t ~pause ~on_done =
   if t.in_flight then invalid_arg "Conc_cycle.start: cycle in flight";
@@ -139,10 +139,12 @@ let start t ~pause ~on_done =
       in
       t.tracer <- Some tracer;
       t.phase <- Marking;
-      let roots = !(ctx.Gc_types.roots) () in
-      Tracer.add_roots tracer roots;
+      let nroots = ref 0 in
+      !(ctx.Gc_types.iter_roots) (fun id ->
+          incr nroots;
+          Tracer.add_root tracer id);
       Worker_pool.run_phase t.pool
-        ~work:(one_shot_cost (root_scan_cost roots))
+        ~work:(one_shot_cost (root_scan_cost !nroots))
         ~on_done:(fun () ->
           release ();
           (* Concurrent marking: SATB publishes keep arriving while this
@@ -155,7 +157,7 @@ let start t ~pause ~on_done =
           in
           Worker_pool.run_phase t.pool ~work:mark_work ~on_done:(fun () ->
               pause "final-mark" (fun release ->
-                  Tracer.add_roots tracer (!(ctx.Gc_types.roots) ());
+                  !(ctx.Gc_types.iter_roots) (Tracer.add_root tracer);
                   Worker_pool.run_phase t.pool ~work:mark_work ~on_done:(fun () ->
                       t.objects_marked <- t.objects_marked + Tracer.objects_marked tracer;
                       Vec.iter Allocator.retire ctx.Gc_types.allocators;

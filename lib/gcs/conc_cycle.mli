@@ -56,5 +56,5 @@ val satb_publish : t -> Gcr_heap.Obj_model.id -> unit
 (** SATB write-barrier hook: publish an overwritten reference while
     marking is active (no-op otherwise). *)
 
-val mark_new_object : t -> Gcr_heap.Obj_model.t -> unit
+val mark_new_object : t -> Gcr_heap.Obj_model.id -> unit
 (** Allocation hook: objects born during marking are implicitly live. *)

@@ -10,7 +10,7 @@ exception Evacuation_failure
 type t = {
   ctx : Gc_types.ctx;
   concurrent : bool;
-  choose_target : Obj_model.t -> Allocator.t;
+  choose_target : Obj_model.id -> Allocator.t;
   queue : Region.t Vec.t;
   mutable queue_pos : int;
   mutable obj_pos : int;  (** cursor into the current region's object vec *)
@@ -38,20 +38,21 @@ let add_region t (r : Region.t) =
 
 let finished t = t.queue_pos >= Vec.length t.queue
 
-let copy_cost t (o : Obj_model.t) =
+let copy_cost t size =
   let c = t.ctx.Gc_types.cost in
   let per_object =
     if t.concurrent then c.Cost_model.copy_per_object_concurrent else c.Cost_model.copy_per_object
   in
-  per_object + (c.Cost_model.copy_per_word * o.size)
+  per_object + (c.Cost_model.copy_per_word * size)
 
-(* Copy one live resident object out of [r]; raises on to-space
+(* Copy one live resident object out of its region; raises on to-space
    exhaustion. *)
-let evacuate_object t (o : Obj_model.t) =
-  let target = t.choose_target o in
+let evacuate_object t id =
+  let heap = t.ctx.Gc_types.heap in
+  let target = t.choose_target id in
   let rec attempt retried =
     match Allocator.current_region target with
-    | Some dst when Heap.move_object t.ctx.Gc_types.heap o dst -> ()
+    | Some dst when Heap.move_object heap id dst -> ()
     | Some _ | None ->
         if retried then raise Evacuation_failure
         else begin
@@ -62,10 +63,11 @@ let evacuate_object t (o : Obj_model.t) =
         end
   in
   attempt false;
-  o.age <- o.age + 1;
-  t.words_copied <- t.words_copied + o.size;
+  Heap.set_obj_age heap id (Heap.obj_age heap id + 1);
+  let size = Heap.obj_size heap id in
+  t.words_copied <- t.words_copied + size;
   t.objects_copied <- t.objects_copied + 1;
-  copy_cost t o
+  copy_cost t size
 
 let step t ~budget =
   let heap = t.ctx.Gc_types.heap in
@@ -86,10 +88,11 @@ let step t ~budget =
       let id = Vec.get r.Region.objects t.obj_pos in
       t.obj_pos <- t.obj_pos + 1;
       incr processed;
-      match Heap.find heap id with
-      | Some o when o.Obj_model.region = r.Region.index ->
-          if Heap.is_marked heap o then cost := !cost + evacuate_object t o
-      | Some _ | None -> ()
+      if
+        Heap.is_live heap id
+        && Heap.obj_region heap id = r.Region.index
+        && Heap.is_marked heap id
+      then cost := !cost + evacuate_object t id
     end
   done;
   !cost

@@ -18,7 +18,7 @@ exception Evacuation_failure
 val create :
   Gc_types.ctx ->
   concurrent:bool ->
-  choose_target:(Gcr_heap.Obj_model.t -> Gcr_heap.Allocator.t) ->
+  choose_target:(Gcr_heap.Obj_model.id -> Gcr_heap.Allocator.t) ->
   t
 (** [choose_target] maps each survivor to the allocator it is copied with
     (survivor vs old for generational promotion, a single target

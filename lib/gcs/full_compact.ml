@@ -25,7 +25,7 @@ let run (ctx : Gc_types.ctx) ~pool ~on_done =
       ~should_visit:(fun _ -> true)
       ~on_mark:(fun _ -> 0)
   in
-  Tracer.add_roots tracer (!(ctx.Gc_types.roots) ());
+  !(ctx.Gc_types.iter_roots) (Tracer.add_root tracer);
   (* Compaction state, filled in between the two phases. *)
   let survivors = Vec.create () in
   let cursor = ref 0 in
@@ -35,7 +35,7 @@ let run (ctx : Gc_types.ctx) ~pool ~on_done =
       (fun r ->
         if not (Region.space_equal r.Region.space Region.Free) then begin
           Heap.purge_unmarked heap r;
-          Heap.iter_resident_objects heap r (fun o -> Vec.push survivors o)
+          Heap.iter_resident_objects heap r (fun id -> Vec.push survivors id)
         end)
       heap;
     Heap.iter_regions
@@ -44,10 +44,10 @@ let run (ctx : Gc_types.ctx) ~pool ~on_done =
           Heap.release_region_keep_objects heap r)
       heap
   in
-  let place (o : Obj_model.t) =
+  let place id =
     let rec attempt retried =
       match Allocator.current_region target with
-      | Some dst when Heap.place_object heap o dst -> ()
+      | Some dst when Heap.place_object heap id dst -> ()
       | Some _ | None ->
           if retried then ctx.Gc_types.oom "full compaction could not place a survivor"
           else begin
@@ -64,13 +64,13 @@ let run (ctx : Gc_types.ctx) ~pool ~on_done =
     let n = Vec.length survivors in
     let stop = min n (!cursor + slice_budget) in
     while !cursor < stop do
-      let o = Vec.get survivors !cursor in
+      let id = Vec.get survivors !cursor in
       incr cursor;
-      place o;
+      place id;
       cost :=
         !cost
-        + (ctx.Gc_types.cost.Cost_model.compact_per_word * o.Obj_model.size)
-        + (ctx.Gc_types.cost.Cost_model.update_ref_per_edge * Array.length o.Obj_model.fields)
+        + (ctx.Gc_types.cost.Cost_model.compact_per_word * Heap.obj_size heap id)
+        + (ctx.Gc_types.cost.Cost_model.update_ref_per_edge * Heap.obj_nfields heap id)
     done;
     !cost
   in

@@ -97,7 +97,7 @@ let start_concurrent_mark s =
       ~should_visit:(fun _ -> true)
       ~on_mark:(fun _ -> 0)
   in
-  Tracer.add_roots tracer (!(s.ctx.Gc_types.roots) ());
+  !(s.ctx.Gc_types.iter_roots) (Tracer.add_root tracer);
   s.mark_session <- s.mark_session + 1;
   let session = s.mark_session in
   s.marking <- Mark_running { tracer; session };
@@ -112,7 +112,7 @@ let start_concurrent_mark s =
    non-empty), drain on the STW pool, then pick the mixed candidates. *)
 let run_final_mark s tracer k =
   let heap = s.ctx.Gc_types.heap in
-  Tracer.add_roots tracer (!(s.ctx.Gc_types.roots) ());
+  !(s.ctx.Gc_types.iter_roots) (Tracer.add_root tracer);
   let work ~worker:_ = Tracer.drain tracer ~budget:slice_budget in
   Worker_pool.run_phase s.stw_pool ~work ~on_done:(fun () ->
       s.objects_marked <- s.objects_marked + Tracer.objects_marked tracer;
@@ -246,8 +246,8 @@ let trigger_collection s th cont ~reason =
   enqueue_waiter s th cont;
   Engine.request_stop s.ctx.Gc_types.engine ~reason (fun () -> run_collection_pause s)
 
-let is_old s (o : Obj_model.t) =
-  match (Heap.region s.ctx.Gc_types.heap o.Obj_model.region).Region.space with
+let is_old s id =
+  match Heap.obj_space s.ctx.Gc_types.heap id with
   | Region.Old -> true
   | Region.Free | Region.Eden | Region.Survivor -> false
 
@@ -294,8 +294,8 @@ let make (ctx : Gc_types.ctx) config =
     | Mark_running { tracer; _ } | Mark_drained { tracer; _ } -> Tracer.add_root tracer old_target
     | Mark_idle -> ()
   in
-  let on_alloc o =
-    if marking_active s then Heap.set_marked ctx.Gc_types.heap o
+  let on_alloc id =
+    if marking_active s then Heap.set_marked ctx.Gc_types.heap id
   in
   let write_barrier () =
     let c = ctx.Gc_types.cost in

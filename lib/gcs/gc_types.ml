@@ -3,7 +3,7 @@ type ctx = {
   engine : Gcr_engine.Engine.t;
   cost : Gcr_mach.Cost_model.t;
   machine : Gcr_mach.Machine.t;
-  roots : (unit -> Gcr_heap.Obj_model.id list) ref;
+  iter_roots : ((Gcr_heap.Obj_model.id -> unit) -> unit) ref;
   allocators : Gcr_heap.Allocator.t Gcr_util.Vec.t;
   oom : string -> unit;
 }
@@ -14,7 +14,7 @@ let make_ctx ~heap ~engine ~cost ~machine =
     engine;
     cost;
     machine;
-    roots = ref (fun () -> []);
+    iter_roots = ref (fun _f -> ());
     allocators = Gcr_util.Vec.create ();
     oom = (fun reason -> Gcr_engine.Engine.abort engine ~reason:("OutOfMemoryError: " ^ reason));
   }
@@ -31,9 +31,9 @@ type t = {
   name : string;
   read_barrier : unit -> int;
   write_barrier : unit -> int;
-  on_alloc : Gcr_heap.Obj_model.t -> unit;
+  on_alloc : Gcr_heap.Obj_model.id -> unit;
   on_pointer_write :
-    src:Gcr_heap.Obj_model.t ->
+    src:Gcr_heap.Obj_model.id ->
     old_target:Gcr_heap.Obj_model.id ->
     new_target:Gcr_heap.Obj_model.id ->
     unit;

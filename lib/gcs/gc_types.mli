@@ -12,9 +12,11 @@ type ctx = {
   engine : Gcr_engine.Engine.t;
   cost : Gcr_mach.Cost_model.t;
   machine : Gcr_mach.Machine.t;
-  roots : (unit -> Gcr_heap.Obj_model.id list) ref;
-      (** set by the runtime once the workload exists; collectors call it at
-          the start of every marking phase *)
+  iter_roots : ((Gcr_heap.Obj_model.id -> unit) -> unit) ref;
+      (** set by the runtime once the workload exists; collectors call it
+          at the start of every marking phase.  A visitor rather than a
+          list: root enumeration pushes ids straight into the tracer with
+          no per-collection list building. *)
   allocators : Gcr_heap.Allocator.t Gcr_util.Vec.t;
       (** every long-lived allocation buffer (mutator TLABs, promotion
           targets); collectors retire them all at collection boundaries so
@@ -28,7 +30,8 @@ val make_ctx :
   cost:Gcr_mach.Cost_model.t ->
   machine:Gcr_mach.Machine.t ->
   ctx
-(** Roots default to the empty list; [oom] aborts the engine. *)
+(** Root enumeration defaults to visiting nothing; [oom] aborts the
+    engine. *)
 
 type stats = {
   collections : int;  (** completed collection cycles of any kind *)
@@ -44,11 +47,11 @@ type t = {
       (** current per-field-read cost charged to the mutator *)
   write_barrier : unit -> int;
       (** current per-pointer-write cost charged to the mutator *)
-  on_alloc : Gcr_heap.Obj_model.t -> unit;
+  on_alloc : Gcr_heap.Obj_model.id -> unit;
       (** every new object is announced (concurrent markers treat objects
           allocated during marking as implicitly live) *)
   on_pointer_write :
-    src:Gcr_heap.Obj_model.t ->
+    src:Gcr_heap.Obj_model.id ->
     old_target:Gcr_heap.Obj_model.id ->
     new_target:Gcr_heap.Obj_model.id ->
     unit;

@@ -10,43 +10,38 @@ type t = {
 
 let create heap = { heap; entries = Vec.create () }
 
-let remember t (o : Obj_model.t) =
-  if not o.Obj_model.remembered then begin
-    o.Obj_model.remembered <- true;
-    Vec.push t.entries o.Obj_model.id
+let remember t id =
+  if not (Heap.obj_remembered t.heap id) then begin
+    Heap.set_obj_remembered t.heap id true;
+    Vec.push t.entries id
   end
 
 let iter t f = Vec.iter f t.entries
 
 let size t = Vec.length t.entries
 
-let is_young t (o : Obj_model.t) =
-  match (Heap.region t.heap o.Obj_model.region).Region.space with
+let is_young t id =
+  match Heap.obj_space t.heap id with
   | Region.Eden | Region.Survivor -> true
   | Region.Free | Region.Old -> false
 
 let points_young t target =
-  (not (Obj_model.is_null target))
-  && match Heap.find t.heap target with None -> false | Some child -> is_young t child
+  (not (Obj_model.is_null target)) && Heap.is_live t.heap target && is_young t target
 
 let rebuild t ~extra =
   let previous = Vec.to_list t.entries in
   Vec.clear t.entries;
   let reconsider id =
-    match Heap.find t.heap id with
-    | None -> ()
-    | Some o ->
-        o.Obj_model.remembered <- false;
-        if Array.exists (points_young t) o.Obj_model.fields then remember t o
+    if Heap.is_live t.heap id then begin
+      Heap.set_obj_remembered t.heap id false;
+      if Obj_model.exists_fields (Heap.store t.heap) id (points_young t) then remember t id
+    end
   in
   List.iter reconsider previous;
   List.iter reconsider extra
 
 let clear t =
   Vec.iter
-    (fun id ->
-      match Heap.find t.heap id with
-      | None -> ()
-      | Some o -> o.Obj_model.remembered <- false)
+    (fun id -> if Heap.is_live t.heap id then Heap.set_obj_remembered t.heap id false)
     t.entries;
   Vec.clear t.entries

@@ -2,15 +2,15 @@
 
     Holds old-space objects that may contain references into the young
     generation; young collections scan their fields as extra roots.
-    Entries are deduplicated with the per-object [remembered] bit, exactly
+    Entries are deduplicated with the per-object remembered bit, exactly
     like a dirty card. *)
 
 type t
 
 val create : Gcr_heap.Heap.t -> t
 
-val remember : t -> Gcr_heap.Obj_model.t -> unit
-(** Idempotent per object between rebuilds. *)
+val remember : t -> Gcr_heap.Obj_model.id -> unit
+(** Idempotent per object between rebuilds.  The id must be live. *)
 
 val iter : t -> (Gcr_heap.Obj_model.id -> unit) -> unit
 

@@ -32,10 +32,10 @@ let run (ctx : Gc_types.ctx) ~pool ~remset ~tenure_age ~on_mark_young ~on_done =
   let promo_failed = ref false in
   let objects_copied = ref 0 in
   let words_copied = ref 0 in
-  let move_to target (o : Obj_model.t) =
+  let move_to target id =
     let rec attempt retried =
       match Allocator.current_region target with
-      | Some dst when Heap.move_object heap o dst -> ()
+      | Some dst when Heap.move_object heap id dst -> ()
       | Some _ | None ->
           if retried then raise (Tracer.Trace_failure "promotion failure")
           else begin
@@ -47,32 +47,32 @@ let run (ctx : Gc_types.ctx) ~pool ~remset ~tenure_age ~on_mark_young ~on_done =
     in
     attempt false
   in
-  let on_mark (o : Obj_model.t) =
-    on_mark_young o;
-    let tenured = o.Obj_model.age >= tenure_age in
-    move_to (if tenured then old_target else survivor_target) o;
-    o.Obj_model.age <- o.Obj_model.age + 1;
-    if tenured && Array.length o.Obj_model.fields > 0 then promoted := o.Obj_model.id :: !promoted;
+  let on_mark id =
+    on_mark_young id;
+    let age = Heap.obj_age heap id in
+    let tenured = age >= tenure_age in
+    move_to (if tenured then old_target else survivor_target) id;
+    Heap.set_obj_age heap id (age + 1);
+    if tenured && Heap.obj_nfields heap id > 0 then promoted := id :: !promoted;
     incr objects_copied;
-    words_copied := !words_copied + o.Obj_model.size;
-    cost_model.Cost_model.copy_per_object + (cost_model.Cost_model.copy_per_word * o.Obj_model.size)
+    let size = Heap.obj_size heap id in
+    words_copied := !words_copied + size;
+    cost_model.Cost_model.copy_per_object + (cost_model.Cost_model.copy_per_word * size)
   in
   let tracer =
     Tracer.create ctx ~use_scratch:true ~update_region_live:false
-      ~should_visit:(fun o -> is_young (Heap.region heap o.Obj_model.region))
+      ~should_visit:(fun id -> is_young (Heap.region heap (Heap.obj_region heap id)))
       ~on_mark
   in
   (* Roots: workload roots plus the remembered set (dirty-card scan). *)
   let root_cost = ref 0 in
-  Tracer.add_roots tracer (!(ctx.Gc_types.roots) ());
+  !(ctx.Gc_types.iter_roots) (Tracer.add_root tracer);
   Remset.iter remset (fun id ->
-      match Heap.find heap id with
-      | None -> ()
-      | Some o ->
-          root_cost :=
-            !root_cost + 30
-            + (cost_model.Cost_model.mark_per_edge * Array.length o.Obj_model.fields);
-          Array.iter (Tracer.add_root tracer) o.Obj_model.fields);
+      if Heap.is_live heap id then begin
+        root_cost :=
+          !root_cost + 30 + (cost_model.Cost_model.mark_per_edge * Heap.obj_nfields heap id);
+        Heap.iter_fields heap id (Tracer.add_root tracer)
+      end);
   let work ~worker:_ =
     if !promo_failed then 0
     else if !root_cost > 0 then begin

@@ -23,7 +23,7 @@ val run :
   pool:Worker_pool.t ->
   remset:Remset.t ->
   tenure_age:int ->
-  on_mark_young:(Gcr_heap.Obj_model.t -> unit) ->
+  on_mark_young:(Gcr_heap.Obj_model.id -> unit) ->
   on_done:(result -> unit) ->
   unit
 (** [on_mark_young] is invoked for every surviving young object before it

@@ -173,8 +173,8 @@ let trigger_young s th cont ~reason =
   enqueue_waiter s th cont;
   Engine.request_stop s.ctx.Gc_types.engine ~reason (fun () -> run_young_collection s)
 
-let is_old s (o : Obj_model.t) =
-  match (Heap.region s.ctx.Gc_types.heap o.Obj_model.region).Region.space with
+let is_old s id =
+  match Heap.obj_space s.ctx.Gc_types.heap id with
   | Region.Old -> true
   | Region.Free | Region.Eden | Region.Survivor -> false
 

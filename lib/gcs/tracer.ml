@@ -1,17 +1,21 @@
 module Heap = Gcr_heap.Heap
 module Obj_model = Gcr_heap.Obj_model
-module Vec = Gcr_util.Vec
 module Cost_model = Gcr_mach.Cost_model
 
 exception Trace_failure of string
 
+(* The mark stack is a raw int array rather than a Vec: popping must not
+   box an option per object, and ids need no tail-clearing (they are
+   immediate). *)
 type t = {
   ctx : Gc_types.ctx;
+  store : Obj_model.store;  (** cached: the heap's store record is stable *)
   use_scratch : bool;
   update_region_live : bool;
-  should_visit : Obj_model.t -> bool;
-  on_mark : Obj_model.t -> int;
-  stack : Obj_model.id Vec.t;
+  should_visit : Obj_model.id -> bool;
+  on_mark : Obj_model.id -> int;
+  mutable stack : int array;
+  mutable stack_len : int;
   mutable objects_marked : int;
   mutable words_marked : int;
   mutable edges_seen : int;
@@ -20,73 +24,103 @@ type t = {
 let create ctx ~use_scratch ~update_region_live ~should_visit ~on_mark =
   {
     ctx;
+    store = Heap.store ctx.Gc_types.heap;
     use_scratch;
     update_region_live;
     should_visit;
     on_mark;
-    stack = Vec.create ();
+    stack = Array.make 256 0;
+    stack_len = 0;
     objects_marked = 0;
     words_marked = 0;
     edges_seen = 0;
   }
 
-let is_marked t o =
-  if t.use_scratch then Heap.is_scratch_marked t.ctx.Gc_types.heap o
-  else Heap.is_marked t.ctx.Gc_types.heap o
+let[@inline] push t id =
+  if t.stack_len = Array.length t.stack then begin
+    let b = Array.make (2 * Array.length t.stack) 0 in
+    Array.blit t.stack 0 b 0 t.stack_len;
+    t.stack <- b
+  end;
+  Array.unsafe_set t.stack t.stack_len id;
+  t.stack_len <- t.stack_len + 1
 
-let set_marked t o =
-  if t.use_scratch then Heap.set_scratch_marked t.ctx.Gc_types.heap o
-  else Heap.set_marked t.ctx.Gc_types.heap o
+let is_marked t id =
+  if t.use_scratch then Heap.is_scratch_marked t.ctx.Gc_types.heap id
+  else Heap.is_marked t.ctx.Gc_types.heap id
 
-(* Mark at push: each object enters the stack at most once.  [find_raw]
-   keeps the per-edge liveness check allocation-free. *)
+let set_marked t id =
+  if t.use_scratch then Heap.set_scratch_marked t.ctx.Gc_types.heap id
+  else Heap.set_marked t.ctx.Gc_types.heap id
+
+(* Mark at push: each object enters the stack at most once.  Liveness,
+   mark and filter checks are all flat-array reads. *)
 let add_root t id =
-  if not (Obj_model.is_null id) then begin
-    let o = Heap.find_raw t.ctx.Gc_types.heap id in
-    if
-      o.Obj_model.id <> Obj_model.null
-      && (not (is_marked t o))
-      && t.should_visit o
-    then begin
-      set_marked t o;
-      Vec.push t.stack id
+  if not (Obj_model.is_null id) then
+    if Obj_model.is_live t.store id && (not (is_marked t id)) && t.should_visit id then begin
+      set_marked t id;
+      push t id
     end
-  end
 
 let add_roots t ids = List.iter (add_root t) ids
 
 let drain t ~budget =
   let heap = t.ctx.Gc_types.heap in
+  let store = t.store in
   let cost_model = t.ctx.Gc_types.cost in
+  let mark_per_object = cost_model.Cost_model.mark_per_object in
+  let mark_per_edge = cost_model.Cost_model.mark_per_edge in
+  let should_visit = t.should_visit in
+  let on_mark = t.on_mark in
+  let use_scratch = t.use_scratch in
+  let update_region_live = t.update_region_live in
   let cost = ref 0 in
   let processed = ref 0 in
-  while !processed < budget && not (Vec.is_empty t.stack) do
-    let id = Vec.pop_exn t.stack in
+  while !processed < budget && t.stack_len > 0 do
+    let top = t.stack_len - 1 in
+    t.stack_len <- top;
+    let id = Array.unsafe_get t.stack top in
     incr processed;
     (* The id was live and marked when pushed; objects are only removed by
        region release, which should not happen mid-trace for visited
        spaces — but stay defensive across collector fallbacks. *)
-    let o = Heap.find_raw heap id in
-    if o.Obj_model.id <> Obj_model.null then begin
+    if Obj_model.is_live store id then begin
+      let size = Obj_model.size store id in
       t.objects_marked <- t.objects_marked + 1;
-      t.words_marked <- t.words_marked + o.size;
-      if t.update_region_live then begin
-        let r = Heap.region heap o.region in
-        r.Gcr_heap.Region.live_words <- r.Gcr_heap.Region.live_words + o.size
+      t.words_marked <- t.words_marked + size;
+      if update_region_live then begin
+        let r = Heap.region heap (Obj_model.region store id) in
+        r.Gcr_heap.Region.live_words <- r.Gcr_heap.Region.live_words + size
       end;
-      cost := !cost + cost_model.Cost_model.mark_per_object;
-      cost := !cost + t.on_mark o;
-      Array.iter
-        (fun field ->
-          t.edges_seen <- t.edges_seen + 1;
-          cost := !cost + cost_model.Cost_model.mark_per_edge;
-          add_root t field)
-        o.fields
+      cost := !cost + mark_per_object;
+      cost := !cost + on_mark id;
+      (* Fields: one contiguous arena extent.  Read the base after
+         [on_mark] (it may move the object). *)
+      let nf = Obj_model.nfields store id in
+      let base = Obj_model.field_base store id in
+      t.edges_seen <- t.edges_seen + nf;
+      cost := !cost + (mark_per_edge * nf);
+      for i = 0 to nf - 1 do
+        let child = Obj_model.arena_get store (base + i) in
+        (* add_root, inlined with the per-tracer configuration hoisted *)
+        if not (Obj_model.is_null child) then
+          if
+            Obj_model.is_live store child
+            && (not
+                  (if use_scratch then Heap.is_scratch_marked heap child
+                   else Heap.is_marked heap child))
+            && should_visit child
+          then begin
+            if use_scratch then Heap.set_scratch_marked heap child
+            else Heap.set_marked heap child;
+            push t child
+          end
+      done
     end
   done;
   !cost
 
-let pending t = not (Vec.is_empty t.stack)
+let pending t = t.stack_len > 0
 
 let objects_marked t = t.objects_marked
 

@@ -9,7 +9,11 @@
     [on_mark] callback fires exactly once per reached object and may move
     it, returning the extra cycles to charge (a scavenge is a trace whose
     [on_mark] copies).  SATB buffers are modelled by pushing overwritten
-    values as additional roots while the trace is in flight. *)
+    values as additional roots while the trace is in flight.
+
+    The mark loop works directly on the heap's struct-of-arrays object
+    store: liveness, mark bits and field extents are flat int-array reads,
+    with no host allocation per visited object. *)
 
 type t
 
@@ -22,8 +26,8 @@ val create :
   Gc_types.ctx ->
   use_scratch:bool ->
   update_region_live:bool ->
-  should_visit:(Gcr_heap.Obj_model.t -> bool) ->
-  on_mark:(Gcr_heap.Obj_model.t -> int) ->
+  should_visit:(Gcr_heap.Obj_model.id -> bool) ->
+  on_mark:(Gcr_heap.Obj_model.id -> int) ->
   t
 (** The caller must begin the corresponding heap epoch (mark or scratch)
     first.  [should_visit] bounds the trace (e.g. young objects only for a

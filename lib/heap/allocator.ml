@@ -5,7 +5,7 @@ type t = {
 }
 
 type outcome =
-  | Allocated of { obj : Obj_model.t; refilled : bool }
+  | Allocated of { obj : Obj_model.id; refilled : bool }
   | Out_of_regions
 
 let create heap ~space =
@@ -22,28 +22,22 @@ let take_fresh t =
       Some r
 
 let alloc t ~size ~nfields =
-  let try_in r refilled =
-    match Heap.alloc_in_region t.heap r ~size ~nfields with
-    | Some obj -> Some (Allocated { obj; refilled })
-    | None -> None
-  in
   let fresh () =
     match take_fresh t with
     | None -> Out_of_regions
-    | Some r -> (
-        match try_in r true with
-        | Some outcome -> outcome
-        | None ->
-            (* A fresh region cannot fit the object: object sizes are capped
-               well below the region size, so this is a programming error. *)
-            invalid_arg "Allocator.alloc: object larger than a region")
+    | Some r ->
+        let obj = Heap.alloc_in_region t.heap r ~size ~nfields in
+        if Obj_model.is_null obj then
+          (* A fresh region cannot fit the object: object sizes are capped
+             well below the region size, so this is a programming error. *)
+          invalid_arg "Allocator.alloc: object larger than a region"
+        else Allocated { obj; refilled = true }
   in
   match t.current with
   | None -> fresh ()
-  | Some r -> (
-      match try_in r false with
-      | Some outcome -> outcome
-      | None -> fresh ())
+  | Some r ->
+      let obj = Heap.alloc_in_region t.heap r ~size ~nfields in
+      if Obj_model.is_null obj then fresh () else Allocated { obj; refilled = false }
 
 let retire t = t.current <- None
 

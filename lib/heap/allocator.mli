@@ -9,7 +9,7 @@
 type t
 
 type outcome =
-  | Allocated of { obj : Obj_model.t; refilled : bool }
+  | Allocated of { obj : Obj_model.id; refilled : bool }
   | Out_of_regions
       (** the free pool is empty; the caller must trigger a collection,
           stall, or fail with OOM *)

@@ -4,11 +4,7 @@ type t = {
   region_words : int;
   regions : Region.t array;
   free_pool : int Vec.t;  (** indices of free regions (LIFO) *)
-  table : Obj_model.t Vec.t;
-      (** object table indexed by id; dead slots hold [dead] — checking
-          [id <> Obj_model.null] replaces option boxing on the lookup fast
-          path *)
-  dead : Obj_model.t;  (** shared sentinel, [id = Obj_model.null] *)
+  store : Obj_model.store;  (** struct-of-arrays object store *)
   mutable live_count : int;
   mutable live_words : int;
   mutable used_words : int;
@@ -16,7 +12,6 @@ type t = {
   space_regions : int array;  (** region count, indexed by space tag *)
   mutable epoch : int;
   mutable scratch_epoch : int;
-  mutable next_id : int;
   mutable words_allocated : int;
   mutable objects_allocated : int;
   mutable collections : int;
@@ -39,18 +34,13 @@ let create ~capacity_words ~region_words =
   for i = n - 1 downto 0 do
     Vec.push free_pool i
   done;
-  let dead = Obj_model.make ~id:Obj_model.null ~size:Obj_model.header_words ~nfields:0 ~region:(-1) in
-  let table = Vec.create () in
-  Vec.push table dead;
-  (* id 0 is the null reference *)
   let space_regions = Array.make 4 0 in
   space_regions.(0) <- n;
   {
     region_words;
     regions;
     free_pool;
-    table;
-    dead;
+    store = Obj_model.create_store ();
     live_count = 0;
     live_words = 0;
     used_words = 0;
@@ -58,12 +48,13 @@ let create ~capacity_words ~region_words =
     space_regions;
     epoch = 0;
     scratch_epoch = 0;
-    next_id = 1;
     words_allocated = 0;
     objects_allocated = 0;
     collections = 0;
     reserve = 0;
   }
+
+let store t = t.store
 
 let region_words t = t.region_words
 
@@ -89,24 +80,35 @@ let regions_in_space t space =
 
 let regions_in_space_count t space = t.space_regions.(space_tag space)
 
-let find_raw t id =
-  if id <= 0 || id >= Vec.length t.table then t.dead else Vec.get t.table id
-
-let find t id =
-  let o = find_raw t id in
-  if o.Obj_model.id = Obj_model.null then None else Some o
-
-let find_exn t id =
-  let o = find_raw t id in
-  if o.Obj_model.id = Obj_model.null then
-    invalid_arg (Printf.sprintf "Heap.find_exn: object %d is not live" id)
-  else o
-
-let is_live t id = (find_raw t id).Obj_model.id <> Obj_model.null
+let is_live t id = Obj_model.is_live t.store id
 
 let live_objects t = t.live_count
 
 let live_words_exact t = t.live_words
+
+(* {2 Delegating per-object accessors} *)
+
+let obj_size t id = Obj_model.size t.store id
+
+let obj_region t id = Obj_model.region t.store id
+
+let obj_space t id = t.regions.(Obj_model.region t.store id).Region.space
+
+let obj_age t id = Obj_model.age t.store id
+
+let set_obj_age t id a = Obj_model.set_age t.store id a
+
+let obj_nfields t id = Obj_model.nfields t.store id
+
+let field t id i = Obj_model.field_get t.store id i
+
+let set_field t id i v = Obj_model.field_set t.store id i v
+
+let iter_fields t id f = Obj_model.iter_fields t.store id f
+
+let obj_remembered t id = Obj_model.remembered t.store id
+
+let set_obj_remembered t id v = Obj_model.set_remembered t.store id v
 
 let begin_mark_epoch t =
   t.epoch <- t.epoch + 1;
@@ -114,17 +116,17 @@ let begin_mark_epoch t =
 
 let current_epoch t = t.epoch
 
-let is_marked t (o : Obj_model.t) = o.mark = t.epoch
+let is_marked t id = Obj_model.mark t.store id = t.epoch
 
-let set_marked t (o : Obj_model.t) = o.mark <- t.epoch
+let set_marked t id = Obj_model.set_mark t.store id t.epoch
 
 let begin_scratch_epoch t =
   t.scratch_epoch <- t.scratch_epoch + 1;
   t.scratch_epoch
 
-let is_scratch_marked t (o : Obj_model.t) = o.scratch = t.scratch_epoch
+let is_scratch_marked t id = Obj_model.scratch t.store id = t.scratch_epoch
 
-let set_scratch_marked t (o : Obj_model.t) = o.scratch <- t.scratch_epoch
+let set_scratch_marked t id = Obj_model.set_scratch t.store id t.scratch_epoch
 
 let release_log : (int -> string -> unit) ref = ref (fun _ _ -> ())
 
@@ -158,12 +160,9 @@ let take_free_region t ~space =
 let alloc_in_region t (r : Region.t) ~size ~nfields =
   if Region.space_equal r.space Region.Free then
     invalid_arg (Printf.sprintf "Heap.alloc_in_region: free region %d" r.index);
-  if r.used_words + size > t.region_words then None
+  if r.used_words + size > t.region_words then Obj_model.null
   else begin
-    let id = t.next_id in
-    t.next_id <- id + 1;
-    let o = Obj_model.make ~id ~size ~nfields ~region:r.index in
-    Vec.push t.table o;
+    let id = Obj_model.alloc t.store ~size ~nfields ~region:r.index in
     r.used_words <- r.used_words + size;
     Vec.push r.objects id;
     t.used_words <- t.used_words + size;
@@ -172,18 +171,19 @@ let alloc_in_region t (r : Region.t) ~size ~nfields =
     t.live_words <- t.live_words + size;
     t.words_allocated <- t.words_allocated + size;
     t.objects_allocated <- t.objects_allocated + 1;
-    Some o
+    id
   end
 
-let move_object t (o : Obj_model.t) (dst : Region.t) =
+let move_object t id (dst : Region.t) =
   if Region.space_equal dst.space Region.Free then invalid_arg "Heap.move_object: free region";
-  if dst.used_words + o.size > t.region_words then false
+  let size = Obj_model.size t.store id in
+  if dst.used_words + size > t.region_words then false
   else begin
-    dst.used_words <- dst.used_words + o.size;
-    Vec.push dst.objects o.id;
-    t.used_words <- t.used_words + o.size;
-    t.space_used.(space_tag dst.space) <- t.space_used.(space_tag dst.space) + o.size;
-    o.region <- dst.index;
+    dst.used_words <- dst.used_words + size;
+    Vec.push dst.objects id;
+    t.used_words <- t.used_words + size;
+    t.space_used.(space_tag dst.space) <- t.space_used.(space_tag dst.space) + size;
+    Obj_model.set_region t.store id dst.index;
     true
   end
 
@@ -200,29 +200,29 @@ let release_region t (r : Region.t) =
   if Region.space_equal r.space Region.Free then invalid_arg "Heap.release_region: already free";
   (* Only objects whose storage is still here die with the region: evacuated
      objects have had [region] repointed elsewhere. *)
+  let store = t.store in
   Vec.iter
     (fun id ->
-      let o = find_raw t id in
-      if o.Obj_model.id <> Obj_model.null && o.Obj_model.region = r.index then begin
-        Vec.set t.table id t.dead;
+      if Obj_model.is_live store id && Obj_model.region store id = r.index then begin
         t.live_count <- t.live_count - 1;
-        t.live_words <- t.live_words - o.Obj_model.size
+        t.live_words <- t.live_words - Obj_model.size store id;
+        Obj_model.free store id
       end)
     r.objects;
   free_region_bookkeeping t r
 
 let purge_unmarked t (r : Region.t) =
+  let store = t.store in
   Vec.iter
     (fun id ->
-      let o = find_raw t id in
       if
-        o.Obj_model.id <> Obj_model.null
-        && o.Obj_model.region = r.index
-        && o.Obj_model.mark <> t.epoch
+        Obj_model.is_live store id
+        && Obj_model.region store id = r.index
+        && Obj_model.mark store id <> t.epoch
       then begin
-        Vec.set t.table id t.dead;
         t.live_count <- t.live_count - 1;
-        t.live_words <- t.live_words - o.Obj_model.size
+        t.live_words <- t.live_words - Obj_model.size store id;
+        Obj_model.free store id
       end)
     r.objects
 
@@ -235,10 +235,9 @@ let release_region_keep_objects t (r : Region.t) =
 let place_object = move_object
 
 let iter_resident_objects t (r : Region.t) f =
+  let store = t.store in
   Vec.iter
-    (fun id ->
-      let o = find_raw t id in
-      if o.Obj_model.id <> Obj_model.null && o.Obj_model.region = r.index then f o)
+    (fun id -> if Obj_model.is_live store id && Obj_model.region store id = r.index then f id)
     r.objects
 
 let words_allocated_total t = t.words_allocated
@@ -254,16 +253,18 @@ let log_collection t = t.collections <- t.collections + 1
    for the caller (tests and ground-truth checks). *)
 let reachable_from t roots =
   ignore (begin_scratch_epoch t);
+  let store = t.store in
   let seen = Hashtbl.create 1024 in
   let stack = Vec.create () in
   let push id =
-    if not (Obj_model.is_null id) then begin
-      let o = find_raw t id in
-      if o.Obj_model.id <> Obj_model.null && not (is_scratch_marked t o) then begin
-        set_scratch_marked t o;
-        Hashtbl.add seen id ();
-        Vec.push stack id
-      end
+    if
+      (not (Obj_model.is_null id))
+      && Obj_model.is_live store id
+      && not (is_scratch_marked t id)
+    then begin
+      set_scratch_marked t id;
+      Hashtbl.add seen id ();
+      Vec.push stack id
     end
   in
   List.iter push roots;
@@ -271,8 +272,7 @@ let reachable_from t roots =
     match Vec.pop stack with
     | None -> ()
     | Some id ->
-        let o = find_exn t id in
-        Array.iter push o.fields;
+        Obj_model.iter_fields store id push;
         drain ()
   in
   drain ();

@@ -1,15 +1,24 @@
-(** The simulated heap: an object table plus a flat array of regions.
+(** The simulated heap: a struct-of-arrays object store plus a flat array
+    of regions.
 
     Responsibilities kept here: object identity, bump allocation inside
     regions, the free-region pool, space accounting, and mark epochs.
     Policy — when to collect, what to evacuate, barrier costs — lives in the
-    collectors ([Gcr_gcs]); work/time attribution lives in the engine. *)
+    collectors ([Gcr_gcs]); work/time attribution lives in the engine.
+
+    Objects are plain [Obj_model.id] ints everywhere; their attributes live
+    in the heap's {!Obj_model.store} and are read through the delegating
+    accessors below (or directly through {!store} on mark-loop hot
+    paths). *)
 
 type t
 
 val create : capacity_words:int -> region_words:int -> t
 (** [capacity_words] is rounded down to a whole number of regions; at least
     two regions are required. *)
+
+val store : t -> Obj_model.store
+(** The underlying object store, for hot loops and tests. *)
 
 (** {1 Geometry and accounting} *)
 
@@ -40,53 +49,64 @@ val regions_in_space_count : t -> Region.space -> int
     maintained counters — the allocation-free replacement for
     [List.length (regions_in_space t space)] in collector pacing. *)
 
-(** {1 The object table}
-
-    Internally the table stores a shared {e dead sentinel} (whose [id] is
-    [Obj_model.null]) in reclaimed slots, so lookups need not box an
-    option. *)
-
-val find : t -> Obj_model.id -> Obj_model.t option
-(** [None] once the object has been reclaimed (or never existed).
-    Allocates the [Some]; hot paths should use {!find_raw} or
-    {!find_exn}. *)
-
-val find_raw : t -> Obj_model.id -> Obj_model.t
-(** Allocation-free lookup: returns the dead sentinel when the object is
-    not live, so callers test [(find_raw t id).id <> Obj_model.null].
-    Never mutate the returned object without checking liveness first. *)
-
-val find_exn : t -> Obj_model.id -> Obj_model.t
+(** {1 Objects} *)
 
 val is_live : t -> Obj_model.id -> bool
-(** Allocation-free. *)
+(** Allocation-free; false for [null], out-of-range and reclaimed ids. *)
 
 val live_objects : t -> int
-(** Number of objects currently in the table. *)
+(** Number of live objects. *)
 
 val live_words_exact : t -> int
-(** Sum of sizes of objects in the table — the "true" live+floating
-    footprint, cheap enough to expose for tests and heuristics. *)
+(** Sum of sizes of live objects — the "true" live+floating footprint,
+    cheap enough to expose for tests and heuristics. *)
+
+(** Delegating accessors over the object store.  All of them assume a live
+    id; check {!is_live} first when the id's provenance is uncertain. *)
+
+val obj_size : t -> Obj_model.id -> int
+
+val obj_region : t -> Obj_model.id -> int
+(** Index of the owning region. *)
+
+val obj_space : t -> Obj_model.id -> Region.space
+(** Space of the owning region. *)
+
+val obj_age : t -> Obj_model.id -> int
+
+val set_obj_age : t -> Obj_model.id -> int -> unit
+
+val obj_nfields : t -> Obj_model.id -> int
+
+val field : t -> Obj_model.id -> int -> Obj_model.id
+
+val set_field : t -> Obj_model.id -> int -> Obj_model.id -> unit
+
+val iter_fields : t -> Obj_model.id -> (Obj_model.id -> unit) -> unit
+
+val obj_remembered : t -> Obj_model.id -> bool
+
+val set_obj_remembered : t -> Obj_model.id -> bool -> unit
 
 (** {1 Mark epochs} *)
 
 val begin_mark_epoch : t -> int
-(** Increments and returns the epoch; objects whose [mark] equals the
+(** Increments and returns the epoch; objects whose mark slot equals the
     current epoch count as marked. *)
 
 val current_epoch : t -> int
 
-val is_marked : t -> Obj_model.t -> bool
+val is_marked : t -> Obj_model.id -> bool
 
-val set_marked : t -> Obj_model.t -> unit
+val set_marked : t -> Obj_model.id -> unit
 
 val begin_scratch_epoch : t -> int
-(** Independent epoch for the [scratch] mark slot, used by stop-the-world
+(** Independent epoch for the scratch mark slot, used by stop-the-world
     scavenges so they do not disturb an in-flight concurrent marking. *)
 
-val is_scratch_marked : t -> Obj_model.t -> bool
+val is_scratch_marked : t -> Obj_model.id -> bool
 
-val set_scratch_marked : t -> Obj_model.t -> unit
+val set_scratch_marked : t -> Obj_model.id -> unit
 
 (** {1 Allocation and movement} *)
 
@@ -103,12 +123,12 @@ val set_alloc_reserve : t -> int -> unit
 
 val alloc_reserve : t -> int
 
-val alloc_in_region :
-  t -> Region.t -> size:int -> nfields:int -> Obj_model.t option
-(** Bump-allocates a fresh object, or [None] if the region cannot fit
-    [size] words.  Updates cumulative allocation statistics. *)
+val alloc_in_region : t -> Region.t -> size:int -> nfields:int -> Obj_model.id
+(** Bump-allocates a fresh object, or [Obj_model.null] if the region
+    cannot fit [size] words.  Updates cumulative allocation statistics.
+    Allocation-free on the host. *)
 
-val move_object : t -> Obj_model.t -> Region.t -> bool
+val move_object : t -> Obj_model.id -> Region.t -> bool
 (** Evacuate: the object's storage moves to the destination region (id is
     unchanged); [false] if the destination cannot fit it.  The source
     region's cursor is left as-is — its space is garbage until the region
@@ -118,24 +138,24 @@ val release_log : (int -> string -> unit) ref
 (** Debug hook: called with (region index, caller tag) on every release. *)
 
 val release_region : t -> Region.t -> unit
-(** Reclaims the region: every object still resident is removed from the
-    object table; the region returns to the free pool. *)
+(** Reclaims the region: every object still resident dies (its field
+    extent is recycled); the region returns to the free pool. *)
 
 val purge_unmarked : t -> Region.t -> unit
-(** Removes from the object table every resident object not marked in the
-    current epoch (the sweep half of mark-sweep). *)
+(** Kills every resident object not marked in the current epoch (the sweep
+    half of mark-sweep). *)
 
 val release_region_keep_objects : t -> Region.t -> unit
 (** Returns the region to the free pool {e without} touching the object
-    table.  Used by sliding compaction, which first purges dead objects,
+    store.  Used by sliding compaction, which first purges dead objects,
     then resets all regions, then re-places the survivors with
     {!place_object}.  The caller must re-place every resident object. *)
 
-val place_object : t -> Obj_model.t -> Region.t -> bool
+val place_object : t -> Obj_model.id -> Region.t -> bool
 (** Like {!move_object}: re-homes an object during compaction. *)
 
-val iter_resident_objects : t -> Region.t -> (Obj_model.t -> unit) -> unit
-(** Live-table objects whose storage is currently in this region. *)
+val iter_resident_objects : t -> Region.t -> (Obj_model.id -> unit) -> unit
+(** Live objects whose storage is currently in this region. *)
 
 (** {1 Cumulative statistics} *)
 
@@ -151,9 +171,9 @@ val log_collection : t -> unit
 (** {1 Reachability (for tests and ground truth)} *)
 
 val reachable_from : t -> Obj_model.id list -> (Obj_model.id, unit) Hashtbl.t
-(** BFS over the object graph from the given roots; only live-table
-    objects are traversed.  Begins a fresh scratch epoch (the visited set
-    is the scratch mark slot), so do not call it while a scratch-marking
-    scavenge is in flight. *)
+(** BFS over the object graph from the given roots; only live objects are
+    traversed.  Begins a fresh scratch epoch (the visited set is the
+    scratch mark slot), so do not call it while a scratch-marking scavenge
+    is in flight. *)
 
 val pp : Format.formatter -> t -> unit

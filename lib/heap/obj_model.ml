@@ -2,16 +2,7 @@ type id = int
 
 let null = 0
 
-type t = {
-  id : id;
-  size : int;
-  fields : id array;
-  mutable region : int;
-  mutable age : int;
-  mutable mark : int;
-  mutable scratch : int;
-  mutable remembered : bool;
-}
+let is_null id = id = null
 
 let header_words = 2
 
@@ -19,19 +10,200 @@ let fields_capacity ~size =
   let cap = size - header_words in
   if cap < 0 then 0 else cap
 
-let make ~id ~size ~nfields ~region =
-  if size < header_words then invalid_arg "Obj_model.make: size below header";
-  if nfields < 0 || nfields > fields_capacity ~size then
-    invalid_arg "Obj_model.make: field count does not fit";
-  {
-    id;
-    size;
-    fields = Array.make nfields null;
-    region;
-    age = 0;
-    mark = -1;
-    scratch = -1;
-    remembered = false;
-  }
+(* Struct-of-arrays object store.
 
-let is_null id = id = null
+   Every per-object attribute lives in its own flat [int array] indexed by
+   object id, and all reference fields share one arena of object ids.  The
+   mark loop that dominates every collector then walks dense int arrays
+   instead of chasing per-object record pointers through the host heap, and
+   allocating a simulated object writes a handful of array slots instead of
+   allocating host memory.
+
+   Ids are never reused; the metadata arrays grow geometrically with the
+   high-water mark.  Field extents in the arena, however, ARE reused: when
+   an object dies its extent is pushed onto an intrusive free list for its
+   exact field count (the next-pointer is stored in the extent's first
+   slot), and a later allocation with the same field count pops it.  Extents
+   popped from a free list are re-zeroed before handing out; extents carved
+   from the bump frontier are already [null] because fresh arena storage is
+   zero-initialised. *)
+
+type store = {
+  mutable size : int array;  (** words, header included *)
+  mutable region : int array;  (** owning region index *)
+  mutable age : int array;
+  mutable mark : int array;  (** epoch of the last mark; -1 when fresh *)
+  mutable scratch : int array;  (** second, independent mark slot *)
+  mutable flags : int array;  (** bit 0 live, bit 1 remembered *)
+  mutable foff : int array;  (** offset of the field extent in [arena] *)
+  mutable nfields : int array;
+  mutable count : int;  (** next fresh id; ids are never reused *)
+  mutable arena : int array;  (** all reference fields, as object ids *)
+  mutable arena_top : int;  (** bump frontier *)
+  mutable free_heads : int array;
+      (** head of the free-extent list per exact field count; -1 when
+          empty.  The next pointer of a free extent is stored in its first
+          arena slot. *)
+}
+
+let initial_capacity = 1024
+
+let initial_arena = 4096
+
+let create_store () =
+  let s =
+    {
+      size = Array.make initial_capacity 0;
+      region = Array.make initial_capacity (-1);
+      age = Array.make initial_capacity 0;
+      mark = Array.make initial_capacity (-1);
+      scratch = Array.make initial_capacity (-1);
+      flags = Array.make initial_capacity 0;
+      foff = Array.make initial_capacity 0;
+      nfields = Array.make initial_capacity 0;
+      count = 0;
+      arena = Array.make initial_arena null;
+      arena_top = 0;
+      free_heads = Array.make 8 (-1);
+    }
+  in
+  (* id 0 is the null reference: a permanently dead header-only slot *)
+  s.size.(0) <- header_words;
+  s.count <- 1;
+  s
+
+let grow_meta s =
+  let old = Array.length s.size in
+  let cap = 2 * old in
+  let grow ~fill a =
+    let b = Array.make cap fill in
+    Array.blit a 0 b 0 old;
+    b
+  in
+  s.size <- grow ~fill:0 s.size;
+  s.region <- grow ~fill:(-1) s.region;
+  s.age <- grow ~fill:0 s.age;
+  s.mark <- grow ~fill:(-1) s.mark;
+  s.scratch <- grow ~fill:(-1) s.scratch;
+  s.flags <- grow ~fill:0 s.flags;
+  s.foff <- grow ~fill:0 s.foff;
+  s.nfields <- grow ~fill:0 s.nfields
+
+let grow_arena s needed =
+  let cap = ref (2 * Array.length s.arena) in
+  while !cap < needed do
+    cap := 2 * !cap
+  done;
+  let b = Array.make !cap null in
+  Array.blit s.arena 0 b 0 s.arena_top;
+  s.arena <- b
+
+(* Take a field extent: exact-size free list first, bump frontier
+   otherwise.  Zero-field objects get offset 0 and cost no arena words. *)
+let take_extent s nf =
+  if nf < Array.length s.free_heads && s.free_heads.(nf) >= 0 then begin
+    let off = s.free_heads.(nf) in
+    s.free_heads.(nf) <- s.arena.(off);
+    Array.fill s.arena off nf null;
+    off
+  end
+  else begin
+    if s.arena_top + nf > Array.length s.arena then grow_arena s (s.arena_top + nf);
+    let off = s.arena_top in
+    s.arena_top <- off + nf;
+    off
+  end
+
+let alloc s ~size ~nfields ~region =
+  if size < header_words then invalid_arg "Obj_model.alloc: size below header";
+  if nfields < 0 || nfields > fields_capacity ~size then
+    invalid_arg "Obj_model.alloc: field count does not fit";
+  let id = s.count in
+  if id = Array.length s.size then grow_meta s;
+  s.count <- id + 1;
+  s.size.(id) <- size;
+  s.region.(id) <- region;
+  s.age.(id) <- 0;
+  s.mark.(id) <- -1;
+  s.scratch.(id) <- -1;
+  s.flags.(id) <- 1;
+  s.nfields.(id) <- nfields;
+  s.foff.(id) <- (if nfields = 0 then 0 else take_extent s nfields);
+  id
+
+let grow_free_heads s nf =
+  let cap = ref (2 * Array.length s.free_heads) in
+  while !cap <= nf do
+    cap := 2 * !cap
+  done;
+  let b = Array.make !cap (-1) in
+  Array.blit s.free_heads 0 b 0 (Array.length s.free_heads);
+  s.free_heads <- b
+
+let free s id =
+  s.flags.(id) <- 0;
+  let nf = s.nfields.(id) in
+  if nf > 0 then begin
+    if nf >= Array.length s.free_heads then grow_free_heads s nf;
+    let off = s.foff.(id) in
+    s.arena.(off) <- s.free_heads.(nf);
+    s.free_heads.(nf) <- off
+  end
+
+(* Accessors below [is_live] assume a live id (see the interface); the
+   range check in [is_live] is the only guard, so the hot-path reads and
+   writes skip the per-access bounds check.  [id < count <= length] holds
+   for every live id because ids are handed out monotonically. *)
+
+let[@inline] is_live s id = id > 0 && id < s.count && Array.unsafe_get s.flags id land 1 <> 0
+
+let[@inline] size s id = Array.unsafe_get s.size id
+
+let[@inline] region s id = Array.unsafe_get s.region id
+
+let[@inline] set_region s id r = Array.unsafe_set s.region id r
+
+let[@inline] age s id = Array.unsafe_get s.age id
+
+let[@inline] set_age s id a = Array.unsafe_set s.age id a
+
+let[@inline] mark s id = Array.unsafe_get s.mark id
+
+let[@inline] set_mark s id m = Array.unsafe_set s.mark id m
+
+let[@inline] scratch s id = Array.unsafe_get s.scratch id
+
+let[@inline] set_scratch s id m = Array.unsafe_set s.scratch id m
+
+let[@inline] remembered s id = Array.unsafe_get s.flags id land 2 <> 0
+
+let[@inline] set_remembered s id v =
+  let f = Array.unsafe_get s.flags id in
+  Array.unsafe_set s.flags id (if v then f lor 2 else f land lnot 2)
+
+let[@inline] nfields s id = Array.unsafe_get s.nfields id
+
+let[@inline] field_base s id = Array.unsafe_get s.foff id
+
+let[@inline] arena_get s off = Array.unsafe_get s.arena off
+
+let[@inline] field_get s id i = Array.unsafe_get s.arena (Array.unsafe_get s.foff id + i)
+
+let[@inline] field_set s id i v = Array.unsafe_set s.arena (Array.unsafe_get s.foff id + i) v
+
+let field_extent s id = (s.foff.(id), s.nfields.(id))
+
+let arena_used s = s.arena_top
+
+let iter_fields s id f =
+  let base = Array.unsafe_get s.foff id in
+  let nf = Array.unsafe_get s.nfields id in
+  for i = 0 to nf - 1 do
+    f (Array.unsafe_get s.arena (base + i))
+  done
+
+let exists_fields s id f =
+  let base = Array.unsafe_get s.foff id in
+  let nf = Array.unsafe_get s.nfields id in
+  let rec loop i = i < nf && (f (Array.unsafe_get s.arena (base + i)) || loop (i + 1)) in
+  loop 0

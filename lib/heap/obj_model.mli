@@ -1,39 +1,108 @@
-(** The simulated object model.
+(** The simulated object model, stored struct-of-arrays.
 
-    Objects are real graph nodes: a size in words and a field array holding
-    ids of other objects, which collectors traverse when marking.  Identity
-    is stable across moves — "copying" an object updates which region owns
-    its words (and charges the copy cost), but never its id, so simulated
-    references need no rewriting.  Reference-update costs are charged from
-    edge counts instead (see DESIGN.md §5). *)
+    Objects are real graph nodes: a size in words and reference fields
+    holding ids of other objects, which collectors traverse when marking.
+    Identity is stable across moves — "copying" an object updates which
+    region owns its words (and charges the copy cost), but never its id, so
+    simulated references need no rewriting.  Reference-update costs are
+    charged from edge counts instead (see DESIGN.md §5).
+
+    The representation is data-oriented: per-object attributes (size,
+    region, age, mark, scratch, liveness, remembered bit) are parallel flat
+    [int array]s indexed by id, and every object's reference fields are a
+    contiguous {e extent} of a single shared arena of ids.  The tracer's
+    transitive-mark loop — the kernel behind every collector — therefore
+    walks dense int arrays with no per-object host allocation, and the mark
+    bits of hot objects share cache lines.  Dead objects' field extents are
+    recycled through exact-size free lists; zero-field objects consume no
+    arena words at all. *)
 
 type id = int
 (** Object identifier.  [null] (= 0) is the absent reference. *)
 
 val null : id
 
-type t = {
-  id : id;
-  size : int;  (** total size in words, header included *)
-  fields : id array;  (** reference slots; [null] where empty *)
-  mutable region : int;  (** index of the owning region *)
-  mutable age : int;  (** survived collections (generational promotion) *)
-  mutable mark : int;  (** epoch of the last mark that reached this object *)
-  mutable scratch : int;
-      (** second, independent mark slot: lets a stop-the-world scavenge run
-          while a concurrent marking epoch is in flight (as G1's young
-          collections do during concurrent marking) *)
-  mutable remembered : bool;  (** coarse per-object remembered-set bit *)
-}
+val is_null : id -> bool
 
 val header_words : int
 (** 2: every object pays a two-word header, as in HotSpot. *)
 
-val make : id:id -> size:int -> nfields:int -> region:int -> t
-(** A fresh, unmarked object of age 0.  [nfields] must fit in
-    [size - header_words]. *)
-
 val fields_capacity : size:int -> int
 (** Largest legal [nfields] for an object of [size] words. *)
 
-val is_null : id -> bool
+type store
+(** The struct-of-arrays object store.  One per simulated heap. *)
+
+val create_store : unit -> store
+(** Fresh store; id 0 (the null reference) is pre-reserved and dead. *)
+
+val alloc : store -> size:int -> nfields:int -> region:int -> id
+(** A fresh, live, unmarked object of age 0.  [nfields] must fit in
+    [size - header_words]; fields start [null].  Ids are monotonically
+    increasing and never reused. *)
+
+val free : store -> id -> unit
+(** Kill the object and recycle its field extent.  The id stays dead
+    forever; accessors other than {!is_live} must not be used on it. *)
+
+val is_live : store -> id -> bool
+(** Allocation-free; false for [null], out-of-range and freed ids. *)
+
+(** {1 Per-object attributes}
+
+    All accessors assume a live id (no bounds or liveness checks). *)
+
+val size : store -> id -> int
+
+val region : store -> id -> int
+
+val set_region : store -> id -> int -> unit
+
+val age : store -> id -> int
+
+val set_age : store -> id -> int -> unit
+
+val mark : store -> id -> int
+(** Epoch of the last mark that reached this object; -1 when fresh. *)
+
+val set_mark : store -> id -> int -> unit
+
+val scratch : store -> id -> int
+(** Second, independent mark slot: lets a stop-the-world scavenge run
+    while a concurrent marking epoch is in flight (as G1's young
+    collections do during concurrent marking). *)
+
+val set_scratch : store -> id -> int -> unit
+
+val remembered : store -> id -> bool
+(** Coarse per-object remembered-set bit. *)
+
+val set_remembered : store -> id -> bool -> unit
+
+(** {1 Reference fields} *)
+
+val nfields : store -> id -> int
+
+val field_get : store -> id -> int -> id
+
+val field_set : store -> id -> int -> id -> unit
+
+val iter_fields : store -> id -> (id -> unit) -> unit
+
+val exists_fields : store -> id -> (id -> bool) -> bool
+(** Left-to-right, short-circuiting (the [Array.exists] contract). *)
+
+val field_base : store -> id -> int
+(** Offset of the object's field extent in the arena; pair with
+    {!arena_get} on mark-loop hot paths to avoid re-reading the offset per
+    field. *)
+
+val arena_get : store -> int -> id
+(** Read an arena slot by absolute offset (from {!field_base}). *)
+
+val field_extent : store -> id -> int * int
+(** [(offset, nfields)] — exposed for the arena model tests. *)
+
+val arena_used : store -> int
+(** Bump frontier of the field arena in words (recycled extents are below
+    it) — exposed for tests. *)

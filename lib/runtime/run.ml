@@ -74,9 +74,10 @@ let execute config =
     List.init spec.Spec.mutator_threads (fun index ->
         Mutator.create ctx ~gc ~spec ~longlived ~prng:(Prng.split root_prng) ~index)
   in
-  (ctx.Gc_types.roots :=
-     fun () ->
-       List.concat (Longlived.roots longlived :: List.map Mutator.roots mutators));
+  (ctx.Gc_types.iter_roots :=
+     fun f ->
+       Longlived.iter_roots longlived f;
+       List.iter (fun m -> Mutator.iter_roots m f) mutators);
   let latency =
     match spec.Spec.latency with
     | None ->

@@ -1,11 +1,12 @@
+module Heap = Gcr_heap.Heap
 module Obj_model = Gcr_heap.Obj_model
 module Gc_types = Gcr_gcs.Gc_types
 
-let write_ref ~(gc : Gc_types.t) ~(src : Obj_model.t) ~slot ~target =
-  let old_target = src.Obj_model.fields.(slot) in
+let write_ref ~(gc : Gc_types.t) ~heap ~(src : Obj_model.id) ~slot ~target =
+  let old_target = Heap.field heap src slot in
   gc.Gc_types.on_pointer_write ~src ~old_target ~new_target:target;
-  src.Obj_model.fields.(slot) <- target;
+  Heap.set_field heap src slot target;
   gc.Gc_types.write_barrier ()
 
-let read_ref ~(gc : Gc_types.t) ~(src : Obj_model.t) ~slot =
-  (src.Obj_model.fields.(slot), gc.Gc_types.read_barrier ())
+let read_ref ~(gc : Gc_types.t) ~heap ~(src : Obj_model.id) ~slot =
+  (Heap.field heap src slot, gc.Gc_types.read_barrier ())

@@ -7,12 +7,18 @@
 
 val write_ref :
   gc:Gcr_gcs.Gc_types.t ->
-  src:Gcr_heap.Obj_model.t ->
+  heap:Gcr_heap.Heap.t ->
+  src:Gcr_heap.Obj_model.id ->
   slot:int ->
   target:Gcr_heap.Obj_model.id ->
   int
 (** Performs the pre-write barrier hook, stores, and returns the write
     barrier cost. *)
 
-val read_ref : gc:Gcr_gcs.Gc_types.t -> src:Gcr_heap.Obj_model.t -> slot:int -> Gcr_heap.Obj_model.id * int
+val read_ref :
+  gc:Gcr_gcs.Gc_types.t ->
+  heap:Gcr_heap.Heap.t ->
+  src:Gcr_heap.Obj_model.id ->
+  slot:int ->
+  Gcr_heap.Obj_model.id * int
 (** Loads a field; returns the value and the read-barrier cost. *)

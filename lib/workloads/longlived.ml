@@ -11,7 +11,7 @@ let segment_size = fields_per_segment + Obj_model.header_words
 
 type t = {
   ctx : Gc_types.ctx;
-  segments : Obj_model.t array;
+  segments : Obj_model.id array;
   total_slots : int;
   mutable filled : int;
 }
@@ -32,7 +32,9 @@ let create (ctx : Gc_types.ctx) ~spec ~prng:_ =
   Allocator.retire allocator;
   { ctx; segments; total_slots; filled = 0 }
 
-let roots t = Array.to_list (Array.map (fun (o : Obj_model.t) -> o.Obj_model.id) t.segments)
+let iter_roots t f = Array.iter f t.segments
+
+let roots t = Array.to_list t.segments
 
 let is_full t = t.filled >= t.total_slots
 
@@ -40,7 +42,7 @@ let slot_count t = t.total_slots
 
 let slot_position index = (index / fields_per_segment, index mod fields_per_segment)
 
-let place t ~gc ~prng ~(node : Obj_model.t) =
+let place t ~gc ~prng ~(node : Obj_model.id) =
   let index =
     if is_full t then
       (* Churn: replace a random node; the old one becomes garbage unless
@@ -53,12 +55,12 @@ let place t ~gc ~prng ~(node : Obj_model.t) =
     end
   in
   let seg, slot = slot_position index in
-  Heap_ops.write_ref ~gc ~src:t.segments.(seg) ~slot ~target:node.Obj_model.id
+  Heap_ops.write_ref ~gc ~heap:t.ctx.Gc_types.heap ~src:t.segments.(seg) ~slot ~target:node
 
 let random_node t prng =
   if t.filled = 0 then Obj_model.null
   else begin
     let index = Prng.int prng t.filled in
     let seg, slot = slot_position index in
-    t.segments.(seg).Obj_model.fields.(slot)
+    Heap.field t.ctx.Gc_types.heap t.segments.(seg) slot
   end

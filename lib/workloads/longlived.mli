@@ -15,14 +15,18 @@ val create :
     application's pre-main initialisation).  Must run before the engine
     starts. *)
 
+val iter_roots : t -> (Gcr_heap.Obj_model.id -> unit) -> unit
+(** The segment ids (the static fields of the application), in segment
+    order.  Allocation-free. *)
+
 val roots : t -> Gcr_heap.Obj_model.id list
-(** The segment ids (the static fields of the application). *)
+(** [iter_roots] materialised as a list (tests and debugging). *)
 
 val is_full : t -> bool
 (** Ramp-up finished: every slot holds a node. *)
 
 val place :
-  t -> gc:Gcr_gcs.Gc_types.t -> prng:Gcr_util.Prng.t -> node:Gcr_heap.Obj_model.t -> int
+  t -> gc:Gcr_gcs.Gc_types.t -> prng:Gcr_util.Prng.t -> node:Gcr_heap.Obj_model.id -> int
 (** Install a freshly allocated node into the table (an empty slot during
     ramp-up, a random slot — dropping the previous node — afterwards).
     Returns the cycle cost of the write. *)

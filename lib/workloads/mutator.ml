@@ -8,6 +8,9 @@ module Vec = Gcr_util.Vec
 module Cost_model = Gcr_mach.Cost_model
 module Gc_types = Gcr_gcs.Gc_types
 
+(* The nursery is a ring buffer over two parallel int arrays (object id,
+   expiry packet) rather than a [Queue.t] of tuples: root enumeration and
+   expiry run on every packet and must not allocate. *)
 type t = {
   ctx : Gc_types.ctx;
   gc : Gc_types.t;
@@ -16,10 +19,15 @@ type t = {
   prng : Prng.t;
   th : Engine.thread;
   eden : Allocator.t;
-  nursery : (Obj_model.id * int) Queue.t;  (** (object, expiry packet) *)
+  mutable nursery_ids : int array;
+  mutable nursery_expiry : int array;
+  mutable nursery_head : int;  (** index of the oldest entry *)
+  mutable nursery_len : int;
   mutable last_alloc : Obj_model.id;
   mutable packets : int;
 }
+
+let initial_nursery = 16  (* power of two; the ring index is masked *)
 
 let create (ctx : Gc_types.ctx) ~gc ~spec ~longlived ~prng ~index =
   let th =
@@ -36,7 +44,10 @@ let create (ctx : Gc_types.ctx) ~gc ~spec ~longlived ~prng ~index =
     prng;
     th;
     eden;
-    nursery = Queue.create ();
+    nursery_ids = Array.make initial_nursery Obj_model.null;
+    nursery_expiry = Array.make initial_nursery 0;
+    nursery_head = 0;
+    nursery_len = 0;
     last_alloc = Obj_model.null;
     packets = 0;
   }
@@ -45,9 +56,42 @@ let thread t = t.th
 
 let packets_executed t = t.packets
 
+let grow_nursery t =
+  let cap = Array.length t.nursery_ids in
+  let ids = Array.make (2 * cap) Obj_model.null in
+  let expiry = Array.make (2 * cap) 0 in
+  let mask = cap - 1 in
+  for k = 0 to t.nursery_len - 1 do
+    let i = (t.nursery_head + k) land mask in
+    ids.(k) <- t.nursery_ids.(i);
+    expiry.(k) <- t.nursery_expiry.(i)
+  done;
+  t.nursery_ids <- ids;
+  t.nursery_expiry <- expiry;
+  t.nursery_head <- 0
+
+let nursery_push t id ~expiry =
+  if t.nursery_len = Array.length t.nursery_ids then grow_nursery t;
+  let mask = Array.length t.nursery_ids - 1 in
+  let i = (t.nursery_head + t.nursery_len) land mask in
+  t.nursery_ids.(i) <- id;
+  t.nursery_expiry.(i) <- expiry;
+  t.nursery_len <- t.nursery_len + 1
+
+(* Roots, newest first: the in-flight allocation chain head, then the
+   nursery from youngest to oldest.  [iter_roots] is the allocation-free
+   path the collectors use; [roots] builds a list for tests. *)
+let iter_roots t f =
+  if not (Obj_model.is_null t.last_alloc) then f t.last_alloc;
+  let mask = Array.length t.nursery_ids - 1 in
+  for k = t.nursery_len - 1 downto 0 do
+    f t.nursery_ids.((t.nursery_head + k) land mask)
+  done
+
 let roots t =
-  let nursery = Queue.fold (fun acc (id, _) -> id :: acc) [] t.nursery in
-  if Obj_model.is_null t.last_alloc then nursery else t.last_alloc :: nursery
+  let acc = ref [] in
+  iter_roots t (fun id -> acc := id :: !acc);
+  List.rev !acc
 
 let draw_size t =
   Prng.geometric_size t.prng ~mean:t.spec.Spec.size_mean ~min:t.spec.Spec.size_min
@@ -59,14 +103,11 @@ let nfields_for t size =
   max 1 (min slots wanted)
 
 let drop_expired_nursery t =
-  let rec loop () =
-    match Queue.peek_opt t.nursery with
-    | Some (_, expiry) when expiry <= t.packets ->
-        ignore (Queue.pop t.nursery);
-        loop ()
-    | Some _ | None -> ()
-  in
-  loop ()
+  let mask = Array.length t.nursery_ids - 1 in
+  while t.nursery_len > 0 && t.nursery_expiry.(t.nursery_head) <= t.packets do
+    t.nursery_head <- (t.nursery_head + 1) land mask;
+    t.nursery_len <- t.nursery_len - 1
+  done
 
 (* Wiring discipline (keeps the live set bounded and realistic):
    - ordinary objects chain to the previous allocation with probability
@@ -78,27 +119,29 @@ let drop_expired_nursery t =
    Returns the cycle cost of the writes. *)
 let chain_probability = 0.5
 
-let wire_ordinary t (o : Obj_model.t) =
+let wire_ordinary t id =
+  let heap = t.ctx.Gc_types.heap in
   let cost = ref 0 in
-  let nfields = Array.length o.Obj_model.fields in
+  let nfields = Heap.obj_nfields heap id in
   if nfields > 0 && (not (Obj_model.is_null t.last_alloc)) && Prng.bernoulli t.prng chain_probability
-  then cost := !cost + Heap_ops.write_ref ~gc:t.gc ~src:o ~slot:0 ~target:t.last_alloc;
+  then cost := !cost + Heap_ops.write_ref ~gc:t.gc ~heap ~src:id ~slot:0 ~target:t.last_alloc;
   if nfields > 1 && Prng.bernoulli t.prng 0.3 then begin
     let node = Longlived.random_node t.longlived t.prng in
     if not (Obj_model.is_null node) then
-      cost := !cost + Heap_ops.write_ref ~gc:t.gc ~src:o ~slot:1 ~target:node
+      cost := !cost + Heap_ops.write_ref ~gc:t.gc ~heap ~src:id ~slot:1 ~target:node
   end;
-  t.last_alloc <- o.Obj_model.id;
+  t.last_alloc <- id;
   !cost
 
-let wire_longlived t (o : Obj_model.t) =
+let wire_longlived t id =
+  let heap = t.ctx.Gc_types.heap in
   let cost = ref 0 in
-  let nfields = Array.length o.Obj_model.fields in
+  let nfields = Heap.obj_nfields heap id in
   let slots = min nfields 2 in
   for slot = 0 to slots - 1 do
     let node = Longlived.random_node t.longlived t.prng in
     if not (Obj_model.is_null node) then
-      cost := !cost + Heap_ops.write_ref ~gc:t.gc ~src:o ~slot ~target:node
+      cost := !cost + Heap_ops.write_ref ~gc:t.gc ~heap ~src:id ~slot ~target:node
   done;
   !cost
 
@@ -114,6 +157,7 @@ let long_lived_quota t =
 
 let run_packet t k =
   let cost_model = t.ctx.Gc_types.cost in
+  let heap = t.ctx.Gc_types.heap in
   t.packets <- t.packets + 1;
   drop_expired_nursery t;
   let cost = ref t.spec.Spec.packet_compute_cycles in
@@ -122,20 +166,20 @@ let run_packet t k =
   let longlived_left = ref (long_lived_quota t) in
   t.last_alloc <- Obj_model.null;
   (* chains never span packets *)
-  let handle_allocated (o : Obj_model.t) =
+  let handle_allocated id =
     cost :=
       !cost + cost_model.Cost_model.alloc_fast
-      + (cost_model.Cost_model.alloc_init_per_word * o.Obj_model.size);
-    t.gc.Gc_types.on_alloc o;
+      + (cost_model.Cost_model.alloc_init_per_word * Heap.obj_size heap id);
+    t.gc.Gc_types.on_alloc id;
     if !longlived_left > 0 then begin
       decr longlived_left;
-      cost := !cost + wire_longlived t o;
-      cost := !cost + Longlived.place t.longlived ~gc:t.gc ~prng:t.prng ~node:o
+      cost := !cost + wire_longlived t id;
+      cost := !cost + Longlived.place t.longlived ~gc:t.gc ~prng:t.prng ~node:id
     end
     else begin
-      cost := !cost + wire_ordinary t o;
+      cost := !cost + wire_ordinary t id;
       if Prng.bernoulli t.prng t.spec.Spec.survival_ratio then
-        Queue.add (o.Obj_model.id, t.packets + t.spec.Spec.nursery_ttl_packets) t.nursery
+        nursery_push t id ~expiry:(t.packets + t.spec.Spec.nursery_ttl_packets)
     end
   in
   let rec alloc_loop i finish =

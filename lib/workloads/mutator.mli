@@ -21,9 +21,14 @@ val create :
 
 val thread : t -> Gcr_engine.Engine.thread
 
+val iter_roots : t -> (Gcr_heap.Obj_model.id -> unit) -> unit
+(** The thread's live stack/locals: the most recent allocation, then the
+    nursery newest-first.  Allocation-free; this is the path the
+    collectors' root scans use. *)
+
 val roots : t -> Gcr_heap.Obj_model.id list
-(** The thread's live stack/locals: nursery contents and the most recent
-    allocation. *)
+(** [roots t] is [iter_roots] materialised as a list, in the same order
+    (tests and debugging). *)
 
 val packets_executed : t -> int
 

@@ -17,6 +17,11 @@ let make_ctx ?(regions = 16) ?(region_words = 64) () =
   Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default
     ~machine:Gcr_mach.Machine.default
 
+let alloc heap region ~size ~nfields =
+  let id = Heap.alloc_in_region heap region ~size ~nfields in
+  if Obj_model.is_null id then failwith "alloc: region full";
+  id
+
 let step_fully evacuator =
   let rec loop acc =
     let cost = Evacuator.step evacuator ~budget:3 in
@@ -28,8 +33,8 @@ let test_basic_evacuation () =
   let ctx = make_ctx () in
   let heap = ctx.Gc_types.heap in
   let src = Option.get (Heap.take_free_region heap ~space:Region.Old) in
-  let live = Option.get (Heap.alloc_in_region heap src ~size:8 ~nfields:0) in
-  let dead = Option.get (Heap.alloc_in_region heap src ~size:8 ~nfields:0) in
+  let live = alloc heap src ~size:8 ~nfields:0 in
+  let dead = alloc heap src ~size:8 ~nfields:0 in
   ignore (Heap.begin_mark_epoch heap);
   Heap.set_marked heap live;
   let target = Allocator.create heap ~space:Region.Old in
@@ -37,14 +42,14 @@ let test_basic_evacuation () =
   Evacuator.add_region evacuator src;
   let cost = step_fully evacuator in
   check Alcotest.bool "cost positive" true (cost > 0);
-  check Alcotest.bool "live survives" true (Heap.is_live heap live.Obj_model.id);
-  check Alcotest.bool "dead reclaimed" false (Heap.is_live heap dead.Obj_model.id);
-  check Alcotest.bool "live moved out" true (live.Obj_model.region <> src.Region.index);
+  check Alcotest.bool "live survives" true (Heap.is_live heap live);
+  check Alcotest.bool "dead reclaimed" false (Heap.is_live heap dead);
+  check Alcotest.bool "live moved out" true (Heap.obj_region heap live <> src.Region.index);
   check Alcotest.bool "region freed" true (Region.space_equal src.Region.space Region.Free);
   check Alcotest.int "one region released" 1 (Evacuator.regions_released evacuator);
   check Alcotest.int "words copied" 8 (Evacuator.words_copied evacuator);
   check Alcotest.int "objects copied" 1 (Evacuator.objects_copied evacuator);
-  check Alcotest.int "age bumped" 1 live.Obj_model.age
+  check Alcotest.int "age bumped" 1 (Heap.obj_age heap live)
 
 let test_multiple_regions () =
   let ctx = make_ctx () in
@@ -56,10 +61,10 @@ let test_multiple_regions () =
   for _ = 1 to 3 do
     let r = Option.get (Heap.take_free_region heap ~space:Region.Old) in
     for i = 0 to 4 do
-      let o = Option.get (Heap.alloc_in_region heap r ~size:8 ~nfields:0) in
+      let o = alloc heap r ~size:8 ~nfields:0 in
       if i mod 2 = 0 then begin
         Heap.set_marked heap o;
-        live_ids := o.Obj_model.id :: !live_ids
+        live_ids := o :: !live_ids
       end
     done;
     Evacuator.add_region evacuator r
@@ -81,7 +86,7 @@ let test_failure_on_exhaustion () =
   let blocker = Option.get (Heap.take_free_region heap ~space:Region.Old) in
   ignore blocker;
   ignore (Heap.begin_mark_epoch heap);
-  let o = Option.get (Heap.alloc_in_region heap src ~size:8 ~nfields:0) in
+  let o = alloc heap src ~size:8 ~nfields:0 in
   Heap.set_marked heap o;
   let target = Allocator.create heap ~space:Region.Old in
   let evacuator = Evacuator.create ctx ~concurrent:false ~choose_target:(fun _ -> target) in
@@ -107,7 +112,7 @@ let test_concurrent_copy_costs_more () =
     let src = Option.get (Heap.take_free_region heap ~space:Region.Old) in
     ignore (Heap.begin_mark_epoch heap);
     for _ = 1 to 5 do
-      let o = Option.get (Heap.alloc_in_region heap src ~size:8 ~nfields:0) in
+      let o = alloc heap src ~size:8 ~nfields:0 in
       Heap.set_marked heap o
     done;
     let target = Allocator.create heap ~space:Region.Old in
@@ -123,18 +128,18 @@ let test_choose_target_per_object () =
   let heap = ctx.Gc_types.heap in
   let src = Option.get (Heap.take_free_region heap ~space:Region.Eden) in
   ignore (Heap.begin_mark_epoch heap);
-  let young = Option.get (Heap.alloc_in_region heap src ~size:8 ~nfields:0) in
-  let tenured = Option.get (Heap.alloc_in_region heap src ~size:8 ~nfields:0) in
-  tenured.Obj_model.age <- 10;
+  let young = alloc heap src ~size:8 ~nfields:0 in
+  let tenured = alloc heap src ~size:8 ~nfields:0 in
+  Heap.set_obj_age heap tenured 10;
   Heap.set_marked heap young;
   Heap.set_marked heap tenured;
   let survivor = Allocator.create heap ~space:Region.Survivor in
   let old = Allocator.create heap ~space:Region.Old in
-  let choose (o : Obj_model.t) = if o.Obj_model.age >= 2 then old else survivor in
+  let choose id = if Heap.obj_age heap id >= 2 then old else survivor in
   let evacuator = Evacuator.create ctx ~concurrent:false ~choose_target:choose in
   Evacuator.add_region evacuator src;
   ignore (step_fully evacuator);
-  let space_of (o : Obj_model.t) = (Heap.region heap o.Obj_model.region).Region.space in
+  let space_of id = Heap.obj_space heap id in
   check Alcotest.bool "young to survivor" true
     (Region.space_equal (space_of young) Region.Survivor);
   check Alcotest.bool "tenured to old" true (Region.space_equal (space_of tenured) Region.Old)

@@ -14,7 +14,7 @@ module Prng = Gcr_util.Prng
 let check = Alcotest.check
 
 (* Build a fragmented heap: objects scattered over many regions, a subset
-   reachable from [roots]. *)
+   reachable from the roots.  Returns the ctx, engine, and the root list. *)
 let build ~regions ~region_words ~objects ~live_every ~seed =
   let heap = Heap.create ~capacity_words:(regions * region_words) ~region_words in
   let engine = Engine.create ~cpus:4 () in
@@ -32,15 +32,15 @@ let build ~regions ~region_words ~objects ~live_every ~seed =
     match Allocator.alloc allocator ~size ~nfields:2 with
     | Allocator.Allocated { obj; _ } ->
         if i mod live_every = 0 then begin
-          roots := obj.Obj_model.id :: !roots;
+          roots := obj :: !roots;
           (* chain some structure under the root *)
-          obj.Obj_model.fields.(0) <- !prev
+          Heap.set_field heap obj 0 !prev
         end;
-        prev := obj.Obj_model.id
+        prev := obj
     | Allocator.Out_of_regions -> Alcotest.fail "test heap too small"
   done;
-  (ctx.Gc_types.roots := fun () -> !roots);
-  (ctx, engine)
+  (ctx.Gc_types.iter_roots := fun f -> List.iter f !roots);
+  (ctx, engine, roots)
 
 let run_compact ctx engine =
   let pool = Worker_pool.create ctx ~count:2 ~name:"compact-test" in
@@ -57,9 +57,11 @@ let run_compact ctx engine =
   Option.get !result
 
 let test_compacts () =
-  let ctx, engine = build ~regions:64 ~region_words:64 ~objects:400 ~live_every:5 ~seed:2 in
+  let ctx, engine, roots =
+    build ~regions:64 ~region_words:64 ~objects:400 ~live_every:5 ~seed:2
+  in
   let heap = ctx.Gc_types.heap in
-  let reachable_before = Heap.reachable_from heap (!(ctx.Gc_types.roots) ()) in
+  let reachable_before = Heap.reachable_from heap !roots in
   let used_before = Heap.used_words heap in
   let result = run_compact ctx engine in
   (* survivors = exactly the reachable set *)
@@ -84,7 +86,9 @@ let test_compacts () =
 
 let test_works_with_empty_pool () =
   (* Compaction needs no free headroom: fill every region first. *)
-  let ctx, engine = build ~regions:16 ~region_words:64 ~objects:120 ~live_every:4 ~seed:3 in
+  let ctx, engine, _roots =
+    build ~regions:16 ~region_words:64 ~objects:120 ~live_every:4 ~seed:3
+  in
   let heap = ctx.Gc_types.heap in
   (* exhaust the pool with eden regions *)
   let rec drain () =
@@ -98,7 +102,9 @@ let test_works_with_empty_pool () =
   check Alcotest.bool "pool replenished" true (Heap.free_regions heap > 0)
 
 let test_idempotent_when_all_live () =
-  let ctx, engine = build ~regions:32 ~region_words:64 ~objects:100 ~live_every:1 ~seed:4 in
+  let ctx, engine, _roots =
+    build ~regions:32 ~region_words:64 ~objects:100 ~live_every:1 ~seed:4
+  in
   let heap = ctx.Gc_types.heap in
   let live_before = Heap.live_objects heap in
   let _ = run_compact ctx engine in

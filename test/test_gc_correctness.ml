@@ -46,7 +46,10 @@ let run_and_inspect gc_kind ~heap_words ~seed =
         Mutator.create ctx ~gc ~spec ~longlived ~prng:(Prng.split root_prng) ~index)
   in
   let roots () = List.concat (Longlived.roots longlived :: List.map Mutator.roots mutators) in
-  (ctx.Gc_types.roots := roots);
+  (ctx.Gc_types.iter_roots :=
+     fun f ->
+       Longlived.iter_roots longlived f;
+       List.iter (fun m -> Mutator.iter_roots m f) mutators);
   List.iter Mutator.start_batch mutators;
   let outcome = Engine.run engine () in
   (outcome, ctx, gc, roots)
@@ -72,12 +75,10 @@ let test_roots_survive gc_kind () =
   let reachable = Heap.reachable_from heap root_ids in
   Hashtbl.iter
     (fun id () ->
-      let o = Heap.find_exn heap id in
-      let r = Heap.region heap o.Obj_model.region in
       check Alcotest.bool
         (Printf.sprintf "object %d in a non-free region" id)
         false
-        (Gcr_heap.Region.space_equal r.Gcr_heap.Region.space Gcr_heap.Region.Free))
+        (Gcr_heap.Region.space_equal (Heap.obj_space heap id) Gcr_heap.Region.Free))
     reachable
 
 let test_heap_usage_bounded gc_kind () =

@@ -10,6 +10,13 @@ let check = Alcotest.check
 let make_heap ?(regions = 8) ?(region_words = 64) () =
   Heap.create ~capacity_words:(regions * region_words) ~region_words
 
+(* alloc_in_region returns [Obj_model.null] when the region is full; the
+   tests below want a hard failure in that case. *)
+let alloc_exn h r ~size ~nfields =
+  let id = Heap.alloc_in_region h r ~size ~nfields in
+  if Obj_model.is_null id then failwith "alloc_exn: region full";
+  id
+
 let test_geometry () =
   let h = make_heap () in
   check Alcotest.int "regions" 8 (Heap.total_regions h);
@@ -30,37 +37,38 @@ let test_take_free_region () =
 let test_alloc_in_region () =
   let h = make_heap () in
   let r = Option.get (Heap.take_free_region h ~space:Region.Eden) in
-  let o = Option.get (Heap.alloc_in_region h r ~size:10 ~nfields:3) in
-  check Alcotest.int "object size" 10 o.Obj_model.size;
-  check Alcotest.int "fields" 3 (Array.length o.Obj_model.fields);
+  let o = alloc_exn h r ~size:10 ~nfields:3 in
+  check Alcotest.int "object size" 10 (Heap.obj_size h o);
+  check Alcotest.int "fields" 3 (Heap.obj_nfields h o);
   check Alcotest.int "region used" 10 r.Region.used_words;
   check Alcotest.int "heap used" 10 (Heap.used_words h);
   check Alcotest.int "eden used" 10 (Heap.space_used_words h Region.Eden);
-  check Alcotest.bool "live" true (Heap.is_live h o.Obj_model.id);
+  check Alcotest.bool "live" true (Heap.is_live h o);
   check Alcotest.int "live objects" 1 (Heap.live_objects h);
   check Alcotest.int "live words" 10 (Heap.live_words_exact h)
 
 let test_alloc_region_full () =
   let h = make_heap ~region_words:16 () in
   let r = Option.get (Heap.take_free_region h ~space:Region.Eden) in
-  check Alcotest.bool "first fits" true (Heap.alloc_in_region h r ~size:12 ~nfields:0 <> None);
-  check Alcotest.bool "second does not" true (Heap.alloc_in_region h r ~size:8 ~nfields:0 = None)
+  check Alcotest.bool "first fits" true
+    (not (Obj_model.is_null (Heap.alloc_in_region h r ~size:12 ~nfields:0)));
+  check Alcotest.bool "second does not" true
+    (Obj_model.is_null (Heap.alloc_in_region h r ~size:8 ~nfields:0))
 
 let test_ids_unique_and_null () =
   let h = make_heap () in
   let r = Option.get (Heap.take_free_region h ~space:Region.Eden) in
-  let a = Option.get (Heap.alloc_in_region h r ~size:4 ~nfields:0) in
-  let b = Option.get (Heap.alloc_in_region h r ~size:4 ~nfields:0) in
-  check Alcotest.bool "distinct ids" true (a.Obj_model.id <> b.Obj_model.id);
-  check Alcotest.bool "null is not live" false (Heap.is_live h Obj_model.null);
-  check Alcotest.bool "find null" true (Heap.find h Obj_model.null = None)
+  let a = alloc_exn h r ~size:4 ~nfields:0 in
+  let b = alloc_exn h r ~size:4 ~nfields:0 in
+  check Alcotest.bool "distinct ids" true (a <> b);
+  check Alcotest.bool "null is not live" false (Heap.is_live h Obj_model.null)
 
 let test_release_region () =
   let h = make_heap () in
   let r = Option.get (Heap.take_free_region h ~space:Region.Eden) in
-  let o = Option.get (Heap.alloc_in_region h r ~size:10 ~nfields:0) in
+  let o = alloc_exn h r ~size:10 ~nfields:0 in
   Heap.release_region h r;
-  check Alcotest.bool "object dead" false (Heap.is_live h o.Obj_model.id);
+  check Alcotest.bool "object dead" false (Heap.is_live h o);
   check Alcotest.int "free restored" 8 (Heap.free_regions h);
   check Alcotest.int "used zero" 0 (Heap.used_words h);
   check Alcotest.int "eden used zero" 0 (Heap.space_used_words h Region.Eden);
@@ -70,25 +78,25 @@ let test_move_object_survives_release () =
   let h = make_heap () in
   let src = Option.get (Heap.take_free_region h ~space:Region.Eden) in
   let dst = Option.get (Heap.take_free_region h ~space:Region.Old) in
-  let o = Option.get (Heap.alloc_in_region h src ~size:10 ~nfields:0) in
+  let o = alloc_exn h src ~size:10 ~nfields:0 in
   check Alcotest.bool "moved" true (Heap.move_object h o dst);
-  check Alcotest.int "region updated" dst.Region.index o.Obj_model.region;
+  check Alcotest.int "region updated" dst.Region.index (Heap.obj_region h o);
   Heap.release_region h src;
-  check Alcotest.bool "still live after source release" true (Heap.is_live h o.Obj_model.id);
+  check Alcotest.bool "still live after source release" true (Heap.is_live h o);
   check Alcotest.int "old space holds it" 10 (Heap.space_used_words h Region.Old)
 
 let test_move_rejects_when_full () =
   let h = make_heap ~region_words:16 () in
   let src = Option.get (Heap.take_free_region h ~space:Region.Eden) in
   let dst = Option.get (Heap.take_free_region h ~space:Region.Old) in
-  ignore (Option.get (Heap.alloc_in_region h dst ~size:12 ~nfields:0));
-  let o = Option.get (Heap.alloc_in_region h src ~size:8 ~nfields:0) in
+  ignore (alloc_exn h dst ~size:12 ~nfields:0);
+  let o = alloc_exn h src ~size:8 ~nfields:0 in
   check Alcotest.bool "no space" false (Heap.move_object h o dst)
 
 let test_mark_epochs () =
   let h = make_heap () in
   let r = Option.get (Heap.take_free_region h ~space:Region.Eden) in
-  let o = Option.get (Heap.alloc_in_region h r ~size:4 ~nfields:0) in
+  let o = alloc_exn h r ~size:4 ~nfields:0 in
   check Alcotest.bool "unmarked initially" false (Heap.is_marked h o);
   ignore (Heap.begin_mark_epoch h);
   Heap.set_marked h o;
@@ -104,20 +112,20 @@ let test_mark_epochs () =
 let test_purge_unmarked () =
   let h = make_heap () in
   let r = Option.get (Heap.take_free_region h ~space:Region.Eden) in
-  let keep = Option.get (Heap.alloc_in_region h r ~size:4 ~nfields:0) in
-  let drop = Option.get (Heap.alloc_in_region h r ~size:4 ~nfields:0) in
+  let keep = alloc_exn h r ~size:4 ~nfields:0 in
+  let drop = alloc_exn h r ~size:4 ~nfields:0 in
   ignore (Heap.begin_mark_epoch h);
   Heap.set_marked h keep;
   Heap.purge_unmarked h r;
-  check Alcotest.bool "marked survives" true (Heap.is_live h keep.Obj_model.id);
-  check Alcotest.bool "unmarked purged" false (Heap.is_live h drop.Obj_model.id)
+  check Alcotest.bool "marked survives" true (Heap.is_live h keep);
+  check Alcotest.bool "unmarked purged" false (Heap.is_live h drop)
 
 let test_release_keep_objects_and_place () =
   let h = make_heap () in
   let r = Option.get (Heap.take_free_region h ~space:Region.Eden) in
-  let o = Option.get (Heap.alloc_in_region h r ~size:10 ~nfields:0) in
+  let o = alloc_exn h r ~size:10 ~nfields:0 in
   Heap.release_region_keep_objects h r;
-  check Alcotest.bool "object survives raw release" true (Heap.is_live h o.Obj_model.id);
+  check Alcotest.bool "object survives raw release" true (Heap.is_live h o);
   check Alcotest.int "used reset" 0 (Heap.used_words h);
   let dst = Option.get (Heap.take_free_region h ~space:Region.Old) in
   check Alcotest.bool "placed" true (Heap.place_object h o dst);
@@ -136,17 +144,17 @@ let test_alloc_reserve () =
 let test_reachable_from () =
   let h = make_heap () in
   let r = Option.get (Heap.take_free_region h ~space:Region.Eden) in
-  let a = Option.get (Heap.alloc_in_region h r ~size:6 ~nfields:2) in
-  let b = Option.get (Heap.alloc_in_region h r ~size:6 ~nfields:2) in
-  let c = Option.get (Heap.alloc_in_region h r ~size:6 ~nfields:2) in
-  let d = Option.get (Heap.alloc_in_region h r ~size:6 ~nfields:2) in
-  a.Obj_model.fields.(0) <- b.Obj_model.id;
-  b.Obj_model.fields.(0) <- c.Obj_model.id;
-  b.Obj_model.fields.(1) <- a.Obj_model.id;
+  let a = alloc_exn h r ~size:6 ~nfields:2 in
+  let b = alloc_exn h r ~size:6 ~nfields:2 in
+  let c = alloc_exn h r ~size:6 ~nfields:2 in
+  let d = alloc_exn h r ~size:6 ~nfields:2 in
+  Heap.set_field h a 0 b;
+  Heap.set_field h b 0 c;
+  Heap.set_field h b 1 a;
   (* cycle *)
-  let reachable = Heap.reachable_from h [ a.Obj_model.id ] in
+  let reachable = Heap.reachable_from h [ a ] in
   check Alcotest.int "three reachable" 3 (Hashtbl.length reachable);
-  check Alcotest.bool "d unreachable" false (Hashtbl.mem reachable d.Obj_model.id)
+  check Alcotest.bool "d unreachable" false (Hashtbl.mem reachable d)
 
 let test_regions_in_space () =
   let h = make_heap () in

@@ -10,6 +10,7 @@ let () =
       ("engine", Test_engine.suite);
       ("engine-props", Test_engine_props.suite);
       ("heap", Test_heap.suite);
+      ("obj-store", Test_obj_store.suite);
       ("allocator", Test_allocator.suite);
       ("tracer", Test_tracer.suite);
       ("evacuator", Test_evacuator.suite);

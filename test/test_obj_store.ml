@@ -1,0 +1,193 @@
+(* Model test for the struct-of-arrays object store's field arena.
+
+   A random interleaving of alloc / free / field_set is mirrored against a
+   naive Hashtbl-of-arrays model.  After every step the real store must
+   agree with the model on every live object's fields, and the field
+   extents of live objects must be pairwise disjoint — extent recycling
+   must never alias two live objects, whatever order deaths and births
+   come in. *)
+
+module Obj_model = Gcr_heap.Obj_model
+
+let check = Alcotest.check
+
+(* ---- random op sequences ---- *)
+
+type op =
+  | Alloc of int * int (* size, nfields (nfields <= size - header) *)
+  | Free of int (* index into the live set, mod its cardinality *)
+  | Set of int * int * int (* live index, slot, target choice *)
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 4,
+          map2
+            (fun size nf -> Alloc (size, nf mod (Obj_model.fields_capacity ~size + 1)))
+            (int_range Obj_model.header_words 12)
+            (int_range 0 16) );
+        (2, map (fun i -> Free i) (int_range 0 1000));
+        (4, map3 (fun i s t -> Set (i, s, t)) (int_range 0 1000) (int_range 0 16) (int_range 0 1000));
+      ])
+
+let print_op = function
+  | Alloc (size, nf) -> Printf.sprintf "alloc(size=%d,nf=%d)" size nf
+  | Free i -> Printf.sprintf "free(%d)" i
+  | Set (i, s, t) -> Printf.sprintf "set(%d,%d,%d)" i s t
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+    QCheck.Gen.(list_size (int_range 1 60) op_gen)
+
+(* ---- the naive model: id -> field array ---- *)
+
+let agree store model =
+  Hashtbl.iter
+    (fun id fields ->
+      if not (Obj_model.is_live store id) then
+        QCheck.Test.fail_reportf "model object %d not live in store" id;
+      if Obj_model.nfields store id <> Array.length fields then
+        QCheck.Test.fail_reportf "object %d: nfields %d, model %d" id
+          (Obj_model.nfields store id) (Array.length fields);
+      Array.iteri
+        (fun slot v ->
+          let got = Obj_model.field_get store id slot in
+          if got <> v then
+            QCheck.Test.fail_reportf "object %d slot %d: store %d, model %d" id slot got v)
+        fields)
+    model
+
+let extents_disjoint store model =
+  let live = Hashtbl.fold (fun id _ acc -> id :: acc) model [] in
+  let extents =
+    List.filter_map
+      (fun id ->
+        let off, nf = Obj_model.field_extent store id in
+        if nf = 0 then None else Some (id, off, nf))
+      live
+  in
+  List.iter
+    (fun (a, aoff, anf) ->
+      List.iter
+        (fun (b, boff, bnf) ->
+          if a < b && aoff < boff + bnf && boff < aoff + anf then
+            QCheck.Test.fail_reportf "live objects %d [%d,%d) and %d [%d,%d) share arena words" a
+              aoff (aoff + anf) b boff (boff + bnf))
+        extents)
+    extents
+
+let nth_live model i =
+  let n = Hashtbl.length model in
+  if n = 0 then None
+  else begin
+    let ids = Hashtbl.fold (fun id _ acc -> id :: acc) model [] in
+    let sorted = List.sort compare ids in
+    Some (List.nth sorted (i mod n))
+  end
+
+let run_ops ops =
+  let store = Obj_model.create_store () in
+  let model : (Obj_model.id, int array) Hashtbl.t = Hashtbl.create 64 in
+  let all_ids = ref [ Obj_model.null ] in
+  List.iter
+    (fun op ->
+      (match op with
+      | Alloc (size, nfields) ->
+          let id = Obj_model.alloc store ~size ~nfields ~region:0 in
+          if Hashtbl.mem model id then QCheck.Test.fail_reportf "id %d reused" id;
+          if Obj_model.is_null id then QCheck.Test.fail_report "alloc returned null";
+          Hashtbl.replace model id (Array.make nfields Obj_model.null);
+          all_ids := id :: !all_ids
+      | Free i -> (
+          match nth_live model i with
+          | None -> ()
+          | Some id ->
+              Obj_model.free store id;
+              Hashtbl.remove model id;
+              if Obj_model.is_live store id then
+                QCheck.Test.fail_reportf "freed id %d still live" id)
+      | Set (i, slot, t) -> (
+          match nth_live model i with
+          | None -> ()
+          | Some id ->
+              let fields = Hashtbl.find model id in
+              if Array.length fields > 0 then begin
+                let slot = slot mod Array.length fields in
+                (* target: any id ever seen, live or dead or null — the
+                   arena stores ids opaquely *)
+                let candidates = !all_ids in
+                let target = List.nth candidates (t mod List.length candidates) in
+                Obj_model.field_set store id slot target;
+                fields.(slot) <- target
+              end));
+      agree store model;
+      extents_disjoint store model)
+    ops;
+  true
+
+let prop_matches_model =
+  QCheck.Test.make ~count:300 ~name:"field arena matches naive model" ops_arb run_ops
+
+(* ---- directed unit tests ---- *)
+
+let test_zero_field_costs_nothing () =
+  (* Bugfix regression: a header-only object (size 2, no reference
+     fields) must consume zero arena words. *)
+  let store = Obj_model.create_store () in
+  let before = Obj_model.arena_used store in
+  let ids =
+    List.init 100 (fun _ ->
+        Obj_model.alloc store ~size:Obj_model.header_words ~nfields:0 ~region:0)
+  in
+  check Alcotest.int "arena unchanged by 100 header-only objects" before
+    (Obj_model.arena_used store);
+  List.iter
+    (fun id ->
+      check Alcotest.int "nfields 0" 0 (Obj_model.nfields store id);
+      check Alcotest.bool "live" true (Obj_model.is_live store id);
+      check Alcotest.int "size" Obj_model.header_words (Obj_model.size store id))
+    ids;
+  (* freeing them is also a no-op on the arena *)
+  List.iter (fun id -> Obj_model.free store id) ids;
+  check Alcotest.int "arena unchanged by frees" before (Obj_model.arena_used store)
+
+let test_extent_reuse () =
+  (* A freed extent of the exact size is recycled, and recycled fields
+     come back nulled. *)
+  let store = Obj_model.create_store () in
+  let a = Obj_model.alloc store ~size:8 ~nfields:3 ~region:0 in
+  Obj_model.field_set store a 0 a;
+  Obj_model.field_set store a 2 a;
+  let used = Obj_model.arena_used store in
+  Obj_model.free store a;
+  let b = Obj_model.alloc store ~size:8 ~nfields:3 ~region:1 in
+  check Alcotest.int "extent recycled, frontier unmoved" used (Obj_model.arena_used store);
+  for slot = 0 to 2 do
+    check Alcotest.int "recycled fields start null" Obj_model.null
+      (Obj_model.field_get store b slot)
+  done;
+  (* a different size does NOT fit the recycled extent *)
+  Obj_model.free store b;
+  let c = Obj_model.alloc store ~size:8 ~nfields:4 ~region:0 in
+  check Alcotest.bool "bigger extent allocated fresh" true
+    (Obj_model.arena_used store > used);
+  ignore c
+
+let test_ids_never_reused () =
+  let store = Obj_model.create_store () in
+  let a = Obj_model.alloc store ~size:4 ~nfields:1 ~region:0 in
+  Obj_model.free store a;
+  let b = Obj_model.alloc store ~size:4 ~nfields:1 ~region:0 in
+  check Alcotest.bool "fresh id after free" true (b <> a);
+  check Alcotest.bool "dead id stays dead" false (Obj_model.is_live store a)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_matches_model;
+    Alcotest.test_case "header-only objects cost zero arena words" `Quick
+      test_zero_field_costs_nothing;
+    Alcotest.test_case "extent reuse exact-size, nulled" `Quick test_extent_reuse;
+    Alcotest.test_case "ids never reused" `Quick test_ids_never_reused;
+  ]

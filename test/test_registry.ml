@@ -61,17 +61,17 @@ let test_heap_ops_write_ref () =
   in
   let gc = Registry.make Registry.Serial ctx in
   let r = Option.get (Heap.take_free_region heap ~space:Region.Old) in
-  let src = Option.get (Heap.alloc_in_region heap r ~size:4 ~nfields:1) in
+  let src = Heap.alloc_in_region heap r ~size:4 ~nfields:1 in
   let eden = Option.get (Heap.take_free_region heap ~space:Region.Eden) in
-  let target = Option.get (Heap.alloc_in_region heap eden ~size:4 ~nfields:0) in
-  let cost = Heap_ops.write_ref ~gc ~src ~slot:0 ~target:target.Obj_model.id in
-  check Alcotest.int "field written" target.Obj_model.id src.Obj_model.fields.(0);
+  let target = Heap.alloc_in_region heap eden ~size:4 ~nfields:0 in
+  let cost = Heap_ops.write_ref ~gc ~heap ~src ~slot:0 ~target in
+  check Alcotest.int "field written" target (Heap.field heap src 0);
   check Alcotest.bool "barrier cost charged" true (cost > 0);
   (* Serial's write barrier put the old->young source in its remset: a
      second write is deduplicated by the remembered bit *)
-  check Alcotest.bool "remembered" true src.Obj_model.remembered;
-  let value, read_cost = Heap_ops.read_ref ~gc ~src ~slot:0 in
-  check Alcotest.int "read value" target.Obj_model.id value;
+  check Alcotest.bool "remembered" true (Heap.obj_remembered heap src);
+  let value, read_cost = Heap_ops.read_ref ~gc ~heap ~src ~slot:0 in
+  check Alcotest.int "read value" target value;
   check Alcotest.int "serial read barrier free" 0 read_cost
 
 let test_collector_override () =

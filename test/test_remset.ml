@@ -14,7 +14,9 @@ let setup () =
   (heap, old_region, eden)
 
 let alloc heap region ~nfields =
-  Option.get (Heap.alloc_in_region heap region ~size:(nfields + 2) ~nfields)
+  let id = Heap.alloc_in_region heap region ~size:(nfields + 2) ~nfields in
+  if Obj_model.is_null id then failwith "alloc: region full";
+  id
 
 let test_dedup () =
   let heap, old_region, _ = setup () in
@@ -24,7 +26,7 @@ let test_dedup () =
   Remset.remember rs o;
   Remset.remember rs o;
   check Alcotest.int "one entry" 1 (Remset.size rs);
-  check Alcotest.bool "bit set" true o.Obj_model.remembered
+  check Alcotest.bool "bit set" true (Heap.obj_remembered heap o)
 
 let test_rebuild_keeps_young_pointers () =
   let heap, old_region, eden = setup () in
@@ -33,24 +35,24 @@ let test_rebuild_keeps_young_pointers () =
   let points_old = alloc heap old_region ~nfields:1 in
   let young = alloc heap eden ~nfields:0 in
   let old_target = alloc heap old_region ~nfields:0 in
-  points_young.Obj_model.fields.(0) <- young.Obj_model.id;
-  points_old.Obj_model.fields.(0) <- old_target.Obj_model.id;
+  Heap.set_field heap points_young 0 young;
+  Heap.set_field heap points_old 0 old_target;
   Remset.remember rs points_young;
   Remset.remember rs points_old;
   Remset.rebuild rs ~extra:[];
   check Alcotest.int "only the young-pointing entry kept" 1 (Remset.size rs);
   let kept = ref [] in
   Remset.iter rs (fun id -> kept := id :: !kept);
-  check Alcotest.(list int) "kept the right one" [ points_young.Obj_model.id ] !kept;
-  check Alcotest.bool "dropped entry bit cleared" false points_old.Obj_model.remembered
+  check Alcotest.(list int) "kept the right one" [ points_young ] !kept;
+  check Alcotest.bool "dropped entry bit cleared" false (Heap.obj_remembered heap points_old)
 
 let test_rebuild_considers_extra () =
   let heap, old_region, eden = setup () in
   let rs = Remset.create heap in
   let promoted = alloc heap old_region ~nfields:1 in
   let young = alloc heap eden ~nfields:0 in
-  promoted.Obj_model.fields.(0) <- young.Obj_model.id;
-  Remset.rebuild rs ~extra:[ promoted.Obj_model.id ];
+  Heap.set_field heap promoted 0 young;
+  Remset.rebuild rs ~extra:[ promoted ];
   check Alcotest.int "promoted object retained" 1 (Remset.size rs)
 
 let test_rebuild_drops_dead () =
@@ -67,11 +69,11 @@ let test_clear () =
   let rs = Remset.create heap in
   let o = alloc heap old_region ~nfields:1 in
   let young = alloc heap eden ~nfields:0 in
-  o.Obj_model.fields.(0) <- young.Obj_model.id;
+  Heap.set_field heap o 0 young;
   Remset.remember rs o;
   Remset.clear rs;
   check Alcotest.int "empty" 0 (Remset.size rs);
-  check Alcotest.bool "bit cleared" false o.Obj_model.remembered;
+  check Alcotest.bool "bit cleared" false (Heap.obj_remembered heap o);
   (* rememberable again after clear *)
   Remset.remember rs o;
   check Alcotest.int "re-added" 1 (Remset.size rs)

@@ -22,6 +22,8 @@ let setup () =
   in
   (ctx, heap, engine)
 
+let set_roots ctx ids = ctx.Gc_types.iter_roots := fun f -> List.iter f ids
+
 let alloc_eden ctx ~nfields =
   let heap = ctx.Gc_types.heap in
   let allocator = Allocator.create heap ~space:Region.Eden in
@@ -46,7 +48,7 @@ let run_scavenge ctx engine ~remset ~tenure_age =
   | Engine.Aborted reason -> Alcotest.failf "aborted: %s" reason);
   Option.get !result
 
-let space_of heap (o : Obj_model.t) = (Heap.region heap o.Obj_model.region).Region.space
+let space_of heap id = Heap.obj_space heap id
 
 let test_survivors_copied_garbage_dies () =
   let ctx, heap, engine = setup () in
@@ -54,26 +56,26 @@ let test_survivors_copied_garbage_dies () =
   let live = alloc () in
   let child = alloc () in
   let dead = alloc () in
-  live.Obj_model.fields.(0) <- child.Obj_model.id;
-  (ctx.Gc_types.roots := fun () -> [ live.Obj_model.id ]);
+  Heap.set_field heap live 0 child;
+  set_roots ctx [ live ];
   let remset = Remset.create heap in
   let result = run_scavenge ctx engine ~remset ~tenure_age:2 in
   check Alcotest.bool "no promotion failure" false result.Scavenge.promo_failed;
   check Alcotest.int "two survivors" 2 result.Scavenge.objects_copied;
-  check Alcotest.bool "live survives" true (Heap.is_live heap live.Obj_model.id);
-  check Alcotest.bool "child survives" true (Heap.is_live heap child.Obj_model.id);
-  check Alcotest.bool "garbage dies" false (Heap.is_live heap dead.Obj_model.id);
+  check Alcotest.bool "live survives" true (Heap.is_live heap live);
+  check Alcotest.bool "child survives" true (Heap.is_live heap child);
+  check Alcotest.bool "garbage dies" false (Heap.is_live heap dead);
   check Alcotest.bool "live now in survivor space" true
     (Region.space_equal (space_of heap live) Region.Survivor);
-  check Alcotest.int "aged" 1 live.Obj_model.age
+  check Alcotest.int "aged" 1 (Heap.obj_age heap live)
 
 let test_promotion_by_age () =
   let ctx, heap, engine = setup () in
   let alloc = alloc_eden ctx ~nfields:0 in
   let elder = alloc () in
-  elder.Obj_model.age <- 5;
+  Heap.set_obj_age heap elder 5;
   let young = alloc () in
-  (ctx.Gc_types.roots := fun () -> [ elder.Obj_model.id; young.Obj_model.id ]);
+  set_roots ctx [ elder; young ];
   let remset = Remset.create heap in
   let result = run_scavenge ctx engine ~remset ~tenure_age:2 in
   check Alcotest.bool "elder promoted to old" true
@@ -87,29 +89,29 @@ let test_remset_objects_are_roots () =
   let ctx, heap, engine = setup () in
   let alloc = alloc_eden ctx ~nfields:0 in
   let old_region = Option.get (Heap.take_free_region heap ~space:Region.Old) in
-  let old_holder = Option.get (Heap.alloc_in_region heap old_region ~size:4 ~nfields:1) in
+  let old_holder = Heap.alloc_in_region heap old_region ~size:4 ~nfields:1 in
   let young = alloc () in
-  old_holder.Obj_model.fields.(0) <- young.Obj_model.id;
+  Heap.set_field heap old_holder 0 young;
   (* young is reachable ONLY through the old object *)
-  (ctx.Gc_types.roots := fun () -> []);
+  set_roots ctx [];
   let remset = Remset.create heap in
   Remset.remember remset old_holder;
   let _ = run_scavenge ctx engine ~remset ~tenure_age:2 in
-  check Alcotest.bool "young survived via remset" true (Heap.is_live heap young.Obj_model.id)
+  check Alcotest.bool "young survived via remset" true (Heap.is_live heap young)
 
 let test_without_remset_young_dies () =
   let ctx, heap, engine = setup () in
   let alloc = alloc_eden ctx ~nfields:0 in
   let old_region = Option.get (Heap.take_free_region heap ~space:Region.Old) in
-  let old_holder = Option.get (Heap.alloc_in_region heap old_region ~size:4 ~nfields:1) in
+  let old_holder = Heap.alloc_in_region heap old_region ~size:4 ~nfields:1 in
   let young = alloc () in
-  old_holder.Obj_model.fields.(0) <- young.Obj_model.id;
-  (ctx.Gc_types.roots := fun () -> []);
+  Heap.set_field heap old_holder 0 young;
+  set_roots ctx [];
   let remset = Remset.create heap in
   let _ = run_scavenge ctx engine ~remset ~tenure_age:2 in
   (* documents WHY the remembered set is needed *)
   check Alcotest.bool "young wrongly dead without remset entry" false
-    (Heap.is_live heap young.Obj_model.id)
+    (Heap.is_live heap young)
 
 let test_promo_failure_flagged () =
   (* tiny heap: survivors cannot be copied anywhere *)
@@ -126,11 +128,11 @@ let test_promo_failure_flagged () =
   (try
      while true do
        match Allocator.alloc allocator ~size:8 ~nfields:0 with
-       | Allocator.Allocated { obj; _ } -> roots := obj.Obj_model.id :: !roots
+       | Allocator.Allocated { obj; _ } -> roots := obj :: !roots
        | Allocator.Out_of_regions -> raise Exit
      done
    with Exit -> ());
-  (ctx.Gc_types.roots := fun () -> !roots);
+  (ctx.Gc_types.iter_roots := fun f -> List.iter f !roots);
   let remset = Remset.create heap in
   let result = run_scavenge ctx engine ~remset ~tenure_age:2 in
   check Alcotest.bool "promotion failure reported" true result.Scavenge.promo_failed;

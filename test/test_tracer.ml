@@ -18,9 +18,11 @@ let make_ctx ?(regions = 32) ?(region_words = 64) () =
     ~machine:Gcr_mach.Machine.default
 
 let alloc ctx region ~nfields =
-  Option.get (Heap.alloc_in_region ctx.Gc_types.heap region ~size:(nfields + 2) ~nfields)
+  let id = Heap.alloc_in_region ctx.Gc_types.heap region ~size:(nfields + 2) ~nfields in
+  if Obj_model.is_null id then failwith "alloc: region full";
+  id
 
-(* Build a random object graph; return (all ids, roots). *)
+(* Build a random object graph; return the object ids. *)
 let build_graph ctx ~objects ~edges ~seed =
   let heap = ctx.Gc_types.heap in
   let region = Option.get (Heap.take_free_region heap ~space:Region.Eden) in
@@ -29,16 +31,19 @@ let build_graph ctx ~objects ~edges ~seed =
   let objs =
     Array.init objects (fun _ ->
         let nfields = 3 in
-        match Heap.alloc_in_region heap !region ~size:(nfields + 2) ~nfields with
-        | Some o -> o
-        | None ->
-            region := Option.get (Heap.take_free_region heap ~space:Region.Eden);
-            Option.get (Heap.alloc_in_region heap !region ~size:(nfields + 2) ~nfields))
+        let id = Heap.alloc_in_region heap !region ~size:(nfields + 2) ~nfields in
+        if not (Obj_model.is_null id) then id
+        else begin
+          region := Option.get (Heap.take_free_region heap ~space:Region.Eden);
+          let id = Heap.alloc_in_region heap !region ~size:(nfields + 2) ~nfields in
+          if Obj_model.is_null id then failwith "build_graph: fresh region full";
+          id
+        end)
   in
   for _ = 1 to edges do
     let src = objs.(Prng.int prng objects) in
     let dst = objs.(Prng.int prng objects) in
-    src.Obj_model.fields.(Prng.int prng 3) <- dst.Obj_model.id
+    Heap.set_field heap src (Prng.int prng 3) dst
   done;
   objs
 
@@ -58,7 +63,7 @@ let test_marks_exactly_reachable () =
   let ctx = make_ctx () in
   let heap = ctx.Gc_types.heap in
   let objs = build_graph ctx ~objects:100 ~edges:150 ~seed:3 in
-  let roots = [ objs.(0).Obj_model.id; objs.(50).Obj_model.id ] in
+  let roots = [ objs.(0); objs.(50) ] in
   ignore (Heap.begin_mark_epoch heap);
   let tracer =
     Tracer.create ctx ~use_scratch:false ~update_region_live:false
@@ -74,8 +79,8 @@ let test_marks_exactly_reachable () =
       let marked = Heap.is_marked heap o in
       if marked then incr marked_count;
       check Alcotest.bool
-        (Printf.sprintf "object %d marked iff reachable" o.Obj_model.id)
-        (Hashtbl.mem expected o.Obj_model.id) marked)
+        (Printf.sprintf "object %d marked iff reachable" o)
+        (Hashtbl.mem expected o) marked)
     objs;
   check Alcotest.int "tracer count agrees" !marked_count (Tracer.objects_marked tracer)
 
@@ -89,7 +94,7 @@ let test_cost_positive () =
       ~should_visit:(fun _ -> true)
       ~on_mark:(fun _ -> 0)
   in
-  Tracer.add_root tracer objs.(0).Obj_model.id;
+  Tracer.add_root tracer objs.(0);
   let cost = drain_fully tracer in
   check Alcotest.bool "positive cost" true (cost > 0);
   check Alcotest.bool "words counted" true (Tracer.words_marked tracer > 0)
@@ -100,21 +105,19 @@ let test_filter_bounds_trace () =
   let eden = Option.get (Heap.take_free_region heap ~space:Region.Eden) in
   let old = Option.get (Heap.take_free_region heap ~space:Region.Old) in
   let young = alloc ctx eden ~nfields:1 in
-  let old_obj = Option.get (Heap.alloc_in_region heap old ~size:3 ~nfields:1) in
+  let old_obj = Heap.alloc_in_region heap old ~size:3 ~nfields:1 in
   let young2 = alloc ctx eden ~nfields:1 in
   (* young -> old -> young2: the young-only trace must not cross the old
      object *)
-  young.Obj_model.fields.(0) <- old_obj.Obj_model.id;
-  old_obj.Obj_model.fields.(0) <- young2.Obj_model.id;
+  Heap.set_field heap young 0 old_obj;
+  Heap.set_field heap old_obj 0 young2;
   ignore (Heap.begin_mark_epoch heap);
-  let is_young (o : Obj_model.t) =
-    Region.space_equal (Heap.region heap o.Obj_model.region).Region.space Region.Eden
-  in
+  let is_young id = Region.space_equal (Heap.obj_space heap id) Region.Eden in
   let tracer =
     Tracer.create ctx ~use_scratch:false ~update_region_live:false ~should_visit:is_young
       ~on_mark:(fun _ -> 0)
   in
-  Tracer.add_root tracer young.Obj_model.id;
+  Tracer.add_root tracer young;
   ignore (drain_fully tracer);
   check Alcotest.bool "young marked" true (Heap.is_marked heap young);
   check Alcotest.bool "old not marked" false (Heap.is_marked heap old_obj);
@@ -129,11 +132,11 @@ let test_on_mark_called_once () =
   let tracer =
     Tracer.create ctx ~use_scratch:false ~update_region_live:false
       ~should_visit:(fun _ -> true)
-      ~on_mark:(fun o ->
-        Hashtbl.replace calls o.Obj_model.id (1 + Option.value ~default:0 (Hashtbl.find_opt calls o.Obj_model.id));
+      ~on_mark:(fun id ->
+        Hashtbl.replace calls id (1 + Option.value ~default:0 (Hashtbl.find_opt calls id));
         0)
   in
-  Tracer.add_root tracer objs.(0).Obj_model.id;
+  Tracer.add_root tracer objs.(0);
   ignore (drain_fully tracer);
   Hashtbl.iter (fun id n -> check Alcotest.int (Printf.sprintf "obj %d once" id) 1 n) calls
 
@@ -148,9 +151,9 @@ let test_roots_added_mid_trace () =
       ~should_visit:(fun _ -> true)
       ~on_mark:(fun _ -> 0)
   in
-  Tracer.add_root tracer objs.(0).Obj_model.id;
+  Tracer.add_root tracer objs.(0);
   ignore (Tracer.drain tracer ~budget:1);
-  Tracer.add_root tracer objs.(29).Obj_model.id;
+  Tracer.add_root tracer objs.(29);
   ignore (drain_fully tracer);
   check Alcotest.bool "late root marked" true (Heap.is_marked heap objs.(29))
 
@@ -161,7 +164,7 @@ let test_region_live_accounting () =
   let a = alloc ctx region ~nfields:1 in
   let b = alloc ctx region ~nfields:1 in
   let _dead = alloc ctx region ~nfields:1 in
-  a.Obj_model.fields.(0) <- b.Obj_model.id;
+  Heap.set_field heap a 0 b;
   ignore (Heap.begin_mark_epoch heap);
   Heap.iter_regions (fun r -> r.Region.live_words <- 0) heap;
   let tracer =
@@ -169,9 +172,10 @@ let test_region_live_accounting () =
       ~should_visit:(fun _ -> true)
       ~on_mark:(fun _ -> 0)
   in
-  Tracer.add_root tracer a.Obj_model.id;
+  Tracer.add_root tracer a;
   ignore (drain_fully tracer);
-  check Alcotest.int "live words = a + b" (a.Obj_model.size + b.Obj_model.size)
+  check Alcotest.int "live words = a + b"
+    (Heap.obj_size heap a + Heap.obj_size heap b)
     region.Region.live_words
 
 let test_dead_roots_ignored () =
@@ -195,7 +199,7 @@ let prop_trace_equals_bfs =
       let ctx = make_ctx ~regions:64 () in
       let heap = ctx.Gc_types.heap in
       let objs = build_graph ctx ~objects:80 ~edges ~seed in
-      let roots = [ objs.(seed mod 80).Obj_model.id ] in
+      let roots = [ objs.(seed mod 80) ] in
       ignore (Heap.begin_mark_epoch heap);
       let tracer =
         Tracer.create ctx ~use_scratch:false ~update_region_live:false
@@ -205,9 +209,7 @@ let prop_trace_equals_bfs =
       Tracer.add_roots tracer roots;
       ignore (drain_fully tracer);
       let expected = Heap.reachable_from heap roots in
-      Array.for_all
-        (fun o -> Heap.is_marked heap o = Hashtbl.mem expected o.Obj_model.id)
-        objs)
+      Array.for_all (fun o -> Heap.is_marked heap o = Hashtbl.mem expected o) objs)
 
 let suite =
   [

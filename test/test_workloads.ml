@@ -97,10 +97,8 @@ let test_longlived_create () =
   (* static data lives in old space *)
   List.iter
     (fun id ->
-      let o = Heap.find_exn ctx.Gc_types.heap id in
       check Alcotest.bool "segment in old" true
-        (Region.space_equal (Heap.region ctx.Gc_types.heap o.Obj_model.region).Region.space
-           Region.Old))
+        (Region.space_equal (Heap.obj_space ctx.Gc_types.heap id) Region.Old))
     (Longlived.roots ll)
 
 let test_longlived_fill_and_churn () =
@@ -126,7 +124,7 @@ let test_longlived_fill_and_churn () =
   ignore (Longlived.place ll ~gc ~prng ~node:fresh);
   let reachable = Heap.reachable_from heap (Longlived.roots ll) in
   check Alcotest.bool "fresh node now reachable from segments" true
-    (Hashtbl.mem reachable fresh.Obj_model.id)
+    (Hashtbl.mem reachable fresh)
 
 (* ---- mutator ---- *)
 
@@ -136,7 +134,10 @@ let run_mutator_packets ~spec ~packets =
   let prng = Prng.create 5 in
   let ll = Longlived.create ctx ~spec ~prng in
   let m = Mutator.create ctx ~gc ~spec ~longlived:ll ~prng:(Prng.split prng) ~index:0 in
-  (ctx.Gc_types.roots := fun () -> Longlived.roots ll @ Mutator.roots m);
+  (ctx.Gc_types.iter_roots :=
+     fun f ->
+       Longlived.iter_roots ll f;
+       Mutator.iter_roots m f);
   Mutator.run_packets m packets (fun () -> Mutator.exit m);
   (match Engine.run ctx.Gc_types.engine () with
   | Engine.All_mutators_finished -> ()
