@@ -345,7 +345,7 @@ let bench_event_mix ~threads ~steps ~reps =
 (* Trace rate: a fixed object graph (geometric chains into a long-lived
    core, like the workloads build), fully traced per iteration. *)
 let make_traced_heap ~objects =
-  let heap = Heap.create ~capacity_words:(objects * 16 * 2) ~region_words:256 in
+  let heap = Heap.create ~capacity_words:(objects * 16 * 2) ~region_words:256 () in
   let alloc = Allocator.create heap ~space:Region.Old in
   let prng = Prng.create 7 in
   let ids = Array.make objects Obj_model.null in
@@ -386,7 +386,7 @@ let bench_trace_rate ~objects ~reps =
    is full, then release every region and go again. *)
 let bench_alloc ~regions ~reps =
   let region_words = 256 in
-  let heap = Heap.create ~capacity_words:(regions * region_words) ~region_words in
+  let heap = Heap.create ~capacity_words:(regions * region_words) ~region_words () in
   let count = ref 0 in
   let run () =
     let alloc = Allocator.create heap ~space:Region.Eden in
@@ -459,7 +459,7 @@ let micro_tests () =
            done))
   in
   let table =
-    let heap = Heap.create ~capacity_words:65_536 ~region_words:256 in
+    let heap = Heap.create ~capacity_words:65_536 ~region_words:256 () in
     let alloc = Allocator.create heap ~space:Region.Old in
     let ids =
       Array.init 2_000 (fun _ ->
@@ -475,7 +475,7 @@ let micro_tests () =
   in
   let alloc_path =
     let region_words = 256 in
-    let heap = Heap.create ~capacity_words:(256 * region_words) ~region_words in
+    let heap = Heap.create ~capacity_words:(256 * region_words) ~region_words () in
     Test.make ~name:"micro/alloc_fast_path"
       (Staged.stage (fun () ->
            let alloc = Allocator.create heap ~space:Region.Eden in

@@ -16,6 +16,9 @@ module Minheap = Gcr_core.Minheap
 module Validate = Gcr_core.Validate
 module Pool = Gcr_sched.Pool
 module Result_cache = Gcr_sched.Result_cache
+module Obs = Gcr_obs.Obs
+module Perfetto = Gcr_obs.Perfetto
+module Engine = Gcr_engine.Engine
 
 (* ---------- shared argument parsing ---------- *)
 
@@ -84,6 +87,17 @@ let cache_dir_arg =
   in
   Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
 
+(* Runs that ended in OOM / degeneration / budget exhaustion make the
+   whole invocation fail: reasons on stderr, distinct exit code. *)
+let failed_run_exit = 3
+
+let exit_on_failures measurements =
+  match Measurement.failure_lines measurements with
+  | [] -> ()
+  | lines ->
+      List.iter (fun l -> Printf.eprintf "gcr: %s\n" l) lines;
+      exit failed_run_exit
+
 let default_benchmarks = function [] -> Suite.all | bs -> bs
 
 let default_gcs = function [] -> Registry.production | gs -> gs
@@ -138,8 +152,22 @@ let list_cmd =
 
 (* ---------- run ---------- *)
 
+let execute_traced ~trace_out config =
+  let captured = ref None in
+  let on_engine engine =
+    let obs = Engine.obs engine in
+    captured := Some (obs, Obs.attach_trace obs)
+  in
+  let m = Run.execute ~on_engine config in
+  (match !captured with
+  | Some (obs, trace) ->
+      Perfetto.write_file trace_out obs trace;
+      Printf.eprintf "gcr: wrote %d events to %s\n%!" (Obs.Trace.length trace) trace_out
+  | None -> ());
+  m
+
 let run_cmd =
-  let run benchmarks gcs factor invocations scale seed jobs cache_dir =
+  let run benchmarks gcs factor invocations scale seed jobs cache_dir trace_out =
     let benchmarks = default_benchmarks benchmarks in
     let gcs = default_gcs gcs in
     let cache =
@@ -158,14 +186,33 @@ let run_cmd =
             gcs)
         benchmarks
     in
-    let measurements = Pool.map ~jobs:(resolve_jobs jobs) ?cache configs in
-    List.iter (fun m -> Format.printf "%a@." Measurement.pp m) measurements
+    let measurements =
+      match trace_out with
+      | None -> Pool.map ~jobs:(resolve_jobs jobs) ?cache configs
+      | Some file -> (
+          match configs with
+          | [ config ] -> [ execute_traced ~trace_out:file config ]
+          | _ ->
+              Printf.eprintf
+                "gcr: --trace-out records a single run; pick one benchmark and one \
+                 collector with -n 1\n";
+              exit 1)
+    in
+    List.iter (fun m -> Format.printf "%a@." Measurement.pp m) measurements;
+    exit_on_failures measurements
+  in
+  let trace_out_arg =
+    let doc =
+      "Record the run's event stream and write a Chrome/Perfetto trace-event JSON \
+       file (open at ui.perfetto.dev).  Requires a single configuration."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run benchmark/collector configurations and print measurements")
     Term.(
       const run $ benchmarks_arg $ gcs_arg $ factor_arg $ invocations_arg $ scale_arg
-      $ seed_arg $ jobs_arg $ cache_dir_arg)
+      $ seed_arg $ jobs_arg $ cache_dir_arg $ trace_out_arg)
 
 (* ---------- minheap ---------- *)
 
@@ -235,7 +282,8 @@ let artefact_cmd =
     let campaign =
       build_campaign benchmarks gcs invocations scale seed factors quiet jobs cache_dir
     in
-    print_artefact campaign artefact
+    print_artefact campaign artefact;
+    exit_on_failures (Harness.all_measurements campaign)
   in
   Cmd.v
     (Cmd.info "artefact"
@@ -249,7 +297,8 @@ let campaign_cmd =
     let campaign =
       build_campaign benchmarks gcs invocations scale seed factors quiet jobs cache_dir
     in
-    print_artefact campaign "all"
+    print_artefact campaign "all";
+    exit_on_failures (Harness.all_measurements campaign)
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -292,10 +341,64 @@ let ablation_cmd =
     (Cmd.info "ablation" ~doc:"Sweep one design knob and print how the costs move")
     Term.(const run $ name_arg $ bench_arg $ factor_arg $ scale_arg $ seed_arg)
 
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let run bench gc factor scale seed out check =
+    match check with
+    | Some file -> (
+        match Perfetto.validate_file file with
+        | Ok s ->
+            Printf.printf
+              "%s: ok (%d events, %d pause slices, %d phase slices, %d begins / %d \
+               ends)\n"
+              file s.Perfetto.events s.Perfetto.pause_slices s.Perfetto.phase_slices
+              s.Perfetto.begins s.Perfetto.ends
+        | Error msg ->
+            Printf.eprintf "gcr: invalid trace %s: %s\n" file msg;
+            exit 1)
+    | None ->
+        let spec = Spec.scale bench scale in
+        let minheap = Minheap.find spec in
+        let heap_words = int_of_float (factor *. float_of_int minheap) in
+        let config = Run.default_config ~spec ~gc ~heap_words ~seed in
+        let m = execute_traced ~trace_out:out config in
+        Format.printf "%a@." Measurement.pp m;
+        exit_on_failures [ m ]
+  in
+  let bench_arg =
+    Arg.(
+      value
+      & opt bench_conv (Suite.find_exn "h2")
+      & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Benchmark to trace.")
+  in
+  let gc_arg =
+    Arg.(
+      value & opt gc_conv Registry.G1 & info [ "g"; "gc" ] ~docv:"GC" ~doc:"Collector.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Trace file to write.")
+  in
+  let check_arg =
+    let doc =
+      "Validate an existing trace file (JSON syntax, balanced begin/end slices) \
+       instead of running anything."
+    in
+    Arg.(value & opt (some string) None & info [ "check" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Record one run as a Chrome/Perfetto trace, or validate a trace file")
+    Term.(
+      const run $ bench_arg $ gc_arg $ factor_arg $ scale_arg $ seed_arg $ out_arg
+      $ check_arg)
+
 let main =
   let doc = "empirical lower bounds on the overheads of production garbage collectors" in
   Cmd.group
     (Cmd.info "gcr" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; minheap_cmd; artefact_cmd; campaign_cmd; ablation_cmd ]
+    [ list_cmd; run_cmd; minheap_cmd; artefact_cmd; campaign_cmd; ablation_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

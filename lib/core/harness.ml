@@ -84,6 +84,11 @@ let minheap_words t ~bench =
   | Some w -> w
   | None -> invalid_arg (Printf.sprintf "Harness.minheap_words: no benchmark %S" bench)
 
+let all_measurements t =
+  let keyed = Hashtbl.fold (fun key cell acc -> (key, List.rev !cell) :: acc) t.cells [] in
+  let keyed = List.sort (fun (a, _) (b, _) -> compare a b) keyed in
+  List.concat_map snd keyed
+
 let runs t ~bench ~gc ~factor =
   match Hashtbl.find_opt t.cells (key_of ~bench ~gc ~factor) with
   | Some cell -> List.rev !cell

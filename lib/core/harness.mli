@@ -57,6 +57,10 @@ val gcs : campaign -> Gcr_gcs.Registry.kind list
 
 val minheap_words : campaign -> bench:string -> int
 
+val all_measurements : campaign -> Gcr_runtime.Measurement.t list
+(** Every invocation in the campaign, in a deterministic (key-sorted)
+    order — the failure audit the CLI exit code is based on. *)
+
 val runs :
   campaign -> bench:string -> gc:Gcr_gcs.Registry.kind -> factor:float ->
   Gcr_runtime.Measurement.t list

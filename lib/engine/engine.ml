@@ -1,7 +1,11 @@
 module Vec = Gcr_util.Vec
 module Binary_heap = Gcr_util.Binary_heap
+module Obs = Gcr_obs.Obs
+module Event = Gcr_obs.Event
 
 type thread_kind = Mutator | Gc_worker
+
+let kind_index = function Mutator -> Event.mutator_kind | Gc_worker -> Event.gc_worker_kind
 
 type thread_state =
   | Idle  (** between steps; waiting for a submit *)
@@ -17,14 +21,16 @@ type thread_state =
    completing a step allocates nothing.  [event] is the thread's one
    preallocated event box, pushed into the event queue whenever the thread
    is On_cpu or Stalled — the state disambiguates which completion it is.
-   The state machine guarantees the box is in the queue at most once. *)
+   The state machine guarantees the box is in the queue at most once.
+
+   Cycle accounting does not live here: step completions are emitted into
+   the observation spine ([obs]), which owns every derived counter. *)
 type thread = {
   tid : int;
   kind : thread_kind;
   name : string;
+  obs : Obs.t;
   mutable state : thread_state;
-  mutable cycles : int;
-  mutable cycles_stw : int;
   mutable pending_cycles : int;
   mutable pending_cb : unit -> unit;
   event : event;
@@ -34,17 +40,34 @@ and event =
   | Thread_ev of thread  (** step or stall completion, per [state] *)
   | Timer of (unit -> unit)
 
-type pause = { start : int; duration : int; reason : string }
+type pause = Gcr_obs.Obs.pause = { start : int; duration : int; reason : string }
 
 type stop_state =
   | No_stop
-  | Stopping of { reason : string; cb : unit -> unit; mutable sync_scheduled : bool }
-  | Paused of { reason : string }
+  | Stopping of {
+      reason : string;
+      reason_id : int;
+      cb : unit -> unit;
+      mutable sync_scheduled : bool;
+    }
+  | Paused of { reason : string; reason_id : int }
+
+(* The pre-refactor accounting, kept behind a debug flag
+   (GCR_LEGACY_ACCOUNTING) so differential tests can check the
+   event-derived numbers against it.  Off by default: ordinary runs carry
+   no duplicate counters. *)
+type legacy = {
+  mutable lwall_stw : int;
+  lkind_cycles : int array;
+  lkind_cycles_stw : int array;
+  lpauses : pause Vec.t;
+}
 
 type t = {
   cpus : int;
   safepoint_sync : int;
   cache_disruption : int;
+  obs : Obs.t;
   mutable clock : int;
   events : event Binary_heap.t;
   (* FIFO run queue: a ring of threads (their step is in the pending
@@ -58,8 +81,8 @@ type t = {
   mutable mutators_active : int;  (** mutator steps queued or on CPU *)
   mutable stop : stop_state;
   mutable pause_start : int;
-  pause_log : pause Vec.t;
-  mutable wall_stw : int;
+  legacy_on : bool;
+  legacy : legacy;
   mutable aborted : string option;
 }
 
@@ -67,29 +90,43 @@ type outcome = All_mutators_finished | Aborted of string
 
 let nop () = ()
 
-let create ~cpus ?(safepoint_sync_cycles = 3000) ?(cache_disruption_cycles = 0) () =
+let create ~cpus ?(safepoint_sync_cycles = 3000) ?(cache_disruption_cycles = 0) ?obs () =
   if cpus < 1 then invalid_arg "Engine.create: cpus < 1";
   if safepoint_sync_cycles < 0 || cache_disruption_cycles < 0 then
     invalid_arg "Engine.create: negative cost";
-  {
-    cpus;
-    safepoint_sync = safepoint_sync_cycles;
-    cache_disruption = cache_disruption_cycles;
-    clock = 0;
-    events = Binary_heap.create ();
-    ready = [||];
-    ready_head = 0;
-    ready_len = 0;
-    busy = 0;
-    threads = Vec.create ();
-    mutators_live = 0;
-    mutators_active = 0;
-    stop = No_stop;
-    pause_start = 0;
-    pause_log = Vec.create ();
-    wall_stw = 0;
-    aborted = None;
-  }
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let t =
+    {
+      cpus;
+      safepoint_sync = safepoint_sync_cycles;
+      cache_disruption = cache_disruption_cycles;
+      obs;
+      clock = 0;
+      events = Binary_heap.create ();
+      ready = [||];
+      ready_head = 0;
+      ready_len = 0;
+      busy = 0;
+      threads = Vec.create ();
+      mutators_live = 0;
+      mutators_active = 0;
+      stop = No_stop;
+      pause_start = 0;
+      legacy_on = Sys.getenv_opt "GCR_LEGACY_ACCOUNTING" <> None;
+      legacy =
+        {
+          lwall_stw = 0;
+          lkind_cycles = Array.make 2 0;
+          lkind_cycles_stw = Array.make 2 0;
+          lpauses = Vec.create ();
+        };
+      aborted = None;
+    }
+  in
+  Obs.set_clock obs (fun () -> t.clock);
+  t
+
+let obs t = t.obs
 
 let now t = t.clock
 
@@ -99,9 +136,8 @@ let spawn t ~kind ~name =
       tid = Vec.length t.threads;
       kind;
       name;
+      obs = t.obs;
       state = Idle;
-      cycles = 0;
-      cycles_stw = 0;
       pending_cycles = 0;
       pending_cb = nop;
       event = Thread_ev th;
@@ -109,11 +145,14 @@ let spawn t ~kind ~name =
   in
   Vec.push t.threads th;
   if kind = Mutator then t.mutators_live <- t.mutators_live + 1;
+  Obs.thread_spawn t.obs ~time:t.clock ~tid:th.tid ~kind:(kind_index kind) ~name;
   th
 
 let thread_kind th = th.kind
 
 let thread_name th = th.name
+
+let thread_id th = th.tid
 
 let pause_active t = match t.stop with Paused _ -> true | No_stop | Stopping _ -> false
 
@@ -187,6 +226,7 @@ let stall t th ~cycles cb =
   th.state <- Stalled;
   th.pending_cycles <- 0;
   th.pending_cb <- cb;
+  Obs.stall_begin t.obs ~time:t.clock ~tid:th.tid ~wake:(t.clock + cycles);
   Binary_heap.add t.events ~priority:(t.clock + cycles) th.event
 
 let park _t th =
@@ -216,7 +256,9 @@ let request_stop t ~reason cb =
   (match t.stop with
   | No_stop -> ()
   | Stopping _ | Paused _ -> invalid_arg "Engine.request_stop: stop already in progress");
-  t.stop <- Stopping { reason; cb; sync_scheduled = false }
+  let reason_id = Obs.intern t.obs reason in
+  Obs.safepoint_request t.obs ~time:t.clock ~reason_id;
+  t.stop <- Stopping { reason; reason_id; cb; sync_scheduled = false }
 
 (* Once no mutator step is queued or running, the global sync cost elapses
    and the pause window opens. *)
@@ -227,17 +269,20 @@ let check_stop_ready t =
       if t.mutators_active = 0 && not s.sync_scheduled then begin
         s.sync_scheduled <- true;
         at t ~time:(t.clock + t.safepoint_sync) (fun () ->
-            t.stop <- Paused { reason = s.reason };
+            t.stop <- Paused { reason = s.reason; reason_id = s.reason_id };
             t.pause_start <- t.clock;
+            Obs.pause_begin t.obs ~time:t.clock ~reason_id:s.reason_id;
             s.cb ())
       end
 
 let release_stop t =
   match t.stop with
   | No_stop | Stopping _ -> invalid_arg "Engine.release_stop: no pause is open"
-  | Paused { reason } ->
-      Vec.push t.pause_log
-        { start = t.pause_start; duration = t.clock - t.pause_start; reason };
+  | Paused { reason; reason_id } ->
+      if t.legacy_on then
+        Vec.push t.legacy.lpauses
+          { start = t.pause_start; duration = t.clock - t.pause_start; reason };
+      Obs.pause_end t.obs ~time:t.clock ~reason_id;
       t.stop <- No_stop;
       Vec.iter
         (fun th ->
@@ -248,17 +293,41 @@ let release_stop t =
           | Idle | Queued | On_cpu | Parked | Stalled | Finished -> ())
         t.threads
 
-let pauses t = Vec.to_list t.pause_log
+let pauses t = Obs.pauses t.obs
 
-let wall_stw t = t.wall_stw
+let wall_stw t = Obs.wall_stw t.obs ~now:t.clock
 
-let cycles_of_kind t kind =
-  Vec.fold (fun acc th -> if th.kind = kind then acc + th.cycles else acc) 0 t.threads
+let cycles_of_kind t kind = Obs.cycles_of_kind t.obs (kind_index kind)
 
-let cycles_stw_of_kind t kind =
-  Vec.fold (fun acc th -> if th.kind = kind then acc + th.cycles_stw else acc) 0 t.threads
+let cycles_stw_of_kind t kind = Obs.cycles_stw_of_kind t.obs (kind_index kind)
 
-let cycles_of_thread th = th.cycles
+let cycles_of_thread (th : thread) = Obs.cycles_of_thread th.obs th.tid
+
+type legacy_snapshot = {
+  lsnap_wall_stw : int;
+  lsnap_cycles_mutator : int;
+  lsnap_cycles_gc : int;
+  lsnap_cycles_mutator_stw : int;
+  lsnap_cycles_gc_stw : int;
+  lsnap_pauses : pause list;
+}
+
+let legacy_snapshot t =
+  if not t.legacy_on then None
+  else begin
+    let l = t.legacy in
+    (* mirror the historical accrual: an open pause's wall time was added
+       incrementally by the clock, so it is already in [lwall_stw] *)
+    Some
+      {
+        lsnap_wall_stw = l.lwall_stw;
+        lsnap_cycles_mutator = l.lkind_cycles.(0);
+        lsnap_cycles_gc = l.lkind_cycles.(1);
+        lsnap_cycles_mutator_stw = l.lkind_cycles_stw.(0);
+        lsnap_cycles_gc_stw = l.lkind_cycles_stw.(1);
+        lsnap_pauses = Vec.to_list l.lpauses;
+      }
+  end
 
 let abort t ~reason = if t.aborted = None then t.aborted <- Some reason
 
@@ -275,7 +344,8 @@ let dispatch t =
 
 let advance_clock t time =
   assert (time >= t.clock);
-  if pause_active t then t.wall_stw <- t.wall_stw + (time - t.clock);
+  if t.legacy_on && pause_active t then
+    t.legacy.lwall_stw <- t.legacy.lwall_stw + (time - t.clock);
   t.clock <- time
 
 let process_event t = function
@@ -289,11 +359,19 @@ let process_event t = function
           if th.kind = Mutator then t.mutators_active <- t.mutators_active - 1;
           th.state <- Idle;
           th.pending_cb <- nop;
-          th.cycles <- th.cycles + cycles;
-          if pause_active t then th.cycles_stw <- th.cycles_stw + cycles;
+          let in_pause = pause_active t in
+          Obs.step_complete t.obs ~time:t.clock ~tid:th.tid ~kind:(kind_index th.kind)
+            ~cycles ~in_pause;
+          if t.legacy_on then begin
+            let k = kind_index th.kind in
+            t.legacy.lkind_cycles.(k) <- t.legacy.lkind_cycles.(k) + cycles;
+            if in_pause then
+              t.legacy.lkind_cycles_stw.(k) <- t.legacy.lkind_cycles_stw.(k) + cycles
+          end;
           cb ()
       | Stalled ->
           (* stall completion *)
+          Obs.stall_end t.obs ~time:t.clock ~tid:th.tid;
           if th.kind = Mutator && stop_pending t then begin
             (* A mutator waking into a safepoint parks instead: its
                continuation (which may touch the heap) must not interleave

@@ -27,11 +27,22 @@ type thread_kind =
   | Gc_worker
 
 val create :
-  cpus:int -> ?safepoint_sync_cycles:int -> ?cache_disruption_cycles:int -> unit -> t
+  cpus:int ->
+  ?safepoint_sync_cycles:int ->
+  ?cache_disruption_cycles:int ->
+  ?obs:Gcr_obs.Obs.t ->
+  unit ->
+  t
 (** [safepoint_sync_cycles] (default 3000): wall cost of reaching a global
     safepoint once every mutator has parked.  [cache_disruption_cycles]
     (default 0): cold-cache penalty added to each mutator's first step
-    after a pause (collection work displaced its cache — paper §II-B). *)
+    after a pause (collection work displaced its cache — paper §II-B).
+    [obs] (default: a fresh spine) receives every scheduling, safepoint and
+    stall event; all accounting below is derived from it. *)
+
+val obs : t -> Gcr_obs.Obs.t
+(** The observation spine this engine emits into.  Collectors, the heap and
+    workloads reach it through here; its clock is wired to {!now}. *)
 
 (** {1 Threads and steps} *)
 
@@ -40,6 +51,9 @@ val spawn : t -> kind:thread_kind -> name:string -> thread
 val thread_kind : thread -> thread_kind
 
 val thread_name : thread -> string
+
+val thread_id : thread -> int
+(** The engine tid, as carried by the thread's events. *)
 
 val submit : t -> thread -> cycles:int -> (unit -> unit) -> unit
 (** Schedule the thread's next step.  The thread must be idle (no step
@@ -91,17 +105,21 @@ val stop_requested : t -> bool
 (** A stop is pending or a pause is open — collectors must not issue a
     second [request_stop] while this holds. *)
 
-type pause = { start : int; duration : int; reason : string }
+type pause = Gcr_obs.Obs.pause = { start : int; duration : int; reason : string }
 
 val pauses : t -> pause list
 (** Completed pauses, in order. *)
 
-(** {1 Time and accounting} *)
+(** {1 Time and accounting}
+
+    All accounting is derived from the observation spine; the engine keeps
+    no counters of its own. *)
 
 val now : t -> int
 
 val wall_stw : t -> int
-(** Wall cycles spent inside pause windows so far. *)
+(** Wall cycles spent inside pause windows so far (a currently open pause
+    counts up to now). *)
 
 val cycles_of_kind : t -> thread_kind -> int
 (** Total cycles consumed by threads of that kind. *)
@@ -110,6 +128,24 @@ val cycles_stw_of_kind : t -> thread_kind -> int
 (** The subset consumed inside pause windows. *)
 
 val cycles_of_thread : thread -> int
+
+(** {1 Legacy accounting (differential testing only)}
+
+    When the environment variable [GCR_LEGACY_ACCOUNTING] is set at engine
+    creation, the pre-event-spine counters are maintained in parallel so
+    tests can assert the derived numbers match them exactly. *)
+
+type legacy_snapshot = {
+  lsnap_wall_stw : int;
+  lsnap_cycles_mutator : int;
+  lsnap_cycles_gc : int;
+  lsnap_cycles_mutator_stw : int;
+  lsnap_cycles_gc_stw : int;
+  lsnap_pauses : pause list;
+}
+
+val legacy_snapshot : t -> legacy_snapshot option
+(** [None] unless legacy accounting was enabled at creation. *)
 
 (** {1 Running} *)
 

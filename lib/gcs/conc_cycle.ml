@@ -143,7 +143,7 @@ let start t ~pause ~on_done =
       !(ctx.Gc_types.iter_roots) (fun id ->
           incr nroots;
           Tracer.add_root tracer id);
-      Worker_pool.run_phase t.pool
+      Worker_pool.run_phase t.pool ~phase:Gcr_obs.Event.Root_scan
         ~work:(one_shot_cost (root_scan_cost !nroots))
         ~on_done:(fun () ->
           release ();
@@ -155,10 +155,12 @@ let start t ~pause ~on_done =
             let c = Tracer.drain tracer ~budget:slice_budget in
             c + (c * penalty / 100)
           in
-          Worker_pool.run_phase t.pool ~work:mark_work ~on_done:(fun () ->
+          Worker_pool.run_phase t.pool ~phase:Gcr_obs.Event.Mark ~work:mark_work
+            ~on_done:(fun () ->
               pause "final-mark" (fun release ->
                   !(ctx.Gc_types.iter_roots) (Tracer.add_root tracer);
-                  Worker_pool.run_phase t.pool ~work:mark_work ~on_done:(fun () ->
+                  Worker_pool.run_phase t.pool ~phase:Gcr_obs.Event.Mark ~work:mark_work
+                    ~on_done:(fun () ->
                       t.objects_marked <- t.objects_marked + Tracer.objects_marked tracer;
                       Vec.iter Allocator.retire ctx.Gc_types.allocators;
                       let cset = select_cset t in
@@ -179,7 +181,8 @@ let start t ~pause ~on_done =
                             evac_failed := true;
                             0
                       in
-                      Worker_pool.run_phase t.pool ~work:evac_work ~on_done:(fun () ->
+                      Worker_pool.run_phase t.pool ~phase:Gcr_obs.Event.Evacuate
+                        ~work:evac_work ~on_done:(fun () ->
                           Allocator.retire target;
                           t.words_copied <- t.words_copied + Evacuator.words_copied evacuator;
                           if !evac_failed then finish ~evac_failed:true
@@ -197,6 +200,7 @@ let start t ~pause ~on_done =
                                 chunk * per_edge
                               end
                             in
-                            Worker_pool.run_phase t.pool ~work:update_work
+                            Worker_pool.run_phase t.pool
+                              ~phase:Gcr_obs.Event.Update_refs ~work:update_work
                               ~on_done:(fun () -> finish ~evac_failed:false)
                           end))))))

@@ -75,9 +75,10 @@ let run (ctx : Gc_types.ctx) ~pool ~on_done =
     !cost
   in
   let mark_slice ~worker:_ = Tracer.drain tracer ~budget:slice_budget in
-  Worker_pool.run_phase pool ~work:mark_slice ~on_done:(fun () ->
+  Worker_pool.run_phase pool ~phase:Gcr_obs.Event.Mark ~work:mark_slice ~on_done:(fun () ->
       prepare_compaction ();
-      Worker_pool.run_phase pool ~work:compact_slice ~on_done:(fun () ->
+      Worker_pool.run_phase pool ~phase:Gcr_obs.Event.Compact ~work:compact_slice
+        ~on_done:(fun () ->
           Allocator.retire target;
           on_done
             {

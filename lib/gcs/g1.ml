@@ -105,7 +105,7 @@ let start_concurrent_mark s =
   let work ~worker:_ =
     if s.mark_session <> session then 0 else Tracer.drain tracer ~budget:slice_budget
   in
-  Worker_pool.run_phase s.conc_pool ~work ~on_done:(fun () ->
+  Worker_pool.run_phase s.conc_pool ~phase:Gcr_obs.Event.Mark ~work ~on_done:(fun () ->
       if s.mark_session = session then s.marking <- Mark_drained { tracer; session })
 
 (* Final mark, inside a pause: re-scan roots (SATB leaves the stack
@@ -114,7 +114,7 @@ let run_final_mark s tracer k =
   let heap = s.ctx.Gc_types.heap in
   !(s.ctx.Gc_types.iter_roots) (Tracer.add_root tracer);
   let work ~worker:_ = Tracer.drain tracer ~budget:slice_budget in
-  Worker_pool.run_phase s.stw_pool ~work ~on_done:(fun () ->
+  Worker_pool.run_phase s.stw_pool ~phase:Gcr_obs.Event.Mark ~work ~on_done:(fun () ->
       s.objects_marked <- s.objects_marked + Tracer.objects_marked tracer;
       let region_words = Heap.region_words heap in
       let candidates = ref [] in
@@ -168,7 +168,7 @@ let run_mixed_evacuation s k =
           failed := true;
           0
     in
-    Worker_pool.run_phase s.stw_pool ~work ~on_done:(fun () ->
+    Worker_pool.run_phase s.stw_pool ~phase:Gcr_obs.Event.Evacuate ~work ~on_done:(fun () ->
         Allocator.retire old_target;
         s.words_copied <- s.words_copied + Evacuator.words_copied evacuator;
         k ~failed:!failed)

@@ -16,7 +16,13 @@ let make_ctx ~heap ~engine ~cost ~machine =
     machine;
     iter_roots = ref (fun _f -> ());
     allocators = Gcr_util.Vec.create ();
-    oom = (fun reason -> Gcr_engine.Engine.abort engine ~reason:("OutOfMemoryError: " ^ reason));
+    oom =
+      (fun reason ->
+        let module Engine = Gcr_engine.Engine in
+        let module Obs = Gcr_obs.Obs in
+        let obs = Engine.obs engine in
+        Obs.oom obs ~time:(Engine.now engine) ~reason_id:(Obs.intern obs reason);
+        Engine.abort engine ~reason:("OutOfMemoryError: " ^ reason));
   }
 
 type stats = {

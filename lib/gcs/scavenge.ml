@@ -86,7 +86,7 @@ let run (ctx : Gc_types.ctx) ~pool ~remset ~tenure_age ~on_mark_young ~on_done =
         promo_failed := true;
         0
   in
-  Worker_pool.run_phase pool ~work ~on_done:(fun () ->
+  Worker_pool.run_phase pool ~phase:Gcr_obs.Event.Evacuate ~work ~on_done:(fun () ->
       Allocator.retire survivor_target;
       Allocator.retire old_target;
       if not !promo_failed then List.iter (Heap.release_region heap) !cset;

@@ -1,5 +1,6 @@
 module Heap = Gcr_heap.Heap
 module Engine = Gcr_engine.Engine
+module Obs = Gcr_obs.Obs
 module Vec = Gcr_util.Vec
 module Cost_model = Gcr_mach.Cost_model
 
@@ -69,6 +70,13 @@ let note_full_compaction s =
   if s.low_free_streak >= 3 then
     s.ctx.Gc_types.oom "Shenandoah: GC overhead limit exceeded (heap too small)"
 
+let note_degeneration s =
+  s.degenerated <- true;
+  let engine = s.ctx.Gc_types.engine in
+  let obs = Engine.obs engine in
+  Obs.degeneration obs ~time:(Engine.now engine)
+    ~reason_id:(Obs.intern obs "Shenandoah degenerated")
+
 (* Run [k] once we own an open pause: immediately if one is open, deferred
    to the pause-open callback if ours is still stopping, or by requesting a
    fresh one. *)
@@ -80,7 +88,7 @@ let when_paused s k =
     s.on_pause_open <- Some k
   end
   else begin
-    s.degenerated <- true;
+    note_degeneration s;
     Engine.request_stop engine ~reason:"Shenandoah degenerated" (fun () -> k ())
   end
 
@@ -181,6 +189,8 @@ let make (ctx : Gc_types.ctx) config =
         config.pace_stall_cycles
         + int_of_float (deficit *. float_of_int (8 * config.pace_stall_cycles))
       in
+      Obs.pacing_stall (Engine.obs engine) ~time:(Engine.now engine)
+        ~tid:(Engine.thread_id th) ~cycles:stall;
       Engine.stall engine th ~cycles:stall cont
     end
     else cont ()
@@ -193,7 +203,7 @@ let make (ctx : Gc_types.ctx) config =
       ()
     else if cycle_active s then begin
       (* Degenerated GC: finish the in-flight cycle stop-the-world. *)
-      s.degenerated <- true;
+      note_degeneration s;
       s.degenerated_collections <- s.degenerated_collections + 1;
       Engine.request_stop engine ~reason:"Shenandoah degenerated" (handle_pause_open s)
     end
@@ -204,7 +214,7 @@ let make (ctx : Gc_types.ctx) config =
     else begin
       (* No cycle running and the heap is full: run a whole cycle inside a
          pause. *)
-      s.degenerated <- true;
+      note_degeneration s;
       Engine.request_stop engine ~reason:"Shenandoah degenerated" (fun () ->
           handle_pause_open s ();
           start_cycle s)

@@ -2,6 +2,7 @@ module Heap = Gcr_heap.Heap
 module Region = Gcr_heap.Region
 module Obj_model = Gcr_heap.Obj_model
 module Engine = Gcr_engine.Engine
+module Obs = Gcr_obs.Obs
 module Vec = Gcr_util.Vec
 module Cost_model = Gcr_mach.Cost_model
 
@@ -125,6 +126,7 @@ let start_old_cycle s =
     ~on_done:(fun ~evac_failed ->
       if s.degen_wait then begin
         (* A young pause has been held open waiting for us. *)
+
         s.degen_wait <- false;
         if evac_failed || free_regions s <= full_gc_reserve s then run_full_then_finish s
         else finish_pause s ~ran_full:false
@@ -156,11 +158,16 @@ let run_young_collection s =
         res.promo_failed || s.full_wanted || free_regions s <= full_gc_reserve s
       in
       if need_full then begin
-        if cycle_active s then
+        if cycle_active s then begin
           (* Cannot compact while the old cycle is mid-flight: hold the
              pause open; the cycle finishes stop-the-world on its workers
              and then compacts if still needed. *)
+          let obs = Engine.obs s.ctx.Gc_types.engine in
+          Obs.degeneration obs
+            ~time:(Engine.now s.ctx.Gc_types.engine)
+            ~reason_id:(Obs.intern obs "GenShen degenerated (old cycle in flight)");
           s.degen_wait <- true
+        end
         else run_full_then_finish s
       end
       else begin
@@ -224,6 +231,8 @@ let make (ctx : Gc_types.ctx) config =
         config.pace_stall_cycles
         + int_of_float (deficit *. float_of_int (4 * config.pace_stall_cycles))
       in
+      Obs.pacing_stall (Engine.obs engine) ~time:(Engine.now engine)
+        ~tid:(Engine.thread_id th) ~cycles:stall;
       Engine.stall engine th ~cycles:stall cont
     end
     else cont ()

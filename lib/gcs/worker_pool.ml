@@ -1,8 +1,13 @@
 module Engine = Gcr_engine.Engine
 module Cost_model = Gcr_mach.Cost_model
+module Obs = Gcr_obs.Obs
+module Event = Gcr_obs.Event
 
 type t = {
   ctx : Gc_types.ctx;
+  name : string;
+  collector_id : int;  (** interned pool name, tagging phase events *)
+  obs : Obs.t;
   threads : Engine.thread array;
   mutable active : int;  (** workers still pulling slices in this phase *)
   mutable phase_running : bool;
@@ -18,9 +23,20 @@ let create ctx ~count ~name =
     Engine.park ctx.Gc_types.engine th;
     th
   in
-  { ctx; threads = Array.init count spawn; active = 0; phase_running = false }
+  let obs = Engine.obs ctx.Gc_types.engine in
+  {
+    ctx;
+    name;
+    collector_id = Obs.intern obs name;
+    obs;
+    threads = Array.init count spawn;
+    active = 0;
+    phase_running = false;
+  }
 
 let count t = Array.length t.threads
+
+let name t = t.name
 
 let busy t = t.phase_running
 
@@ -28,13 +44,15 @@ let termination_cost t =
   let workers = count t in
   t.ctx.Gc_types.cost.Cost_model.termination_per_worker * Cost_model.log2_ceil (max 2 workers)
 
-let run_phase t ~work ~on_done =
+let run_phase t ~phase ~work ~on_done =
   if t.phase_running then invalid_arg "Worker_pool.run_phase: phase already running";
   t.phase_running <- true;
   t.active <- count t;
   let engine = t.ctx.Gc_types.engine in
   let dispatch_cost = t.ctx.Gc_types.cost.Cost_model.gc_task_dispatch in
   let finish_worker th =
+    Obs.phase_end t.obs ~time:(Engine.now engine) ~collector_id:t.collector_id ~phase
+      ~tid:(Engine.thread_id th);
     Engine.park engine th;
     t.active <- t.active - 1;
     if t.active = 0 then begin
@@ -49,9 +67,15 @@ let run_phase t ~work ~on_done =
       (* Termination barrier, then park until the next phase. *)
       Engine.submit engine th ~cycles:(termination_cost t) (fun () -> finish_worker th)
   in
+  Array.iter
+    (fun th ->
+      Obs.phase_begin t.obs ~time:(Engine.now engine) ~collector_id:t.collector_id ~phase
+        ~tid:(Engine.thread_id th))
+    t.threads;
   Array.iteri (fun worker th -> Engine.resume engine th (pull worker th)) t.threads
 
 let rec run_phases t phases ~on_done =
   match phases with
   | [] -> on_done ()
-  | (_label, work) :: rest -> run_phase t ~work ~on_done:(fun () -> run_phases t rest ~on_done)
+  | (phase, work) :: rest ->
+      run_phase t ~phase ~work ~on_done:(fun () -> run_phases t rest ~on_done)

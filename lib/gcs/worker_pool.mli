@@ -15,18 +15,31 @@
 type t
 
 val create : Gc_types.ctx -> count:int -> name:string -> t
+(** [name] tags the pool's phase events with the collector it belongs to. *)
 
 val count : t -> int
+
+val name : t -> string
 
 val busy : t -> bool
 (** A phase is currently executing. *)
 
-val run_phase : t -> work:(worker:int -> int) -> on_done:(unit -> unit) -> unit
+val run_phase :
+  t ->
+  phase:Gcr_obs.Event.phase ->
+  work:(worker:int -> int) ->
+  on_done:(unit -> unit) ->
+  unit
 (** Start a phase.  [work ~worker] applies a slice of work and returns its
     cost in cycles, or 0 when no work remains.  [on_done] runs once, after
     every worker has passed the termination barrier.  Raises if a phase is
-    already in flight. *)
+    already in flight.  Each worker emits a [phase] begin event when the
+    phase starts and an end event as it passes the termination barrier. *)
 
-val run_phases : t -> (string * (worker:int -> int)) list -> on_done:(unit -> unit) -> unit
+val run_phases :
+  t ->
+  (Gcr_obs.Event.phase * (worker:int -> int)) list ->
+  on_done:(unit -> unit) ->
+  unit
 (** Run several phases back to back (each with its own termination), then
     [on_done]. *)

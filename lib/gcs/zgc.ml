@@ -1,5 +1,6 @@
 module Heap = Gcr_heap.Heap
 module Engine = Gcr_engine.Engine
+module Obs = Gcr_obs.Obs
 module Vec = Gcr_util.Vec
 module Cost_model = Gcr_mach.Cost_model
 
@@ -51,9 +52,17 @@ let memory_available s =
   Heap.free_regions s.ctx.Gc_types.heap > Heap.alloc_reserve s.ctx.Gc_types.heap
 
 let resume_waiters s =
+  let engine = s.ctx.Gc_types.engine in
+  let obs = Engine.obs engine in
+  let now = Engine.now engine in
   let pending = Vec.to_list s.waiters in
   Vec.clear s.waiters;
-  List.iter (fun w -> Engine.resume s.ctx.Gc_types.engine w.thread w.retry) pending
+  List.iter
+    (fun w ->
+      Obs.alloc_stall_end obs ~time:now ~tid:(Engine.thread_id w.thread)
+        ~waited:(now - w.parked_at);
+      Engine.resume engine w.thread w.retry)
+    pending
 
 let oldest_waiter_age s =
   let now = Engine.now s.ctx.Gc_types.engine in
@@ -162,6 +171,8 @@ let make (ctx : Gc_types.ctx) config =
   let on_out_of_regions th ~retry =
     (* Allocation stall: block until reclamation frees memory. *)
     s.stalls <- s.stalls + 1;
+    Obs.alloc_stall_begin (Engine.obs engine) ~time:(Engine.now engine)
+      ~tid:(Engine.thread_id th);
     Engine.park engine th;
     Vec.push s.waiters { thread = th; retry; parked_at = Engine.now engine };
     if not s.poll_active then schedule_stall_poll s;

@@ -1,6 +1,8 @@
 module Vec = Gcr_util.Vec
+module Obs = Gcr_obs.Obs
 
 type t = {
+  obs : Obs.t option;  (** event spine; region transitions are reported here *)
   region_words : int;
   regions : Region.t array;
   free_pool : int Vec.t;  (** indices of free regions (LIFO) *)
@@ -24,7 +26,7 @@ let space_tag = function
   | Region.Survivor -> 2
   | Region.Old -> 3
 
-let create ~capacity_words ~region_words =
+let create ?obs ~capacity_words ~region_words () =
   if region_words < Obj_model.header_words then invalid_arg "Heap.create: region too small";
   let n = capacity_words / region_words in
   if n < 2 then invalid_arg "Heap.create: need at least two regions";
@@ -36,7 +38,11 @@ let create ~capacity_words ~region_words =
   done;
   let space_regions = Array.make 4 0 in
   space_regions.(0) <- n;
+  (match obs with
+  | Some o -> Obs.heap_init o ~time:(Obs.now o) ~regions:n ~region_words
+  | None -> ());
   {
+    obs;
     region_words;
     regions;
     free_pool;
@@ -136,7 +142,15 @@ let set_alloc_reserve t n =
 
 let alloc_reserve t = t.reserve
 
+let note_transition t (r : Region.t) ~to_space =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      Obs.region_transition o ~time:(Obs.now o) ~index:r.Region.index
+        ~from_space:(space_tag r.Region.space) ~to_space
+
 let retag_region t (r : Region.t) space =
+  note_transition t r ~to_space:(space_tag space);
   t.space_regions.(space_tag r.Region.space) <-
     t.space_regions.(space_tag r.Region.space) - 1;
   t.space_regions.(space_tag space) <- t.space_regions.(space_tag space) + 1;
@@ -188,6 +202,7 @@ let move_object t id (dst : Region.t) =
   end
 
 let free_region_bookkeeping t (r : Region.t) =
+  note_transition t r ~to_space:(space_tag Region.Free);
   t.used_words <- t.used_words - r.used_words;
   t.space_used.(space_tag r.space) <- t.space_used.(space_tag r.space) - r.used_words;
   t.space_regions.(space_tag r.space) <- t.space_regions.(space_tag r.space) - 1;

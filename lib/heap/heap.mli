@@ -13,7 +13,7 @@
 
 type t
 
-val create : capacity_words:int -> region_words:int -> t
+val create : ?obs:Gcr_obs.Obs.t -> capacity_words:int -> region_words:int -> unit -> t
 (** [capacity_words] is rounded down to a whole number of regions; at least
     two regions are required. *)
 

@@ -1,4 +1,7 @@
 module Units = Gcr_util.Units
+module Histogram = Gcr_util.Histogram
+module Obs = Gcr_obs.Obs
+module Event = Gcr_obs.Event
 
 type outcome = Completed | Failed of string
 
@@ -14,6 +17,7 @@ type t = {
   cycles_gc : int;
   cycles_gc_stw : int;
   pauses : Gcr_engine.Engine.pause list;
+  pause_hist : Gcr_util.Histogram.t;
   latency_metered : Gcr_util.Histogram.t option;
   latency_simple : Gcr_util.Histogram.t option;
   allocated_words : int;
@@ -44,16 +48,46 @@ let stw_cycle_fraction t =
   let total = cycles_total t in
   if total = 0 then 0.0 else float_of_int t.cycles_gc_stw /. float_of_int total
 
-let pause_count t = List.length t.pauses
+let pause_count t = Histogram.count t.pause_hist
 
 let mean_pause_ms t =
-  match t.pauses with
-  | [] -> 0.0
-  | pauses ->
-      let total =
-        List.fold_left (fun acc (p : Gcr_engine.Engine.pause) -> acc + p.duration) 0 pauses
-      in
-      Units.ms_of_cycles total /. float_of_int (List.length pauses)
+  (* [Histogram.total] is the exact sum of recorded durations, so this is
+     bit-identical to folding over the pause list. *)
+  match Histogram.count t.pause_hist with
+  | 0 -> 0.0
+  | n -> Units.ms_of_cycles (Histogram.total t.pause_hist) /. float_of_int n
+
+let of_obs ~benchmark ~gc ~heap_words ~seed ~outcome ~wall_total ~has_latency
+    ~allocated_words ~allocated_objects ~gc_stats obs =
+  {
+    benchmark;
+    gc;
+    heap_words;
+    seed;
+    outcome;
+    wall_total;
+    wall_stw = Obs.wall_stw obs ~now:wall_total;
+    cycles_mutator = Obs.cycles_of_kind obs Event.mutator_kind;
+    cycles_gc = Obs.cycles_of_kind obs Event.gc_worker_kind;
+    cycles_gc_stw = Obs.cycles_stw_of_kind obs Event.gc_worker_kind;
+    pauses = Obs.pauses obs;
+    pause_hist = Obs.pause_histogram obs;
+    latency_metered = (if has_latency then Some (Obs.latency_metered obs) else None);
+    latency_simple = (if has_latency then Some (Obs.latency_simple obs) else None);
+    allocated_words;
+    allocated_objects;
+    gc_stats;
+  }
+
+let failure_line t =
+  match t.outcome with
+  | Completed -> None
+  | Failed reason ->
+      Some
+        (Printf.sprintf "%s/%s heap=%d seed=%d failed: %s" t.benchmark t.gc
+           t.heap_words t.seed reason)
+
+let failure_lines ms = List.filter_map failure_line ms
 
 let pp ppf t =
   let status = match t.outcome with Completed -> "ok" | Failed reason -> "FAILED: " ^ reason in

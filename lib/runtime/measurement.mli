@@ -28,6 +28,9 @@ type t = {
   cycles_gc : int;
   cycles_gc_stw : int;
   pauses : Gcr_engine.Engine.pause list;
+  pause_hist : Gcr_util.Histogram.t;
+      (** Pause-duration histogram, recorded as each pause closes; the
+          exact total/count make {!mean_pause_ms} list-fold identical. *)
   latency_metered : Gcr_util.Histogram.t option;
   latency_simple : Gcr_util.Histogram.t option;
   allocated_words : int;
@@ -65,5 +68,29 @@ val pause_count : t -> int
 
 val mean_pause_ms : t -> float
 (** 0 when there were no pauses. *)
+
+val of_obs :
+  benchmark:string ->
+  gc:string ->
+  heap_words:int ->
+  seed:int ->
+  outcome:outcome ->
+  wall_total:int ->
+  has_latency:bool ->
+  allocated_words:int ->
+  allocated_objects:int ->
+  gc_stats:Gcr_gcs.Gc_types.stats ->
+  Gcr_obs.Obs.t ->
+  t
+(** Derive every cost field — STW wall time, per-kind cycles, pauses and
+    their histogram, latency histograms — from the event spine.  The only
+    inputs that do not come from events are the run labels and the heap's
+    allocation totals. *)
+
+val failure_line : t -> string option
+(** One human-readable line identifying a [Failed] run, [None] when
+    completed.  The CLI prints these to stderr and exits non-zero. *)
+
+val failure_lines : t list -> string list
 
 val pp : Format.formatter -> t -> unit

@@ -1,4 +1,5 @@
 module Machine = Gcr_mach.Machine
+module Obs = Gcr_obs.Obs
 module Cost_model = Gcr_mach.Cost_model
 module Heap = Gcr_heap.Heap
 module Engine = Gcr_engine.Engine
@@ -42,7 +43,7 @@ let default_config ~spec ~gc ~heap_words ~seed =
     make_collector = None;
   }
 
-let execute config =
+let execute ?(on_engine = fun (_ : Engine.t) -> ()) config =
   let spec = config.spec in
   (match Spec.validate spec with
   | Ok () -> ()
@@ -61,7 +62,9 @@ let execute config =
         + (config.cost.Cost_model.safepoint_per_thread * spec.Spec.mutator_threads))
       ~cache_disruption_cycles:config.cost.Cost_model.cache_disruption_per_pause ()
   in
-  let heap = Heap.create ~capacity_words ~region_words:config.region_words in
+  on_engine engine;
+  let obs = Engine.obs engine in
+  let heap = Heap.create ~obs ~capacity_words ~region_words:config.region_words () in
   let ctx = Gc_types.make_ctx ~heap ~engine ~cost:config.cost ~machine:config.machine in
   let gc =
     match config.make_collector with
@@ -96,24 +99,12 @@ let execute config =
     | Engine.All_mutators_finished -> Measurement.Completed
     | Engine.Aborted reason -> Measurement.Failed reason
   in
-  {
-    Measurement.benchmark = spec.Spec.name;
-    gc = Registry.name config.gc;
-    heap_words = capacity_words;
-    seed = config.seed;
-    outcome;
-    wall_total = Engine.now engine;
-    wall_stw = Engine.wall_stw engine;
-    cycles_mutator = Engine.cycles_of_kind engine Engine.Mutator;
-    cycles_gc = Engine.cycles_of_kind engine Engine.Gc_worker;
-    cycles_gc_stw = Engine.cycles_stw_of_kind engine Engine.Gc_worker;
-    pauses = Engine.pauses engine;
-    latency_metered = Option.map Latency.metered latency;
-    latency_simple = Option.map Latency.simple latency;
-    allocated_words = Heap.words_allocated_total heap;
-    allocated_objects = Heap.objects_allocated_total heap;
-    gc_stats = gc.Gc_types.stats ();
-  }
+  Measurement.of_obs ~benchmark:spec.Spec.name ~gc:(Registry.name config.gc)
+    ~heap_words:capacity_words ~seed:config.seed ~outcome
+    ~wall_total:(Engine.now engine) ~has_latency:(latency <> None)
+    ~allocated_words:(Heap.words_allocated_total heap)
+    ~allocated_objects:(Heap.objects_allocated_total heap)
+    ~gc_stats:(gc.Gc_types.stats ()) obs
 
 let execute_ideal ~spec ~machine ~seed =
   let config =

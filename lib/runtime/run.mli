@@ -35,7 +35,12 @@ val default_config :
   spec:Gcr_workloads.Spec.t -> gc:Gcr_gcs.Registry.kind -> heap_words:int -> seed:int -> config
 (** Default machine, cost model, and {!default_region_words} regions. *)
 
-val execute : config -> Measurement.t
+val execute :
+  ?on_engine:(Gcr_engine.Engine.t -> unit) -> config -> Measurement.t
+(** [on_engine] runs right after the engine (and its event spine) is
+    created, before any heap or collector state exists — the place to
+    attach trace subscribers ({!Gcr_obs.Obs.attach_trace}) or keep the
+    engine for post-run inspection. *)
 
 val execute_ideal : spec:Gcr_workloads.Spec.t -> machine:Gcr_mach.Machine.t -> seed:int -> Measurement.t
 (** Ground truth for the validation study: Epsilon with all barrier costs

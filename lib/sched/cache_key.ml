@@ -6,7 +6,7 @@ module Run = Gcr_runtime.Run
 
 (* Bump whenever the rendering, Run semantics, or Measurement layout
    change incompatibly: old cache entries then miss instead of lying. *)
-let version = "gcr-run-v1"
+let version = "gcr-run-v2"
 
 (* Floats are rendered in hex ("%h") so distinct bit patterns never
    collapse to one decimal rendering. *)

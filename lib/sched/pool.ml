@@ -32,6 +32,7 @@ let failed_of_exn (config : Run.config) exn =
     cycles_gc = 0;
     cycles_gc_stw = 0;
     pauses = [];
+    pause_hist = Gcr_util.Histogram.create ();
     latency_metered = None;
     latency_simple = None;
     allocated_words = 0;

@@ -66,20 +66,24 @@ let is_empty t = t.n = 0
 
 let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
 
-let percentile t p =
-  if t.n = 0 then invalid_arg "Histogram.percentile: empty";
+let percentile_opt t p =
   if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p outside [0, 100]";
-  let target =
-    let exact = p /. 100.0 *. float_of_int t.n in
-    let r = int_of_float (Float.ceil exact) in
-    if r < 1 then 1 else if r > t.n then t.n else r
-  in
-  let rec scan i seen =
-    let seen = seen + t.counts.(i) in
-    if seen >= target then Stdlib.min (upper_bound_of_bucket i) t.max_seen
-    else scan (i + 1) seen
-  in
-  scan 0 0
+  if t.n = 0 then None
+  else begin
+    let target =
+      let exact = p /. 100.0 *. float_of_int t.n in
+      let r = int_of_float (Float.ceil exact) in
+      if r < 1 then 1 else if r > t.n then t.n else r
+    in
+    let rec scan i seen =
+      let seen = seen + t.counts.(i) in
+      if seen >= target then Stdlib.min (upper_bound_of_bucket i) t.max_seen
+      else scan (i + 1) seen
+    in
+    Some (scan 0 0)
+  end
+
+let percentile t p = match percentile_opt t p with None -> 0 | Some v -> v
 
 let percentiles t ps = List.map (fun p -> (p, percentile t p)) ps
 

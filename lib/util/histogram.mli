@@ -28,7 +28,12 @@ val mean : t -> float
 
 val percentile : t -> float -> int
 (** [percentile t p] for p in [\[0,100\]]: upper bound of the bucket holding
-    the p-th percentile sample.  Raises on an empty histogram. *)
+    the p-th percentile sample, capped at {!max_value}.  Total: an empty
+    histogram yields 0 (use {!percentile_opt} to distinguish "no samples"
+    from a zero sample).  Raises only when [p] is outside [\[0,100\]]. *)
+
+val percentile_opt : t -> float -> int option
+(** As {!percentile}, but [None] on an empty histogram. *)
 
 val percentiles : t -> float list -> (float * int) list
 

@@ -1,4 +1,5 @@
 module Engine = Gcr_engine.Engine
+module Obs = Gcr_obs.Obs
 module Prng = Gcr_util.Prng
 module Histogram = Gcr_util.Histogram
 module Gc_types = Gcr_gcs.Gc_types
@@ -16,8 +17,7 @@ type t = {
   latency_spec : Spec.latency_spec;
   mutators : Mutator.t list;
   arrivals : int array;  (** synthetic arrival time of request i *)
-  metered : Histogram.t;
-  simple : Histogram.t;
+  obs : Obs.t;  (** request latencies live on the event spine *)
   mutable next_request : int;
   mutable completed : int;
 }
@@ -53,8 +53,7 @@ let create (ctx : Gc_types.ctx) ~spec ~mutators ~prng =
     latency_spec;
     mutators;
     arrivals;
-    metered = Histogram.create ();
-    simple = Histogram.create ();
+    obs = Engine.obs ctx.Gc_types.engine;
     next_request = 0;
     completed = 0;
   }
@@ -63,24 +62,26 @@ let total_requests t = Array.length t.arrivals
 
 let completed_requests t = t.completed
 
-let metered t = t.metered
+let metered t = Obs.latency_metered t.obs
 
-let simple t = t.simple
+let simple t = Obs.latency_simple t.obs
 
 let rec serve t m () =
   if t.next_request >= Array.length t.arrivals then Mutator.exit m
   else begin
     let index = t.next_request in
     t.next_request <- index + 1;
+    let tid = Engine.thread_id (Mutator.thread m) in
     let start = Engine.now t.ctx.Gc_types.engine in
+    Obs.request_start t.obs ~time:start ~index ~tid;
     Mutator.run_packets m t.latency_spec.Spec.request_packets (fun () ->
         let now = Engine.now t.ctx.Gc_types.engine in
         let service = now - start in
         (* If processing is ahead of the metered schedule, the request
            would have waited for its arrival: latency is the service time.
            Behind schedule, queueing delay dominates. *)
-        Histogram.record t.simple service;
-        Histogram.record t.metered (max service (now - t.arrivals.(index)));
+        Obs.request_complete t.obs ~time:now ~index ~service
+          ~metered:(max service (now - t.arrivals.(index)));
         t.completed <- t.completed + 1;
         serve t m ())
   end

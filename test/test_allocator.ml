@@ -7,7 +7,7 @@ module Allocator = Gcr_heap.Allocator
 let check = Alcotest.check
 
 let make_heap ?(regions = 4) ?(region_words = 32) () =
-  Heap.create ~capacity_words:(regions * region_words) ~region_words
+  Heap.create ~capacity_words:(regions * region_words) ~region_words ()
 
 let alloc_exn a ~size =
   match Allocator.alloc a ~size ~nfields:0 with

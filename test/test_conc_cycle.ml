@@ -13,7 +13,7 @@ module Worker_pool = Gcr_gcs.Worker_pool
 let check = Alcotest.check
 
 let setup ?(regions = 64) () =
-  let heap = Heap.create ~capacity_words:(regions * 64) ~region_words:64 in
+  let heap = Heap.create ~capacity_words:(regions * 64) ~region_words:64 () in
   let engine = Engine.create ~cpus:4 () in
   let ctx =
     Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default

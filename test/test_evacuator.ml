@@ -12,7 +12,7 @@ module Engine = Gcr_engine.Engine
 let check = Alcotest.check
 
 let make_ctx ?(regions = 16) ?(region_words = 64) () =
-  let heap = Heap.create ~capacity_words:(regions * region_words) ~region_words in
+  let heap = Heap.create ~capacity_words:(regions * region_words) ~region_words () in
   let engine = Engine.create ~cpus:4 () in
   Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default
     ~machine:Gcr_mach.Machine.default

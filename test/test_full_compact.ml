@@ -16,7 +16,7 @@ let check = Alcotest.check
 (* Build a fragmented heap: objects scattered over many regions, a subset
    reachable from the roots.  Returns the ctx, engine, and the root list. *)
 let build ~regions ~region_words ~objects ~live_every ~seed =
-  let heap = Heap.create ~capacity_words:(regions * region_words) ~region_words in
+  let heap = Heap.create ~capacity_words:(regions * region_words) ~region_words () in
   let engine = Engine.create ~cpus:4 () in
   let ctx =
     Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default

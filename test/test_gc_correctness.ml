@@ -33,7 +33,7 @@ let spec =
 (* Compose a run by hand so we keep access to the roots afterwards. *)
 let run_and_inspect gc_kind ~heap_words ~seed =
   let engine = Engine.create ~cpus:8 () in
-  let heap = Heap.create ~capacity_words:heap_words ~region_words:256 in
+  let heap = Heap.create ~capacity_words:heap_words ~region_words:256 () in
   let ctx =
     Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default
       ~machine:Gcr_mach.Machine.default

@@ -8,7 +8,7 @@ module Allocator = Gcr_heap.Allocator
 let check = Alcotest.check
 
 let make_heap ?(regions = 8) ?(region_words = 64) () =
-  Heap.create ~capacity_words:(regions * region_words) ~region_words
+  Heap.create ~capacity_words:(regions * region_words) ~region_words ()
 
 (* alloc_in_region returns [Obj_model.null] when the region is full; the
    tests below want a hard failure in that case. *)
@@ -26,7 +26,7 @@ let test_geometry () =
 
 let test_create_rejects_tiny () =
   Alcotest.check_raises "one region" (Invalid_argument "Heap.create: need at least two regions")
-    (fun () -> ignore (Heap.create ~capacity_words:64 ~region_words:64))
+    (fun () -> ignore (Heap.create ~capacity_words:64 ~region_words:64 ()))
 
 let test_take_free_region () =
   let h = make_heap () in
@@ -171,7 +171,7 @@ let prop_accounting =
   QCheck.Test.make ~name:"heap accounting stays consistent" ~count:100
     QCheck.(list (pair bool (int_range 4 20)))
     (fun ops ->
-      let h = Heap.create ~capacity_words:(16 * 64) ~region_words:64 in
+      let h = Heap.create ~capacity_words:(16 * 64) ~region_words:64 () in
       let taken = ref [] in
       List.iter
         (fun (release, size) ->

@@ -10,9 +10,46 @@ let test_empty () =
   check Alcotest.bool "empty" true (Histogram.is_empty h);
   check Alcotest.int "count" 0 (Histogram.count h);
   check (Alcotest.float 1e-9) "mean" 0.0 (Histogram.mean h);
-  Alcotest.check_raises "percentile of empty"
-    (Invalid_argument "Histogram.percentile: empty") (fun () ->
-      ignore (Histogram.percentile h 50.0))
+  check Alcotest.int "percentile of empty defaults to 0" 0 (Histogram.percentile h 50.0);
+  check
+    Alcotest.(option int)
+    "percentile_opt of empty" None
+    (Histogram.percentile_opt h 50.0);
+  Alcotest.check_raises "p outside [0, 100] still raises"
+    (Invalid_argument "Histogram.percentile: p outside [0, 100]") (fun () ->
+      ignore (Histogram.percentile h 200.0))
+
+let test_bucket_boundaries () =
+  (* Exact powers of two at and above the linear limit land on a
+     sub-bucket boundary: the upper bound of their bucket must not drop
+     below the value itself, and with a single sample the percentile is
+     capped at [max_value], i.e. exact. *)
+  List.iter
+    (fun v ->
+      let h = Histogram.create () in
+      Histogram.record h v;
+      check Alcotest.int (Printf.sprintf "pow2 %d recovered" v) v
+        (Histogram.percentile h 100.0))
+    [ 63; 64; 65; 128; 256; 1024; 65536; 1 lsl 20; 1 lsl 30 ];
+  (* Sub-bucket edges: 64 + k*2 for the first octave (width 2), and the
+     last value of a sub-bucket vs the first of the next. *)
+  List.iter
+    (fun v ->
+      let h = Histogram.create () in
+      Histogram.record h v;
+      check Alcotest.int (Printf.sprintf "edge %d recovered" v) v
+        (Histogram.percentile h 100.0))
+    [ 66; 67; 126; 127; 129; 130 ]
+
+let test_bucket_boundary_ordering () =
+  (* Two samples one sub-bucket apart never collapse: p100 sees the top
+     sample's bucket, p1 the bottom one's. *)
+  let h = Histogram.create () in
+  Histogram.record h 128;
+  Histogram.record h 132;
+  check Alcotest.bool "p1 below p100" true
+    (Histogram.percentile h 1.0 < Histogram.percentile h 100.0);
+  check Alcotest.int "p100 capped at max" 132 (Histogram.percentile h 100.0)
 
 let test_exact_small_values () =
   let h = Histogram.create () in
@@ -92,6 +129,8 @@ let prop_merge_counts =
 let suite =
   [
     Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+    Alcotest.test_case "bucket boundary ordering" `Quick test_bucket_boundary_ordering;
     Alcotest.test_case "exact small values" `Quick test_exact_small_values;
     Alcotest.test_case "negative clamped" `Quick test_negative_clamped;
     Alcotest.test_case "record_many" `Quick test_record_many;

@@ -26,6 +26,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("latency", Test_latency.suite);
       ("run", Test_run.suite);
+      ("obs", Test_obs.suite);
       ("run-props", Test_run_props.suite);
       ("sched", Test_sched.suite);
       ("result-cache", Test_result_cache.suite);

@@ -18,6 +18,7 @@ let measurement ~wall_total ~wall_stw ~cycles_mutator ~cycles_gc ~cycles_gc_stw 
     cycles_gc;
     cycles_gc_stw;
     pauses = [];
+    pause_hist = Gcr_util.Histogram.create ();
     latency_metered = None;
     latency_simple = None;
     allocated_words = 0;
@@ -57,6 +58,9 @@ let test_measurement_helpers () =
   check close "no pauses -> 0 mean" 0.0 (Measurement.mean_pause_ms m)
 
 let test_pause_stats () =
+  let hist = Gcr_util.Histogram.create () in
+  Gcr_util.Histogram.record hist 3600;
+  Gcr_util.Histogram.record hist 7200;
   let m =
     {
       m with
@@ -65,6 +69,7 @@ let test_pause_stats () =
           { Gcr_engine.Engine.start = 0; duration = 3600; reason = "a" };
           { Gcr_engine.Engine.start = 10; duration = 7200; reason = "b" };
         ];
+      pause_hist = hist;
     }
   in
   check Alcotest.int "count" 2 (Measurement.pause_count m);

@@ -1,0 +1,199 @@
+(* The event spine: differential test of event-derived accounting against
+   the engine's legacy counters, trace replay completeness, Perfetto
+   export validity, and the CLI's failure reporting helper. *)
+
+module Registry = Gcr_gcs.Registry
+module Suite = Gcr_workloads.Suite
+module Spec = Gcr_workloads.Spec
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+module Engine = Gcr_engine.Engine
+module Obs = Gcr_obs.Obs
+module Event = Gcr_obs.Event
+module Perfetto = Gcr_obs.Perfetto
+
+let check = Alcotest.check
+
+let with_legacy_accounting f =
+  Unix.putenv "GCR_LEGACY_ACCOUNTING" "1";
+  Fun.protect ~finally:(fun () -> Unix.putenv "GCR_LEGACY_ACCOUNTING" "") f
+
+(* Capture the engine (the spine lives on it) across a run. *)
+let execute_capturing config =
+  let captured = ref None in
+  let m = Run.execute ~on_engine:(fun e -> captured := Some e) config in
+  match !captured with
+  | Some engine -> (m, engine)
+  | None -> Alcotest.fail "on_engine hook never ran"
+
+let small_config ~bench ~gc ~heap_words ~seed =
+  Run.default_config ~spec:(Spec.scale (Suite.find_exn bench) 0.1) ~gc ~heap_words ~seed
+
+(* ---------- differential: derived Measurement = legacy counters ---------- *)
+
+let check_against_legacy (m : Measurement.t) engine =
+  match Engine.legacy_snapshot engine with
+  | None -> Alcotest.fail "legacy accounting was not enabled"
+  | Some l ->
+      let name = Printf.sprintf "%s/%s seed=%d" m.Measurement.benchmark m.Measurement.gc m.Measurement.seed in
+      check Alcotest.int (name ^ " wall_stw") l.Engine.lsnap_wall_stw m.Measurement.wall_stw;
+      check Alcotest.int (name ^ " cycles_mutator") l.Engine.lsnap_cycles_mutator
+        m.Measurement.cycles_mutator;
+      check Alcotest.int (name ^ " cycles_gc") l.Engine.lsnap_cycles_gc m.Measurement.cycles_gc;
+      check Alcotest.int (name ^ " cycles_gc_stw") l.Engine.lsnap_cycles_gc_stw
+        m.Measurement.cycles_gc_stw;
+      check Alcotest.int (name ^ " pause count") (List.length l.Engine.lsnap_pauses)
+        (Measurement.pause_count m);
+      List.iter2
+        (fun (a : Engine.pause) (b : Engine.pause) ->
+          check Alcotest.int (name ^ " pause start") a.Engine.start b.Engine.start;
+          check Alcotest.int (name ^ " pause duration") a.Engine.duration b.Engine.duration;
+          check Alcotest.string (name ^ " pause reason") a.Engine.reason b.Engine.reason)
+        l.Engine.lsnap_pauses m.Measurement.pauses
+
+let test_differential_all_collectors () =
+  with_legacy_accounting (fun () ->
+      List.iter
+        (fun gc ->
+          let heap_words =
+            match gc with Registry.Epsilon -> 1 | _ -> 40_000
+          in
+          let m, engine = execute_capturing (small_config ~bench:"jme" ~gc ~heap_words ~seed:7) in
+          check_against_legacy m engine)
+        Registry.all)
+
+let prop_differential_grid =
+  (* Sampled workload grid: benchmark x collector x heap x seed.  Whatever
+     the run does (complete, OOM, degenerate), the event-derived fields
+     must equal the legacy hand-maintained counters exactly. *)
+  let bench = QCheck.Gen.oneofl [ "jme"; "h2"; "lusearch" ] in
+  let gc = QCheck.Gen.oneofl Registry.all in
+  let gen = QCheck.Gen.(quad bench gc (int_range 20_000 60_000) (int_range 1 1000)) in
+  let print (b, g, h, s) =
+    Printf.sprintf "%s/%s heap=%d seed=%d" b (Registry.name g) h s
+  in
+  QCheck.Test.make ~name:"event-derived accounting = legacy counters" ~count:12
+    (QCheck.make ~print gen) (fun (b, g, heap_words, seed) ->
+      with_legacy_accounting (fun () ->
+          let heap_words = match g with Registry.Epsilon -> 1 | _ -> heap_words in
+          let m, engine = execute_capturing (small_config ~bench:b ~gc:g ~heap_words ~seed) in
+          check_against_legacy m engine;
+          true))
+
+let test_differential_aborted_run () =
+  (* An abort mid-pause leaves a pause open: the open pause's elapsed time
+     must still be counted in wall_stw, exactly as the legacy counter did
+     by accruing during the pause. *)
+  with_legacy_accounting (fun () ->
+      let config =
+        { (small_config ~bench:"jme" ~gc:Registry.Serial ~heap_words:40_000 ~seed:3) with
+          Run.max_events = Some 100;
+        }
+      in
+      let m, engine = execute_capturing config in
+      check Alcotest.bool "aborted" false (Measurement.completed m);
+      check_against_legacy m engine)
+
+(* ---------- trace replay completeness ---------- *)
+
+let test_trace_replay_fingerprint () =
+  (* A recorded trace replayed into fresh counters reproduces the online
+     fold exactly: the trace captures everything the accounting needs. *)
+  let trace = ref None in
+  let obs_ref = ref None in
+  let m, engine =
+    let captured = ref None in
+    let m =
+      Run.execute
+        ~on_engine:(fun e ->
+          captured := Some e;
+          let obs = Engine.obs e in
+          obs_ref := Some obs;
+          trace := Some (Obs.attach_trace obs))
+        (small_config ~bench:"lusearch" ~gc:Registry.G1 ~heap_words:40_000 ~seed:11)
+    in
+    (m, Option.get !captured)
+  in
+  check Alcotest.bool "completed" true (Measurement.completed m);
+  let obs = Option.get !obs_ref and trace = Option.get !trace in
+  let now = Engine.now engine in
+  let replayed = Obs.Trace.replay trace in
+  check
+    Alcotest.(list int)
+    "replayed fingerprint = online fingerprint"
+    (Obs.fingerprint obs ~now)
+    (Obs.Counters.fingerprint replayed ~now)
+
+(* ---------- Perfetto export ---------- *)
+
+let record_trace ~bench ~gc ~seed =
+  let captured = ref None in
+  let m =
+    Run.execute
+      ~on_engine:(fun e ->
+        let obs = Engine.obs e in
+        captured := Some (obs, Obs.attach_trace obs))
+      (small_config ~bench ~gc ~heap_words:40_000 ~seed)
+  in
+  let obs, trace = Option.get !captured in
+  (m, Buffer.contents (Perfetto.write_buffer obs trace))
+
+let test_perfetto_valid () =
+  let m, text = record_trace ~bench:"lusearch" ~gc:Registry.G1 ~seed:5 in
+  check Alcotest.bool "completed" true (Measurement.completed m);
+  match Perfetto.validate_string text with
+  | Error msg -> Alcotest.fail ("invalid trace: " ^ msg)
+  | Ok s ->
+      check Alcotest.bool "at least one pause slice" true (s.Perfetto.pause_slices >= 1);
+      check Alcotest.bool "at least one phase slice" true (s.Perfetto.phase_slices >= 1);
+      check Alcotest.int "begin/end balanced" s.Perfetto.begins s.Perfetto.ends
+
+let test_perfetto_valid_concurrent () =
+  (* Shenandoah exercises pacing and degeneration event paths. *)
+  let _, text = record_trace ~bench:"jme" ~gc:Registry.Shenandoah ~seed:5 in
+  match Perfetto.validate_string text with
+  | Error msg -> Alcotest.fail ("invalid trace: " ^ msg)
+  | Ok s -> check Alcotest.int "begin/end balanced" s.Perfetto.begins s.Perfetto.ends
+
+let test_trace_alloc_free_when_detached () =
+  (* No subscriber: emitting must not allocate; the spine still counts. *)
+  let obs = Obs.create () in
+  Obs.thread_spawn obs ~time:0 ~tid:0 ~kind:Event.mutator_kind ~name:"m0";
+  let before = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    Obs.step_complete obs ~time:i ~tid:0 ~kind:Event.mutator_kind ~cycles:10 ~in_pause:false
+  done;
+  let after = Gc.minor_words () in
+  check Alcotest.bool "no allocation on the hot path" true (after -. before < 256.0);
+  check Alcotest.int "cycles counted" 100_000 (Obs.cycles_of_kind obs Event.mutator_kind)
+
+(* ---------- CLI failure reporting ---------- *)
+
+let test_failure_lines () =
+  let ok =
+    Run.execute (small_config ~bench:"jme" ~gc:Registry.Epsilon ~heap_words:1 ~seed:2)
+  in
+  check Alcotest.(list string) "no lines for completed runs" []
+    (Measurement.failure_lines [ ok ]);
+  let failed =
+    { ok with Measurement.outcome = Measurement.Failed "OutOfMemoryError: no free region" }
+  in
+  match Measurement.failure_lines [ ok; failed; ok ] with
+  | [ line ] ->
+      check Alcotest.bool "names the config" true
+        (String.length line > 0
+        && String.sub line 0 3 = "jme"
+        && Option.is_some (String.index_opt line ':'))
+  | lines -> Alcotest.fail (Printf.sprintf "expected 1 line, got %d" (List.length lines))
+
+let suite =
+  [
+    Alcotest.test_case "differential: all collectors" `Quick test_differential_all_collectors;
+    QCheck_alcotest.to_alcotest prop_differential_grid;
+    Alcotest.test_case "differential: aborted run" `Quick test_differential_aborted_run;
+    Alcotest.test_case "trace replay fingerprint" `Quick test_trace_replay_fingerprint;
+    Alcotest.test_case "perfetto valid" `Quick test_perfetto_valid;
+    Alcotest.test_case "perfetto valid (concurrent)" `Quick test_perfetto_valid_concurrent;
+    Alcotest.test_case "alloc-free when detached" `Quick test_trace_alloc_free_when_detached;
+    Alcotest.test_case "failure lines" `Quick test_failure_lines;
+  ]

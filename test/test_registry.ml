@@ -40,7 +40,7 @@ let test_classification () =
 let test_make_constructs_all () =
   List.iter
     (fun kind ->
-      let heap = Heap.create ~capacity_words:(32 * 256) ~region_words:256 in
+      let heap = Heap.create ~capacity_words:(32 * 256) ~region_words:256 () in
       let engine = Engine.create ~cpus:4 () in
       let ctx =
         Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default
@@ -53,7 +53,7 @@ let test_make_constructs_all () =
     Registry.all
 
 let test_heap_ops_write_ref () =
-  let heap = Heap.create ~capacity_words:(8 * 64) ~region_words:64 in
+  let heap = Heap.create ~capacity_words:(8 * 64) ~region_words:64 () in
   let engine = Engine.create ~cpus:2 () in
   let ctx =
     Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default

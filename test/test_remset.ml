@@ -8,7 +8,7 @@ module Remset = Gcr_gcs.Remset
 let check = Alcotest.check
 
 let setup () =
-  let heap = Heap.create ~capacity_words:(16 * 64) ~region_words:64 in
+  let heap = Heap.create ~capacity_words:(16 * 64) ~region_words:64 () in
   let old_region = Option.get (Heap.take_free_region heap ~space:Region.Old) in
   let eden = Option.get (Heap.take_free_region heap ~space:Region.Eden) in
   (heap, old_region, eden)

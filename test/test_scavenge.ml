@@ -14,7 +14,7 @@ module Worker_pool = Gcr_gcs.Worker_pool
 let check = Alcotest.check
 
 let setup () =
-  let heap = Heap.create ~capacity_words:(64 * 64) ~region_words:64 in
+  let heap = Heap.create ~capacity_words:(64 * 64) ~region_words:64 () in
   let engine = Engine.create ~cpus:4 () in
   let ctx =
     Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default
@@ -115,7 +115,7 @@ let test_without_remset_young_dies () =
 
 let test_promo_failure_flagged () =
   (* tiny heap: survivors cannot be copied anywhere *)
-  let heap = Heap.create ~capacity_words:(3 * 64) ~region_words:64 in
+  let heap = Heap.create ~capacity_words:(3 * 64) ~region_words:64 () in
   let engine = Engine.create ~cpus:2 () in
   let ctx =
     Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default

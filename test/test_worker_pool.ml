@@ -8,7 +8,7 @@ module Worker_pool = Gcr_gcs.Worker_pool
 let check = Alcotest.check
 
 let make_ctx ~cpus =
-  let heap = Heap.create ~capacity_words:(8 * 64) ~region_words:64 in
+  let heap = Heap.create ~capacity_words:(8 * 64) ~region_words:64 () in
   let engine = Engine.create ~cpus () in
   Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default
     ~machine:Gcr_mach.Machine.default
@@ -28,7 +28,7 @@ let test_phase_consumes_work () =
   let slices = ref 10 in
   let executed = ref 0 in
   run_with_pool ctx (fun finish ->
-      Worker_pool.run_phase pool
+      Worker_pool.run_phase pool ~phase:Gcr_obs.Event.Mark
         ~work:(fun ~worker:_ ->
           if !slices = 0 then 0
           else begin
@@ -46,7 +46,7 @@ let test_on_done_once () =
   let pool = Worker_pool.create ctx ~count:3 ~name:"test" in
   let dones = ref 0 in
   run_with_pool ctx (fun finish ->
-      Worker_pool.run_phase pool
+      Worker_pool.run_phase pool ~phase:Gcr_obs.Event.Mark
         ~work:(fun ~worker:_ -> 0)
         ~on_done:(fun () ->
           incr dones;
@@ -58,7 +58,7 @@ let test_busy_during_phase () =
   let pool = Worker_pool.create ctx ~count:1 ~name:"test" in
   run_with_pool ctx (fun finish ->
       let first = ref true in
-      Worker_pool.run_phase pool
+      Worker_pool.run_phase pool ~phase:Gcr_obs.Event.Mark
         ~work:(fun ~worker:_ ->
           if !first then begin
             first := false;
@@ -72,32 +72,34 @@ let test_double_phase_rejected () =
   let ctx = make_ctx ~cpus:2 in
   let pool = Worker_pool.create ctx ~count:1 ~name:"test" in
   run_with_pool ctx (fun finish ->
-      Worker_pool.run_phase pool ~work:(fun ~worker:_ -> 0) ~on_done:finish;
+      Worker_pool.run_phase pool ~phase:Gcr_obs.Event.Mark ~work:(fun ~worker:_ -> 0) ~on_done:finish;
       Alcotest.check_raises "second phase"
         (Invalid_argument "Worker_pool.run_phase: phase already running") (fun () ->
-          Worker_pool.run_phase pool ~work:(fun ~worker:_ -> 0) ~on_done:ignore))
+          Worker_pool.run_phase pool ~phase:Gcr_obs.Event.Mark ~work:(fun ~worker:_ -> 0) ~on_done:ignore))
 
 let test_run_phases_in_order () =
   let ctx = make_ctx ~cpus:4 in
   let pool = Worker_pool.create ctx ~count:2 ~name:"test" in
   let log = ref [] in
-  let phase name budget =
+  let phase ph budget =
     let left = ref budget in
-    ( name,
+    ( ph,
       fun ~worker:_ ->
         if !left = 0 then 0
         else begin
           decr left;
-          log := name :: !log;
+          log := Gcr_obs.Event.phase_name ph :: !log;
           10
         end )
   in
   run_with_pool ctx (fun finish ->
       Worker_pool.run_phases pool
-        [ phase "a" 3; phase "b" 2 ]
+        [ phase Gcr_obs.Event.Mark 3; phase Gcr_obs.Event.Evacuate 2 ]
         ~on_done:(fun () ->
           let order = List.rev !log in
-          check Alcotest.(list string) "a strictly before b" [ "a"; "a"; "a"; "b"; "b" ] order;
+          check Alcotest.(list string) "a strictly before b"
+            [ "mark"; "mark"; "mark"; "evacuate"; "evacuate" ]
+            order;
           finish ()))
 
 let test_more_workers_finish_faster_but_cost_more () =
@@ -108,7 +110,7 @@ let test_more_workers_finish_faster_but_cost_more () =
     let slices = ref 64 in
     let finished_at = ref 0 in
     run_with_pool ctx (fun finish ->
-        Worker_pool.run_phase pool
+        Worker_pool.run_phase pool ~phase:Gcr_obs.Event.Mark
           ~work:(fun ~worker:_ ->
             if !slices = 0 then 0
             else begin

@@ -77,7 +77,7 @@ let test_validate_rejects () =
 (* ---- long-lived graph ---- *)
 
 let make_ctx () =
-  let heap = Heap.create ~capacity_words:(256 * 256) ~region_words:256 in
+  let heap = Heap.create ~capacity_words:(256 * 256) ~region_words:256 () in
   let engine = Engine.create ~cpus:4 () in
   Gc_types.make_ctx ~heap ~engine ~cost:Gcr_mach.Cost_model.default
     ~machine:Gcr_mach.Machine.default
