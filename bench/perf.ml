@@ -37,6 +37,9 @@ module Suite = Gcr_workloads.Suite
 module Spec = Gcr_workloads.Spec
 module Run = Gcr_runtime.Run
 module Prng = Gcr_util.Prng
+module Tape = Gcr_tape.Tape
+module Tape_gen = Gcr_workloads.Tape_gen
+module Decision_source = Gcr_workloads.Decision_source
 
 (* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
@@ -423,6 +426,64 @@ let bench_full_run ~scale ~reps =
   in
   best_of reps run
 
+(* Same configuration replayed from a workload tape: the image is built
+   once outside the timed region, as the campaign harness does, so the
+   kernel isolates the replay-mode run cost (array cursors instead of
+   PRNG mixing and float math on the mutator hot path). *)
+let bench_full_run_replay ~scale ~reps =
+  let spec = Spec.scale (Suite.find_exn "lusearch") scale in
+  let heap_words = 36_864 in
+  let image = Decision_source.image_of_tape ~spec (Tape_gen.generate ~spec ~seed:42) in
+  let run () =
+    let m =
+      Run.execute
+        {
+          (Run.default_config ~spec ~gc:Registry.G1 ~heap_words ~seed:42) with
+          Run.tape = Run.Tape_replay image;
+        }
+    in
+    match m.Gcr_runtime.Measurement.outcome with
+    | Gcr_runtime.Measurement.Completed -> ()
+    | Gcr_runtime.Measurement.Failed reason ->
+        failwith ("bench_full_run_replay failed: " ^ reason)
+  in
+  best_of reps run
+
+(* Raw replay-cursor throughput: consume every thread's recorded stream
+   through the five decision kinds in the mutator's per-allocation mix.
+   Decisions/second of host time; an upper bound on how fast replay mode
+   can feed the simulator. *)
+let bench_tape_decisions ~passes ~reps =
+  let spec = Spec.scale (Suite.find_exn "lusearch") 0.25 in
+  let tape = Tape_gen.generate ~spec ~seed:42 in
+  let image = Decision_source.image_of_tape ~spec tape in
+  let threads = Array.length tape.Tape.streams in
+  let sink = ref 0 in
+  let total = ref 0 in
+  let run () =
+    total := 0;
+    for _ = 1 to passes do
+      for t = 0 to threads - 1 do
+        let ds = Decision_source.replay image ~thread:t in
+        (* groups of five draws keep consumption inside the recorded
+           stream (no live-PRNG fallback) *)
+        let groups = Array.length tape.Tape.streams.(t).Tape.raw / 5 in
+        for _ = 1 to groups do
+          let size = Decision_source.draw_size ds in
+          let c = if Decision_source.chain ds then 1 else 0 in
+          let l = if Decision_source.ll_ref ds then 1 else 0 in
+          let s = if Decision_source.survive ds then 1 else 0 in
+          let idx = Decision_source.index ds 1024 in
+          sink := !sink + size + c + l + s + idx
+        done;
+        total := !total + (groups * 5)
+      done
+    done
+  in
+  let dt = best_of reps run in
+  ignore (Sys.opaque_identity !sink);
+  float_of_int !total /. dt
+
 let run_wall_clock () =
   Printf.printf "wall-clock kernels (%s)\n%!" (if options.smoke then "smoke" else "full");
   let scale_steps n = if options.smoke then n / 4 else n in
@@ -439,7 +500,13 @@ let run_wall_clock () =
   let alloc = bench_alloc ~regions:(if options.smoke then 512 else 2048) ~reps in
   record "heap/allocs_per_sec" alloc "allocs/s" Higher_is_better;
   let full = bench_full_run ~scale:0.25 ~reps:(if options.smoke then 2 else 3) in
-  record "run/lusearch_3x_seconds" full "s" Lower_is_better
+  record "run/lusearch_3x_seconds" full "s" Lower_is_better;
+  let replayed = bench_full_run_replay ~scale:0.25 ~reps:(if options.smoke then 2 else 3) in
+  record "run/lusearch_3x_replay_seconds" replayed "s" Lower_is_better;
+  let decisions =
+    bench_tape_decisions ~passes:(if options.smoke then 4 else 16) ~reps
+  in
+  record "tape/decisions_per_sec" decisions "decisions/s" Higher_is_better
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)

@@ -19,6 +19,9 @@ module Result_cache = Gcr_sched.Result_cache
 module Obs = Gcr_obs.Obs
 module Perfetto = Gcr_obs.Perfetto
 module Engine = Gcr_engine.Engine
+module Tape = Gcr_tape.Tape
+module Tape_gen = Gcr_workloads.Tape_gen
+module Decision_source = Gcr_workloads.Decision_source
 
 (* ---------- shared argument parsing ---------- *)
 
@@ -118,9 +121,18 @@ let resolve_cache_dir arg =
         Printf.eprintf "gcr: unusable cache directory: %s\n%!" msg;
         exit 1)
 
-let harness_config ~invocations ~scale ~seed ~factors ~quiet ~jobs ~cache_dir =
+let no_tapes_arg =
+  let doc =
+    "Disable workload tapes: derive every cell's decision stream live from the PRNG \
+     instead of replaying the per-(benchmark, seed) tape.  Results are bit-identical \
+     either way ($(b,GCR_TAPES=0) is the environment equivalent)."
+  in
+  Arg.(value & flag & info [ "no-tapes" ] ~doc)
+
+let harness_config ~invocations ~scale ~seed ~factors ~quiet ~jobs ~cache_dir ~no_tapes =
+  let defaults = Harness.default_config () in
   {
-    (Harness.default_config ()) with
+    defaults with
     Harness.invocations;
     scale;
     base_seed = seed;
@@ -128,6 +140,7 @@ let harness_config ~invocations ~scale ~seed ~factors ~quiet ~jobs ~cache_dir =
     log_progress = not quiet;
     jobs = resolve_jobs jobs;
     cache_dir = resolve_cache_dir cache_dir;
+    tapes = defaults.Harness.tapes && not no_tapes;
   }
 
 (* ---------- list ---------- *)
@@ -150,6 +163,34 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks and collectors")
     Term.(const run $ const ())
 
+(* ---------- tape helpers ---------- *)
+
+let read_tape_exn path =
+  match Tape.read_file path with
+  | Ok tape -> tape
+  | Error msg ->
+      Printf.eprintf "gcr: invalid tape %s: %s\n" path msg;
+      exit 1
+
+(* A tape is only meaningful against the exact spec it was recorded for;
+   resolve the benchmark by name and refuse a digest mismatch (usually a
+   --scale that differs from the recording). *)
+let tape_resolve_spec ~scale tape =
+  match Suite.find tape.Tape.benchmark with
+  | None ->
+      Printf.eprintf "gcr: tape benchmark %S is not in the suite\n" tape.Tape.benchmark;
+      exit 1
+  | Some spec ->
+      let spec = Spec.scale spec scale in
+      if not (String.equal (Spec.digest spec) tape.Tape.spec_digest) then begin
+        Printf.eprintf
+          "gcr: tape %S was recorded against a different spec (digest %s, this \
+           invocation resolves to %s); pass the --scale it was recorded at\n"
+          tape.Tape.benchmark tape.Tape.spec_digest (Spec.digest spec);
+        exit 1
+      end;
+      spec
+
 (* ---------- run ---------- *)
 
 let execute_traced ~trace_out config =
@@ -167,24 +208,49 @@ let execute_traced ~trace_out config =
   m
 
 let run_cmd =
-  let run benchmarks gcs factor invocations scale seed jobs cache_dir trace_out =
-    let benchmarks = default_benchmarks benchmarks in
+  let run benchmarks gcs factor invocations scale seed jobs cache_dir trace_out tape_file
+      =
     let gcs = default_gcs gcs in
     let cache =
       Option.map (fun dir -> Result_cache.create ~dir) (resolve_cache_dir cache_dir)
     in
     let configs =
-      List.concat_map
-        (fun spec ->
-          let spec = Spec.scale spec scale in
-          let minheap = Minheap.find spec in
+      match tape_file with
+      | None ->
           List.concat_map
+            (fun spec ->
+              let spec = Spec.scale spec scale in
+              let minheap = Minheap.find spec in
+              List.concat_map
+                (fun gc ->
+                  List.init invocations (fun i ->
+                      let heap_words = int_of_float (factor *. float_of_int minheap) in
+                      Run.default_config ~spec ~gc ~heap_words ~seed:(seed + i + 1)))
+                gcs)
+            (default_benchmarks benchmarks)
+      | Some path ->
+          (* the tape pins benchmark, spec and seed; the command line picks
+             collectors and heap factor *)
+          let tape = read_tape_exn path in
+          let spec = tape_resolve_spec ~scale tape in
+          (match benchmarks with
+          | [] -> ()
+          | bs when List.exists (fun b -> String.equal b.Spec.name spec.Spec.name) bs ->
+              ()
+          | _ ->
+              Printf.eprintf "gcr: --tape %s replays benchmark %S; drop -b or pass it\n"
+                path spec.Spec.name;
+              exit 1);
+          let image = Decision_source.image_of_tape ~spec tape in
+          let minheap = Minheap.find spec in
+          let heap_words = int_of_float (factor *. float_of_int minheap) in
+          List.map
             (fun gc ->
-              List.init invocations (fun i ->
-                  let heap_words = int_of_float (factor *. float_of_int minheap) in
-                  Run.default_config ~spec ~gc ~heap_words ~seed:(seed + i + 1)))
-            gcs)
-        benchmarks
+              {
+                (Run.default_config ~spec ~gc ~heap_words ~seed:tape.Tape.seed) with
+                Run.tape = Run.Tape_replay image;
+              })
+            gcs
     in
     let measurements =
       match trace_out with
@@ -208,11 +274,20 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
   in
+  let tape_arg =
+    let doc =
+      "Replay a workload tape recorded with $(b,gcr tape record): the tape fixes the \
+       benchmark, spec and seed (so -n/--seed are ignored), and every requested \
+       collector runs against the identical decision stream.  Results are \
+       bit-identical to live runs at the tape's seed."
+    in
+    Arg.(value & opt (some string) None & info [ "tape" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run benchmark/collector configurations and print measurements")
     Term.(
       const run $ benchmarks_arg $ gcs_arg $ factor_arg $ invocations_arg $ scale_arg
-      $ seed_arg $ jobs_arg $ cache_dir_arg $ trace_out_arg)
+      $ seed_arg $ jobs_arg $ cache_dir_arg $ trace_out_arg $ tape_arg)
 
 (* ---------- minheap ---------- *)
 
@@ -233,8 +308,11 @@ let minheap_cmd =
 
 (* ---------- campaign-backed commands ---------- *)
 
-let build_campaign benchmarks gcs invocations scale seed factors quiet jobs cache_dir =
-  let config = harness_config ~invocations ~scale ~seed ~factors ~quiet ~jobs ~cache_dir in
+let build_campaign benchmarks gcs invocations scale seed factors quiet jobs cache_dir
+    no_tapes =
+  let config =
+    harness_config ~invocations ~scale ~seed ~factors ~quiet ~jobs ~cache_dir ~no_tapes
+  in
   Harness.run_campaign config ~benchmarks:(default_benchmarks benchmarks)
     ~gcs:(default_gcs gcs)
 
@@ -278,9 +356,11 @@ let artefact_arg =
     & info [] ~docv:"ARTEFACT" ~doc)
 
 let artefact_cmd =
-  let run artefact benchmarks gcs invocations scale seed factors quiet jobs cache_dir =
+  let run artefact benchmarks gcs invocations scale seed factors quiet jobs cache_dir
+      no_tapes =
     let campaign =
       build_campaign benchmarks gcs invocations scale seed factors quiet jobs cache_dir
+        no_tapes
     in
     print_artefact campaign artefact;
     exit_on_failures (Harness.all_measurements campaign)
@@ -290,12 +370,13 @@ let artefact_cmd =
        ~doc:"Run the needed campaign and regenerate a paper table or figure")
     Term.(
       const run $ artefact_arg $ benchmarks_arg $ gcs_arg $ invocations_arg $ scale_arg
-      $ seed_arg $ factors_arg $ quiet_arg $ jobs_arg $ cache_dir_arg)
+      $ seed_arg $ factors_arg $ quiet_arg $ jobs_arg $ cache_dir_arg $ no_tapes_arg)
 
 let campaign_cmd =
-  let run benchmarks gcs invocations scale seed factors quiet jobs cache_dir =
+  let run benchmarks gcs invocations scale seed factors quiet jobs cache_dir no_tapes =
     let campaign =
       build_campaign benchmarks gcs invocations scale seed factors quiet jobs cache_dir
+        no_tapes
     in
     print_artefact campaign "all";
     exit_on_failures (Harness.all_measurements campaign)
@@ -305,7 +386,7 @@ let campaign_cmd =
        ~doc:"Run the full grid and print every table and figure of the paper")
     Term.(
       const run $ benchmarks_arg $ gcs_arg $ invocations_arg $ scale_arg $ seed_arg
-      $ factors_arg $ quiet_arg $ jobs_arg $ cache_dir_arg)
+      $ factors_arg $ quiet_arg $ jobs_arg $ cache_dir_arg $ no_tapes_arg)
 
 (* ---------- ablations ---------- *)
 
@@ -395,10 +476,137 @@ let trace_cmd =
       const run $ bench_arg $ gc_arg $ factor_arg $ scale_arg $ seed_arg $ out_arg
       $ check_arg)
 
+(* ---------- tape ---------- *)
+
+let tape_file_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Tape file to read.")
+
+let tape_record_cmd =
+  let run bench scale seed out via_run factor =
+    let spec = Spec.scale bench scale in
+    let tape =
+      match via_run with
+      | None ->
+          (* pure generation: replicate the run's PRNG split tree without
+             simulating anything *)
+          Tape_gen.generate ~spec ~seed
+      | Some gc ->
+          (* record tee: execute one real run with a Record source and keep
+             the stream it actually consumed (plus fallback headroom is not
+             needed — replay falls over to the live continuation) *)
+          let minheap = Minheap.find spec in
+          let heap_words = int_of_float (factor *. float_of_int minheap) in
+          let captured = ref None in
+          let config =
+            {
+              (Run.default_config ~spec ~gc ~heap_words ~seed) with
+              Run.tape = Run.Tape_record (fun t -> captured := Some t);
+            }
+          in
+          let (_ : Measurement.t) = Run.execute config in
+          (match !captured with
+          | Some t -> t
+          | None ->
+              Printf.eprintf "gcr: run finished without producing a tape\n";
+              exit 1)
+    in
+    Tape.write_file tape ~path:out;
+    Printf.printf "%s: %d draws, digest %s\n" out (Tape.draws tape) (Tape.digest tape)
+  in
+  let bench_arg =
+    Arg.(
+      required
+      & opt (some bench_conv) None
+      & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Benchmark to record.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "workload.tape"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Tape file to write.")
+  in
+  let via_run_arg =
+    let doc =
+      "Record by executing one real run under this collector (the record tee) \
+       instead of generating the stream directly.  Both paths produce replay-
+       equivalent tapes; the tee also captures only the prefix that run consumed."
+    in
+    Arg.(value & opt (some gc_conv) None & info [ "via-run" ] ~docv:"GC" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Record the workload decision stream for one (benchmark, seed)")
+    Term.(
+      const run $ bench_arg $ scale_arg $ seed_arg $ out_arg $ via_run_arg $ factor_arg)
+
+let tape_info_cmd =
+  let run file =
+    let tape = read_tape_exn file in
+    print_endline (Tape.info tape)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print a tape's header, stream sizes and digest")
+    Term.(const run $ tape_file_pos)
+
+let tape_verify_cmd =
+  let run file scale replay_check gc factor =
+    let tape = read_tape_exn file in
+    Printf.printf "%s: ok (%d threads, %d draws, digest %s)\n" file
+      (Array.length tape.Tape.streams)
+      (Tape.draws tape) (Tape.digest tape);
+    if replay_check then begin
+      let spec = tape_resolve_spec ~scale tape in
+      let image = Decision_source.image_of_tape ~spec tape in
+      let minheap = Minheap.find spec in
+      let heap_words = int_of_float (factor *. float_of_int minheap) in
+      let base = Run.default_config ~spec ~gc ~heap_words ~seed:tape.Tape.seed in
+      let live = Run.execute base in
+      let replayed = Run.execute { base with Run.tape = Run.Tape_replay image } in
+      let render m = Format.asprintf "%a" Measurement.pp m in
+      if String.equal (render live) (render replayed) then
+        Printf.printf "replay check: bit-identical to a live run under %s at %gx\n"
+          (Registry.name gc) factor
+      else begin
+        Printf.eprintf "gcr: replay diverged from the live run under %s at %gx\n"
+          (Registry.name gc) factor;
+        exit 1
+      end
+    end
+  in
+  let replay_check_arg =
+    let doc =
+      "Additionally execute the tape's configuration twice — live and replayed — \
+       and fail unless the measurements are bit-identical."
+    in
+    Arg.(value & flag & info [ "replay-check" ] ~doc)
+  in
+  let gc_arg =
+    Arg.(
+      value & opt gc_conv Registry.G1
+      & info [ "g"; "gc" ] ~docv:"GC" ~doc:"Collector for --replay-check.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Validate a tape file (magic, checksum, bounds); optionally prove replay \
+             bit-identity")
+    Term.(const run $ tape_file_pos $ scale_arg $ replay_check_arg $ gc_arg $ factor_arg)
+
+let tape_cmd =
+  Cmd.group
+    (Cmd.info "tape"
+       ~doc:"Record, inspect and verify workload tapes (record once, replay across \
+             the campaign grid)")
+    [ tape_record_cmd; tape_info_cmd; tape_verify_cmd ]
+
 let main =
   let doc = "empirical lower bounds on the overheads of production garbage collectors" in
   Cmd.group
     (Cmd.info "gcr" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; minheap_cmd; artefact_cmd; campaign_cmd; ablation_cmd; trace_cmd ]
+    [
+      list_cmd; run_cmd; minheap_cmd; artefact_cmd; campaign_cmd; ablation_cmd;
+      trace_cmd; tape_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -19,6 +19,10 @@ type config = {
   log_progress : bool;
   jobs : int;
   cache_dir : string option;
+  tapes : bool;
+      (** replay each (benchmark, seed) cell group from one generated
+          workload tape instead of re-deriving the decision stream from
+          the PRNG in every cell; results are bit-identical either way *)
 }
 
 let paper_heap_factors = [ 1.4; 1.9; 2.4; 3.0; 3.7; 4.4; 5.2; 6.0 ]
@@ -45,6 +49,7 @@ let default_config () =
     log_progress = true;
     jobs = Pool.default_jobs ();
     cache_dir = Sys.getenv_opt "GCR_CACHE_DIR";
+    tapes = Minheap.tapes_enabled ();
   }
 
 (* Configurations are keyed by (benchmark, collector, factor in permille);
@@ -111,6 +116,7 @@ let run_campaign config ~benchmarks ~gcs =
       region_words = config.region_words;
       seed = config.base_seed;
       gc = Registry.G1;
+      tapes = config.tapes;
     }
   in
   let t =
@@ -142,11 +148,13 @@ let run_campaign config ~benchmarks ~gcs =
     cell := m :: !cell
   in
   (* Submission phase: walk the grid in the canonical serial order and
-     queue one run config per cell×invocation.  Execution happens below
-     through the scheduler; because results come back in submission order,
-     the recorded campaign is identical whatever [config.jobs] is. *)
-  let submissions = ref [] in
-  let submit spec gc ~factor ~seed =
+     queue one run config per cell×invocation, grouped by
+     (invocation, benchmark) — the cells that share a workload decision
+     stream.  Execution happens below through the scheduler; because
+     results come back in submission order, the recorded campaign is
+     identical whatever [config.jobs] (or [config.tapes]) is. *)
+  let groups = ref [] in
+  let submit subs spec gc ~factor ~seed =
     let bench = spec.Spec.name in
     let heap_words =
       match gc with
@@ -167,33 +175,49 @@ let run_campaign config ~benchmarks ~gcs =
         region_words = config.region_words;
         max_events = None;
         make_collector = None;
+        tape = Run.Tape_off;
       }
     in
-    submissions := (bench, gc, factor, run_config) :: !submissions
+    subs := (bench, gc, factor, run_config) :: !subs
   in
   (* Interleave configurations across invocations (§IV-A d). *)
   for invocation = 0 to config.invocations - 1 do
     let seed = config.base_seed + (1000 * (invocation + 1)) in
     List.iter
       (fun spec ->
-        if config.log_progress then
-          Printf.eprintf "[harness] invocation %d/%d: %s\n%!" (invocation + 1)
-            config.invocations spec.Spec.name;
+        let subs = ref [] in
         List.iter
           (fun gc ->
             match gc with
-            | Registry.Epsilon -> submit spec gc ~factor:0.0 ~seed
-            | _ -> List.iter (fun factor -> submit spec gc ~factor ~seed) config.heap_factors)
+            | Registry.Epsilon -> submit subs spec gc ~factor:0.0 ~seed
+            | _ ->
+                List.iter (fun factor -> submit subs spec gc ~factor ~seed) config.heap_factors)
           ( (* Epsilon participates implicitly even if not requested *)
-            if List.mem Registry.Epsilon gcs then gcs else Registry.Epsilon :: gcs ))
+            if List.mem Registry.Epsilon gcs then gcs else Registry.Epsilon :: gcs );
+        groups := (invocation, spec, seed, List.rev !subs) :: !groups)
       specs
   done;
-  let ordered = List.rev !submissions in
   let cache = Option.map (fun dir -> Result_cache.create ~dir) config.cache_dir in
-  let results =
-    Pool.map ~jobs:config.jobs ?cache (List.map (fun (_, _, _, rc) -> rc) ordered)
-  in
-  List.iter2 (fun (bench, gc, factor, _) m -> record ~bench ~gc ~factor m) ordered results;
+  (* Execution phase, one cell group at a time: generate the group's tape
+     image once, replay it in every cell, then drop it before the next
+     group (images of full-size benchmarks are tens of MB). *)
+  List.iter
+    (fun (invocation, spec, seed, ordered) ->
+      if config.log_progress then
+        Printf.eprintf "[harness] invocation %d/%d: %s\n%!" (invocation + 1)
+          config.invocations spec.Spec.name;
+      let ordered =
+        if not config.tapes then ordered
+        else begin
+          let tape = Run.Tape_replay (Gcr_workloads.Tape_gen.image ~spec ~seed) in
+          List.map (fun (b, g, f, rc) -> (b, g, f, { rc with Run.tape })) ordered
+        end
+      in
+      let results =
+        Pool.map ~jobs:config.jobs ?cache (List.map (fun (_, _, _, rc) -> rc) ordered)
+      in
+      List.iter2 (fun (bench, gc, factor, _) m -> record ~bench ~gc ~factor m) ordered results)
+    (List.rev !groups);
   t
 
 let observations t metric ~bench ~factor =

@@ -25,6 +25,11 @@ type config = {
       (** when set, completed runs are stored in (and replayed from) an
           on-disk {!Gcr_sched.Result_cache} keyed by the full run config;
           [None] disables result caching *)
+  tapes : bool;
+      (** record-once / replay-many workload tapes: each (benchmark, seed)
+          cell group generates its decision stream once and every cell in
+          the group replays it.  Campaign results are bit-identical with
+          tapes on or off; [GCR_TAPES=0] turns them off *)
 }
 
 val paper_heap_factors : float list

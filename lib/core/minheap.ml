@@ -13,7 +13,11 @@ type config = {
   region_words : int;
   seed : int;
   gc : Registry.kind;
+  tapes : bool;
 }
+
+let tapes_enabled () =
+  match Sys.getenv_opt "GCR_TAPES" with Some ("0" | "false" | "off") -> false | _ -> true
 
 let default_config () =
   {
@@ -22,6 +26,7 @@ let default_config () =
     region_words = Run.default_region_words;
     seed = 7;
     gc = Registry.G1;
+    tapes = tapes_enabled ();
   }
 
 (* Key the caches on everything that can change the answer, including a
@@ -87,7 +92,7 @@ let file_cache_loaded = ref false
    process, on top of the minheap.tsv memo of final answers. *)
 let result_cache = lazy (Result_cache.of_env ())
 
-let completes config spec heap_words =
+let completes config spec ~tape heap_words =
   let run_config =
     {
       Run.spec;
@@ -101,6 +106,7 @@ let completes config spec heap_words =
         (* probes must fail fast when the heap is too small to be useful *)
         Some ((12 * spec.Spec.mutator_threads * spec.Spec.packets_per_thread) + 2_000_000);
       make_collector = None;
+      tape;
     }
   in
   Measurement.completed (Pool.execute ?cache:(Lazy.force result_cache) run_config)
@@ -111,7 +117,15 @@ let search config spec =
   let floor_regions =
     max 8 (Spec.live_words_estimate spec / region)
   in
-  let completes_regions n = completes config spec (n * region) in
+  (* Every probe shares (spec, seed): one tape image serves the whole
+     search.  Thrashing probes overrun the recorded stream with retry
+     re-draws; the cursor's PRNG fallback keeps them bit-identical. *)
+  let tape =
+    if config.tapes then
+      Run.Tape_replay (Gcr_workloads.Tape_gen.image ~spec ~seed:config.seed)
+    else Run.Tape_off
+  in
+  let completes_regions n = completes config spec ~tape (n * region) in
   (* Exponential probe for a completing size. *)
   let rec find_upper n =
     if n > memory_regions then

@@ -13,7 +13,14 @@ type config = {
   region_words : int;
   seed : int;
   gc : Gcr_gcs.Registry.kind;  (** G1 in the paper's protocol *)
+  tapes : bool;
+      (** drive every probe of a search from one generated workload tape
+          (results are bit-identical to live PRNG probes) *)
 }
+
+val tapes_enabled : unit -> bool
+(** Default for the [tapes] flags here and in {!Harness.config}: on,
+    unless [GCR_TAPES] is ["0"], ["false"], or ["off"]. *)
 
 val default_config : unit -> config
 

@@ -406,9 +406,10 @@ let run t ?(max_events = 50_000_000) () =
           incr events_seen;
           if !events_seen > max_events then outcome := Some (Aborted "event budget exhausted")
           else begin
-            let time = Binary_heap.min_priority t.events in
-            let ev = Binary_heap.pop_min t.events in
-            advance_clock t time;
+            (* pop_min_value + popped_priority: one heap removal per event,
+               no min_priority peek and no (priority, value) pair. *)
+            let ev = Binary_heap.pop_min_value t.events in
+            advance_clock t (Binary_heap.popped_priority t.events);
             process_event t ev;
             check_stop_ready t;
             dispatch t

@@ -19,14 +19,22 @@ let fields_capacity ~size =
    allocating a simulated object writes a handful of array slots instead of
    allocating host memory.
 
-   Ids are never reused; the metadata arrays grow geometrically with the
-   high-water mark.  Field extents in the arena, however, ARE reused: when
-   an object dies its extent is pushed onto an intrusive free list for its
-   exact field count (the next-pointer is stored in the extent's first
-   slot), and a later allocation with the same field count pops it.  Extents
-   popped from a free list are re-zeroed before handing out; extents carved
-   from the bump frontier are already [null] because fresh arena storage is
-   zero-initialised. *)
+   Dead ids are recycled through a LIFO free stack: a workload that churns
+   millions of short-lived objects keeps the metadata arrays sized to the
+   peak live population instead of growing (and re-copying) them with the
+   total allocation count, and the hot ids stay dense in cache.  Recycling
+   is safe because nothing holds a dead id: roots and heap references keep
+   their targets live by construction, and every path that frees an object
+   (region release, compaction purge) also clears or rebuilds the region's
+   object vec in the same pause, so a reused id can never alias a stale
+   entry.  [alloc] rewrites every per-id attribute, so a recycled id is
+   indistinguishable from a fresh one.  Field extents in the arena are
+   recycled the same way: when an object dies its extent is pushed onto an
+   intrusive free list for its exact field count (the next-pointer is
+   stored in the extent's first slot), and a later allocation with the same
+   field count pops it.  Extents popped from a free list are re-zeroed
+   before handing out; extents carved from the bump frontier are already
+   [null] because fresh arena storage is zero-initialised. *)
 
 type store = {
   mutable size : int array;  (** words, header included *)
@@ -44,6 +52,8 @@ type store = {
       (** head of the free-extent list per exact field count; -1 when
           empty.  The next pointer of a free extent is stored in its first
           arena slot. *)
+  mutable free_ids : int array;  (** LIFO stack of recycled ids *)
+  mutable free_ids_len : int;
 }
 
 let initial_capacity = 1024
@@ -65,6 +75,8 @@ let create_store () =
       arena = Array.make initial_arena null;
       arena_top = 0;
       free_heads = Array.make 8 (-1);
+      free_ids = Array.make 256 0;
+      free_ids_len = 0;
     }
   in
   (* id 0 is the null reference: a permanently dead header-only slot *)
@@ -118,9 +130,19 @@ let alloc s ~size ~nfields ~region =
   if size < header_words then invalid_arg "Obj_model.alloc: size below header";
   if nfields < 0 || nfields > fields_capacity ~size then
     invalid_arg "Obj_model.alloc: field count does not fit";
-  let id = s.count in
-  if id = Array.length s.size then grow_meta s;
-  s.count <- id + 1;
+  let id =
+    if s.free_ids_len > 0 then begin
+      let n = s.free_ids_len - 1 in
+      s.free_ids_len <- n;
+      Array.unsafe_get s.free_ids n
+    end
+    else begin
+      let id = s.count in
+      if id = Array.length s.size then grow_meta s;
+      s.count <- id + 1;
+      id
+    end
+  in
   s.size.(id) <- size;
   s.region.(id) <- region;
   s.age.(id) <- 0;
@@ -148,7 +170,14 @@ let free s id =
     let off = s.foff.(id) in
     s.arena.(off) <- s.free_heads.(nf);
     s.free_heads.(nf) <- off
-  end
+  end;
+  if s.free_ids_len = Array.length s.free_ids then begin
+    let b = Array.make (2 * s.free_ids_len) 0 in
+    Array.blit s.free_ids 0 b 0 s.free_ids_len;
+    s.free_ids <- b
+  end;
+  Array.unsafe_set s.free_ids s.free_ids_len id;
+  s.free_ids_len <- s.free_ids_len + 1
 
 (* Accessors below [is_live] assume a live id (see the interface); the
    range check in [is_live] is the only guard, so the hot-path reads and

@@ -38,12 +38,17 @@ val create_store : unit -> store
 
 val alloc : store -> size:int -> nfields:int -> region:int -> id
 (** A fresh, live, unmarked object of age 0.  [nfields] must fit in
-    [size - header_words]; fields start [null].  Ids are monotonically
-    increasing and never reused. *)
+    [size - header_words]; fields start [null].  Recycles the most
+    recently freed id when one exists (every per-id attribute is
+    rewritten), otherwise takes a fresh monotonically increasing id —
+    so the store is sized by the peak live population, not the total
+    allocation count. *)
 
 val free : store -> id -> unit
-(** Kill the object and recycle its field extent.  The id stays dead
-    forever; accessors other than {!is_live} must not be used on it. *)
+(** Kill the object and recycle its field extent and id.  Accessors
+    other than {!is_live} must not be used on a dead id, and holding a
+    dead id across a later {!alloc} is a caller bug: the id may now name
+    a different object. *)
 
 val is_live : store -> id -> bool
 (** Allocation-free; false for [null], out-of-range and freed ids. *)

@@ -10,6 +10,13 @@ module Spec = Gcr_workloads.Spec
 module Mutator = Gcr_workloads.Mutator
 module Longlived = Gcr_workloads.Longlived
 module Latency = Gcr_workloads.Latency
+module Decision_source = Gcr_workloads.Decision_source
+module Tape = Gcr_tape.Tape
+
+type tape_mode =
+  | Tape_off
+  | Tape_record of (Tape.t -> unit)
+  | Tape_replay of Decision_source.image
 
 type config = {
   spec : Spec.t;
@@ -21,6 +28,7 @@ type config = {
   region_words : int;
   max_events : int option;
   make_collector : (Gc_types.ctx -> Gc_types.t) option;
+  tape : tape_mode;
 }
 
 let default_region_words = 256
@@ -41,7 +49,25 @@ let default_config ~spec ~gc ~heap_words ~seed =
     region_words = default_region_words;
     max_events = None;
     make_collector = None;
+    tape = Tape_off;
   }
+
+let check_replay_image config (spec : Spec.t) image =
+  let fail fmt =
+    Printf.ksprintf (fun s -> invalid_arg ("Run.execute: replay tape " ^ s)) fmt
+  in
+  if Decision_source.image_spec_digest image <> Spec.digest spec then
+    fail "is for benchmark %S (spec digest %s), which is not the spec of this run"
+      (Decision_source.image_benchmark image)
+      (Decision_source.image_spec_digest image);
+  if Decision_source.image_seed image <> config.seed then
+    fail "was recorded under seed %d, run uses %d"
+      (Decision_source.image_seed image)
+      config.seed;
+  if Decision_source.image_threads image <> spec.Spec.mutator_threads then
+    fail "has %d streams, spec has %d threads"
+      (Decision_source.image_threads image)
+      spec.Spec.mutator_threads
 
 let execute ?(on_engine = fun (_ : Engine.t) -> ()) config =
   let spec = config.spec in
@@ -71,23 +97,71 @@ let execute ?(on_engine = fun (_ : Engine.t) -> ()) config =
     | Some make -> make ctx
     | None -> Registry.make config.gc ctx
   in
-  let root_prng = Prng.create config.seed in
-  let longlived = Longlived.create ctx ~spec ~prng:(Prng.split root_prng) in
+  (* The PRNG split order (long-lived graph, then one stream per mutator
+     thread, then the latency schedule) is the contract tapes are recorded
+     against — Tape_gen.generate replicates it exactly.  In replay mode no
+     root generator exists at all: every decision comes off the image. *)
+  let sources, arrivals_for, capture_tape =
+    match config.tape with
+    | Tape_off ->
+        let root_prng = Prng.create config.seed in
+        let (_ : Prng.t) = Prng.split root_prng in
+        let sources =
+          List.init spec.Spec.mutator_threads (fun _ ->
+              Decision_source.live ~spec (Prng.split root_prng))
+        in
+        (sources, (fun () -> Latency.arrival_schedule ~spec
+                     ~threads:spec.Spec.mutator_threads (Prng.split root_prng)),
+         fun _ _ -> ())
+    | Tape_record sink ->
+        let root_prng = Prng.create config.seed in
+        let (_ : Prng.t) = Prng.split root_prng in
+        let sources =
+          List.init spec.Spec.mutator_threads (fun _ ->
+              Decision_source.record ~spec (Prng.split root_prng))
+        in
+        let capture sources arrivals =
+          sink
+            {
+              Tape.benchmark = spec.Spec.name;
+              spec_digest = Spec.digest spec;
+              seed = config.seed;
+              streams =
+                Array.of_list (List.map Decision_source.recorded_stream sources);
+              arrivals;
+            }
+        in
+        (sources, (fun () -> Latency.arrival_schedule ~spec
+                     ~threads:spec.Spec.mutator_threads (Prng.split root_prng)),
+         capture)
+    | Tape_replay image ->
+        check_replay_image config spec image;
+        let sources =
+          List.init spec.Spec.mutator_threads (fun thread ->
+              Decision_source.replay image ~thread)
+        in
+        (sources, (fun () -> Decision_source.image_arrivals image), fun _ _ -> ())
+  in
+  let longlived = Longlived.create ctx ~spec in
   let mutators =
-    List.init spec.Spec.mutator_threads (fun index ->
-        Mutator.create ctx ~gc ~spec ~longlived ~prng:(Prng.split root_prng) ~index)
+    List.map2
+      (fun index ds -> Mutator.create ctx ~gc ~spec ~longlived ~ds ~index)
+      (List.init spec.Spec.mutator_threads Fun.id)
+      sources
   in
   (ctx.Gc_types.iter_roots :=
      fun f ->
        Longlived.iter_roots longlived f;
        List.iter (fun m -> Mutator.iter_roots m f) mutators);
+  let arrivals = ref [||] in
   let latency =
     match spec.Spec.latency with
     | None ->
         List.iter Mutator.start_batch mutators;
         None
     | Some _ ->
-        let l = Latency.create ctx ~spec ~mutators ~prng:(Prng.split root_prng) in
+        arrivals := arrivals_for ();
+        let l = Latency.create ctx ~spec ~mutators ~arrivals:!arrivals in
         Latency.start l;
         Some l
   in
@@ -99,6 +173,9 @@ let execute ?(on_engine = fun (_ : Engine.t) -> ()) config =
     | Engine.All_mutators_finished -> Measurement.Completed
     | Engine.Aborted reason -> Measurement.Failed reason
   in
+  (* Aborted runs still leave a valid tape: the captured prefix plus the
+     cursor's PRNG fallback reproduce any longer sibling run exactly. *)
+  capture_tape sources !arrivals;
   Measurement.of_obs ~benchmark:spec.Spec.name ~gc:(Registry.name config.gc)
     ~heap_words:capacity_words ~seed:config.seed ~outcome
     ~wall_total:(Engine.now engine) ~has_latency:(latency <> None)
@@ -118,6 +195,7 @@ let execute_ideal ~spec ~machine ~seed =
       region_words = default_region_words;
       max_events = None;
       make_collector = None;
+      tape = Tape_off;
     }
   in
   execute config

@@ -5,6 +5,16 @@
     are deterministic: equal configs (including seed) yield equal
     measurements. *)
 
+type tape_mode =
+  | Tape_off  (** decisions drawn live from the seeded PRNG (historical path) *)
+  | Tape_record of (Gcr_tape.Tape.t -> unit)
+      (** live draws, teed into a tape handed to the sink after the run
+          (aborted runs included — the captured prefix is still valid) *)
+  | Tape_replay of Gcr_workloads.Decision_source.image
+      (** decisions replayed from a prebuilt image; bit-identical to the
+          live run under every collector, including past the end of the
+          recorded stream (PRNG fallback) *)
+
 type config = {
   spec : Gcr_workloads.Spec.t;
   gc : Gcr_gcs.Registry.kind;
@@ -25,6 +35,10 @@ type config = {
       (** override the collector constructor (ablations with custom
           collector configs); [gc] still labels the measurement and picks
           the Epsilon heap rule.  [None] = registry default *)
+  tape : tape_mode;
+      (** where workload decisions come from.  Replay refuses an image
+          whose spec digest, seed, or thread count disagree with this
+          config ([Invalid_argument]) *)
 }
 
 val default_region_words : int

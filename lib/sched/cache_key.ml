@@ -6,7 +6,7 @@ module Run = Gcr_runtime.Run
 
 (* Bump whenever the rendering, Run semantics, or Measurement layout
    change incompatibly: old cache entries then miss instead of lying. *)
-let version = "gcr-run-v2"
+let version = "gcr-run-v3"
 
 (* Floats are rendered in hex ("%h") so distinct bit patterns never
    collapse to one decimal rendering. *)
@@ -51,9 +51,12 @@ let render_cost (c : Cost_model.t) =
     c.Cost_model.termination_per_worker c.Cost_model.cache_disruption_per_pause
 
 let render (c : Run.config) =
-  match c.Run.make_collector with
-  | Some _ -> None
-  | None ->
+  match (c.Run.make_collector, c.Run.tape) with
+  | Some _, _ -> None
+  (* Recording is a side effect (the sink must run); a cache hit would
+     silently skip it. *)
+  | None, Run.Tape_record _ -> None
+  | None, (Run.Tape_off | Run.Tape_replay _) ->
       Some
         (String.concat "|"
            [
@@ -68,6 +71,14 @@ let render (c : Run.config) =
              (match c.Run.max_events with
              | None -> "maxev=default"
              | Some n -> Printf.sprintf "maxev=%d" n);
+             (* Replay results are bit-identical to live ones, but the key
+                still carries the tape digest: an entry then certifies the
+                exact decision stream it was computed from. *)
+             (match c.Run.tape with
+             | Run.Tape_off -> "tape=off"
+             | Run.Tape_replay image ->
+                 "tape=replay:" ^ Gcr_workloads.Decision_source.image_digest image
+             | Run.Tape_record _ -> assert false);
            ])
 
 let of_config c = Option.map (fun s -> Digest.to_hex (Digest.string s)) (render c)

@@ -1,0 +1,246 @@
+type stream = { state0 : int64; gamma : int64; raw : int array }
+
+type t = {
+  benchmark : string;
+  spec_digest : string;
+  seed : int;
+  streams : stream array;
+  arrivals : int array;
+}
+
+let magic = "GCRTAPE1"
+
+(* --- FNV-1a 64-bit: both the on-disk checksum and the cache digest. --- *)
+
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv_substring h s pos len =
+  let h = ref h in
+  for i = pos to pos + len - 1 do
+    h := fnv_byte !h (Char.code (String.unsafe_get s i))
+  done;
+  !h
+
+let fnv_string h s = fnv_substring h s 0 (String.length s)
+
+let fnv_int64 h x =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := fnv_byte !h (Int64.to_int (Int64.shift_right_logical x (8 * i)))
+  done;
+  !h
+
+let fnv_int h x = fnv_int64 h (Int64.of_int x)
+
+let digest t =
+  let h = fnv_string fnv_offset magic in
+  let h = fnv_string h t.benchmark in
+  let h = fnv_string h t.spec_digest in
+  let h = fnv_int h t.seed in
+  let h = fnv_int h (Array.length t.streams) in
+  let h =
+    Array.fold_left
+      (fun h (s : stream) ->
+        let h = fnv_int64 h s.state0 in
+        let h = fnv_int64 h s.gamma in
+        let h = fnv_int h (Array.length s.raw) in
+        Array.fold_left fnv_int h s.raw)
+      h t.streams
+  in
+  let h = fnv_int h (Array.length t.arrivals) in
+  let h = Array.fold_left fnv_int h t.arrivals in
+  Printf.sprintf "%016Lx" h
+
+let draws t = Array.fold_left (fun acc s -> acc + Array.length s.raw) 0 t.streams
+
+let info t =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "benchmark   %s\n" t.benchmark;
+  Printf.bprintf b "spec digest %s\n" t.spec_digest;
+  Printf.bprintf b "seed        %d\n" t.seed;
+  Printf.bprintf b "threads     %d\n" (Array.length t.streams);
+  Array.iteri
+    (fun i s -> Printf.bprintf b "  stream %-3d %d draws\n" i (Array.length s.raw))
+    t.streams;
+  Printf.bprintf b "arrivals    %d%s\n" (Array.length t.arrivals)
+    (if Array.length t.arrivals = 0 then " (not latency-sensitive)" else "");
+  Printf.bprintf b "digest      %s" (digest t);
+  Buffer.contents b
+
+(* --- Serialisation (format v1). ---
+
+   magic "GCRTAPE1"
+   varint  |benchmark| bytes, benchmark
+   varint  |spec_digest| bytes, spec_digest
+   zigzag  seed
+   varint  stream count
+   varint  arrival count, arrivals as varint deltas (nondecreasing)
+   per stream:
+     8B LE state0, 8B LE gamma
+     varint raw length, raw words as fixed 8B LE
+   8B LE FNV-1a checksum of every preceding byte *)
+
+let put_varint b n =
+  let n = ref n in
+  while !n >= 0x80 do
+    Buffer.add_char b (Char.chr (0x80 lor (!n land 0x7f)));
+    n := !n lsr 7
+  done;
+  Buffer.add_char b (Char.chr !n)
+
+let put_zigzag b n = put_varint b (if n >= 0 then n lsl 1 else (lnot n lsl 1) lor 1)
+
+let put_int64_le b x =
+  for i = 0 to 7 do
+    Buffer.add_char b (Char.chr (Int64.to_int (Int64.shift_right_logical x (8 * i)) land 0xff))
+  done
+
+let put_string b s =
+  put_varint b (String.length s);
+  Buffer.add_string b s
+
+let to_string t =
+  let b = Buffer.create (65536 + (8 * draws t)) in
+  Buffer.add_string b magic;
+  put_string b t.benchmark;
+  put_string b t.spec_digest;
+  put_zigzag b t.seed;
+  put_varint b (Array.length t.streams);
+  put_varint b (Array.length t.arrivals);
+  let prev = ref 0 in
+  Array.iter
+    (fun a ->
+      put_varint b (a - !prev);
+      prev := a)
+    t.arrivals;
+  Array.iter
+    (fun (s : stream) ->
+      put_int64_le b s.state0;
+      put_int64_le b s.gamma;
+      put_varint b (Array.length s.raw);
+      Array.iter (fun r -> put_int64_le b (Int64.of_int r)) s.raw)
+    t.streams;
+  let body = Buffer.contents b in
+  put_int64_le b (fnv_string fnv_offset body);
+  Buffer.contents b
+
+(* --- Parsing.  Every read is bounds-checked; [Corrupt] never escapes. --- *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+type cursor = { data : string; mutable pos : int; limit : int }
+
+let need c n what = if c.pos + n > c.limit then corrupt "truncated %s" what
+
+let get_byte c what =
+  need c 1 what;
+  let b = Char.code (String.unsafe_get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  b
+
+let get_varint c what =
+  let rec loop shift acc =
+    if shift > 62 then corrupt "varint overflow in %s" what;
+    let b = get_byte c what in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else loop (shift + 7) acc
+  in
+  loop 0 0
+
+let get_zigzag c what =
+  let n = get_varint c what in
+  if n land 1 = 0 then n lsr 1 else lnot (n lsr 1)
+
+let get_int64_le c what =
+  need c 8 what;
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v :=
+      Int64.logor
+        (Int64.shift_left !v 8)
+        (Int64.of_int (Char.code (String.unsafe_get c.data (c.pos + i))))
+  done;
+  c.pos <- c.pos + 8;
+  !v
+
+let get_string c what =
+  let len = get_varint c what in
+  need c len what;
+  let s = String.sub c.data c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let max_threads = 65536
+
+let of_string data =
+  try
+    let total = String.length data in
+    if total < String.length magic + 8 then corrupt "file shorter than header + checksum";
+    if String.sub data 0 (String.length magic) <> magic then
+      corrupt "bad magic (not a GCRTAPE1 file)";
+    let stored =
+      let c = { data; pos = total - 8; limit = total } in
+      get_int64_le c "checksum"
+    in
+    let computed = fnv_substring fnv_offset data 0 (total - 8) in
+    if stored <> computed then
+      corrupt "checksum mismatch (stored %016Lx, computed %016Lx)" stored computed;
+    let c = { data; pos = String.length magic; limit = total - 8 } in
+    let benchmark = get_string c "benchmark" in
+    let spec_digest = get_string c "spec digest" in
+    let seed = get_zigzag c "seed" in
+    let n_streams = get_varint c "stream count" in
+    if n_streams < 0 || n_streams > max_threads then
+      corrupt "implausible stream count %d" n_streams;
+    let n_arrivals = get_varint c "arrival count" in
+    let arrivals = Array.make n_arrivals 0 in
+    let prev = ref 0 in
+    for i = 0 to n_arrivals - 1 do
+      prev := !prev + get_varint c "arrival delta";
+      arrivals.(i) <- !prev
+    done;
+    let streams =
+      Array.init n_streams (fun _ ->
+          let state0 = get_int64_le c "stream state" in
+          let gamma = get_int64_le c "stream gamma" in
+          let len = get_varint c "stream length" in
+          (* 8 bytes per word must fit in what remains: rejects lengths
+             forged to force a huge allocation before the bounds trip. *)
+          if len < 0 || len > (c.limit - c.pos) / 8 then
+            corrupt "stream length %d exceeds file size" len;
+          let raw =
+            Array.init len (fun _ ->
+                let v = get_int64_le c "raw word" in
+                if Int64.shift_right_logical v 62 <> 0L then
+                  corrupt "raw word %016Lx exceeds 62 bits" v;
+                Int64.to_int v)
+          in
+          { state0; gamma; raw })
+    in
+    if c.pos <> c.limit then corrupt "%d trailing bytes after last stream" (c.limit - c.pos);
+    Ok { benchmark; spec_digest; seed; streams; arrivals }
+  with Corrupt msg -> Error msg
+
+let write_file t ~path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (to_string t);
+  close_out oc;
+  Sys.rename tmp path
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error (path ^ ": unexpected end of file")
+  | data -> of_string data

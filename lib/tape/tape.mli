@@ -1,0 +1,72 @@
+(** Workload tapes: the campaign-invariant decision stream of one run.
+
+    The LBO methodology fixes the workload and sweeps it across every
+    (collector × heap size) cell, so the mutator's random decision stream
+    is data shared by the whole cell group — it depends only on
+    (spec, seed, thread count), never on the collector under test.  A tape
+    captures that stream once so sibling cells can replay it instead of
+    re-deriving it from the PRNG.
+
+    What is recorded is the {e raw} per-thread SplitMix64 output (one
+    62-bit word per draw), not interpreted decisions.  The distinction
+    matters: the {e interpretation sequence} is collector-dependent — an
+    allocation that hits [Out_of_regions] re-draws its size after the GC
+    frees space, so cells consume different prefixes of the stream — but
+    the stream itself is a pure function of the seed.  Each cell consumes
+    the shared stream sequentially and interprets each word at its own
+    call sites, which is exactly what the live PRNG does; bit-identity
+    follows by induction on draws.
+
+    Because SplitMix64 is counter-based, a stream also carries its start
+    state: a cell that consumes more draws than the tape holds (deep
+    retry storms) falls over to a live generator jumped to
+    [state0 + length·gamma] — the exact continuation of the recorded
+    stream — so correctness never depends on the tape being long enough. *)
+
+type stream = {
+  state0 : int64;  (** PRNG state when the stream started *)
+  gamma : int64;  (** the stream's SplitMix64 increment *)
+  raw : int array;  (** 62-bit draws: [bits64 lsr 2], one per decision *)
+}
+
+type t = {
+  benchmark : string;
+  spec_digest : string;
+      (** digest of the full spec rendering; replay refuses a tape whose
+          spec does not match the run's *)
+  seed : int;
+  streams : stream array;  (** one per mutator thread, in thread order *)
+  arrivals : int array;
+      (** latency request arrival schedule (cycles, nondecreasing); empty
+          for throughput-only benchmarks *)
+}
+
+val digest : t -> string
+(** Content hash (16 hex chars) over every field; folded into the
+    scheduler's cache key so cached results are keyed by the decisions
+    actually replayed. *)
+
+val draws : t -> int
+(** Total recorded draws across all streams. *)
+
+val info : t -> string
+(** Human-readable multi-line summary (benchmark, seed, threads, draws,
+    arrivals, digest). *)
+
+val write_file : t -> path:string -> unit
+(** Serialise to the versioned binary format (magic ["GCRTAPE1"],
+    varint-packed header, fixed 8-byte little-endian raw words,
+    delta-varint arrivals, trailing FNV-1a 64 checksum).  Writes are
+    atomic (temp file + rename). *)
+
+val read_file : string -> (t, string) result
+(** Parse and fully validate a tape file: magic, checksum over every
+    preceding byte, structural bounds.  Any truncation or corruption is an
+    [Error] with a reason — never a partial tape.  Depends only on the
+    OCaml stdlib. *)
+
+val to_string : t -> string
+(** The exact bytes {!write_file} writes (tests round-trip through it). *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; same validation as {!read_file}. *)

@@ -15,9 +15,11 @@ type 'a t = {
   mutable values : 'a array;
   mutable len : int;
   mutable next_seq : int;
+  mutable last_prio : int;
 }
 
-let create () = { prio = [||]; seq = [||]; values = [||]; len = 0; next_seq = 0 }
+let create () =
+  { prio = [||]; seq = [||]; values = [||]; len = 0; next_seq = 0; last_prio = 0 }
 
 let length t = t.len
 
@@ -81,8 +83,12 @@ let min_priority t =
   if t.len = 0 then invalid_arg "Binary_heap.min_priority: empty";
   Array.unsafe_get t.prio 0
 
-let pop_min t =
+(* The priority of the popped entry is parked in [last_prio] rather than
+   returned in a tuple: the engine pops ~10^7 events per simulated second
+   and a boxed pair per pop is measurable without flambda. *)
+let pop_min_value t =
   if t.len = 0 then invalid_arg "Binary_heap.pop_min: empty";
+  let top_prio = Array.unsafe_get t.prio 0 in
   let top = Array.unsafe_get t.values 0 in
   let n = t.len - 1 in
   t.len <- n;
@@ -111,18 +117,20 @@ let pop_min t =
        [top], and the dummy must be a surviving element *)
     Array.unsafe_set t.values n (Array.unsafe_get t.values 0)
   end;
+  t.last_prio <- top_prio;
   top
+
+let popped_priority t = t.last_prio
+
+let pop_min t =
+  let v = pop_min_value t in
+  (t.last_prio, v)
 
 let min t =
   if t.len = 0 then None
   else Some (Array.unsafe_get t.prio 0, Array.unsafe_get t.values 0)
 
-let pop t =
-  if t.len = 0 then None
-  else begin
-    let p = Array.unsafe_get t.prio 0 in
-    Some (p, pop_min t)
-  end
+let pop t = if t.len = 0 then None else Some (pop_min t)
 
 let clear t =
   if t.len > 0 then begin

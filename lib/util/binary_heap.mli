@@ -20,11 +20,22 @@ val min_priority : 'a t -> int
 (** Smallest priority without removing it; raises [Invalid_argument] when
     empty.  Allocation-free. *)
 
-val pop_min : 'a t -> 'a
-(** Removes and returns the value with the smallest priority (FIFO among
-    equal priorities); raises [Invalid_argument] when empty.
-    Allocation-free: pair with {!min_priority} when the priority is also
-    needed. *)
+val pop_min : 'a t -> int * 'a
+(** Removes and returns the smallest-priority entry with its priority
+    (FIFO among equal priorities); raises [Invalid_argument] when empty.
+    One tuple cell is the only allocation.  Hot loops that cannot afford
+    the pair — the engine pops one event per simulated completion — use
+    {!pop_min_value} with {!popped_priority} instead. *)
+
+val pop_min_value : 'a t -> 'a
+(** Allocation-free {!pop_min}: removes the smallest-priority entry and
+    returns only its value; the priority travels out of band via
+    {!popped_priority}.  Raises [Invalid_argument] when empty. *)
+
+val popped_priority : 'a t -> int
+(** Priority of the entry most recently removed by {!pop_min_value},
+    {!pop_min} or {!pop} — a field read, not a heap peek.  Unspecified
+    (0) before the first pop. *)
 
 val min : 'a t -> (int * 'a) option
 (** Smallest priority with its value, without removing it.  Allocating

@@ -41,6 +41,10 @@ let split t =
 
 let copy t = { state = t.state; gamma = t.gamma }
 
+let raw_state t = (t.state, t.gamma)
+
+let of_raw_state ~state ~gamma = { state; gamma }
+
 let int t bound =
   assert (bound > 0);
   (* Keep 62 bits so the value fits OCaml's 63-bit int non-negatively. *)

@@ -22,6 +22,15 @@ val copy : t -> t
 (** [copy t] duplicates the current state; both generators then produce the
     same stream. *)
 
+val raw_state : t -> int64 * int64
+(** [(state, gamma)] — the full generator state.  SplitMix64 is
+    counter-based (the state after [n] draws is [state + n * gamma]), which
+    lets workload tapes resume the exact stream past the recorded prefix. *)
+
+val of_raw_state : state:int64 -> gamma:int64 -> t
+(** Rebuild a generator from {!raw_state}; the resulting stream continues
+    exactly where the captured one stood. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit value. *)
 

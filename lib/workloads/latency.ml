@@ -28,13 +28,15 @@ let packet_cycles_estimate (spec : Spec.t) =
   spec.Spec.packet_compute_cycles
   + (spec.Spec.allocs_per_packet * (10 + spec.Spec.size_mean))
 
-let create (ctx : Gc_types.ctx) ~spec ~mutators ~prng =
+(* The arrival schedule is a pure function of (spec, thread count, PRNG
+   stream) — no GC or heap state — which is what lets workload tapes
+   record it once and replay it verbatim in every sibling cell. *)
+let arrival_schedule ~spec ~threads prng =
   let latency_spec =
     match spec.Spec.latency with
     | Some l -> l
-    | None -> invalid_arg "Latency.create: spec is not latency-sensitive"
+    | None -> invalid_arg "Latency.arrival_schedule: spec is not latency-sensitive"
   in
-  let threads = List.length mutators in
   let total =
     max 1 (threads * spec.Spec.packets_per_thread / latency_spec.Spec.request_packets)
   in
@@ -48,6 +50,15 @@ let create (ctx : Gc_types.ctx) ~spec ~mutators ~prng =
     clock := !clock +. Prng.exponential prng ~mean:inter_arrival_mean;
     arrivals.(i) <- int_of_float !clock
   done;
+  arrivals
+
+let create (ctx : Gc_types.ctx) ~spec ~mutators ~arrivals =
+  let latency_spec =
+    match spec.Spec.latency with
+    | Some l -> l
+    | None -> invalid_arg "Latency.create: spec is not latency-sensitive"
+  in
+  if Array.length arrivals = 0 then invalid_arg "Latency.create: empty arrival schedule";
   {
     ctx;
     latency_spec;

@@ -16,13 +16,19 @@
 
 type t
 
+val arrival_schedule : spec:Spec.t -> threads:int -> Gcr_util.Prng.t -> int array
+(** The metered (Poisson) arrival timestamps, in cycles, nondecreasing.
+    A pure function of its arguments — the part of the latency harness a
+    workload tape records.  [spec.latency] must be present. *)
+
 val create :
   Gcr_gcs.Gc_types.ctx ->
   spec:Spec.t ->
   mutators:Mutator.t list ->
-  prng:Gcr_util.Prng.t ->
+  arrivals:int array ->
   t
-(** [spec.latency] must be present. *)
+(** [spec.latency] must be present; [arrivals] comes from
+    {!arrival_schedule} or a replayed tape and must be non-empty. *)
 
 val start : t -> unit
 (** Install the arrival process and set every mutator serving.  All

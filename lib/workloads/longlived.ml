@@ -2,7 +2,6 @@ module Heap = Gcr_heap.Heap
 module Region = Gcr_heap.Region
 module Obj_model = Gcr_heap.Obj_model
 module Allocator = Gcr_heap.Allocator
-module Prng = Gcr_util.Prng
 module Gc_types = Gcr_gcs.Gc_types
 
 let fields_per_segment = 32
@@ -16,7 +15,7 @@ type t = {
   mutable filled : int;
 }
 
-let create (ctx : Gc_types.ctx) ~spec ~prng:_ =
+let create (ctx : Gc_types.ctx) ~spec =
   let target = spec.Spec.long_lived_target_words in
   let node_words = spec.Spec.size_mean in
   let total_slots = max 1 (target / max 1 node_words) in
@@ -42,12 +41,12 @@ let slot_count t = t.total_slots
 
 let slot_position index = (index / fields_per_segment, index mod fields_per_segment)
 
-let place t ~gc ~prng ~(node : Obj_model.id) =
+let place t ~gc ~ds ~(node : Obj_model.id) =
   let index =
     if is_full t then
       (* Churn: replace a random node; the old one becomes garbage unless
          the graph still references it. *)
-      Prng.int prng t.total_slots
+      Decision_source.index ds t.total_slots
     else begin
       let i = t.filled in
       t.filled <- t.filled + 1;
@@ -57,10 +56,10 @@ let place t ~gc ~prng ~(node : Obj_model.id) =
   let seg, slot = slot_position index in
   Heap_ops.write_ref ~gc ~heap:t.ctx.Gc_types.heap ~src:t.segments.(seg) ~slot ~target:node
 
-let random_node t prng =
+let random_node t ds =
   if t.filled = 0 then Obj_model.null
   else begin
-    let index = Prng.int prng t.filled in
+    let index = Decision_source.index ds t.filled in
     let seg, slot = slot_position index in
     Heap.field t.ctx.Gc_types.heap t.segments.(seg) slot
   end

@@ -9,8 +9,7 @@
 
 type t
 
-val create :
-  Gcr_gcs.Gc_types.ctx -> spec:Spec.t -> prng:Gcr_util.Prng.t -> t
+val create : Gcr_gcs.Gc_types.ctx -> spec:Spec.t -> t
 (** Allocates the segment objects as cost-free static data (the
     application's pre-main initialisation).  Must run before the engine
     starts. *)
@@ -26,12 +25,13 @@ val is_full : t -> bool
 (** Ramp-up finished: every slot holds a node. *)
 
 val place :
-  t -> gc:Gcr_gcs.Gc_types.t -> prng:Gcr_util.Prng.t -> node:Gcr_heap.Obj_model.id -> int
+  t -> gc:Gcr_gcs.Gc_types.t -> ds:Decision_source.t -> node:Gcr_heap.Obj_model.id -> int
 (** Install a freshly allocated node into the table (an empty slot during
     ramp-up, a random slot — dropping the previous node — afterwards).
+    The slot choice is drawn from the calling mutator's decision source.
     Returns the cycle cost of the write. *)
 
-val random_node : t -> Gcr_util.Prng.t -> Gcr_heap.Obj_model.id
+val random_node : t -> Decision_source.t -> Gcr_heap.Obj_model.id
 (** A uniformly random current node, or [Obj_model.null] if the table is
     still empty.  Used to wire new objects into the long-lived graph. *)
 

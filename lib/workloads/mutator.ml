@@ -3,7 +3,6 @@ module Region = Gcr_heap.Region
 module Obj_model = Gcr_heap.Obj_model
 module Allocator = Gcr_heap.Allocator
 module Engine = Gcr_engine.Engine
-module Prng = Gcr_util.Prng
 module Vec = Gcr_util.Vec
 module Cost_model = Gcr_mach.Cost_model
 module Gc_types = Gcr_gcs.Gc_types
@@ -16,7 +15,8 @@ type t = {
   gc : Gc_types.t;
   spec : Spec.t;
   longlived : Longlived.t;
-  prng : Prng.t;
+  ds : Decision_source.t;
+  nfields_tab : int array;  (** nfields by object size; sizes are <= size_max *)
   th : Engine.thread;
   eden : Allocator.t;
   mutable nursery_ids : int array;
@@ -29,7 +29,17 @@ type t = {
 
 let initial_nursery = 16  (* power of two; the ring index is masked *)
 
-let create (ctx : Gc_types.ctx) ~gc ~spec ~longlived ~prng ~index =
+(* Sizes are bounded by the spec ([size_max <= 256]), so the ref-density
+   rounding is a table lookup instead of per-allocation float math. *)
+let nfields_table (spec : Spec.t) =
+  Array.init (spec.Spec.size_max + 1) (fun size ->
+      let slots = Obj_model.fields_capacity ~size in
+      let wanted =
+        int_of_float (Float.round (float_of_int slots *. spec.Spec.ref_density))
+      in
+      max 1 (min slots wanted))
+
+let create (ctx : Gc_types.ctx) ~gc ~spec ~longlived ~ds ~index =
   let th =
     Engine.spawn ctx.Gc_types.engine ~kind:Engine.Mutator
       ~name:(Printf.sprintf "%s-mutator-%d" spec.Spec.name index)
@@ -41,7 +51,8 @@ let create (ctx : Gc_types.ctx) ~gc ~spec ~longlived ~prng ~index =
     gc;
     spec;
     longlived;
-    prng;
+    ds;
+    nfields_tab = nfields_table spec;
     th;
     eden;
     nursery_ids = Array.make initial_nursery Obj_model.null;
@@ -93,14 +104,9 @@ let roots t =
   iter_roots t (fun id -> acc := id :: !acc);
   List.rev !acc
 
-let draw_size t =
-  Prng.geometric_size t.prng ~mean:t.spec.Spec.size_mean ~min:t.spec.Spec.size_min
-    ~max:t.spec.Spec.size_max
+let draw_size t = Decision_source.draw_size t.ds
 
-let nfields_for t size =
-  let slots = Obj_model.fields_capacity ~size in
-  let wanted = int_of_float (Float.round (float_of_int slots *. t.spec.Spec.ref_density)) in
-  max 1 (min slots wanted)
+let nfields_for t size = Array.unsafe_get t.nfields_tab size
 
 let drop_expired_nursery t =
   let mask = Array.length t.nursery_ids - 1 in
@@ -116,17 +122,17 @@ let drop_expired_nursery t =
    - long-lived nodes reference only other long-lived nodes, never the
      young chain (otherwise every node would pin its whole allocation
      packet for its entire lifetime).
+   The chain and long-lived-reference probabilities live in
+   {!Decision_source} next to their replay interpretations.
    Returns the cycle cost of the writes. *)
-let chain_probability = 0.5
-
 let wire_ordinary t id =
   let heap = t.ctx.Gc_types.heap in
   let cost = ref 0 in
   let nfields = Heap.obj_nfields heap id in
-  if nfields > 0 && (not (Obj_model.is_null t.last_alloc)) && Prng.bernoulli t.prng chain_probability
+  if nfields > 0 && (not (Obj_model.is_null t.last_alloc)) && Decision_source.chain t.ds
   then cost := !cost + Heap_ops.write_ref ~gc:t.gc ~heap ~src:id ~slot:0 ~target:t.last_alloc;
-  if nfields > 1 && Prng.bernoulli t.prng 0.3 then begin
-    let node = Longlived.random_node t.longlived t.prng in
+  if nfields > 1 && Decision_source.ll_ref t.ds then begin
+    let node = Longlived.random_node t.longlived t.ds in
     if not (Obj_model.is_null node) then
       cost := !cost + Heap_ops.write_ref ~gc:t.gc ~heap ~src:id ~slot:1 ~target:node
   end;
@@ -139,7 +145,7 @@ let wire_longlived t id =
   let nfields = Heap.obj_nfields heap id in
   let slots = min nfields 2 in
   for slot = 0 to slots - 1 do
-    let node = Longlived.random_node t.longlived t.prng in
+    let node = Longlived.random_node t.longlived t.ds in
     if not (Obj_model.is_null node) then
       cost := !cost + Heap_ops.write_ref ~gc:t.gc ~heap ~src:id ~slot ~target:node
   done;
@@ -150,9 +156,8 @@ let wire_longlived t id =
 let long_lived_quota t =
   if not (Longlived.is_full t.longlived) then t.spec.Spec.allocs_per_packet
   else begin
-    let churn = t.spec.Spec.long_lived_churn_per_packet in
-    let whole = int_of_float churn in
-    whole + if Prng.bernoulli t.prng (churn -. float_of_int whole) then 1 else 0
+    let whole = int_of_float t.spec.Spec.long_lived_churn_per_packet in
+    whole + if Decision_source.churn_extra t.ds then 1 else 0
   end
 
 let run_packet t k =
@@ -174,11 +179,11 @@ let run_packet t k =
     if !longlived_left > 0 then begin
       decr longlived_left;
       cost := !cost + wire_longlived t id;
-      cost := !cost + Longlived.place t.longlived ~gc:t.gc ~prng:t.prng ~node:id
+      cost := !cost + Longlived.place t.longlived ~gc:t.gc ~ds:t.ds ~node:id
     end
     else begin
       cost := !cost + wire_ordinary t id;
-      if Prng.bernoulli t.prng t.spec.Spec.survival_ratio then
+      if Decision_source.survive t.ds then
         nursery_push t id ~expiry:(t.packets + t.spec.Spec.nursery_ttl_packets)
     end
   in

@@ -14,10 +14,12 @@ val create :
   gc:Gcr_gcs.Gc_types.t ->
   spec:Spec.t ->
   longlived:Longlived.t ->
-  prng:Gcr_util.Prng.t ->
+  ds:Decision_source.t ->
   index:int ->
   t
-(** Spawns the engine thread and registers the thread's eden allocator. *)
+(** Spawns the engine thread and registers the thread's eden allocator.
+    Every workload decision the thread makes is drawn from [ds] — a live
+    PRNG stream, a recording tee, or a tape replay cursor. *)
 
 val thread : t -> Gcr_engine.Engine.thread
 

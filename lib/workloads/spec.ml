@@ -45,6 +45,28 @@ let live_words_estimate t =
   in
   t.long_lived_target_words + nursery
 
+(* Every field, floats rendered in hex so distinct bit patterns never
+   collapse; two specs share a digest iff a tape recorded under one
+   replays faithfully under the other. *)
+let digest t =
+  let f = Printf.sprintf "%h" in
+  let latency =
+    match t.latency with
+    | None -> "none"
+    | Some l -> Printf.sprintf "load=%s,req=%d" (f l.offered_load) l.request_packets
+  in
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf
+          "spec-v1(name=%s,desc=%s,threads=%d,packets=%d,compute=%d,allocs=%d,szmin=%d,\
+           szmean=%d,szmax=%d,refd=%s,surv=%s,ttl=%d,llwords=%d,llchurn=%s,reads=%d,\
+           writes=%d,latency=%s)"
+          (String.escaped t.name) (String.escaped t.description) t.mutator_threads
+          t.packets_per_thread t.packet_compute_cycles t.allocs_per_packet t.size_min
+          t.size_mean t.size_max (f t.ref_density) (f t.survival_ratio)
+          t.nursery_ttl_packets t.long_lived_target_words
+          (f t.long_lived_churn_per_packet) t.reads_per_packet t.writes_per_packet latency))
+
 let validate t =
   let err fmt = Printf.ksprintf (fun s -> Error (t.name ^ ": " ^ s)) fmt in
   if t.mutator_threads < 1 then err "needs at least one mutator thread"

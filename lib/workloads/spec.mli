@@ -57,6 +57,12 @@ val live_words_estimate : t -> int
 val packet_alloc_words : t -> int
 (** Mean words allocated per packet. *)
 
+val digest : t -> string
+(** Content hash of every field (hex).  Workload tapes are stamped with
+    the digest of the spec they were recorded under, and replay refuses a
+    mismatch: a tape's decision stream is only meaningful against the
+    exact spec that produced it. *)
+
 val validate : t -> (unit, string) result
 (** Sanity-check ranges (sizes fit regions, probabilities in [0,1]...). *)
 

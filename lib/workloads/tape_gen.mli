@@ -1,0 +1,16 @@
+(** Synthesising workload tapes without running the simulator.
+
+    The decision stream is a pure function of (spec, seed, thread count),
+    so a tape does not need a recording run: this module replicates
+    [Run.execute]'s PRNG split order and draws every stream eagerly.  The
+    campaign executor calls {!image} once per (benchmark, seed) cell group
+    and replays it in every cell. *)
+
+val stream_length : Spec.t -> int
+(** Upper bound on one thread's retry-free draw count; the replay cursor's
+    PRNG fallback covers anything beyond it. *)
+
+val generate : spec:Spec.t -> seed:int -> Gcr_tape.Tape.t
+
+val image : spec:Spec.t -> seed:int -> Decision_source.image
+(** [image_of_tape ∘ generate]. *)

@@ -123,8 +123,11 @@ let test_pop_min_agrees () =
   let h = Binary_heap.create () in
   List.iter (fun p -> Binary_heap.add h ~priority:p (p * 10)) [ 4; 2; 9; 2; 7 ];
   check Alcotest.int "min_priority" 2 (Binary_heap.min_priority h);
-  check Alcotest.int "pop_min value" 20 (Binary_heap.pop_min h);
-  check Alcotest.int "second of the tied pair" 20 (Binary_heap.pop_min h);
+  check Alcotest.(pair int int) "pop_min entry" (2, 20) (Binary_heap.pop_min h);
+  check Alcotest.int "pop_min parks the priority" 2 (Binary_heap.popped_priority h);
+  check Alcotest.int "second of the tied pair" 20 (Binary_heap.pop_min_value h);
+  check Alcotest.int "popped_priority after pop_min_value" 2
+    (Binary_heap.popped_priority h);
   check Alcotest.int "next priority" 4 (Binary_heap.min_priority h);
   Alcotest.check_raises "empty min_priority"
     (Invalid_argument "Binary_heap.min_priority: empty") (fun () ->

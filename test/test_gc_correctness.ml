@@ -40,10 +40,13 @@ let run_and_inspect gc_kind ~heap_words ~seed =
   in
   let gc = Registry.make gc_kind ctx in
   let root_prng = Prng.create seed in
-  let longlived = Longlived.create ctx ~spec ~prng:(Prng.split root_prng) in
+  let (_ : Prng.t) = Prng.split root_prng in
+  let longlived = Longlived.create ctx ~spec in
   let mutators =
     List.init spec.Spec.mutator_threads (fun index ->
-        Mutator.create ctx ~gc ~spec ~longlived ~prng:(Prng.split root_prng) ~index)
+        Mutator.create ctx ~gc ~spec ~longlived
+          ~ds:(Gcr_workloads.Decision_source.live ~spec (Prng.split root_prng))
+          ~index)
   in
   let roots () = List.concat (Longlived.roots longlived :: List.map Mutator.roots mutators) in
   (ctx.Gc_types.iter_roots :=

@@ -175,13 +175,26 @@ let test_extent_reuse () =
     (Obj_model.arena_used store > used);
   ignore c
 
-let test_ids_never_reused () =
+(* Dead ids are recycled LIFO so the store is sized by the live peak, not
+   the allocation total; a recycled id must come back fully reset. *)
+let test_id_recycling () =
   let store = Obj_model.create_store () in
-  let a = Obj_model.alloc store ~size:4 ~nfields:1 ~region:0 in
+  let a = Obj_model.alloc store ~size:8 ~nfields:2 ~region:0 in
+  Obj_model.field_set store a 0 a;
+  Obj_model.set_age store a 7;
   Obj_model.free store a;
-  let b = Obj_model.alloc store ~size:4 ~nfields:1 ~region:0 in
-  check Alcotest.bool "fresh id after free" true (b <> a);
-  check Alcotest.bool "dead id stays dead" false (Obj_model.is_live store a)
+  check Alcotest.bool "dead until recycled" false (Obj_model.is_live store a);
+  let b = Obj_model.alloc store ~size:6 ~nfields:1 ~region:3 in
+  check Alcotest.int "most recent dead id recycled" a b;
+  check Alcotest.bool "recycled id is live" true (Obj_model.is_live store b);
+  check Alcotest.int "size rewritten" 6 (Obj_model.size store b);
+  check Alcotest.int "region rewritten" 3 (Obj_model.region store b);
+  check Alcotest.int "age reset" 0 (Obj_model.age store b);
+  check Alcotest.int "nfields rewritten" 1 (Obj_model.nfields store b);
+  check Alcotest.int "fields start null" Obj_model.null (Obj_model.field_get store b 0);
+  (* with no dead ids banked, allocation takes a fresh id *)
+  let c = Obj_model.alloc store ~size:4 ~nfields:0 ~region:0 in
+  check Alcotest.bool "fresh id when the free stack is empty" true (c <> b)
 
 let suite =
   [
@@ -189,5 +202,5 @@ let suite =
     Alcotest.test_case "header-only objects cost zero arena words" `Quick
       test_zero_field_costs_nothing;
     Alcotest.test_case "extent reuse exact-size, nulled" `Quick test_extent_reuse;
-    Alcotest.test_case "ids never reused" `Quick test_ids_never_reused;
+    Alcotest.test_case "id recycling" `Quick test_id_recycling;
   ]

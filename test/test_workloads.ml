@@ -4,6 +4,7 @@ module Spec = Gcr_workloads.Spec
 module Suite = Gcr_workloads.Suite
 module Longlived = Gcr_workloads.Longlived
 module Mutator = Gcr_workloads.Mutator
+module Decision_source = Gcr_workloads.Decision_source
 module Heap = Gcr_heap.Heap
 module Region = Gcr_heap.Region
 module Obj_model = Gcr_heap.Obj_model
@@ -87,13 +88,13 @@ let small_spec =
 
 let test_longlived_create () =
   let ctx = make_ctx () in
-  let prng = Prng.create 1 in
-  let ll = Longlived.create ctx ~spec:small_spec ~prng in
+  let ds = Decision_source.live ~spec:small_spec (Prng.create 1) in
+  let ll = Longlived.create ctx ~spec:small_spec in
   check Alcotest.int "slots" 200 (Longlived.slot_count ll);
   check Alcotest.bool "roots exist" true (Longlived.roots ll <> []);
   check Alcotest.bool "not yet full" false (Longlived.is_full ll);
   check Alcotest.bool "random node null while empty" true
-    (Obj_model.is_null (Longlived.random_node ll prng));
+    (Obj_model.is_null (Longlived.random_node ll ds));
   (* static data lives in old space *)
   List.iter
     (fun id ->
@@ -104,8 +105,8 @@ let test_longlived_create () =
 let test_longlived_fill_and_churn () =
   let ctx = make_ctx () in
   let heap = ctx.Gc_types.heap in
-  let prng = Prng.create 2 in
-  let ll = Longlived.create ctx ~spec:small_spec ~prng in
+  let ds = Decision_source.live ~spec:small_spec (Prng.create 2) in
+  let ll = Longlived.create ctx ~spec:small_spec in
   let gc = Registry.make Registry.Epsilon ctx in
   let eden = Gcr_heap.Allocator.create heap ~space:Region.Eden in
   let mk () =
@@ -114,14 +115,14 @@ let test_longlived_fill_and_churn () =
     | Gcr_heap.Allocator.Out_of_regions -> Alcotest.fail "heap too small"
   in
   for _ = 1 to 200 do
-    ignore (Longlived.place ll ~gc ~prng ~node:(mk ()))
+    ignore (Longlived.place ll ~gc ~ds ~node:(mk ()))
   done;
   check Alcotest.bool "full after 200 placements" true (Longlived.is_full ll);
-  let node = Longlived.random_node ll prng in
+  let node = Longlived.random_node ll ds in
   check Alcotest.bool "random node live" true (Heap.is_live heap node);
   (* churn: placing another node evicts one *)
   let fresh = mk () in
-  ignore (Longlived.place ll ~gc ~prng ~node:fresh);
+  ignore (Longlived.place ll ~gc ~ds ~node:fresh);
   let reachable = Heap.reachable_from heap (Longlived.roots ll) in
   check Alcotest.bool "fresh node now reachable from segments" true
     (Hashtbl.mem reachable fresh)
@@ -132,8 +133,12 @@ let run_mutator_packets ~spec ~packets =
   let ctx = make_ctx () in
   let gc = Registry.make Registry.Epsilon ctx in
   let prng = Prng.create 5 in
-  let ll = Longlived.create ctx ~spec ~prng in
-  let m = Mutator.create ctx ~gc ~spec ~longlived:ll ~prng:(Prng.split prng) ~index:0 in
+  let ll = Longlived.create ctx ~spec in
+  let m =
+    Mutator.create ctx ~gc ~spec ~longlived:ll
+      ~ds:(Decision_source.live ~spec (Prng.split prng))
+      ~index:0
+  in
   (ctx.Gc_types.iter_roots :=
      fun f ->
        Longlived.iter_roots ll f;
