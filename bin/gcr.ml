@@ -37,7 +37,11 @@ let gc_conv =
   let parse s =
     match Registry.of_name s with
     | Some kind -> Ok kind
-    | None -> Error (`Msg (Printf.sprintf "unknown collector %S (see `gcr list`)" s))
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown collector %S (valid: %s)" s
+               (String.concat ", " Registry.valid_names)))
   in
   Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Registry.name k))
 
@@ -46,7 +50,7 @@ let benchmarks_arg =
   Arg.(value & opt_all bench_conv [] & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
 
 let gcs_arg =
-  let doc = "Collectors to run (repeatable; default: the five production GCs)." in
+  let doc = "Collectors to run (repeatable; default: the whole frontier)." in
   Arg.(value & opt_all gc_conv [] & info [ "g"; "gc" ] ~docv:"GC" ~doc)
 
 let invocations_arg =
@@ -103,7 +107,7 @@ let exit_on_failures measurements =
 
 let default_benchmarks = function [] -> Suite.all | bs -> bs
 
-let default_gcs = function [] -> Registry.production | gs -> gs
+let default_gcs = function [] -> Harness.default_gcs | gs -> gs
 
 let resolve_jobs = function
   | Some n when n > 0 -> n
@@ -155,10 +159,11 @@ let list_cmd =
     print_endline "Collectors:";
     List.iter
       (fun k ->
-        Printf.printf "  %-12s %s%s\n" (Registry.name k)
+        Printf.printf "  %-12s %s%s%s\n" (Registry.name k)
           (if Registry.is_concurrent k then "concurrent" else "stop-the-world")
-          (if Registry.is_generational k then ", generational" else ""))
-      Registry.all
+          (if Registry.is_generational k then ", generational" else "")
+          (if List.mem k Registry.experimental then " (experimental)" else ""))
+      Registry.frontier
   in
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks and collectors")
     Term.(const run $ const ())

@@ -27,6 +27,11 @@ type config = {
 
 let paper_heap_factors = [ 1.4; 1.9; 2.4; 3.0; 3.7; 4.4; 5.2; 6.0 ]
 
+(* The default campaign grid is the full collector frontier: the paper's
+   six plus the experimental extensions (GenShen, LXR, Serial+pretenure)
+   that the LBO-tightening study measures. *)
+let default_gcs = Registry.frontier
+
 let env_int name default =
   match Option.bind (Sys.getenv_opt name) int_of_string_opt with
   | Some v when v > 0 -> v

@@ -35,6 +35,11 @@ type config = {
 val paper_heap_factors : float list
 (** 1.4, 1.9, 2.4, 3.0, 3.7, 4.4, 5.2, 6.0 — the paper's eight sizes. *)
 
+val default_gcs : Gcr_gcs.Registry.kind list
+(** The default campaign grid: the whole collector frontier
+    ({!Gcr_gcs.Registry.frontier} — the paper's six plus the experimental
+    extensions). *)
+
 val default_config : unit -> config
 (** 5 invocations at scale 1.0, serial, no result cache;
     [GCR_INVOCATIONS], [GCR_SCALE], [GCR_JOBS], and [GCR_CACHE_DIR]

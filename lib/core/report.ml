@@ -24,6 +24,8 @@ let short_name = function
   | Registry.Shenandoah -> "Shen."
   | Registry.Zgc -> "ZGC"
   | Registry.Shenandoah_gen -> "GenSh."
+  | Registry.Lxr -> "LXR"
+  | Registry.Serial_pretenure -> "SerPT"
 
 let factor_label f = Printf.sprintf "%.1fx" f
 

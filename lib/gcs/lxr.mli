@@ -1,0 +1,46 @@
+(** LXR-style reference counting with regional copying (Zhao, Blackburn &
+    McKinley, PLDI'22) — the frontier-widening collector beyond the
+    paper's tracing designs.
+
+    Mutators log every reference-field mutation into deferred
+    increment/decrement buffers (the coalescing field-logging barrier,
+    charged at [rc_barrier] per write).  Periodic short STW pauses pin the
+    roots, apply the buffered increments, drain the decrement queue —
+    freeing in place and cascading, including born-dead objects that never
+    became reachable — then opportunistically evacuate fragmented regions
+    and release fully dead ones.  Cyclic garbage, which pure RC can never
+    reclaim, falls to a backup concurrent tracing cycle whose SATB-style
+    final drain and sweep run inside a later pause.  When a starved pause
+    cannot free a usable region the collector degrades to the shared full
+    mark-compact and rebuilds all RC state from the surviving graph.
+
+    Invariant at the end of every pause (checked by test/test_lxr.ml): the
+    reference count of each live object equals its in-edges from live
+    objects plus its occurrences in the current pause's root pins, and the
+    deferred decrement queue is empty. *)
+
+type pause_info = {
+  pending_decrements : int;  (** entries left in the deferred queue — 0 *)
+  pinned : Gcr_heap.Obj_model.id list;
+      (** roots pinned by this pause, in scan order (duplicates possible:
+          a root reached twice holds two pins) *)
+  rc_of : Gcr_heap.Obj_model.id -> int;
+}
+
+type config = {
+  rc_workers : int;  (** workers for the STW RC-update phases *)
+  trace_workers : int;  (** workers for the backup concurrent trace *)
+  trigger_free_fraction : float;
+      (** start a backup tracing cycle when the free fraction drops below
+          this *)
+  garbage_threshold : float;
+      (** evacuate regions whose garbage exceeds this share of their used
+          words *)
+  debug : (pause_info -> unit) option;
+      (** fired at the end of every pause, before mutators resume — the
+          RC-invariant test hook *)
+}
+
+val default_config : cpus:int -> config
+
+val make : Gc_types.ctx -> config -> Gc_types.t

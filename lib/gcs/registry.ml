@@ -1,10 +1,21 @@
-type kind = Epsilon | Serial | Parallel | G1 | Shenandoah | Zgc | Shenandoah_gen
+type kind =
+  | Epsilon
+  | Serial
+  | Parallel
+  | G1
+  | Shenandoah
+  | Zgc
+  | Shenandoah_gen
+  | Lxr
+  | Serial_pretenure
 
 let all = [ Epsilon; Serial; Parallel; G1; Shenandoah; Zgc ]
 
 let production = [ Serial; Parallel; G1; Shenandoah; Zgc ]
 
-let experimental = [ Shenandoah_gen ]
+let experimental = [ Shenandoah_gen; Lxr; Serial_pretenure ]
+
+let frontier = all @ experimental
 
 let name = function
   | Epsilon -> "Epsilon"
@@ -14,6 +25,8 @@ let name = function
   | Shenandoah -> "Shenandoah"
   | Zgc -> "ZGC"
   | Shenandoah_gen -> "GenShen"
+  | Lxr -> "LXR"
+  | Serial_pretenure -> "SerialPT"
 
 let of_name s =
   match String.lowercase_ascii s with
@@ -24,15 +37,20 @@ let of_name s =
   | "shenandoah" | "shen" -> Some Shenandoah
   | "zgc" | "z" -> Some Zgc
   | "genshen" | "shenandoah-gen" | "generational-shenandoah" -> Some Shenandoah_gen
+  | "lxr" -> Some Lxr
+  | "serialpt" | "serial-pt" | "serial-pretenure" -> Some Serial_pretenure
   | _ -> None
 
+(* One canonical, user-facing name per kind, for CLI error messages. *)
+let valid_names = List.map name frontier
+
 let is_concurrent = function
-  | G1 | Shenandoah | Zgc | Shenandoah_gen -> true
-  | Epsilon | Serial | Parallel -> false
+  | G1 | Shenandoah | Zgc | Shenandoah_gen | Lxr -> true
+  | Epsilon | Serial | Parallel | Serial_pretenure -> false
 
 let is_generational = function
-  | Serial | Parallel | G1 | Shenandoah_gen -> true
-  | Epsilon | Shenandoah | Zgc -> false
+  | Serial | Parallel | G1 | Shenandoah_gen | Serial_pretenure -> true
+  | Epsilon | Shenandoah | Zgc | Lxr -> false
 
 let make kind (ctx : Gc_types.ctx) =
   let cpus = ctx.Gc_types.machine.Gcr_mach.Machine.cpus in
@@ -44,3 +62,7 @@ let make kind (ctx : Gc_types.ctx) =
   | Shenandoah -> Shenandoah.make ctx (Shenandoah.default_config ~cpus)
   | Zgc -> Zgc.make ctx (Zgc.default_config ~cpus)
   | Shenandoah_gen -> Shenandoah_gen.make ctx (Shenandoah_gen.default_config ~cpus)
+  | Lxr -> Lxr.make ctx (Lxr.default_config ~cpus)
+  | Serial_pretenure ->
+      Stw_gen.make ctx
+        { (Stw_gen.serial_config ~cpus) with Stw_gen.name = "SerialPT"; tenure_age = 0 }

@@ -14,6 +14,13 @@ type kind =
       (** generational Shenandoah (JEP 404 / JDK 21) — the paper's flagged
           future work, implemented as an extension; not part of the
           paper's collector set *)
+  | Lxr
+      (** LXR-style deferred reference counting with regional copying and a
+          backup tracing cycle (Zhao, Blackburn & McKinley, PLDI'22) — the
+          follow-on design that widens the frontier beyond tracing *)
+  | Serial_pretenure
+      (** Serial with tenure age 0: every scavenge survivor is promoted
+          immediately — a cheap pretenuring variant for the frontier *)
 
 val all : kind list
 (** In the paper's table order: Epsilon, Serial, Parallel, G1, Shenandoah,
@@ -24,12 +31,20 @@ val production : kind list
     Epsilon). *)
 
 val experimental : kind list
-(** Extensions beyond the paper's set (generational Shenandoah). *)
+(** Extensions beyond the paper's set (generational Shenandoah, LXR,
+    Serial+pretenuring). *)
+
+val frontier : kind list
+(** The full collector frontier: [all @ experimental].  The default
+    campaign grid. *)
 
 val name : kind -> string
 
 val of_name : string -> kind option
 (** Case-insensitive; accepts "zgc" and "shen" shorthands. *)
+
+val valid_names : string list
+(** One canonical name per frontier kind, for CLI error messages. *)
 
 val is_concurrent : kind -> bool
 (** Runs collection work outside pauses (G1, Shenandoah, ZGC). *)

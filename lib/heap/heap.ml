@@ -18,6 +18,15 @@ type t = {
   mutable objects_allocated : int;
   mutable collections : int;
   mutable reserve : int;
+  mutable history_digest : int;
+      (** commutative fold over every allocation and pointer write (by
+          birth serial, so id recycling cannot alias it).  Collectors never
+          touch it: object moves keep their id and GCs do not write fields.
+          Two runs with equal digests have performed the same multiset of
+          mutations — each write folds in the value it overwrote, so
+          same-slot writes in a different order digest differently — which
+          makes the digest a collector-independent progress coordinate for
+          differential oracles. *)
 }
 
 let space_tag = function
@@ -58,6 +67,7 @@ let create ?obs ~capacity_words ~region_words () =
     objects_allocated = 0;
     collections = 0;
     reserve = 0;
+    history_digest = 0;
   }
 
 let store t = t.store
@@ -108,13 +118,47 @@ let obj_nfields t id = Obj_model.nfields t.store id
 
 let field t id i = Obj_model.field_get t.store id i
 
-let set_field t id i v = Obj_model.field_set t.store id i v
+(* One mutation record hashed FNV-style, finished with an xorshift round so
+   that summing records commutatively does not cancel their structure. *)
+let[@inline] digest_mix a b c d =
+  let fnv h v = (h lxor v) * 0x100000001B3 in
+  let h = fnv (fnv (fnv (fnv 0x1505 a) b) c) d in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 31)
+
+(* Digest by birth serial, never by id: ids are recycled, serials are not.
+   A dead or out-of-range value (possible only if a collector wrongly freed
+   a reachable object) still digests deterministically. *)
+let[@inline] digest_serial store x =
+  if Obj_model.is_null x then -1
+  else if Obj_model.is_live store x then Obj_model.serial store x
+  else -2 - x
+
+let set_field t id i v =
+  let store = t.store in
+  t.history_digest <-
+    t.history_digest
+    + digest_mix (Obj_model.serial store id) i
+        (digest_serial store (Obj_model.field_get store id i))
+        (digest_serial store v);
+  Obj_model.field_set store id i v
 
 let iter_fields t id f = Obj_model.iter_fields t.store id f
 
 let obj_remembered t id = Obj_model.remembered t.store id
 
 let set_obj_remembered t id v = Obj_model.set_remembered t.store id v
+
+let obj_rc t id = Obj_model.rc t.store id
+
+let set_obj_rc t id v = Obj_model.set_rc t.store id v
+
+let obj_dirty t id = Obj_model.dirty t.store id
+
+let set_obj_dirty t id e = Obj_model.set_dirty t.store id e
+
+let obj_serial t id = Obj_model.serial t.store id
 
 let begin_mark_epoch t =
   t.epoch <- t.epoch + 1;
@@ -185,6 +229,8 @@ let alloc_in_region t (r : Region.t) ~size ~nfields =
     t.live_words <- t.live_words + size;
     t.words_allocated <- t.words_allocated + size;
     t.objects_allocated <- t.objects_allocated + 1;
+    t.history_digest <-
+      t.history_digest + digest_mix (Obj_model.serial t.store id) size nfields (-3);
     id
   end
 
@@ -241,6 +287,28 @@ let purge_unmarked t (r : Region.t) =
       end)
     r.objects
 
+(* Free one object in place, as RC reclamation does.  The region keeps its
+   [used_words] (the garbage words are what fragmentation-driven evacuation
+   later reclaims) and its [objects] vec keeps the stale id, so callers must
+   run {!compact_region_objects} on every region they freed into before the
+   pause ends — a recycled id re-allocated into the same region would
+   otherwise alias the stale entry. *)
+let free_object t id =
+  t.live_count <- t.live_count - 1;
+  t.live_words <- t.live_words - Obj_model.size t.store id;
+  Obj_model.free t.store id
+
+let compact_region_objects t (r : Region.t) =
+  let store = t.store in
+  let keep = ref [] in
+  Vec.iter
+    (fun id ->
+      if Obj_model.is_live store id && Obj_model.region store id = r.index then
+        keep := id :: !keep)
+    r.objects;
+  Vec.clear r.objects;
+  List.iter (Vec.push r.objects) (List.rev !keep)
+
 let release_region_keep_objects t (r : Region.t) =
   !release_log r.index "release-keep";
   if Region.space_equal r.space Region.Free then
@@ -258,6 +326,8 @@ let iter_resident_objects t (r : Region.t) f =
 let words_allocated_total t = t.words_allocated
 
 let objects_allocated_total t = t.objects_allocated
+
+let history_digest t = t.history_digest
 
 let collections_logged t = t.collections
 

@@ -88,6 +88,20 @@ val obj_remembered : t -> Obj_model.id -> bool
 
 val set_obj_remembered : t -> Obj_model.id -> bool -> unit
 
+val obj_rc : t -> Obj_model.id -> int
+(** Reference count; maintained only by RC collectors (LXR). *)
+
+val set_obj_rc : t -> Obj_model.id -> int -> unit
+
+val obj_dirty : t -> Obj_model.id -> int
+(** Epoch of the last logged mutation (RC field-logging barrier). *)
+
+val set_obj_dirty : t -> Obj_model.id -> int -> unit
+
+val obj_serial : t -> Obj_model.id -> int
+(** Birth serial: never reused even when the id is; see
+    {!Obj_model.serial}. *)
+
 (** {1 Mark epochs} *)
 
 val begin_mark_epoch : t -> int
@@ -145,6 +159,19 @@ val purge_unmarked : t -> Region.t -> unit
 (** Kills every resident object not marked in the current epoch (the sweep
     half of mark-sweep). *)
 
+val free_object : t -> Obj_model.id -> unit
+(** Kill one object in place (RC reclamation).  The owning region keeps
+    its [used_words] — the dead words are the fragmentation that drives
+    later evacuation — and its object vec keeps the stale id, so the
+    caller must {!compact_region_objects} every region it freed into
+    before the pause ends (id recycling would otherwise alias the stale
+    entry). *)
+
+val compact_region_objects : t -> Region.t -> unit
+(** Rebuild the region's object vec to exactly its live residents.  Must
+    run in the same pause as the {!free_object} calls it cleans up
+    after. *)
+
 val release_region_keep_objects : t -> Region.t -> unit
 (** Returns the region to the free pool {e without} touching the object
     store.  Used by sliding compaction, which first purges dead objects,
@@ -162,6 +189,18 @@ val iter_resident_objects : t -> Region.t -> (Obj_model.id -> unit) -> unit
 val words_allocated_total : t -> int
 
 val objects_allocated_total : t -> int
+
+val history_digest : t -> int
+(** Commutative hash of the complete mutation history: every allocation and
+    every {!set_field} (keyed by birth serials, with the overwritten value
+    folded in) since the heap was created.  Collectors never affect it —
+    object moves keep ids and GCs write no fields — so two runs showing the
+    same digest have performed identical mutator work, whichever collector
+    ran underneath.  This is the progress coordinate the live-set
+    differential oracle compares safepoints at: totals such as
+    (packets, allocations) are not enough once two mutator threads race,
+    because collector-dependent scheduling can reorder cross-thread writes
+    into a different — but equally correct — heap graph. *)
 
 val collections_logged : t -> int
 

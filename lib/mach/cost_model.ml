@@ -9,6 +9,8 @@ type t = {
   satb_active : int;
   lvb_idle : int;
   lvb_slow : int;
+  rc_barrier : int;
+  rc_update_per_entry : int;
   mark_per_object : int;
   mark_per_edge : int;
   concurrent_mark_penalty_pct : int;
@@ -37,6 +39,8 @@ let default =
     satb_active = 6;
     lvb_idle = 3;
     lvb_slow = 16;
+    rc_barrier = 4;
+    rc_update_per_entry = 3;
     mark_per_object = 25;
     mark_per_edge = 8;
     concurrent_mark_penalty_pct = 100;
@@ -62,6 +66,7 @@ let zero_barriers t =
     satb_active = 0;
     lvb_idle = 0;
     lvb_slow = 0;
+    rc_barrier = 0;
   }
 
 let log2_ceil n =

@@ -26,6 +26,12 @@ type t = {
   satb_active : int;  (** SATB pre-write barrier while marking *)
   lvb_idle : int;  (** ZGC/Shenandoah load barrier, no relocation *)
   lvb_slow : int;  (** load-barrier slow path during relocation *)
+  rc_barrier : int;
+      (** RC field-logging write barrier (LXR): log the mutated field into
+          a thread-local decrement/increment buffer *)
+  rc_update_per_entry : int;
+      (** processing one buffered RC entry (increment apply or deferred
+          decrement) during an RC-update pause *)
   (* -- collection work ------------------------------------------------ *)
   mark_per_object : int;  (** visit + test-and-set mark bit *)
   mark_per_edge : int;  (** field load and publish to mark stack *)

@@ -15,9 +15,21 @@ let num_kinds = 2
 
 let kind_name = function 0 -> "mutator" | 1 -> "gc-worker" | _ -> "unknown"
 
-type phase = Root_scan | Mark | Evacuate | Update_refs | Compact | Sweep
+(* The last three phases belong to reference-counting collectors (LXR):
+   applying buffered increments, draining deferred decrements, and the
+   backup tracing cycle that reclaims cyclic garbage. *)
+type phase =
+  | Root_scan
+  | Mark
+  | Evacuate
+  | Update_refs
+  | Compact
+  | Sweep
+  | Rc_increment
+  | Decrement_drain
+  | Cycle_trace
 
-let num_phases = 6
+let num_phases = 9
 
 let phase_index = function
   | Root_scan -> 0
@@ -26,6 +38,9 @@ let phase_index = function
   | Update_refs -> 3
   | Compact -> 4
   | Sweep -> 5
+  | Rc_increment -> 6
+  | Decrement_drain -> 7
+  | Cycle_trace -> 8
 
 let phase_of_index = function
   | 0 -> Root_scan
@@ -34,6 +49,9 @@ let phase_of_index = function
   | 3 -> Update_refs
   | 4 -> Compact
   | 5 -> Sweep
+  | 6 -> Rc_increment
+  | 7 -> Decrement_drain
+  | 8 -> Cycle_trace
   | i -> invalid_arg (Printf.sprintf "Event.phase_of_index: %d" i)
 
 let phase_name = function
@@ -43,6 +61,9 @@ let phase_name = function
   | Update_refs -> "update-refs"
   | Compact -> "compact"
   | Sweep -> "sweep"
+  | Rc_increment -> "rc-increment"
+  | Decrement_drain -> "decrement-drain"
+  | Cycle_trace -> "cycle-trace"
 
 (* Event codes.  [Step_complete] is by far the hottest (one per engine
    step), so it gets code 0. *)

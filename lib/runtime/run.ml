@@ -18,6 +18,12 @@ type tape_mode =
   | Tape_record of (Tape.t -> unit)
   | Tape_replay of Decision_source.image
 
+type probe = {
+  probe_heap : Heap.t;
+  probe_roots : (Gcr_heap.Obj_model.id -> unit) -> unit;
+  probe_packets : unit -> int;
+}
+
 type config = {
   spec : Spec.t;
   gc : Registry.kind;
@@ -69,7 +75,7 @@ let check_replay_image config (spec : Spec.t) image =
       (Decision_source.image_threads image)
       spec.Spec.mutator_threads
 
-let execute ?(on_engine = fun (_ : Engine.t) -> ()) config =
+let execute ?(on_engine = fun (_ : Engine.t) -> ()) ?on_pause config =
   let spec = config.spec in
   (match Spec.validate spec with
   | Ok () -> ()
@@ -78,7 +84,8 @@ let execute ?(on_engine = fun (_ : Engine.t) -> ()) config =
     match config.gc with
     | Registry.Epsilon -> config.machine.Machine.memory_words
     | Registry.Serial | Registry.Parallel | Registry.G1 | Registry.Shenandoah
-    | Registry.Zgc | Registry.Shenandoah_gen ->
+    | Registry.Zgc | Registry.Shenandoah_gen | Registry.Lxr
+    | Registry.Serial_pretenure ->
         config.heap_words
   in
   let engine =
@@ -153,6 +160,29 @@ let execute ?(on_engine = fun (_ : Engine.t) -> ()) config =
      fun f ->
        Longlived.iter_roots longlived f;
        List.iter (fun m -> Mutator.iter_roots m f) mutators);
+  (* The pause probe fires on the pause_begin event itself — after the
+     world is stopped, before the collector's pause callback has run (and
+     thus before anything is freed this pause): every collector sees the
+     same heap at the same safepoints. *)
+  (match on_pause with
+  | None -> ()
+  | Some hook ->
+      let probe =
+        {
+          probe_heap = heap;
+          probe_roots = (fun f -> !(ctx.Gc_types.iter_roots) f);
+          probe_packets =
+            (fun () ->
+              List.fold_left (fun acc m -> acc + Mutator.packets_executed m) 0 mutators);
+        }
+      in
+      Obs.subscribe obs
+        {
+          Obs.sub_name = "pause-probe";
+          on_event =
+            (fun ~time:_ ~code ~a:_ ~b:_ ~c:_ ->
+              if code = Gcr_obs.Event.code_pause_begin then hook probe);
+        });
   let arrivals = ref [||] in
   let latency =
     match spec.Spec.latency with

@@ -49,12 +49,29 @@ val default_config :
   spec:Gcr_workloads.Spec.t -> gc:Gcr_gcs.Registry.kind -> heap_words:int -> seed:int -> config
 (** Default machine, cost model, and {!default_region_words} regions. *)
 
+type probe = {
+  probe_heap : Gcr_heap.Heap.t;
+  probe_roots : (Gcr_heap.Obj_model.id -> unit) -> unit;
+      (** the collector-facing root iterator (long-lived spine + every
+          mutator's roots) *)
+  probe_packets : unit -> int;
+      (** total packets executed across all mutator threads — a
+          collector-independent progress coordinate *)
+}
+(** A safepoint observation window handed to [on_pause] (below). *)
+
 val execute :
-  ?on_engine:(Gcr_engine.Engine.t -> unit) -> config -> Measurement.t
+  ?on_engine:(Gcr_engine.Engine.t -> unit) -> ?on_pause:(probe -> unit) -> config -> Measurement.t
 (** [on_engine] runs right after the engine (and its event spine) is
     created, before any heap or collector state exists — the place to
     attach trace subscribers ({!Gcr_obs.Obs.attach_trace}) or keep the
-    engine for post-run inspection. *)
+    engine for post-run inspection.
+
+    [on_pause] fires at every pause_begin event: the world is stopped and
+    the collector's pause work has not started, so the probe sees the heap
+    exactly as the mutators left it.  The differential live-set oracle
+    ({!test_liveset_diff}) snapshots reachability here.  Probing does not
+    perturb the measurement (observation is passive). *)
 
 val execute_ideal : spec:Gcr_workloads.Spec.t -> machine:Gcr_mach.Machine.t -> seed:int -> Measurement.t
 (** Ground truth for the validation study: Epsilon with all barrier costs

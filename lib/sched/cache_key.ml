@@ -6,7 +6,7 @@ module Run = Gcr_runtime.Run
 
 (* Bump whenever the rendering, Run semantics, or Measurement layout
    change incompatibly: old cache entries then miss instead of lying. *)
-let version = "gcr-run-v3"
+let version = "gcr-run-v4"
 
 (* Floats are rendered in hex ("%h") so distinct bit patterns never
    collapse to one decimal rendering. *)
@@ -38,11 +38,12 @@ let render_cost (c : Cost_model.t) =
   (* Every field, in declaration order; a missing field here would make
      cost-model experiments silently share cache entries. *)
   Printf.sprintf
-    "cost(%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d)"
+    "cost(%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d)"
     c.Cost_model.alloc_fast c.Cost_model.alloc_init_per_word c.Cost_model.tlab_refill
     c.Cost_model.alloc_slow c.Cost_model.barrier_none c.Cost_model.card_mark
     c.Cost_model.satb_idle c.Cost_model.satb_active c.Cost_model.lvb_idle
-    c.Cost_model.lvb_slow c.Cost_model.mark_per_object c.Cost_model.mark_per_edge
+    c.Cost_model.lvb_slow c.Cost_model.rc_barrier c.Cost_model.rc_update_per_entry
+    c.Cost_model.mark_per_object c.Cost_model.mark_per_edge
     c.Cost_model.concurrent_mark_penalty_pct c.Cost_model.copy_per_object
     c.Cost_model.copy_per_object_concurrent c.Cost_model.copy_per_word
     c.Cost_model.compact_per_word c.Cost_model.update_ref_per_edge

@@ -66,6 +66,8 @@ let collectors =
     Registry.Shenandoah;
     Registry.Zgc;
     Registry.Shenandoah_gen;
+    Registry.Lxr;
+    Registry.Serial_pretenure;
   ]
 
 (* Recorded from the seed simulator (pre hot-path rewrite); every field is an
@@ -101,6 +103,14 @@ let expected : fingerprint list =
       cycles_mutator = 92875024; cycles_gc = 5990001; cycles_gc_stw = 5603179;
       pause_count = 70; allocated_words = 519135; allocated_objects = 38418;
       collections = 72 };
+    { gc = "LXR"; outcome = "ok"; wall_total = 11142029; wall_stw = 3017509;
+      cycles_mutator = 83555302; cycles_gc = 3017509; cycles_gc_stw = 3017509;
+      pause_count = 69; allocated_words = 518898; allocated_objects = 38418;
+      collections = 69 };
+    { gc = "SerialPT"; outcome = "ok"; wall_total = 9925889; wall_stw = 2182317;
+      cycles_mutator = 82710309; cycles_gc = 2182317; cycles_gc_stw = 2182317;
+      pause_count = 69; allocated_words = 519505; allocated_objects = 38418;
+      collections = 69 };
   ]
 
 let print_fingerprint f =

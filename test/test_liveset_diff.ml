@@ -1,0 +1,207 @@
+(* The live-set differential oracle.
+
+   At a stop-the-world safepoint the set of reachable objects is a pure
+   function of the mutation history — which objects were allocated and how
+   they were wired — and not of the collector running underneath.
+   Collectors differ in *when* they stop the world, but any two that stop
+   after the same mutation history must see exactly the same reachable
+   set.  A collector that frees a reachable object, loses one to a stale
+   remset/RC entry, or resurrects a dead id diverges here, identified by
+   birth serial.
+
+   "Same history" is certified by {!Heap.history_digest}, a
+   collector-independent commutative fold over every allocation and
+   pointer write.  Totals like (packets executed, objects allocated) are
+   NOT sufficient on their own once two mutator threads run: concurrent
+   collectors tax the mutators unevenly, which can reorder cross-thread
+   writes and reach a different — but equally correct — heap graph at the
+   same totals.  (The first draft of this oracle keyed on totals alone and
+   flagged exactly such a reordering as a Shenandoah bug.)  The totals
+   stay in the key only to make divergence reports readable.
+
+   The probe rides {!Run.execute}'s [on_pause] hook: it fires on the
+   pause_begin event, after the world is stopped and before the
+   collector's pause work starts, so every collector is observed at the
+   exact heap state the mutators produced.  Epsilon never pauses and
+   participates vacuously; runs that OOM or abort are compared over the
+   safepoints they did reach (the shape grid's low heap sizes force such
+   runs on purpose). *)
+
+module Registry = Gcr_gcs.Registry
+module Heap = Gcr_heap.Heap
+module Obj_model = Gcr_heap.Obj_model
+module Suite = Gcr_workloads.Suite
+module Spec = Gcr_workloads.Spec
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+
+let check = Alcotest.check
+
+(* The whole frontier: the paper's six plus the experimental extensions. *)
+let every_kind = Registry.all @ Registry.experimental
+
+(* Allocation-heavy enough that the shape grid's heaps actually pause —
+   a probe on a heap nothing ever fills checks nothing. *)
+let tiny = Spec.scale (Suite.find_exn "lusearch") 0.02
+
+type shape = { seed : int; packets : int; threads : int; heap_words : int }
+
+(* Heap range reaches low enough that some collectors OOM: prefix
+   agreement must hold for aborted runs too. *)
+let shape_gen =
+  QCheck.Gen.(
+    map
+      (fun (seed, packets, threads, heap_words) -> { seed; packets; threads; heap_words })
+      (quad (int_range 0 10_000) (int_range 4 14) (int_range 1 2)
+         (int_range 8_000 20_000)))
+
+let print_shape s =
+  Printf.sprintf "seed=%d packets=%d threads=%d heap=%d" s.seed s.packets s.threads
+    s.heap_words
+
+let shape_arb = QCheck.make ~print:print_shape shape_gen
+
+let spec_of_shape s =
+  { tiny with Spec.packets_per_thread = s.packets; mutator_threads = s.threads }
+
+(* Reachability, computed with the probe's own scratch state: the heap's
+   built-in [reachable_from] burns a scratch-mark epoch, which would
+   corrupt a concurrent collector's in-flight trace. *)
+let snapshot (p : Run.probe) =
+  let h = p.Run.probe_heap in
+  let seen = Hashtbl.create 512 in
+  let stack = Stack.create () in
+  let push id =
+    if (not (Obj_model.is_null id)) && Heap.is_live h id && not (Hashtbl.mem seen id)
+    then begin
+      Hashtbl.replace seen id ();
+      Stack.push id stack
+    end
+  in
+  p.Run.probe_roots push;
+  while not (Stack.is_empty stack) do
+    Heap.iter_fields h (Stack.pop stack) push
+  done;
+  let serials = Hashtbl.fold (fun id () acc -> Heap.obj_serial h id :: acc) seen [] in
+  List.sort compare serials
+
+(* One run: measurement plus the map from progress coordinate to reachable
+   serial set.  A collector may pause twice at the same coordinate (e.g. a
+   failed-allocation retry); no mutation can have happened in between, so
+   the snapshots must agree even within one run. *)
+let run_with_snapshots kind s =
+  let spec = spec_of_shape s in
+  let snaps = Hashtbl.create 64 in
+  let errors = ref [] in
+  let on_pause p =
+    let h = p.Run.probe_heap in
+    let key =
+      (p.Run.probe_packets (), Heap.objects_allocated_total h, Heap.history_digest h)
+    in
+    let set = snapshot p in
+    match Hashtbl.find_opt snaps key with
+    | Some prev ->
+        if prev <> set then begin
+          let packets, allocs, _ = key in
+          errors :=
+            Printf.sprintf "%s: two pauses at packets=%d allocs=%d disagree"
+              (Registry.name kind) packets allocs
+            :: !errors
+        end
+    | None -> Hashtbl.replace snaps key set
+  in
+  (* A modest event budget: a shape below a collector's minimum heap makes
+     the stop-the-world collectors thrash (pause per allocation) until the
+     engine's "beyond usefulness" abort; the default budget would let them
+     rack up hundreds of thousands of probed pauses first.  Healthy runs
+     of these shapes use a few tens of thousands of events. *)
+  let m =
+    Run.execute ~on_pause
+      {
+        (Run.default_config ~spec ~gc:kind ~heap_words:s.heap_words ~seed:s.seed) with
+        Run.max_events = Some 300_000;
+      }
+  in
+  (m, snaps, !errors)
+
+(* Run every collector over the shape and fold the snapshots into one
+   reference map; any key two collectors share must carry the same set.
+   Returns ([shared], [failed]): how many safepoint coordinates were
+   actually cross-checked, and how many runs did not complete. *)
+let check_shape ?(kinds = every_kind) s =
+  let reference = Hashtbl.create 256 in
+  let shared = ref 0 in
+  let failed = ref 0 in
+  List.iter
+    (fun kind ->
+      let m, snaps, errors = run_with_snapshots kind s in
+      if not (Measurement.completed m) then incr failed;
+      (match errors with
+      | [] -> ()
+      | e :: _ -> QCheck.Test.fail_reportf "intra-run snapshot mismatch: %s" e);
+      Hashtbl.iter
+        (fun ((packets, allocs, _) as key) set ->
+          match Hashtbl.find_opt reference key with
+          | Some (kind0, set0) ->
+              incr shared;
+              if set0 <> set then
+                QCheck.Test.fail_reportf
+                  "live sets diverge at packets=%d allocs=%d: %s sees %d objects, %s \
+                   sees %d"
+                  packets allocs (Registry.name kind0) (List.length set0)
+                  (Registry.name kind) (List.length set)
+          | None -> Hashtbl.replace reference key (kind, set))
+        snaps)
+    kinds;
+  (!shared, !failed)
+
+let heavy = Sys.getenv_opt "GCR_LIVESET_HEAVY" <> None
+
+let prop_frontier_agrees =
+  QCheck.Test.make
+    ~name:"all collectors see the same live set at shared safepoints"
+    ~count:(if heavy then 40 else 8)
+    shape_arb
+    (fun s ->
+      let (_ : int * int) = check_shape s in
+      true)
+
+(* The oracle must not be vacuous: on a canonical mid-size shape the
+   collectors' pause schedules overlap at many progress coordinates. *)
+let test_oracle_not_vacuous () =
+  let shared, failed = check_shape { seed = 7; packets = 10; threads = 2; heap_words = 9_000 } in
+  check Alcotest.bool "collectors share safepoint coordinates" true (shared > 0);
+  check Alcotest.int "every collector completes this shape" 0 failed
+
+(* Memory pressure: most of the frontier fails here (clean OOM or the
+   event-budget thrash verdict), and agreement must still hold over the
+   prefix each failing run reached. *)
+let test_oracle_under_oom () =
+  let shared, failed = check_shape { seed = 3; packets = 10; threads = 2; heap_words = 6_000 } in
+  check Alcotest.bool "shared coordinates under pressure" true (shared > 0);
+  check Alcotest.bool "shape forces at least one failure" true (failed > 0)
+
+(* Observation is passive: probing every pause must not change the
+   measurement of a single run. *)
+let test_probe_passive () =
+  let s = { seed = 11; packets = 8; threads = 2; heap_words = 10_000 } in
+  let spec = spec_of_shape s in
+  List.iter
+    (fun kind ->
+      let config =
+        Run.default_config ~spec ~gc:kind ~heap_words:s.heap_words ~seed:s.seed
+      in
+      let probed = Run.execute ~on_pause:(fun p -> ignore (snapshot p)) config in
+      let plain = Run.execute config in
+      check Alcotest.bool
+        (Printf.sprintf "probe does not perturb %s" (Registry.name kind))
+        true (probed = plain))
+    every_kind
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_frontier_agrees;
+    Alcotest.test_case "oracle is not vacuous" `Quick test_oracle_not_vacuous;
+    Alcotest.test_case "oracle holds under OOM" `Quick test_oracle_under_oom;
+    Alcotest.test_case "probe is passive" `Quick test_probe_passive;
+  ]

@@ -26,6 +26,12 @@ let test_names_roundtrip () =
 let test_aliases () =
   check Alcotest.bool "shen" true (Registry.of_name "shen" = Some Registry.Shenandoah);
   check Alcotest.bool "case" true (Registry.of_name "EPSILON" = Some Registry.Epsilon);
+  check Alcotest.bool "lxr" true (Registry.of_name "lxr" = Some Registry.Lxr);
+  check Alcotest.bool "lxr case" true (Registry.of_name "LXR" = Some Registry.Lxr);
+  check Alcotest.bool "serialpt" true
+    (Registry.of_name "serialpt" = Some Registry.Serial_pretenure);
+  check Alcotest.bool "serial-pretenure" true
+    (Registry.of_name "serial-pretenure" = Some Registry.Serial_pretenure);
   check Alcotest.bool "unknown" true (Registry.of_name "cms" = None)
 
 let test_classification () =
@@ -35,7 +41,18 @@ let test_classification () =
   check Alcotest.bool "shenandoah not generational" false
     (Registry.is_generational Registry.Shenandoah);
   check Alcotest.int "six collectors" 6 (List.length Registry.all);
-  check Alcotest.int "five production" 5 (List.length Registry.production)
+  check Alcotest.int "five production" 5 (List.length Registry.production);
+  check Alcotest.bool "lxr concurrent" true (Registry.is_concurrent Registry.Lxr);
+  check Alcotest.bool "lxr not generational" false (Registry.is_generational Registry.Lxr);
+  check Alcotest.bool "serialpt generational" true
+    (Registry.is_generational Registry.Serial_pretenure);
+  check Alcotest.bool "frontier = all + experimental" true
+    (Registry.frontier = Registry.all @ Registry.experimental);
+  check
+    Alcotest.(list string)
+    "valid_names covers the frontier"
+    (List.map Registry.name Registry.frontier)
+    Registry.valid_names
 
 let test_make_constructs_all () =
   List.iter
@@ -50,7 +67,7 @@ let test_make_constructs_all () =
       check Alcotest.string "name matches" (Registry.name kind) gc.Gc_types.name;
       check Alcotest.bool "barriers non-negative" true
         (gc.Gc_types.read_barrier () >= 0 && gc.Gc_types.write_barrier () >= 0))
-    Registry.all
+    Registry.frontier
 
 let test_heap_ops_write_ref () =
   let heap = Heap.create ~capacity_words:(8 * 64) ~region_words:64 () in

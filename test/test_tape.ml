@@ -70,6 +70,19 @@ let prop_replay_bit_identical =
       let replayed = Run.execute (config_of_shape ~tape:(Run.Tape_replay image) s) in
       live = replayed)
 
+(* The RC collector keeps deferred per-object state across the whole run
+   (increment/decrement buffers, pin rotation, backup-trace sessions);
+   one deterministic case pins replay equivalence for it explicitly on a
+   shape known to trigger pauses, evacuation, and the cycle trace. *)
+let test_lxr_replay_deterministic () =
+  let s = { kind = Registry.Lxr; seed = 17; packets = 12; threads = 2; heap_words = 3_000 } in
+  let spec = spec_of_shape s in
+  let image = Tape_gen.image ~spec ~seed:s.seed in
+  let live = Run.execute (config_of_shape s) in
+  check Alcotest.bool "lxr completes this shape" true (Measurement.completed live);
+  let replayed = Run.execute (config_of_shape ~tape:(Run.Tape_replay image) s) in
+  check Alcotest.bool "lxr replay is bit-identical" true (live = replayed)
+
 (* ---- short tapes: replay must fall over to the exact live stream ---- *)
 
 let truncate_tape tape keep =
@@ -236,6 +249,7 @@ let test_latency_arrivals_replay () =
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_replay_bit_identical;
+    Alcotest.test_case "lxr replay deterministic" `Quick test_lxr_replay_deterministic;
     QCheck_alcotest.to_alcotest prop_short_tape_still_identical;
     Alcotest.test_case "record tee == generate prefix" `Quick
       test_record_tee_matches_generate;
