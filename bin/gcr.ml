@@ -70,10 +70,13 @@ let factor_arg =
   Arg.(value & opt float 3.0 & info [ "x"; "heap-factor" ] ~docv:"F" ~doc)
 
 let factors_arg =
-  let doc = "Heap factors for grid experiments (comma separated)." in
+  let doc =
+    "Heap factors for grid experiments (comma separated; default: the twelve-point \
+     grid, a superset of the paper's eight sizes)."
+  in
   Arg.(
     value
-    & opt (list float) Harness.paper_heap_factors
+    & opt (list float) Harness.default_heap_factors
     & info [ "factors" ] ~docv:"F1,F2,.." ~doc)
 
 let quiet_arg =
@@ -86,6 +89,15 @@ let jobs_arg =
      Campaign output is bit-identical for every value."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let workers_arg =
+  let doc =
+    "Forked worker processes executing the campaign through the multi-process \
+     fabric (default: $(b,GCR_WORKERS) if set, else in-process).  Each worker owns \
+     a whole OCaml runtime, so throughput scales with cores; campaign output is \
+     bit-identical for every worker count."
+  in
+  Arg.(value & opt (some int) None & info [ "w"; "workers" ] ~docv:"N" ~doc)
 
 let cache_dir_arg =
   let doc =
@@ -114,6 +126,32 @@ let resolve_jobs = function
   | Some _ -> 1
   | None -> Pool.default_jobs ()
 
+(* Worker-count validation is strict where --jobs is forgiving: a typo'd
+   GCR_WORKERS silently running a campaign single-process would quietly
+   invalidate a throughput study, so bad values refuse to run at all. *)
+let resolve_workers arg =
+  let reject reason =
+    Printf.eprintf "gcr: invalid worker count: %s\n%!" reason;
+    exit failed_run_exit
+  in
+  match arg with
+  | Some n when n > 0 -> Some n
+  | Some n ->
+      reject
+        (Printf.sprintf "--workers must be a positive integer, got %d" n)
+  | None -> (
+      match Sys.getenv_opt "GCR_WORKERS" with
+      | None -> None
+      | Some s -> (
+          match int_of_string_opt s with
+          | Some n when n > 0 -> Some n
+          | Some n ->
+              reject
+                (Printf.sprintf "GCR_WORKERS must be a positive integer, got %d" n)
+          | None ->
+              reject
+                (Printf.sprintf "GCR_WORKERS must be a positive integer, got %S" s)))
+
 let resolve_cache_dir arg =
   match (match arg with Some _ -> arg | None -> Sys.getenv_opt "GCR_CACHE_DIR") with
   | None -> None
@@ -133,7 +171,8 @@ let no_tapes_arg =
   in
   Arg.(value & flag & info [ "no-tapes" ] ~doc)
 
-let harness_config ~invocations ~scale ~seed ~factors ~quiet ~jobs ~cache_dir ~no_tapes =
+let harness_config ~invocations ~scale ~seed ~factors ~quiet ~jobs ~workers ~cache_dir
+    ~no_tapes =
   let defaults = Harness.default_config () in
   {
     defaults with
@@ -143,6 +182,7 @@ let harness_config ~invocations ~scale ~seed ~factors ~quiet ~jobs ~cache_dir ~n
     heap_factors = factors;
     log_progress = not quiet;
     jobs = resolve_jobs jobs;
+    workers = resolve_workers workers;
     cache_dir = resolve_cache_dir cache_dir;
     tapes = defaults.Harness.tapes && not no_tapes;
   }
@@ -313,10 +353,11 @@ let minheap_cmd =
 
 (* ---------- campaign-backed commands ---------- *)
 
-let build_campaign benchmarks gcs invocations scale seed factors quiet jobs cache_dir
-    no_tapes =
+let build_campaign benchmarks gcs invocations scale seed factors quiet jobs workers
+    cache_dir no_tapes =
   let config =
-    harness_config ~invocations ~scale ~seed ~factors ~quiet ~jobs ~cache_dir ~no_tapes
+    harness_config ~invocations ~scale ~seed ~factors ~quiet ~jobs ~workers ~cache_dir
+      ~no_tapes
   in
   Harness.run_campaign config ~benchmarks:(default_benchmarks benchmarks)
     ~gcs:(default_gcs gcs)
@@ -361,11 +402,11 @@ let artefact_arg =
     & info [] ~docv:"ARTEFACT" ~doc)
 
 let artefact_cmd =
-  let run artefact benchmarks gcs invocations scale seed factors quiet jobs cache_dir
-      no_tapes =
+  let run artefact benchmarks gcs invocations scale seed factors quiet jobs workers
+      cache_dir no_tapes =
     let campaign =
-      build_campaign benchmarks gcs invocations scale seed factors quiet jobs cache_dir
-        no_tapes
+      build_campaign benchmarks gcs invocations scale seed factors quiet jobs workers
+        cache_dir no_tapes
     in
     print_artefact campaign artefact;
     exit_on_failures (Harness.all_measurements campaign)
@@ -375,13 +416,15 @@ let artefact_cmd =
        ~doc:"Run the needed campaign and regenerate a paper table or figure")
     Term.(
       const run $ artefact_arg $ benchmarks_arg $ gcs_arg $ invocations_arg $ scale_arg
-      $ seed_arg $ factors_arg $ quiet_arg $ jobs_arg $ cache_dir_arg $ no_tapes_arg)
+      $ seed_arg $ factors_arg $ quiet_arg $ jobs_arg $ workers_arg $ cache_dir_arg
+      $ no_tapes_arg)
 
 let campaign_cmd =
-  let run benchmarks gcs invocations scale seed factors quiet jobs cache_dir no_tapes =
+  let run benchmarks gcs invocations scale seed factors quiet jobs workers cache_dir
+      no_tapes =
     let campaign =
-      build_campaign benchmarks gcs invocations scale seed factors quiet jobs cache_dir
-        no_tapes
+      build_campaign benchmarks gcs invocations scale seed factors quiet jobs workers
+        cache_dir no_tapes
     in
     print_artefact campaign "all";
     exit_on_failures (Harness.all_measurements campaign)
@@ -391,7 +434,7 @@ let campaign_cmd =
        ~doc:"Run the full grid and print every table and figure of the paper")
     Term.(
       const run $ benchmarks_arg $ gcs_arg $ invocations_arg $ scale_arg $ seed_arg
-      $ factors_arg $ quiet_arg $ jobs_arg $ cache_dir_arg $ no_tapes_arg)
+      $ factors_arg $ quiet_arg $ jobs_arg $ workers_arg $ cache_dir_arg $ no_tapes_arg)
 
 (* ---------- ablations ---------- *)
 

@@ -7,6 +7,8 @@ module Measurement = Gcr_runtime.Measurement
 module Stats = Gcr_util.Stats
 module Pool = Gcr_sched.Pool
 module Result_cache = Gcr_sched.Result_cache
+module Artifact_store = Gcr_sched.Artifact_store
+module Fabric = Gcr_sched.Fabric
 
 type config = {
   invocations : int;
@@ -18,6 +20,12 @@ type config = {
   heap_factors : float list;
   log_progress : bool;
   jobs : int;
+  workers : int option;
+      (** [Some n]: execute through the multi-process fabric with [n]
+          forked worker processes (sidestepping the cross-domain minor
+          STW that throttles the domain pool); [None]: the in-process
+          domain pool with [jobs] domains.  Either way the recorded
+          campaign is bit-identical. *)
   cache_dir : string option;
   tapes : bool;
       (** replay each (benchmark, seed) cell group from one generated
@@ -26,6 +34,13 @@ type config = {
 }
 
 let paper_heap_factors = [ 1.4; 1.9; 2.4; 3.0; 3.7; 4.4; 5.2; 6.0 ]
+
+(* The default grid is denser than the paper's eight sizes: extra points
+   below 2× (where LBO curves bend hardest) and between the paper's
+   steps.  A superset of [paper_heap_factors], so paper-grid cells can
+   be read straight out of a default campaign. *)
+let default_heap_factors =
+  [ 1.2; 1.4; 1.7; 1.9; 2.4; 2.7; 3.0; 3.4; 3.7; 4.4; 5.2; 6.0 ]
 
 (* The default campaign grid is the full collector frontier: the paper's
    six plus the experimental extensions (GenShen, LXR, Serial+pretenure)
@@ -44,18 +59,31 @@ let env_float name default =
 
 let default_config () =
   {
-    invocations = env_int "GCR_INVOCATIONS" 5;
+    invocations = env_int "GCR_INVOCATIONS" 8;
     base_seed = 1;
     scale = env_float "GCR_SCALE" 1.0;
     machine = Machine.default;
     cost = Cost_model.default;
     region_words = Run.default_region_words;
-    heap_factors = paper_heap_factors;
+    heap_factors = default_heap_factors;
     log_progress = true;
     jobs = Pool.default_jobs ();
+    workers = None;
     cache_dir = Sys.getenv_opt "GCR_CACHE_DIR";
     tapes = Minheap.tapes_enabled ();
   }
+
+type exec_summary = {
+  cells : int;
+  cache_hits : int;
+  cache_misses : int;
+  worker_processes : int;  (** 0 when the in-process pool executed *)
+  per_worker : int array;
+  reassigned_cells : int;
+  parent_cells : int;
+  elapsed_s : float;
+  cells_per_sec : float;
+}
 
 (* Configurations are keyed by (benchmark, collector, factor in permille);
    Epsilon is heap-independent and stored under factor 0. *)
@@ -67,6 +95,7 @@ type campaign = {
   gc_kinds : Registry.kind list;
   minheaps : (string, int) Hashtbl.t;
   cells : (key, Measurement.t list ref) Hashtbl.t;
+  summary : exec_summary;
 }
 
 let permille factor = int_of_float (Float.round (factor *. 1000.0))
@@ -89,6 +118,8 @@ let benchmarks t = t.specs
 
 let gcs t = t.gc_kinds
 
+let summary t = t.summary
+
 let minheap_words t ~bench =
   match Hashtbl.find_opt t.minheaps bench with
   | Some w -> w
@@ -104,14 +135,103 @@ let runs t ~bench ~gc ~factor =
   | Some cell -> List.rev !cell
   | None -> []
 
-let heap_words_for t ~bench ~factor =
-  let minheap = minheap_words t ~bench in
-  let words = int_of_float (Float.round (factor *. float_of_int minheap)) in
-  (* round up to whole regions *)
-  let region = t.config.region_words in
-  (words + region - 1) / region * region
+(* --- Executors: fill the plan's result slots. --- *)
+
+(* In-process domain pool, one sibling group at a time: generate the
+   group's tape image once, replay it in every cell, then drop it before
+   the next group (images of full-size benchmarks are tens of MB). *)
+let execute_pool config plan results =
+  let cache = Option.map (fun dir -> Result_cache.create ~dir) config.cache_dir in
+  let hit_counter = Atomic.make 0 in
+  List.iter
+    (fun (g : Planner.group) ->
+      if config.log_progress then
+        Printf.eprintf "[harness] invocation %d/%d: %s\n%!" (g.Planner.invocation + 1)
+          config.invocations g.Planner.spec.Spec.name;
+      let configs = List.map (fun (c : Planner.cell) -> c.Planner.config) g.Planner.cells in
+      let configs =
+        if not config.tapes then configs
+        else begin
+          let tape =
+            Run.Tape_replay
+              (Gcr_workloads.Tape_gen.image ~spec:g.Planner.spec ~seed:g.Planner.seed)
+          in
+          List.map (fun rc -> { rc with Run.tape }) configs
+        end
+      in
+      let measurements = Pool.map ~jobs:config.jobs ?cache ~hits:hit_counter configs in
+      List.iter2
+        (fun (c : Planner.cell) m -> results.(c.Planner.index) <- Some m)
+        g.Planner.cells measurements)
+    (Planner.groups plan);
+  (Atomic.get hit_counter, 0, [||], 0, 0)
+
+let rec make_temp_store_dir n =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gcr-fabric-%d-%d" (Unix.getpid ()) n)
+  in
+  match Unix.mkdir dir 0o700 with
+  | () -> dir
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> make_temp_store_dir (n + 1)
+
+let remove_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        entries;
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
+(* Multi-process fabric: sibling groups fan out to forked workers, tapes
+   travel through the content-addressed artifact store, results stream
+   back into the plan's slots. *)
+let execute_fabric config plan results ~workers =
+  let store, cleanup =
+    match config.cache_dir with
+    | Some dir -> (Artifact_store.create ~dir, fun () -> ())
+    | None ->
+        (* tapes still need a rendezvous point; results stay uncached *)
+        let dir = make_temp_store_dir 0 in
+        (Artifact_store.create ~dir, fun () -> remove_dir dir)
+  in
+  let log =
+    if config.log_progress then fun line -> Printf.eprintf "[fabric] %s\n%!" line
+    else fun _ -> ()
+  in
+  let groups =
+    List.map
+      (fun (g : Planner.group) ->
+        {
+          Fabric.spec = g.Planner.spec;
+          seed = g.Planner.seed;
+          tapes = config.tapes;
+          cells =
+            List.map
+              (fun (c : Planner.cell) -> (c.Planner.index, c.Planner.config))
+              g.Planner.cells;
+        })
+      (Planner.groups plan)
+  in
+  let measurements, stats =
+    Fun.protect
+      ~finally:(fun () -> cleanup ())
+      (fun () ->
+        Fabric.run ~workers ~store
+          ~cache_results:(config.cache_dir <> None)
+          ~log ~n_cells:(Planner.n_cells plan) groups)
+  in
+  Array.iteri (fun i m -> results.(i) <- Some m) measurements;
+  ( stats.Fabric.cache_hits,
+    workers,
+    stats.Fabric.per_worker,
+    stats.Fabric.reassigned_cells,
+    stats.Fabric.parent_cells )
 
 let run_campaign config ~benchmarks ~gcs =
+  let started = Unix.gettimeofday () in
   let machine = scaled_machine config in
   let specs = List.map (fun s -> Spec.scale s config.scale) benchmarks in
   let minheap_config =
@@ -124,106 +244,81 @@ let run_campaign config ~benchmarks ~gcs =
       tapes = config.tapes;
     }
   in
-  let t =
-    {
-      config = { config with machine };
-      specs;
-      gc_kinds = gcs;
-      minheaps = Hashtbl.create 32;
-      cells = Hashtbl.create 512;
-    }
-  in
+  let minheaps = Hashtbl.create 32 in
   List.iter
     (fun spec ->
       let words = Minheap.find ~config:minheap_config spec in
       if config.log_progress then
         Printf.eprintf "[harness] minheap %-12s = %d words\n%!" spec.Spec.name words;
-      Hashtbl.replace t.minheaps spec.Spec.name words)
+      Hashtbl.replace minheaps spec.Spec.name words)
     specs;
+  let plan =
+    Planner.plan ~invocations:config.invocations ~base_seed:config.base_seed ~machine
+      ~cost:config.cost ~region_words:config.region_words
+      ~heap_factors:config.heap_factors
+      ~minheap:(fun ~bench ->
+        match Hashtbl.find_opt minheaps bench with
+        | Some w -> w
+        | None -> invalid_arg "Harness: plan references an unmeasured benchmark")
+      ~specs ~gcs
+  in
+  let n_cells = Planner.n_cells plan in
+  let results : Measurement.t option array = Array.make n_cells None in
+  let cache_hits, worker_processes, per_worker, reassigned_cells, parent_cells =
+    match config.workers with
+    | None -> execute_pool { config with machine } plan results
+    | Some workers -> execute_fabric { config with machine } plan results ~workers
+  in
+  (* Reduce in submission order: the recorded campaign is a pure function
+     of the plan, identical whatever executor (or parallelism) ran it. *)
+  let cells = Hashtbl.create 512 in
   let record ~bench ~gc ~factor m =
     let key = key_of ~bench ~gc ~factor in
     let cell =
-      match Hashtbl.find_opt t.cells key with
+      match Hashtbl.find_opt cells key with
       | Some c -> c
       | None ->
           let c = ref [] in
-          Hashtbl.replace t.cells key c;
+          Hashtbl.replace cells key c;
           c
     in
     cell := m :: !cell
   in
-  (* Submission phase: walk the grid in the canonical serial order and
-     queue one run config per cell×invocation, grouped by
-     (invocation, benchmark) — the cells that share a workload decision
-     stream.  Execution happens below through the scheduler; because
-     results come back in submission order, the recorded campaign is
-     identical whatever [config.jobs] (or [config.tapes]) is. *)
-  let groups = ref [] in
-  let submit subs spec gc ~factor ~seed =
-    let bench = spec.Spec.name in
-    let heap_words =
-      match gc with
-      | Registry.Epsilon -> machine.Machine.memory_words
-      | _ -> heap_words_for t ~bench ~factor
-    in
-    if config.log_progress && Sys.getenv_opt "GCR_TRACE_RUNS" <> None then
-      Printf.eprintf "[harness]   %s/%s factor=%.1f seed=%d heap=%d\n%!" bench
-        (Registry.name gc) factor seed heap_words;
-    let run_config =
-      {
-        Run.spec;
-        gc;
-        heap_words;
-        machine;
-        cost = config.cost;
-        seed;
-        region_words = config.region_words;
-        max_events = None;
-        make_collector = None;
-        tape = Run.Tape_off;
-      }
-    in
-    subs := (bench, gc, factor, run_config) :: !subs
-  in
-  (* Interleave configurations across invocations (§IV-A d). *)
-  for invocation = 0 to config.invocations - 1 do
-    let seed = config.base_seed + (1000 * (invocation + 1)) in
-    List.iter
-      (fun spec ->
-        let subs = ref [] in
-        List.iter
-          (fun gc ->
-            match gc with
-            | Registry.Epsilon -> submit subs spec gc ~factor:0.0 ~seed
-            | _ ->
-                List.iter (fun factor -> submit subs spec gc ~factor ~seed) config.heap_factors)
-          ( (* Epsilon participates implicitly even if not requested *)
-            if List.mem Registry.Epsilon gcs then gcs else Registry.Epsilon :: gcs );
-        groups := (invocation, spec, seed, List.rev !subs) :: !groups)
-      specs
-  done;
-  let cache = Option.map (fun dir -> Result_cache.create ~dir) config.cache_dir in
-  (* Execution phase, one cell group at a time: generate the group's tape
-     image once, replay it in every cell, then drop it before the next
-     group (images of full-size benchmarks are tens of MB). *)
   List.iter
-    (fun (invocation, spec, seed, ordered) ->
-      if config.log_progress then
-        Printf.eprintf "[harness] invocation %d/%d: %s\n%!" (invocation + 1)
-          config.invocations spec.Spec.name;
-      let ordered =
-        if not config.tapes then ordered
-        else begin
-          let tape = Run.Tape_replay (Gcr_workloads.Tape_gen.image ~spec ~seed) in
-          List.map (fun (b, g, f, rc) -> (b, g, f, { rc with Run.tape })) ordered
-        end
-      in
-      let results =
-        Pool.map ~jobs:config.jobs ?cache (List.map (fun (_, _, _, rc) -> rc) ordered)
-      in
-      List.iter2 (fun (bench, gc, factor, _) m -> record ~bench ~gc ~factor m) ordered results)
-    (List.rev !groups);
-  t
+    (fun (c : Planner.cell) ->
+      match results.(c.Planner.index) with
+      | Some m -> record ~bench:c.Planner.bench ~gc:c.Planner.gc ~factor:c.Planner.factor m
+      | None -> invalid_arg "Harness: executor left a cell unfilled")
+    (Planner.cells plan);
+  let elapsed_s = Unix.gettimeofday () -. started in
+  let summary =
+    {
+      cells = n_cells;
+      cache_hits;
+      cache_misses = n_cells - cache_hits;
+      worker_processes;
+      per_worker;
+      reassigned_cells;
+      parent_cells;
+      elapsed_s;
+      cells_per_sec = (if elapsed_s > 0.0 then float_of_int n_cells /. elapsed_s else 0.0);
+    }
+  in
+  if config.log_progress then begin
+    let worker_note =
+      if worker_processes = 0 then Printf.sprintf "pool jobs=%d" config.jobs
+      else
+        Printf.sprintf "fabric workers=%d [%s]%s%s" worker_processes
+          (String.concat " "
+             (Array.to_list (Array.mapi (Printf.sprintf "w%d=%d") per_worker)))
+          (if reassigned_cells > 0 then Printf.sprintf " reassigned=%d" reassigned_cells
+           else "")
+          (if parent_cells > 0 then Printf.sprintf " parent=%d" parent_cells else "")
+    in
+    Printf.eprintf "[harness] %d cells in %.1fs (%.1f cells/s): %d cache hits, %d executed; %s\n%!"
+      n_cells elapsed_s summary.cells_per_sec cache_hits summary.cache_misses worker_note
+  end;
+  { config = { config with machine }; specs; gc_kinds = gcs; minheaps; cells; summary }
 
 let observations t metric ~bench ~factor =
   let kinds =

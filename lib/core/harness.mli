@@ -3,7 +3,14 @@
     as multiples of the per-benchmark minimum heap, several invocations
     per configuration with distinct seeds, invocations of different
     configurations interleaved, Epsilon included wherever it fits in
-    memory. *)
+    memory.
+
+    The harness is split into a pure {!Planner} (grid → ordered cell
+    specs) and the executors here: the in-process domain pool and the
+    multi-process {!Gcr_sched.Fabric}.  Both fill the plan's result
+    slots and the reduction reads them back in submission order, so the
+    recorded campaign is bit-identical whichever executor ran it and at
+    any parallelism ([test/test_fabric.ml] enforces this). *)
 
 type config = {
   invocations : int;
@@ -21,10 +28,19 @@ type config = {
           are reassembled in submission order, so any value produces
           bit-identical campaigns (the differential tests in
           [test/test_sched.ml] hold this to account) *)
+  workers : int option;
+      (** [Some n]: execute through the multi-process campaign fabric
+          with [n] forked worker processes — each owns a whole OCaml
+          runtime, so throughput scales with cores instead of being
+          throttled by cross-domain minor STW.  [None] (default): the
+          in-process domain pool.  Campaign results are bit-identical
+          either way. *)
   cache_dir : string option;
       (** when set, completed runs are stored in (and replayed from) an
           on-disk {!Gcr_sched.Result_cache} keyed by the full run config;
-          [None] disables result caching *)
+          with [workers] set, the same directory is the fabric's
+          content-addressed {!Gcr_sched.Artifact_store} for tapes and
+          results.  [None] disables result caching *)
   tapes : bool;
       (** record-once / replay-many workload tapes: each (benchmark, seed)
           cell group generates its decision stream once and every cell in
@@ -35,15 +51,35 @@ type config = {
 val paper_heap_factors : float list
 (** 1.4, 1.9, 2.4, 3.0, 3.7, 4.4, 5.2, 6.0 — the paper's eight sizes. *)
 
+val default_heap_factors : float list
+(** The default grid: twelve sizes, a superset of {!paper_heap_factors}
+    densified below 2× (where LBO curves bend hardest) and between the
+    paper's steps. *)
+
 val default_gcs : Gcr_gcs.Registry.kind list
 (** The default campaign grid: the whole collector frontier
     ({!Gcr_gcs.Registry.frontier} — the paper's six plus the experimental
     extensions). *)
 
 val default_config : unit -> config
-(** 5 invocations at scale 1.0, serial, no result cache;
-    [GCR_INVOCATIONS], [GCR_SCALE], [GCR_JOBS], and [GCR_CACHE_DIR]
-    override. *)
+(** 8 invocations at scale 1.0 over {!default_heap_factors}, serial,
+    in-process, no result cache; [GCR_INVOCATIONS], [GCR_SCALE],
+    [GCR_JOBS], and [GCR_CACHE_DIR] override.  ([GCR_WORKERS] is a CLI
+    concern: the library default is always [workers = None].) *)
+
+type exec_summary = {
+  cells : int;  (** grid cells executed (invocations included) *)
+  cache_hits : int;  (** cells replayed from the result cache *)
+  cache_misses : int;  (** cells actually executed *)
+  worker_processes : int;  (** fabric worker count; 0 = in-process pool *)
+  per_worker : int array;  (** cells completed per fabric worker *)
+  reassigned_cells : int;  (** cells requeued after a worker crash *)
+  parent_cells : int;  (** cells the fabric parent ran as a backstop *)
+  elapsed_s : float;  (** wall-clock campaign time, minheaps included *)
+  cells_per_sec : float;
+}
+(** How a campaign was executed — the accounting behind the CLI summary
+    line.  Pure reporting: no field feeds back into results. *)
 
 type campaign
 
@@ -66,6 +102,8 @@ val benchmarks : campaign -> Gcr_workloads.Spec.t list
 val gcs : campaign -> Gcr_gcs.Registry.kind list
 
 val minheap_words : campaign -> bench:string -> int
+
+val summary : campaign -> exec_summary
 
 val all_measurements : campaign -> Gcr_runtime.Measurement.t list
 (** Every invocation in the campaign, in a deterministic (key-sorted)

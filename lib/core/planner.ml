@@ -1,0 +1,101 @@
+module Machine = Gcr_mach.Machine
+module Cost_model = Gcr_mach.Cost_model
+module Registry = Gcr_gcs.Registry
+module Spec = Gcr_workloads.Spec
+module Run = Gcr_runtime.Run
+module Cache_key = Gcr_sched.Cache_key
+
+type cell = {
+  index : int;
+  invocation : int;
+  bench : string;
+  gc : Registry.kind;
+  factor : float;
+  config : Run.config;
+  key : string;
+}
+
+type group = {
+  invocation : int;
+  spec : Spec.t;
+  seed : int;
+  cells : cell list;
+}
+
+type t = { groups : group list; n_cells : int }
+
+let groups t = t.groups
+
+let n_cells t = t.n_cells
+
+let cells t = List.concat_map (fun g -> g.cells) t.groups
+
+let heap_words ~region_words ~minheap ~factor =
+  let words = int_of_float (Float.round (factor *. float_of_int minheap)) in
+  (* round up to whole regions *)
+  (words + region_words - 1) / region_words * region_words
+
+let seed_of ~base_seed ~invocation = base_seed + (1000 * (invocation + 1))
+
+(* Epsilon participates implicitly even if not requested; it leads the
+   cell order exactly as the serial harness always emitted it. *)
+let with_epsilon gcs =
+  if List.mem Registry.Epsilon gcs then gcs else Registry.Epsilon :: gcs
+
+let plan ~invocations ~base_seed ~machine ~cost ~region_words ~heap_factors ~minheap
+    ~specs ~gcs =
+  let gcs = with_epsilon gcs in
+  let index = ref 0 in
+  let cell ~invocation ~spec ~seed ~gc ~factor =
+    let bench = spec.Spec.name in
+    let heap_words =
+      match gc with
+      | Registry.Epsilon -> machine.Machine.memory_words
+      | _ -> heap_words ~region_words ~minheap:(minheap ~bench) ~factor
+    in
+    let config =
+      {
+        Run.spec;
+        gc;
+        heap_words;
+        machine;
+        cost;
+        seed;
+        region_words;
+        max_events = None;
+        make_collector = None;
+        tape = Run.Tape_off;
+      }
+    in
+    let key =
+      match Cache_key.of_config config with
+      | Some digest -> digest
+      | None -> assert false (* make_collector is None above *)
+    in
+    let c = { index = !index; invocation; bench; gc; factor; config; key } in
+    incr index;
+    c
+  in
+  let groups = ref [] in
+  (* Interleave configurations across invocations (§IV-A d): the outer
+     walk is invocation-major, so consecutive groups belong to different
+     grid rows and system drift spreads evenly over the whole grid. *)
+  for invocation = 0 to invocations - 1 do
+    let seed = seed_of ~base_seed ~invocation in
+    List.iter
+      (fun spec ->
+        let cells =
+          List.concat_map
+            (fun gc ->
+              match gc with
+              | Registry.Epsilon -> [ cell ~invocation ~spec ~seed ~gc ~factor:0.0 ]
+              | _ ->
+                  List.map
+                    (fun factor -> cell ~invocation ~spec ~seed ~gc ~factor)
+                    heap_factors)
+            gcs
+        in
+        groups := { invocation; spec; seed; cells } :: !groups)
+      specs
+  done;
+  { groups = List.rev !groups; n_cells = !index }

@@ -1,0 +1,100 @@
+module Spec = Gcr_workloads.Spec
+module Tape = Gcr_tape.Tape
+
+type t = { dir : string; results : Result_cache.t }
+
+let create ~dir =
+  let results = Result_cache.create ~dir in
+  { dir = Result_cache.dir results; results }
+
+let of_env () =
+  match Result_cache.of_env () with
+  | None -> None
+  | Some results -> Some { dir = Result_cache.dir results; results }
+
+let dir t = t.dir
+
+let results t = t.results
+
+(* --- Results: the existing digest scheme, delegated. --- *)
+
+let find_result t config = Result_cache.find t.results config
+
+let store_result t config measurement = Result_cache.store t.results config measurement
+
+(* --- Tapes. ---
+
+   Addressed by a digest of the *recipe* (the tape version string, the
+   spec digest, the seed, the thread count) — exactly how result entries
+   are addressed by a digest of the run config rendering — so a consumer
+   can look a tape up before anyone has generated it.  The content is the
+   GCRTAPE1 serialisation, which carries its own checksum: a corrupted or
+   truncated artifact fails [Tape.of_string] (or the header cross-check
+   below) and reads as a miss, never as a wrong decision stream. *)
+
+let tape_version = "gcr-tape-v1"
+
+let tape_rendering ~spec_digest ~seed ~threads =
+  Printf.sprintf "%s|spec=%s|seed=%d|threads=%d" tape_version spec_digest seed threads
+
+let tape_path t ~spec_digest ~seed ~threads =
+  let digest =
+    Digest.to_hex (Digest.string (tape_rendering ~spec_digest ~seed ~threads))
+  in
+  Filename.concat t.dir (digest ^ ".tape")
+
+let discard path = if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ())
+
+let find_tape t ~(spec : Spec.t) ~seed =
+  let spec_digest = Spec.digest spec in
+  let threads = spec.Spec.mutator_threads in
+  let path = tape_path t ~spec_digest ~seed ~threads in
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ -> None
+  | exception End_of_file ->
+      discard path;
+      None
+  | data -> (
+      match Tape.of_string data with
+      | Error _ ->
+          (* checksum or structure failure: drop the artifact so the next
+             writer heals it *)
+          discard path;
+          None
+      | Ok tape ->
+          (* the checksum proves integrity; the header cross-check proves
+             the artifact is the tape this address promises (a renamed or
+             hash-colliding file is equally untrusted) *)
+          if
+            String.equal tape.Tape.spec_digest spec_digest
+            && tape.Tape.seed = seed
+            && Array.length tape.Tape.streams = threads
+          then Some tape
+          else begin
+            discard path;
+            None
+          end)
+
+let stamp = Atomic.make 0
+
+let store_tape t (tape : Tape.t) =
+  let path =
+    tape_path t ~spec_digest:tape.Tape.spec_digest ~seed:tape.Tape.seed
+      ~threads:(Array.length tape.Tape.streams)
+  in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d.%d" path (Unix.getpid ())
+      (Domain.self () :> int)
+      (Atomic.fetch_and_add stamp 1)
+  in
+  try
+    let oc = open_out_bin tmp in
+    output_string oc (Tape.to_string tape);
+    close_out oc;
+    Sys.rename tmp path
+  with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())

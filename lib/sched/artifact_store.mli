@@ -1,0 +1,46 @@
+(** Content-addressed artifact store: workload tapes and run results
+    unified under one digest scheme in one directory.
+
+    Every artifact is addressed by a digest of its {e recipe} (for
+    results, the full {!Cache_key} rendering of the run config; for
+    tapes, the spec digest + seed + thread count) and is {e verified on
+    read}: result entries carry the rendering and a payload checksum,
+    tape artifacts are the self-checksummed [GCRTAPE1] bytes plus a
+    header cross-check against the requested recipe.  A corrupted,
+    truncated, or mislabelled artifact therefore reads as a miss — the
+    consumer cleanly re-generates or re-executes — never as a wrong
+    result.  Writes are atomic (tmp + rename), so concurrent workers and
+    even concurrent campaigns can share a store.
+
+    The fabric's worker processes fetch tapes from here instead of
+    receiving multi-megabyte images over the wire, and push results
+    through the same directory the in-process result cache reads. *)
+
+type t
+
+val create : dir:string -> t
+(** Creates [dir] (and parents) if needed; raises [Sys_error] if the path
+    exists and is not a directory. *)
+
+val of_env : unit -> t option
+(** A store rooted at [GCR_CACHE_DIR], when set and usable. *)
+
+val dir : t -> string
+
+val results : t -> Result_cache.t
+(** The result side of the store — the same on-disk layout
+    {!Gcr_sched.Result_cache} has always used, so a store and a plain
+    result cache rooted at one directory interoperate. *)
+
+val find_result :
+  t -> Gcr_runtime.Run.config -> Gcr_runtime.Measurement.t option
+
+val store_result : t -> Gcr_runtime.Run.config -> Gcr_runtime.Measurement.t -> unit
+
+val find_tape : t -> spec:Gcr_workloads.Spec.t -> seed:int -> Gcr_tape.Tape.t option
+(** The tape for [(spec, seed)], if a valid artifact exists.  Invalid
+    artifacts (bad checksum, header mismatch) are deleted and read as
+    [None]. *)
+
+val store_tape : t -> Gcr_tape.Tape.t -> unit
+(** Atomically publish a tape under its recipe address. *)

@@ -1,0 +1,406 @@
+module Wire = Gcr_tape.Wire
+module Spec = Gcr_workloads.Spec
+module Tape_gen = Gcr_workloads.Tape_gen
+module Decision_source = Gcr_workloads.Decision_source
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+
+type group = {
+  spec : Spec.t;
+  seed : int;
+  tapes : bool;
+  cells : (int * Run.config) list;
+}
+
+type stats = {
+  cells : int;
+  cache_hits : int;
+  per_worker : int array;
+  reassigned_cells : int;
+  parent_cells : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Framing: varint length prefix (the tape codec) + 1 tag byte + body.  *)
+(* ------------------------------------------------------------------ *)
+
+let tag_group = 'G'
+
+let tag_quit = 'Q'
+
+let tag_result = 'R'
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (off + n) (len - n)
+  end
+
+let send_frame fd tag body =
+  let b = Buffer.create (String.length body + 16) in
+  Wire.put_varint b (1 + String.length body);
+  Buffer.add_char b tag;
+  Buffer.add_string b body;
+  let s = Buffer.contents b in
+  write_all fd s 0 (String.length s)
+
+(* Blocking frame reader (worker side): returns [None] on a clean EOF at
+   a frame boundary — the parent has gone away. *)
+
+let rec read_byte fd =
+  let b = Bytes.create 1 in
+  match Unix.read fd b 0 1 with
+  | 0 -> None
+  | _ -> Some (Bytes.get_uint8 b 0)
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_byte fd
+
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off >= n then Some (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> None
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_frame_blocking fd =
+  let rec varint shift acc =
+    match read_byte fd with
+    | None -> if shift = 0 then None else failwith "fabric: truncated frame length"
+    | Some b ->
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b land 0x80 = 0 then Some acc else varint (shift + 7) acc
+  in
+  match varint 0 0 with
+  | None -> None
+  | Some len -> (
+      match read_exact fd len with
+      | None -> failwith "fabric: truncated frame body"
+      | Some payload -> Some payload)
+
+(* ------------------------------------------------------------------ *)
+(* Worker process                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic crash injection for the differential suite: worker 0
+   calls [_exit] right after sending its [GCR_FABRIC_CRASH_AFTER]-th
+   result, mid-group, so the parent must reassign the rest. *)
+let crash_after ~id =
+  if id <> 0 then None
+  else
+    match Option.bind (Sys.getenv_opt "GCR_FABRIC_CRASH_AFTER") int_of_string_opt with
+    | Some n when n >= 0 -> Some n
+    | Some _ | None -> None
+
+let group_tape store (g : group) =
+  if not g.tapes then Run.Tape_off
+  else
+    (* Content-addressed fetch; first consumer generates and publishes.
+       One image serves every sibling cell of the group — the batched
+       load the fabric's placement exists to enable. *)
+    let tape =
+      match Artifact_store.find_tape store ~spec:g.spec ~seed:g.seed with
+      | Some tape -> tape
+      | None ->
+          let tape = Tape_gen.generate ~spec:g.spec ~seed:g.seed in
+          Artifact_store.store_tape store tape;
+          tape
+    in
+    Run.Tape_replay (Decision_source.image_of_tape ~spec:g.spec tape)
+
+let execute_group ~store ~cache ~on_result (g : group) =
+  let tape = group_tape store g in
+  List.iter
+    (fun (index, config) ->
+      let config = { config with Run.tape } in
+      let m, hit = Pool.execute_cached ?cache config in
+      on_result index hit m)
+    g.cells
+
+let worker_main ~id ~store ~cache ~req_fd ~resp_fd =
+  let crash_after = crash_after ~id in
+  let sent = ref 0 in
+  let on_result index hit m =
+    send_frame resp_fd tag_result (Marshal.to_string (index, hit, m) []);
+    incr sent;
+    match crash_after with
+    | Some n when !sent >= n -> Unix._exit 97
+    | Some _ | None -> ()
+  in
+  let rec loop () =
+    match read_frame_blocking req_fd with
+    | None -> Unix._exit 0
+    | Some payload when String.length payload = 0 -> Unix._exit 1
+    | Some payload when payload.[0] = tag_quit -> Unix._exit 0
+    | Some payload when payload.[0] = tag_group ->
+        let g : group = Marshal.from_string payload 1 in
+        execute_group ~store ~cache ~on_result g;
+        loop ()
+    | Some _ -> Unix._exit 1
+  in
+  (* Any escape here (a marshalling bug, a closed pipe) must look like a
+     crashed worker, not a wedged one: exit abruptly, without flushing
+     the channel buffers inherited from the parent. *)
+  (try loop () with _ -> Unix._exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* Parent: assignment, reduction, crash reassignment                   *)
+(* ------------------------------------------------------------------ *)
+
+type conn = { mutable rbuf : Bytes.t; mutable rlen : int }
+
+type worker = {
+  id : int;
+  pid : int;
+  req_fd : Unix.file_descr;
+  resp_fd : Unix.file_descr;
+  conn : conn;
+  mutable alive : bool;
+  mutable group : group option;
+  mutable pending : (int * Run.config) list;
+}
+
+(* Extract one complete frame payload from the connection buffer. *)
+let extract_frame conn =
+  let rec header i shift len =
+    if i >= conn.rlen then None
+    else
+      let b = Bytes.get_uint8 conn.rbuf i in
+      let len = len lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 <> 0 then header (i + 1) (shift + 7) len else Some (i + 1, len)
+  in
+  match header 0 0 0 with
+  | None -> None
+  | Some (hdr, len) ->
+      if conn.rlen < hdr + len then None
+      else begin
+        let payload = Bytes.sub_string conn.rbuf hdr len in
+        let rest = conn.rlen - (hdr + len) in
+        Bytes.blit conn.rbuf (hdr + len) conn.rbuf 0 rest;
+        conn.rlen <- rest;
+        Some payload
+      end
+
+let append_conn conn bytes n =
+  if conn.rlen + n > Bytes.length conn.rbuf then begin
+    let grown = Bytes.create (max (2 * Bytes.length conn.rbuf) (conn.rlen + n)) in
+    Bytes.blit conn.rbuf 0 grown 0 conn.rlen;
+    conn.rbuf <- grown
+  end;
+  Bytes.blit bytes 0 conn.rbuf conn.rlen n;
+  conn.rlen <- conn.rlen + n
+
+let spawn_worker ~store ~cache_results ~id ~close_in_child =
+  let req_read, req_write = Unix.pipe ~cloexec:false () in
+  let resp_read, resp_write = Unix.pipe ~cloexec:false () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close req_write;
+      Unix.close resp_read;
+      (* the parent-side ends of earlier siblings, inherited across the
+         fork: close them so sibling EOFs are not kept artificially open *)
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) close_in_child;
+      let cache = if cache_results then Some (Artifact_store.results store) else None in
+      worker_main ~id ~store ~cache ~req_fd:req_read ~resp_fd:resp_write
+  | pid ->
+      Unix.close req_read;
+      Unix.close resp_write;
+      {
+        id;
+        pid;
+        req_fd = req_write;
+        resp_fd = resp_read;
+        conn = { rbuf = Bytes.create 65536; rlen = 0 };
+        alive = true;
+        group = None;
+        pending = [];
+      }
+
+let validate_groups groups =
+  List.iter
+    (fun (g : group) ->
+      List.iter
+        (fun (index, (config : Run.config)) ->
+          if index < 0 then invalid_arg "Fabric.run: negative cell index";
+          if config.Run.make_collector <> None then
+            invalid_arg "Fabric.run: custom collectors cannot cross processes";
+          match config.Run.tape with
+          | Run.Tape_off -> ()
+          | Run.Tape_record _ | Run.Tape_replay _ ->
+              invalid_arg
+                "Fabric.run: cell configs must carry Tape_off (workers attach the \
+                 group tape themselves)")
+        g.cells)
+    groups
+
+let run ~workers ~store ~cache_results ?(log = fun (_ : string) -> ()) ~n_cells groups =
+  if workers < 1 then invalid_arg "Fabric.run: workers must be >= 1";
+  validate_groups groups;
+  let results : Measurement.t option array = Array.make n_cells None in
+  let per_worker = Array.make workers 0 in
+  let hits = ref 0 in
+  let reassigned = ref 0 in
+  let parent_cells = ref 0 in
+  let remaining =
+    ref (List.fold_left (fun acc (g : group) -> acc + List.length g.cells) 0 groups)
+  in
+  if !remaining > n_cells then invalid_arg "Fabric.run: more cells than n_cells";
+  let queue : group Queue.t = Queue.create () in
+  List.iter (fun (g : group) -> if g.cells <> [] then Queue.add g queue) groups;
+  let old_sigpipe =
+    (* a worker that died mid-read must surface as EPIPE, not kill us *)
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
+  in
+  let ws =
+    (* spawn in id order; each child closes the parent-side pipe ends of
+       the workers spawned before it *)
+    let rec spawn_all id acc =
+      if id >= workers then List.rev acc
+      else
+        let close_in_child =
+          List.concat_map (fun w -> [ w.req_fd; w.resp_fd ]) acc
+        in
+        spawn_all (id + 1) (spawn_worker ~store ~cache_results ~id ~close_in_child :: acc)
+    in
+    Array.of_list (spawn_all 0 [])
+  in
+  let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  let worker_died w =
+    if w.alive then begin
+      w.alive <- false;
+      close_quiet w.req_fd;
+      close_quiet w.resp_fd;
+      (match w.group with
+      | None -> ()
+      | Some g ->
+          let lost = List.length w.pending in
+          reassigned := !reassigned + lost;
+          log
+            (Printf.sprintf "worker %d died; reassigning %d cell(s) of %s seed=%d"
+               w.id lost g.spec.Spec.name g.seed);
+          if w.pending <> [] then Queue.add { g with cells = w.pending } queue;
+          w.group <- None;
+          w.pending <- [])
+    end
+  in
+  let assign w g =
+    w.group <- Some g;
+    w.pending <- g.cells;
+    log
+      (Printf.sprintf "worker %d <- %s seed=%d (%d cells)" w.id g.spec.Spec.name g.seed
+         (List.length g.cells));
+    match send_frame w.req_fd tag_group (Marshal.to_string g []) with
+    | () -> ()
+    | exception Unix.Unix_error _ -> worker_died w
+  in
+  let on_result w (index, hit, m) =
+    (match results.(index) with
+    | Some _ -> ()  (* duplicate after reassignment race: first write wins *)
+    | None ->
+        results.(index) <- Some m;
+        per_worker.(w.id) <- per_worker.(w.id) + 1;
+        if hit then incr hits;
+        decr remaining);
+    w.pending <- List.filter (fun (i, _) -> i <> index) w.pending;
+    if w.pending = [] then w.group <- None
+  in
+  let drain_frames w =
+    let continue_ = ref true in
+    while !continue_ do
+      match extract_frame w.conn with
+      | None -> continue_ := false
+      | Some payload ->
+          if String.length payload > 0 && payload.[0] = tag_result then
+            on_result w
+              (Marshal.from_string payload 1 : int * bool * Measurement.t)
+    done
+  in
+  let chunk = Bytes.create 65536 in
+  let finally () =
+    Array.iter
+      (fun w ->
+        if w.alive then begin
+          (try send_frame w.req_fd tag_quit "" with _ -> ());
+          close_quiet w.req_fd;
+          close_quiet w.resp_fd;
+          w.alive <- false
+        end)
+      ws;
+    Array.iter (fun w -> try ignore (Unix.waitpid [] w.pid) with _ -> ()) ws;
+    match old_sigpipe with
+    | Some behaviour -> ( try Sys.set_signal Sys.sigpipe behaviour with _ -> ())
+    | None -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      while !remaining > 0 && Array.exists (fun w -> w.alive) ws do
+        (* hand a group to every idle live worker *)
+        Array.iter
+          (fun w ->
+            if w.alive && w.group = None && not (Queue.is_empty queue) then
+              assign w (Queue.pop queue))
+          ws;
+        let busy =
+          Array.to_list ws |> List.filter (fun w -> w.alive && w.group <> None)
+        in
+        if busy = [] then begin
+          (* live workers but nothing in flight and nothing queued: every
+             remaining cell was lost to a crash race — fall through to the
+             parent-side executor below *)
+          if Queue.is_empty queue then Array.iter worker_died ws
+        end
+        else begin
+          let fds = List.map (fun w -> w.resp_fd) busy in
+          match Unix.select fds [] [] 5.0 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | readable, _, _ ->
+              List.iter
+                (fun fd ->
+                  let w = List.find (fun w -> w.resp_fd == fd) busy in
+                  match Unix.read fd chunk 0 (Bytes.length chunk) with
+                  | 0 -> worker_died w
+                  | n ->
+                      append_conn w.conn chunk n;
+                      drain_frames w
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                  | exception Unix.Unix_error _ -> worker_died w)
+                readable
+        end
+      done;
+      (* Backstop: every worker is gone (or was never alive) but cells
+         remain — execute them in this process so the campaign always
+         completes.  Reassigned-but-unstarted groups are still queued. *)
+      while not (Queue.is_empty queue) do
+        let g = Queue.pop queue in
+        execute_group ~store
+          ~cache:(if cache_results then Some (Artifact_store.results store) else None)
+          ~on_result:(fun index hit m ->
+            match results.(index) with
+            | Some _ -> ()
+            | None ->
+                results.(index) <- Some m;
+                incr parent_cells;
+                if hit then incr hits;
+                decr remaining)
+          g
+      done);
+  let out =
+    Array.map
+      (function
+        | Some m -> m
+        | None -> invalid_arg "Fabric.run: unfilled cell (planner/index mismatch)")
+      results
+  in
+  ( out,
+    {
+      cells = n_cells;
+      cache_hits = !hits;
+      per_worker;
+      reassigned_cells = !reassigned;
+      parent_cells = !parent_cells;
+    } )

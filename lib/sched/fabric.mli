@@ -1,0 +1,63 @@
+(** Multi-process campaign fabric.
+
+    [run] forks [workers] worker processes connected to the parent by a
+    pipe pair each.  Workers claim {e sibling groups} — the cells of one
+    (benchmark spec, seed) pair, which share a workload tape — execute
+    them with the same cache-aware path the in-process pool uses, and
+    stream results back as length-prefixed binary frames (the tape
+    codec's varint length, a tag byte, a [Marshal] body).  The parent
+    reduces results into submission-order slots, so the campaign report
+    is bit-identical to the serial and domain-pool executions at any
+    worker count — [test/test_fabric.ml] enforces exactly that.
+
+    Forked processes sidestep the cross-domain stop-the-world minor
+    collections that throttle the domain pool: each worker owns a whole
+    OCaml runtime, so campaign throughput scales with cores.
+
+    Crash handling: a worker that disappears (EOF or write error on its
+    pipes) has its unfinished cells requeued for the surviving workers;
+    if every worker is gone the parent finishes the queue inline.  The
+    report is unchanged either way.
+
+    Tapes travel through the content-addressed {!Artifact_store}, not
+    over the wire: the first consumer of a (spec, seed) group generates
+    and publishes the tape, later consumers (including other campaigns)
+    fetch it by recipe digest. *)
+
+type group = {
+  spec : Gcr_workloads.Spec.t;
+  seed : int;
+  tapes : bool;  (** attach the group's replay tape to every cell *)
+  cells : (int * Gcr_runtime.Run.config) list;
+      (** (result slot, config); configs must carry [Tape_off] — the
+          worker attaches the group tape itself — and no
+          [make_collector] closure (closures cannot cross processes) *)
+}
+(** One sibling batch: every cell shares (spec, seed), hence one tape. *)
+
+type stats = {
+  cells : int;  (** total result slots *)
+  cache_hits : int;  (** cells replayed from the result store *)
+  per_worker : int array;  (** cells completed by each worker process *)
+  reassigned_cells : int;  (** cells requeued after a worker crash *)
+  parent_cells : int;  (** cells the parent executed as a backstop *)
+}
+
+val run :
+  workers:int ->
+  store:Artifact_store.t ->
+  cache_results:bool ->
+  ?log:(string -> unit) ->
+  n_cells:int ->
+  group list ->
+  Gcr_runtime.Measurement.t array * stats
+(** [run ~workers ~store ~cache_results ~n_cells groups] executes every
+    cell and returns the measurements indexed by cell slot, plus
+    execution statistics.  [n_cells] is the result array length; every
+    slot in \[0, n_cells) must be covered by exactly one cell.
+    [cache_results] controls whether run results are read from / written
+    to [store] (tapes always go through it).  [log] receives progress
+    lines (assignments, crash reassignments).
+
+    Raises [Invalid_argument] on [workers < 1], on cell configs carrying
+    tapes or collector closures, and on slot/index mismatches. *)

@@ -44,21 +44,28 @@ let execute_fresh config =
   !on_execute config;
   try Run.execute config with exn -> failed_of_exn config exn
 
-let execute ?cache config =
+let execute_cached ?cache config =
   match Option.bind cache (fun c -> Result_cache.find c config) with
-  | Some measurement -> measurement
+  | Some measurement -> (measurement, true)
   | None ->
       let measurement = execute_fresh config in
       Option.iter (fun c -> Result_cache.store c config measurement) cache;
-      measurement
+      (measurement, false)
 
-let map ?(jobs = 1) ?cache configs =
+let execute ?cache config = fst (execute_cached ?cache config)
+
+let map ?(jobs = 1) ?cache ?hits configs =
   let queue = Array.of_list configs in
   let n = Array.length queue in
   let results = Array.make n None in
   let workers = min jobs n in
+  let execute_slot config =
+    let m, hit = execute_cached ?cache config in
+    if hit then Option.iter Atomic.incr hits;
+    Some m
+  in
   if workers <= 1 then
-    Array.iteri (fun i config -> results.(i) <- Some (execute ?cache config)) queue
+    Array.iteri (fun i config -> results.(i) <- execute_slot config) queue
   else begin
     (* FIFO via an atomic cursor; each slot of [results] is written by
        exactly one domain, and the joins below publish every write. *)
@@ -67,7 +74,7 @@ let map ?(jobs = 1) ?cache configs =
       let rec drain () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          results.(i) <- Some (execute ?cache queue.(i));
+          results.(i) <- execute_slot queue.(i);
           drain ()
         end
       in

@@ -27,12 +27,22 @@ val execute :
     measurement; miss → [Run.execute] (exceptions become [Failed]) and
     the result is stored for next time. *)
 
+val execute_cached :
+  ?cache:Result_cache.t ->
+  Gcr_runtime.Run.config ->
+  Gcr_runtime.Measurement.t * bool
+(** [execute] plus whether the measurement was replayed from the cache —
+    the figure the campaign summary's hit/miss accounting is built on. *)
+
 val map :
   ?jobs:int ->
   ?cache:Result_cache.t ->
+  ?hits:int Atomic.t ->
   Gcr_runtime.Run.config list ->
   Gcr_runtime.Measurement.t list
 (** [map ~jobs configs] executes every config and returns measurements in
     submission order.  [jobs <= 1] (the default) runs inline on the
     calling domain — the serial baseline the differential tests compare
-    against; higher values spawn [min jobs (length configs)] domains. *)
+    against; higher values spawn [min jobs (length configs)] domains.
+    [hits], when given, is incremented once per cache hit (worker domains
+    increment it atomically). *)

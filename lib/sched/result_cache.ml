@@ -3,7 +3,13 @@ module Run = Gcr_runtime.Run
 
 type t = { dir : string }
 
-let magic = "GCR-RESULT-CACHE-1"
+(* v3: magic, then a digest of every byte that follows, then the
+   marshalled (rendering, measurement).  The digest is checked before
+   [Marshal.from_string] ever sees the bytes — Marshal on corrupted input
+   is not merely exception-unsafe, it can segfault — so any corruption
+   anywhere in the entry reads as a miss and re-executes.  v1/v2 entries
+   fail the magic check and simply miss. *)
+let magic = "GCR-RESULT-CACHE-3\n"
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -36,12 +42,26 @@ let read_entry path : (string * Measurement.t) option =
   | exception Sys_error _ -> None
   | ic ->
       let entry =
-        (* [input_value] on a truncated or garbage file raises; treat any
-           failure as "not cached". *)
-        match (input_value ic : string * string * Measurement.t) with
+        match
+          let len = in_channel_length ic in
+          really_input_string ic len
+        with
         | exception _ -> None
-        | m, rendering, measurement when m = magic -> Some (rendering, measurement)
-        | _ -> None
+        | raw ->
+            let m = String.length magic and d = 16 (* MD5 bytes *) in
+            if
+              String.length raw >= m + d
+              && String.equal (String.sub raw 0 m) magic
+              && String.equal (String.sub raw m d)
+                   (Digest.substring raw (m + d) (String.length raw - m - d))
+            then
+              (* the digest vouches for every byte Marshal will touch *)
+              match
+                (Marshal.from_string raw (m + d) : string * Measurement.t)
+              with
+              | exception _ -> None
+              | rendering, measurement -> Some (rendering, measurement)
+            else None
       in
       close_in_noerr ic;
       entry
@@ -70,7 +90,10 @@ let store t (config : Run.config) measurement =
       in
       try
         let oc = open_out_bin tmp in
-        output_value oc (magic, rendering, measurement);
+        let body = Marshal.to_string ((rendering, measurement) : string * Measurement.t) [] in
+        output_string oc magic;
+        output_string oc (Digest.string body);
+        output_string oc body;
         close_out oc;
         Sys.rename tmp final
       with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()))

@@ -10,31 +10,18 @@ type t = {
 
 let magic = "GCRTAPE1"
 
-(* --- FNV-1a 64-bit: both the on-disk checksum and the cache digest. --- *)
+(* FNV-1a 64-bit (shared with the fabric wire protocol): both the
+   on-disk checksum and the cache digest. *)
 
-let fnv_offset = 0xcbf29ce484222325L
+let fnv_offset = Wire.fnv_offset
 
-let fnv_prime = 0x100000001b3L
+let fnv_substring = Wire.fnv_substring
 
-let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+let fnv_string = Wire.fnv_string
 
-let fnv_substring h s pos len =
-  let h = ref h in
-  for i = pos to pos + len - 1 do
-    h := fnv_byte !h (Char.code (String.unsafe_get s i))
-  done;
-  !h
+let fnv_int64 = Wire.fnv_int64
 
-let fnv_string h s = fnv_substring h s 0 (String.length s)
-
-let fnv_int64 h x =
-  let h = ref h in
-  for i = 0 to 7 do
-    h := fnv_byte !h (Int64.to_int (Int64.shift_right_logical x (8 * i)))
-  done;
-  !h
-
-let fnv_int h x = fnv_int64 h (Int64.of_int x)
+let fnv_int = Wire.fnv_int
 
 let digest t =
   let h = fnv_string fnv_offset magic in
@@ -84,24 +71,13 @@ let info t =
      varint raw length, raw words as fixed 8B LE
    8B LE FNV-1a checksum of every preceding byte *)
 
-let put_varint b n =
-  let n = ref n in
-  while !n >= 0x80 do
-    Buffer.add_char b (Char.chr (0x80 lor (!n land 0x7f)));
-    n := !n lsr 7
-  done;
-  Buffer.add_char b (Char.chr !n)
+let put_varint = Wire.put_varint
 
-let put_zigzag b n = put_varint b (if n >= 0 then n lsl 1 else (lnot n lsl 1) lor 1)
+let put_zigzag = Wire.put_zigzag
 
-let put_int64_le b x =
-  for i = 0 to 7 do
-    Buffer.add_char b (Char.chr (Int64.to_int (Int64.shift_right_logical x (8 * i)) land 0xff))
-  done
+let put_int64_le = Wire.put_int64_le
 
-let put_string b s =
-  put_varint b (String.length s);
-  Buffer.add_string b s
+let put_string = Wire.put_string
 
 let to_string t =
   let b = Buffer.create (65536 + (8 * draws t)) in
@@ -128,53 +104,18 @@ let to_string t =
   put_int64_le b (fnv_string fnv_offset body);
   Buffer.contents b
 
-(* --- Parsing.  Every read is bounds-checked; [Corrupt] never escapes. --- *)
+(* --- Parsing.  Every read is bounds-checked (via the shared cursor);
+   [Corrupt] never escapes. --- *)
 
-exception Corrupt of string
+let corrupt = Wire.corrupt
 
-let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+let get_varint = Wire.get_varint
 
-type cursor = { data : string; mutable pos : int; limit : int }
+let get_zigzag = Wire.get_zigzag
 
-let need c n what = if c.pos + n > c.limit then corrupt "truncated %s" what
+let get_int64_le = Wire.get_int64_le
 
-let get_byte c what =
-  need c 1 what;
-  let b = Char.code (String.unsafe_get c.data c.pos) in
-  c.pos <- c.pos + 1;
-  b
-
-let get_varint c what =
-  let rec loop shift acc =
-    if shift > 62 then corrupt "varint overflow in %s" what;
-    let b = get_byte c what in
-    let acc = acc lor ((b land 0x7f) lsl shift) in
-    if b land 0x80 = 0 then acc else loop (shift + 7) acc
-  in
-  loop 0 0
-
-let get_zigzag c what =
-  let n = get_varint c what in
-  if n land 1 = 0 then n lsr 1 else lnot (n lsr 1)
-
-let get_int64_le c what =
-  need c 8 what;
-  let v = ref 0L in
-  for i = 7 downto 0 do
-    v :=
-      Int64.logor
-        (Int64.shift_left !v 8)
-        (Int64.of_int (Char.code (String.unsafe_get c.data (c.pos + i))))
-  done;
-  c.pos <- c.pos + 8;
-  !v
-
-let get_string c what =
-  let len = get_varint c what in
-  need c len what;
-  let s = String.sub c.data c.pos len in
-  c.pos <- c.pos + len;
-  s
+let get_string = Wire.get_string
 
 let max_threads = 65536
 
@@ -185,13 +126,13 @@ let of_string data =
     if String.sub data 0 (String.length magic) <> magic then
       corrupt "bad magic (not a GCRTAPE1 file)";
     let stored =
-      let c = { data; pos = total - 8; limit = total } in
+      let c = Wire.cursor ~pos:(total - 8) data in
       get_int64_le c "checksum"
     in
     let computed = fnv_substring fnv_offset data 0 (total - 8) in
     if stored <> computed then
       corrupt "checksum mismatch (stored %016Lx, computed %016Lx)" stored computed;
-    let c = { data; pos = String.length magic; limit = total - 8 } in
+    let c = Wire.cursor ~pos:(String.length magic) ~limit:(total - 8) data in
     let benchmark = get_string c "benchmark" in
     let spec_digest = get_string c "spec digest" in
     let seed = get_zigzag c "seed" in
@@ -225,7 +166,7 @@ let of_string data =
     in
     if c.pos <> c.limit then corrupt "%d trailing bytes after last stream" (c.limit - c.pos);
     Ok { benchmark; spec_digest; seed; streams; arrivals }
-  with Corrupt msg -> Error msg
+  with Wire.Corrupt msg -> Error msg
 
 let write_file t ~path =
   let tmp = path ^ ".tmp" in

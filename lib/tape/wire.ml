@@ -1,0 +1,106 @@
+(* The binary codec shared by the tape format and the campaign fabric's
+   worker protocol: LEB128 varints (62-bit, OCaml int range), zigzag for
+   signed values, fixed 8-byte little-endian words, and length-prefixed
+   strings.  Writers append to a [Buffer]; readers go through a
+   bounds-checked cursor that raises [Corrupt] (never an out-of-bounds
+   access) on truncated or forged input. *)
+
+(* --- FNV-1a 64-bit: checksums for tapes and fabric frames. --- *)
+
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv_substring h s pos len =
+  let h = ref h in
+  for i = pos to pos + len - 1 do
+    h := fnv_byte !h (Char.code (String.unsafe_get s i))
+  done;
+  !h
+
+let fnv_string h s = fnv_substring h s 0 (String.length s)
+
+let fnv_int64 h x =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := fnv_byte !h (Int64.to_int (Int64.shift_right_logical x (8 * i)))
+  done;
+  !h
+
+let fnv_int h x = fnv_int64 h (Int64.of_int x)
+
+(* --- Writers. --- *)
+
+let put_varint b n =
+  let n = ref n in
+  while !n >= 0x80 do
+    Buffer.add_char b (Char.chr (0x80 lor (!n land 0x7f)));
+    n := !n lsr 7
+  done;
+  Buffer.add_char b (Char.chr !n)
+
+let put_zigzag b n = put_varint b (if n >= 0 then n lsl 1 else (lnot n lsl 1) lor 1)
+
+let put_int64_le b x =
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.shift_right_logical x (8 * i)) land 0xff))
+  done
+
+let put_string b s =
+  put_varint b (String.length s);
+  Buffer.add_string b s
+
+(* --- Bounds-checked cursor readers. --- *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+type cursor = { data : string; mutable pos : int; limit : int }
+
+let cursor ?(pos = 0) ?limit data =
+  let limit = match limit with Some l -> l | None -> String.length data in
+  { data; pos; limit }
+
+let need c n what = if c.pos + n > c.limit then corrupt "truncated %s" what
+
+let get_byte c what =
+  need c 1 what;
+  let b = Char.code (String.unsafe_get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  b
+
+let get_varint c what =
+  let rec loop shift acc =
+    if shift > 62 then corrupt "varint overflow in %s" what;
+    let b = get_byte c what in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else loop (shift + 7) acc
+  in
+  loop 0 0
+
+let get_zigzag c what =
+  let n = get_varint c what in
+  if n land 1 = 0 then n lsr 1 else lnot (n lsr 1)
+
+let get_int64_le c what =
+  need c 8 what;
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v :=
+      Int64.logor
+        (Int64.shift_left !v 8)
+        (Int64.of_int (Char.code (String.unsafe_get c.data (c.pos + i))))
+  done;
+  c.pos <- c.pos + 8;
+  !v
+
+let get_string c what =
+  let len = get_varint c what in
+  need c len what;
+  let s = String.sub c.data c.pos len in
+  c.pos <- c.pos + len;
+  s

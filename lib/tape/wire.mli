@@ -1,0 +1,63 @@
+(** The binary codec shared by the [GCRTAPE1] on-disk format and the
+    campaign fabric's length-prefixed worker frames: LEB128 varints
+    (62-bit, the OCaml int range), zigzag signed values, fixed 8-byte
+    little-endian words, length-prefixed strings, and the FNV-1a-64
+    checksum both layers seal their bytes with.
+
+    Writers append to a [Buffer].  Readers go through a bounds-checked
+    {!cursor}: malformed input raises {!Corrupt}, never an out-of-bounds
+    access or an attacker-sized allocation. *)
+
+(** {1 FNV-1a 64-bit} *)
+
+val fnv_offset : int64
+(** The standard offset basis — the seed of every checksum. *)
+
+val fnv_byte : int64 -> int -> int64
+
+val fnv_substring : int64 -> string -> int -> int -> int64
+
+val fnv_string : int64 -> string -> int64
+
+val fnv_int64 : int64 -> int64 -> int64
+
+val fnv_int : int64 -> int -> int64
+
+(** {1 Writers} *)
+
+val put_varint : Buffer.t -> int -> unit
+(** Nonnegative values only (negative ints would emit 10 bytes and then
+    fail the reader's 62-bit overflow check). *)
+
+val put_zigzag : Buffer.t -> int -> unit
+
+val put_int64_le : Buffer.t -> int64 -> unit
+
+val put_string : Buffer.t -> string -> unit
+
+(** {1 Bounds-checked readers} *)
+
+exception Corrupt of string
+
+val corrupt : ('a, unit, string, 'b) format4 -> 'a
+(** [corrupt fmt ...] raises {!Corrupt} with the formatted message. *)
+
+type cursor = { data : string; mutable pos : int; limit : int }
+
+val cursor : ?pos:int -> ?limit:int -> string -> cursor
+(** A cursor over [data.[pos..limit)]; [limit] defaults to the string
+    length. *)
+
+val need : cursor -> int -> string -> unit
+(** [need c n what] raises [Corrupt ("truncated " ^ what)] unless [n]
+    bytes remain. *)
+
+val get_byte : cursor -> string -> int
+
+val get_varint : cursor -> string -> int
+
+val get_zigzag : cursor -> string -> int
+
+val get_int64_le : cursor -> string -> int64
+
+val get_string : cursor -> string -> string

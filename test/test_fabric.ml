@@ -1,0 +1,240 @@
+(* The differential suite behind the campaign fabric's central promise:
+   a multi-process campaign is bit-identical to the in-process one — at
+   any worker count, through worker crashes, and through artifact-store
+   corruption (which must read as a miss and re-execute, never as a
+   wrong result). *)
+
+module Registry = Gcr_gcs.Registry
+module Suite = Gcr_workloads.Suite
+module Harness = Gcr_core.Harness
+module Metrics = Gcr_core.Metrics
+
+let check = Alcotest.check
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gcr-fabric-test-%d-%d" (Unix.getpid ()) !counter)
+    in
+    (* stale leftovers from a killed run would fake warm hits *)
+    if Sys.file_exists dir then
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    dir
+
+(* OCaml 5 forbids [Unix.fork] for the whole life of a process once any
+   domain has ever been spawned, and [Pool.map ~jobs:n>1] spawns
+   domains.  So this suite (a) uses the domain pool's serial inline path
+   ([jobs = 1]) as the reference for the fork-based tests, (b) runs the
+   [jobs = 2] domain-pool comparison as its *last* test, and (c) is
+   registered before any other domain-spawning suite in [test_main]. *)
+
+let campaign_config ~workers ~jobs =
+  {
+    (Harness.default_config ()) with
+    Harness.invocations = 2;
+    scale = 0.1;
+    heap_factors = [ 1.9; 3.0 ];
+    log_progress = false;
+    jobs;
+    workers;
+    cache_dir = None;
+  }
+
+let benchmarks = [ Suite.find_exn "h2" ]
+
+let run_with ?(jobs = 1) ~workers () =
+  Harness.run_campaign (campaign_config ~workers ~jobs) ~benchmarks
+    ~gcs:Registry.production
+
+let serial = lazy (run_with ~workers:None ())
+
+let fabric1 = lazy (run_with ~workers:(Some 1) ())
+
+let fabric4 = lazy (run_with ~workers:(Some 4) ())
+
+let all_gcs = Registry.Epsilon :: Registry.production
+
+let factors = [ 1.9; 3.0 ]
+
+(* Measurements are plain data, so structural equality is bit-equality
+   of everything the reports are derived from. *)
+let check_campaigns_identical ~what reference candidate =
+  check Alcotest.bool
+    (Printf.sprintf "%s: all measurements bit-identical" what)
+    true
+    (Harness.all_measurements reference = Harness.all_measurements candidate);
+  check Alcotest.int
+    (Printf.sprintf "%s: minheap words equal" what)
+    (Harness.minheap_words reference ~bench:"h2")
+    (Harness.minheap_words candidate ~bench:"h2");
+  List.iter
+    (fun gc ->
+      List.iter
+        (fun factor ->
+          check Alcotest.bool
+            (Printf.sprintf "%s: runs identical %s@%g" what (Registry.name gc) factor)
+            true
+            (Harness.runs reference ~bench:"h2" ~gc ~factor
+            = Harness.runs candidate ~bench:"h2" ~gc ~factor))
+        factors)
+    all_gcs;
+  List.iter
+    (fun metric ->
+      List.iter
+        (fun gc ->
+          List.iter
+            (fun factor ->
+              check Alcotest.bool
+                (Printf.sprintf "%s: lbo equal %s@%g" what (Registry.name gc) factor)
+                true
+                (Harness.lbo_value reference metric ~bench:"h2" ~gc ~factor
+                = Harness.lbo_value candidate metric ~bench:"h2" ~gc ~factor))
+            factors)
+        Registry.production)
+    [ Metrics.Wall_time; Metrics.Cpu_cycles ]
+
+let test_fabric_one_worker_identical () =
+  check_campaigns_identical ~what:"serial vs workers=1" (Lazy.force serial)
+    (Lazy.force fabric1)
+
+let test_fabric_four_workers_identical () =
+  check_campaigns_identical ~what:"serial vs workers=4" (Lazy.force serial)
+    (Lazy.force fabric4);
+  check_campaigns_identical ~what:"workers=1 vs workers=4" (Lazy.force fabric1)
+    (Lazy.force fabric4)
+
+let test_summary_accounting () =
+  let s = Harness.summary (Lazy.force fabric4) in
+  (* 2 invocations × (Epsilon + 5 production collectors × 2 factors) *)
+  check Alcotest.int "cell count" 22 s.Harness.cells;
+  check Alcotest.int "no cache in play" 0 s.Harness.cache_hits;
+  check Alcotest.int "worker processes" 4 s.Harness.worker_processes;
+  check Alcotest.int "every cell accounted to a worker or the parent"
+    s.Harness.cells
+    (Array.fold_left ( + ) 0 s.Harness.per_worker + s.Harness.parent_cells);
+  check Alcotest.bool "campaign took measurable time" true (s.Harness.elapsed_s > 0.0);
+  let p = Harness.summary (Lazy.force serial) in
+  check Alcotest.int "pool reports no worker processes" 0 p.Harness.worker_processes
+
+(* A worker that dies mid-group must have its unfinished cells reassigned
+   — and the recorded campaign must not show a trace of the crash. *)
+let test_worker_crash_reassigns () =
+  Unix.putenv "GCR_FABRIC_CRASH_AFTER" "2";
+  let crashed =
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "GCR_FABRIC_CRASH_AFTER" "")
+      (fun () -> run_with ~workers:(Some 2) ())
+  in
+  let s = Harness.summary crashed in
+  check Alcotest.bool "cells were reassigned" true (s.Harness.reassigned_cells > 0);
+  check Alcotest.int "every cell still accounted" s.Harness.cells
+    (Array.fold_left ( + ) 0 s.Harness.per_worker + s.Harness.parent_cells);
+  check_campaigns_identical ~what:"serial vs crashed fabric" (Lazy.force serial) crashed
+
+(* --- Artifact-store corruption: flip one byte, observe a clean miss. --- *)
+
+let tiny_campaign ~workers ~cache_dir =
+  let config =
+    {
+      (Harness.default_config ()) with
+      Harness.invocations = 1;
+      scale = 0.1;
+      heap_factors = [ 1.9 ];
+      log_progress = false;
+      jobs = 1;
+      workers;
+      cache_dir;
+    }
+  in
+  Harness.run_campaign config
+    ~benchmarks:[ Suite.find_exn "jme" ]
+    ~gcs:[ Registry.Serial; Registry.G1 ]
+
+let artifacts dir ~suffix =
+  Array.to_list (Sys.readdir dir)
+  |> List.filter (fun f -> Filename.check_suffix f suffix)
+  |> List.sort compare
+
+(* Flip one byte mid-file (the marshalled payload) and one early byte
+   (the entry's structural header) — the latter once segfaulted the
+   process, because Marshal on corrupted input is not exception-safe;
+   the store must reject the bytes before Marshal ever sees them. *)
+let flip_byte path =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string data in
+  let flip pos = Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x5a)) in
+  flip (Bytes.length b / 2);
+  flip (min 20 (Bytes.length b - 1));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let test_result_corruption_reexecutes () =
+  let dir = fresh_dir () in
+  let cold = tiny_campaign ~workers:(Some 1) ~cache_dir:(Some dir) in
+  check Alcotest.int "cold campaign misses everything" 0
+    (Harness.summary cold).Harness.cache_hits;
+  let warm = tiny_campaign ~workers:(Some 1) ~cache_dir:(Some dir) in
+  let cells = (Harness.summary warm).Harness.cells in
+  check Alcotest.int "warm campaign hits everything" cells
+    (Harness.summary warm).Harness.cache_hits;
+  (* flip one byte of one result entry: the sealed payload digest no
+     longer matches, so that cell must re-execute — and produce the
+     identical measurement *)
+  (match artifacts dir ~suffix:".run" with
+  | entry :: _ -> flip_byte (Filename.concat dir entry)
+  | [] -> Alcotest.fail "expected result artifacts in the store");
+  let healed = tiny_campaign ~workers:(Some 1) ~cache_dir:(Some dir) in
+  check Alcotest.int "corrupted entry re-executed, the rest hit" (cells - 1)
+    (Harness.summary healed).Harness.cache_hits;
+  check Alcotest.bool "re-execution is bit-identical" true
+    (Harness.all_measurements warm = Harness.all_measurements healed);
+  let again = tiny_campaign ~workers:(Some 1) ~cache_dir:(Some dir) in
+  check Alcotest.int "the re-execution healed the store" cells
+    (Harness.summary again).Harness.cache_hits
+
+let test_tape_corruption_regenerates () =
+  let dir = fresh_dir () in
+  let first = tiny_campaign ~workers:(Some 2) ~cache_dir:(Some dir) in
+  let tapes = artifacts dir ~suffix:".tape" in
+  check Alcotest.bool "campaign published tape artifacts" true (tapes <> []);
+  List.iter (fun t -> flip_byte (Filename.concat dir t)) tapes;
+  (* every tape now fails its checksum: workers must regenerate them and
+     still replay every result from the (intact) result cache *)
+  let after = tiny_campaign ~workers:(Some 2) ~cache_dir:(Some dir) in
+  check Alcotest.bool "corrupt tapes do not change the campaign" true
+    (Harness.all_measurements first = Harness.all_measurements after);
+  check Alcotest.int "results still hit" (Harness.summary after).Harness.cells
+    (Harness.summary after).Harness.cache_hits;
+  (* the regenerated artifacts are valid again *)
+  List.iter
+    (fun t ->
+      let path = Filename.concat dir t in
+      check Alcotest.bool (Printf.sprintf "%s healed" t) true (Sys.file_exists path))
+    tapes
+
+(* Last on purpose: spawning domains forbids every later fork (above). *)
+let test_domain_pool_identical () =
+  let pool = run_with ~workers:None ~jobs:2 () in
+  check_campaigns_identical ~what:"serial vs domain pool" (Lazy.force serial) pool;
+  check_campaigns_identical ~what:"domain pool vs workers=4" pool (Lazy.force fabric4)
+
+let suite =
+  [
+    Alcotest.test_case "workers=1 identical to serial" `Quick
+      test_fabric_one_worker_identical;
+    Alcotest.test_case "workers=4 identical to serial and workers=1" `Quick
+      test_fabric_four_workers_identical;
+    Alcotest.test_case "summary accounting" `Quick test_summary_accounting;
+    Alcotest.test_case "worker crash reassigns cells" `Quick test_worker_crash_reassigns;
+    Alcotest.test_case "result corruption re-executes" `Quick
+      test_result_corruption_reexecutes;
+    Alcotest.test_case "tape corruption regenerates" `Quick test_tape_corruption_regenerates;
+    Alcotest.test_case "domain pool identical to serial and fabric" `Quick
+      test_domain_pool_identical;
+  ]

@@ -31,6 +31,10 @@ let () =
       ("tape", Test_tape.suite);
       ("obs", Test_obs.suite);
       ("run-props", Test_run_props.suite);
+      (* fabric first among the scheduler suites: it forks worker
+         processes, which OCaml forbids once any domain has ever been
+         spawned — and sched / result-cache campaigns spawn domains *)
+      ("fabric", Test_fabric.suite);
       ("sched", Test_sched.suite);
       ("result-cache", Test_result_cache.suite);
       ("metrics", Test_metrics.suite);
