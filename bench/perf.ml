@@ -486,6 +486,31 @@ let bench_tape_decisions ~passes ~reps =
   ignore (Sys.opaque_identity !sink);
   float_of_int !total /. dt
 
+(* Per-cell overhead of the warm path: the same small cell executed
+   back-to-back N times, once through one shared Run.state (engine/heap
+   reset in place) and once building everything fresh — µs/cell each
+   way.  The spread is the setup cost the warm campaign path amortises;
+   both ride along untracked (the tracked campaign kernels below gate
+   the end-to-end effect). *)
+let bench_warm_overhead ~cells ~reps =
+  let spec = Spec.scale (Suite.find_exn "lusearch") 0.02 in
+  let config = Run.default_config ~spec ~gc:Registry.G1 ~heap_words:36_864 ~seed:42 in
+  let warm () =
+    let state = Run.new_state () in
+    for _ = 1 to cells do
+      ignore (Run.execute ~state config)
+    done
+  in
+  let fresh () =
+    for _ = 1 to cells do
+      ignore (Run.execute config)
+    done
+  in
+  let dw = best_of reps warm in
+  let df = best_of reps fresh in
+  let per d = d *. 1e6 /. float_of_int cells in
+  (per dw, per df)
+
 (* Campaign throughput: one fixed grid (lusearch, the production
    collectors, several heap factors and invocations) executed through the
    multi-process fabric and through the in-process domain pool, in
@@ -551,9 +576,19 @@ let run_campaign_kernels () =
          }
        scaled);
   (* fabric first: OCaml forbids fork for the rest of the process once
-     any domain has ever been spawned, and the jobs=4 pool spawns them *)
+     any domain has ever been spawned, and the jobs=4 pool spawns them.
+     The cold (GCR_WARM=0) variant must also run before the pool kernels
+     for the same reason. *)
   let fabric = bench_campaign ~smoke ~workers:(Some 4) ~jobs:1 in
   record "campaign/cells_per_sec" fabric "cells/s" Higher_is_better;
+  record "campaign/warm_cells_per_sec" fabric "cells/s" Higher_is_better;
+  Unix.putenv "GCR_WARM" "0";
+  let fabric_cold = bench_campaign ~smoke ~workers:(Some 4) ~jobs:1 in
+  Unix.putenv "GCR_WARM" "1";
+  record ~tracked:false "campaign/cold_cells_per_sec" fabric_cold "cells/s"
+    Higher_is_better;
+  record ~tracked:false "campaign/warm_speedup_vs_cold" (fabric /. fabric_cold) "x"
+    Higher_is_better;
   let pool_serial = bench_campaign ~smoke ~workers:None ~jobs:1 in
   record ~tracked:false "campaign/pool_j1_cells_per_sec" pool_serial "cells/s"
     Higher_is_better;
@@ -586,6 +621,13 @@ let run_wall_clock () =
     bench_tape_decisions ~passes:(if options.smoke then 4 else 16) ~reps
   in
   record "tape/decisions_per_sec" decisions "decisions/s" Higher_is_better;
+  let warm_us, fresh_us =
+    bench_warm_overhead
+      ~cells:(if options.smoke then 20 else 60)
+      ~reps:(if options.smoke then 2 else 3)
+  in
+  record ~tracked:false "run/warm_cell_us" warm_us "us/cell" Lower_is_better;
+  record ~tracked:false "run/fresh_cell_us" fresh_us "us/cell" Lower_is_better;
   run_campaign_kernels ()
 
 (* ------------------------------------------------------------------ *)

@@ -419,14 +419,46 @@ let artefact_cmd =
       $ seed_arg $ factors_arg $ quiet_arg $ jobs_arg $ workers_arg $ cache_dir_arg
       $ no_tapes_arg)
 
+(* Per-phase breakdown of where the campaign's wall time went.  Wall
+   times partition [elapsed_s]; the self-times under "execute" are summed
+   across pool domains and fabric workers, so under parallel execution
+   they can exceed the execute wall time. *)
+let print_profile (s : Harness.exec_summary) =
+  let pct part = if s.Harness.elapsed_s > 0.0 then 100.0 *. part /. s.Harness.elapsed_s else 0.0 in
+  Printf.printf "\n== campaign profile ==\n";
+  Printf.printf "total       %8.2fs\n" s.Harness.elapsed_s;
+  Printf.printf "  plan      %8.2fs  %5.1f%%  (minheap probes + grid planning)\n"
+    s.Harness.plan_s (pct s.Harness.plan_s);
+  Printf.printf "  execute   %8.2fs  %5.1f%%  (%.1f cells/s)\n" s.Harness.execute_s
+    (pct s.Harness.execute_s) s.Harness.cells_per_sec;
+  Printf.printf "  reduce    %8.2fs  %5.1f%%\n" s.Harness.reduce_s (pct s.Harness.reduce_s);
+  Printf.printf "execute self-time (summed across workers):\n";
+  Printf.printf "  setup     %8.2fs  (engine/heap construction or warm reset)\n"
+    s.Harness.setup_s;
+  Printf.printf "  tape      %8.2fs  (generate/fetch/decode)\n" s.Harness.tape_s;
+  Printf.printf "  simulate  %8.2fs\n" s.Harness.simulate_s;
+  let other =
+    s.Harness.execute_s -. s.Harness.setup_s -. s.Harness.tape_s -. s.Harness.simulate_s
+  in
+  Printf.printf "  other     %8.2fs  (scheduling, cache, marshalling%s)\n" other
+    (if s.Harness.worker_processes > 0 then "; negative = parallel overlap" else "")
+
+let profile_arg =
+  let doc =
+    "Print a per-phase wall-time breakdown (plan / tape / execute / reduce, plus \
+     setup/simulate self-time) after the campaign summary."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let campaign_cmd =
   let run benchmarks gcs invocations scale seed factors quiet jobs workers cache_dir
-      no_tapes =
+      no_tapes profile =
     let campaign =
       build_campaign benchmarks gcs invocations scale seed factors quiet jobs workers
         cache_dir no_tapes
     in
     print_artefact campaign "all";
+    if profile then print_profile (Harness.summary campaign);
     exit_on_failures (Harness.all_measurements campaign)
   in
   Cmd.v
@@ -434,7 +466,8 @@ let campaign_cmd =
        ~doc:"Run the full grid and print every table and figure of the paper")
     Term.(
       const run $ benchmarks_arg $ gcs_arg $ invocations_arg $ scale_arg $ seed_arg
-      $ factors_arg $ quiet_arg $ jobs_arg $ workers_arg $ cache_dir_arg $ no_tapes_arg)
+      $ factors_arg $ quiet_arg $ jobs_arg $ workers_arg $ cache_dir_arg $ no_tapes_arg
+      $ profile_arg)
 
 (* ---------- ablations ---------- *)
 

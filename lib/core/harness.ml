@@ -82,6 +82,12 @@ type exec_summary = {
   reassigned_cells : int;
   parent_cells : int;
   elapsed_s : float;
+  plan_s : float;
+  execute_s : float;
+  reduce_s : float;
+  setup_s : float;
+  tape_s : float;
+  simulate_s : float;
   cells_per_sec : float;
 }
 
@@ -152,10 +158,12 @@ let execute_pool config plan results =
       let configs =
         if not config.tapes then configs
         else begin
+          let tape_started = Unix.gettimeofday () in
           let tape =
             Run.Tape_replay
               (Gcr_workloads.Tape_gen.image ~spec:g.Planner.spec ~seed:g.Planner.seed)
           in
+          Gcr_runtime.Profile.add_tape_s (Unix.gettimeofday () -. tape_started);
           List.map (fun rc -> { rc with Run.tape }) configs
         end
       in
@@ -164,7 +172,9 @@ let execute_pool config plan results =
         (fun (c : Planner.cell) m -> results.(c.Planner.index) <- Some m)
         g.Planner.cells measurements)
     (Planner.groups plan);
-  (Atomic.get hit_counter, 0, [||], 0, 0)
+  (* the pool runs in this process, so its setup/tape/simulate self-time
+     is already on the local [Profile] counters *)
+  (Atomic.get hit_counter, 0, [||], 0, 0, Gcr_runtime.Profile.zero)
 
 let rec make_temp_store_dir n =
   let dir =
@@ -228,7 +238,8 @@ let execute_fabric config plan results ~workers =
     workers,
     stats.Fabric.per_worker,
     stats.Fabric.reassigned_cells,
-    stats.Fabric.parent_cells )
+    stats.Fabric.parent_cells,
+    stats.Fabric.worker_profile )
 
 let run_campaign config ~benchmarks ~gcs =
   let started = Unix.gettimeofday () in
@@ -264,11 +275,24 @@ let run_campaign config ~benchmarks ~gcs =
   in
   let n_cells = Planner.n_cells plan in
   let results : Measurement.t option array = Array.make n_cells None in
-  let cache_hits, worker_processes, per_worker, reassigned_cells, parent_cells =
+  (* Phase boundaries: wall-clock stamps around execution, plus local
+     {!Gcr_runtime.Profile} snapshots so setup/tape/simulate self-time is
+     attributed to the execute window only (the minheap probes above also
+     tick those counters, but inside [plan_s]). *)
+  let plan_done = Unix.gettimeofday () in
+  let prof_plan = Gcr_runtime.Profile.snapshot () in
+  let ( cache_hits,
+        worker_processes,
+        per_worker,
+        reassigned_cells,
+        parent_cells,
+        worker_profile ) =
     match config.workers with
     | None -> execute_pool { config with machine } plan results
     | Some workers -> execute_fabric { config with machine } plan results ~workers
   in
+  let execute_done = Unix.gettimeofday () in
+  let prof_exec = Gcr_runtime.Profile.snapshot () in
   (* Reduce in submission order: the recorded campaign is a pure function
      of the plan, identical whatever executor (or parallelism) ran it. *)
   let cells = Hashtbl.create 512 in
@@ -290,7 +314,13 @@ let run_campaign config ~benchmarks ~gcs =
       | Some m -> record ~bench:c.Planner.bench ~gc:c.Planner.gc ~factor:c.Planner.factor m
       | None -> invalid_arg "Harness: executor left a cell unfilled")
     (Planner.cells plan);
-  let elapsed_s = Unix.gettimeofday () -. started in
+  let finished = Unix.gettimeofday () in
+  let elapsed_s = finished -. started in
+  let plan_s = plan_done -. started in
+  let execute_s = execute_done -. plan_done in
+  let reduce_s = finished -. execute_done in
+  let exec_profile = Gcr_runtime.Profile.diff prof_exec prof_plan in
+  let self field = Gcr_runtime.Profile.seconds (field exec_profile + field worker_profile) in
   let summary =
     {
       cells = n_cells;
@@ -301,7 +331,13 @@ let run_campaign config ~benchmarks ~gcs =
       reassigned_cells;
       parent_cells;
       elapsed_s;
-      cells_per_sec = (if elapsed_s > 0.0 then float_of_int n_cells /. elapsed_s else 0.0);
+      plan_s;
+      execute_s;
+      reduce_s;
+      setup_s = self (fun p -> p.Gcr_runtime.Profile.setup_us);
+      tape_s = self (fun p -> p.Gcr_runtime.Profile.tape_us);
+      simulate_s = self (fun p -> p.Gcr_runtime.Profile.simulate_us);
+      cells_per_sec = (if execute_s > 0.0 then float_of_int n_cells /. execute_s else 0.0);
     }
   in
   if config.log_progress then begin
@@ -315,8 +351,12 @@ let run_campaign config ~benchmarks ~gcs =
            else "")
           (if parent_cells > 0 then Printf.sprintf " parent=%d" parent_cells else "")
     in
-    Printf.eprintf "[harness] %d cells in %.1fs (%.1f cells/s): %d cache hits, %d executed; %s\n%!"
-      n_cells elapsed_s summary.cells_per_sec cache_hits summary.cache_misses worker_note
+    Printf.eprintf
+      "[harness] %d cells in %.1fs (plan %.1fs, execute %.1fs at %.1f cells/s, reduce \
+       %.2fs): %d cache hits, %d executed; %s\n\
+       %!"
+      n_cells elapsed_s plan_s execute_s summary.cells_per_sec reduce_s cache_hits
+      summary.cache_misses worker_note
   end;
   { config = { config with machine }; specs; gc_kinds = gcs; minheaps; cells; summary }
 

@@ -76,10 +76,24 @@ type exec_summary = {
   reassigned_cells : int;  (** cells requeued after a worker crash *)
   parent_cells : int;  (** cells the fabric parent ran as a backstop *)
   elapsed_s : float;  (** wall-clock campaign time, minheaps included *)
-  cells_per_sec : float;
+  plan_s : float;
+      (** wall time before execution: minheap probes + grid planning *)
+  execute_s : float;  (** wall time filling the plan's result slots *)
+  reduce_s : float;  (** wall time reducing slots into the report *)
+  setup_s : float;
+      (** engine/heap construction (or warm reset) self-time within the
+          execute phase, summed across pool domains and fabric workers *)
+  tape_s : float;
+      (** tape generate/fetch/decode self-time within the execute phase *)
+  simulate_s : float;  (** in-simulation self-time within the execute phase *)
+  cells_per_sec : float;  (** cells / [execute_s] — the execution rate *)
 }
 (** How a campaign was executed — the accounting behind the CLI summary
-    line.  Pure reporting: no field feeds back into results. *)
+    line and [gcr campaign --profile].  Pure reporting: no field feeds
+    back into results.  Phase wall times satisfy
+    [elapsed_s = plan_s + execute_s + reduce_s]; the [*_s] self-times are
+    summed across workers, so they can legitimately exceed [execute_s]
+    under parallel execution. *)
 
 type campaign
 

@@ -99,17 +99,22 @@ let result_cache = lazy (Result_cache.of_env ())
 let tape_store = lazy (Gcr_sched.Artifact_store.of_env ())
 
 let tape_image ~spec ~seed =
-  match Lazy.force tape_store with
-  | None -> Gcr_workloads.Tape_gen.image ~spec ~seed
-  | Some store -> (
-      match Gcr_sched.Artifact_store.find_tape store ~spec ~seed with
-      | Some tape -> Gcr_workloads.Decision_source.image_of_tape ~spec tape
-      | None ->
-          let tape = Gcr_workloads.Tape_gen.generate ~spec ~seed in
-          Gcr_sched.Artifact_store.store_tape store tape;
-          Gcr_workloads.Decision_source.image_of_tape ~spec tape)
+  let started = Unix.gettimeofday () in
+  let image =
+    match Lazy.force tape_store with
+    | None -> Gcr_workloads.Tape_gen.image ~spec ~seed
+    | Some store -> (
+        match Gcr_sched.Artifact_store.find_tape store ~spec ~seed with
+        | Some tape -> Gcr_workloads.Decision_source.image_of_tape ~spec tape
+        | None ->
+            let tape = Gcr_workloads.Tape_gen.generate ~spec ~seed in
+            Gcr_sched.Artifact_store.store_tape store tape;
+            Gcr_workloads.Decision_source.image_of_tape ~spec tape)
+  in
+  Gcr_runtime.Profile.add_tape_s (Unix.gettimeofday () -. started);
+  image
 
-let completes config spec ~tape heap_words =
+let completes config spec ?state ~tape heap_words =
   let run_config =
     {
       Run.spec;
@@ -126,7 +131,7 @@ let completes config spec ~tape heap_words =
       tape;
     }
   in
-  Measurement.completed (Pool.execute ?cache:(Lazy.force result_cache) run_config)
+  Measurement.completed (Pool.execute ?cache:(Lazy.force result_cache) ?state run_config)
 
 let search config spec =
   let region = config.region_words in
@@ -141,7 +146,11 @@ let search config spec =
     if config.tapes then Run.Tape_replay (tape_image ~spec ~seed:config.seed)
     else Run.Tape_off
   in
-  let completes_regions n = completes config spec ~tape (n * region) in
+  (* One warm run-state serves every probe of the search: the bisection
+     is a long chain of same-spec runs, exactly the reuse the warm path
+     exists for. *)
+  let state = if Run.warm_enabled () then Some (Run.new_state ()) else None in
+  let completes_regions n = completes config spec ?state ~tape (n * region) in
   (* Exponential probe for a completing size. *)
   let rec find_upper n =
     if n > memory_regions then

@@ -64,9 +64,9 @@ type legacy = {
 }
 
 type t = {
-  cpus : int;
-  safepoint_sync : int;
-  cache_disruption : int;
+  mutable cpus : int;
+  mutable safepoint_sync : int;
+  mutable cache_disruption : int;
   obs : Obs.t;
   mutable clock : int;
   events : event Binary_heap.t;
@@ -125,6 +125,41 @@ let create ~cpus ?(safepoint_sync_cycles = 3000) ?(cache_disruption_cycles = 0) 
   in
   Obs.set_clock obs (fun () -> t.clock);
   t
+
+(* Rewind a finished (or aborted) engine for its next run, keeping the
+   event heap, run-queue ring and thread vec at their grown capacities.
+   The observation spine is reset with it — subscribers included, so a
+   previous run's probes cannot fire — and its clock closure stays valid
+   because the engine identity is unchanged.  An aborted run leaves
+   arbitrary mid-flight state (queued events, parked threads, an open
+   pause); nothing here assumes a clean end, so a poisoned engine re-arms
+   fully. *)
+let reset t ~cpus ?(safepoint_sync_cycles = 3000) ?(cache_disruption_cycles = 0) () =
+  if cpus < 1 then invalid_arg "Engine.reset: cpus < 1";
+  if safepoint_sync_cycles < 0 || cache_disruption_cycles < 0 then
+    invalid_arg "Engine.reset: negative cost";
+  t.cpus <- cpus;
+  t.safepoint_sync <- safepoint_sync_cycles;
+  t.cache_disruption <- cache_disruption_cycles;
+  t.clock <- 0;
+  Binary_heap.reset t.events;
+  (* drop the ring outright: stale slots would retain the previous run's
+     thread records (and their continuation closures) indefinitely *)
+  t.ready <- [||];
+  t.ready_head <- 0;
+  t.ready_len <- 0;
+  t.busy <- 0;
+  Vec.clear t.threads;
+  t.mutators_live <- 0;
+  t.mutators_active <- 0;
+  t.stop <- No_stop;
+  t.pause_start <- 0;
+  t.legacy.lwall_stw <- 0;
+  Array.fill t.legacy.lkind_cycles 0 (Array.length t.legacy.lkind_cycles) 0;
+  Array.fill t.legacy.lkind_cycles_stw 0 (Array.length t.legacy.lkind_cycles_stw) 0;
+  Vec.clear t.legacy.lpauses;
+  t.aborted <- None;
+  Obs.reset t.obs
 
 let obs t = t.obs
 

@@ -44,6 +44,19 @@ val obs : t -> Gcr_obs.Obs.t
 (** The observation spine this engine emits into.  Collectors, the heap and
     workloads reach it through here; its clock is wired to {!now}. *)
 
+val reset :
+  t ->
+  cpus:int ->
+  ?safepoint_sync_cycles:int ->
+  ?cache_disruption_cycles:int ->
+  unit ->
+  unit
+(** Rewind the engine (and its observation spine, subscribers included)
+    to the post-{!create} state under possibly new machine parameters,
+    keeping internal capacities — the warm execution path's per-worker
+    reuse.  Safe after aborted runs: no clean end state is assumed.
+    Same defaults and validation as {!create}. *)
+
 (** {1 Threads and steps} *)
 
 val spawn : t -> kind:thread_kind -> name:string -> thread

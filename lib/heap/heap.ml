@@ -3,8 +3,8 @@ module Obs = Gcr_obs.Obs
 
 type t = {
   obs : Obs.t option;  (** event spine; region transitions are reported here *)
-  region_words : int;
-  regions : Region.t array;
+  mutable region_words : int;
+  mutable regions : Region.t array;
   free_pool : int Vec.t;  (** indices of free regions (LIFO) *)
   store : Obj_model.store;  (** struct-of-arrays object store *)
   mutable live_count : int;
@@ -69,6 +69,52 @@ let create ?obs ~capacity_words ~region_words () =
     reserve = 0;
     history_digest = 0;
   }
+
+(* Rewind a used heap to the state [create] would produce for the given
+   geometry, keeping the object store's and region vecs' grown capacities.
+   Region records are reused where the new geometry overlaps the old;
+   growth appends fresh records, shrink drops the tail.  The same
+   [heap_init] event a fresh heap emits is re-emitted, so an observation
+   spine fed by a warm run folds the identical event sequence.  Safe after
+   aborted runs — every counter below is rewritten, none is assumed
+   clean. *)
+let reset t ~capacity_words ~region_words =
+  if region_words < Obj_model.header_words then invalid_arg "Heap.reset: region too small";
+  let n = capacity_words / region_words in
+  if n < 2 then invalid_arg "Heap.reset: need at least two regions";
+  t.region_words <- region_words;
+  let old = Array.length t.regions in
+  if n < old then t.regions <- Array.sub t.regions 0 n
+  else if n > old then begin
+    let grown =
+      Array.init n (fun i -> if i < old then t.regions.(i) else Region.make ~index:i)
+    in
+    t.regions <- grown
+  end;
+  for i = 0 to min old n - 1 do
+    ignore (Region.reset t.regions.(i))
+  done;
+  Vec.clear t.free_pool;
+  for i = n - 1 downto 0 do
+    Vec.push t.free_pool i
+  done;
+  Obj_model.reset_store t.store;
+  t.live_count <- 0;
+  t.live_words <- 0;
+  t.used_words <- 0;
+  Array.fill t.space_used 0 (Array.length t.space_used) 0;
+  Array.fill t.space_regions 0 (Array.length t.space_regions) 0;
+  t.space_regions.(0) <- n;
+  t.epoch <- 0;
+  t.scratch_epoch <- 0;
+  t.words_allocated <- 0;
+  t.objects_allocated <- 0;
+  t.collections <- 0;
+  t.reserve <- 0;
+  t.history_digest <- 0;
+  match t.obs with
+  | Some o -> Obs.heap_init o ~time:(Obs.now o) ~regions:n ~region_words
+  | None -> ()
 
 let store t = t.store
 

@@ -17,6 +17,14 @@ val create : ?obs:Gcr_obs.Obs.t -> capacity_words:int -> region_words:int -> uni
 (** [capacity_words] is rounded down to a whole number of regions; at least
     two regions are required. *)
 
+val reset : t -> capacity_words:int -> region_words:int -> unit
+(** Rewind a used heap to the state {!create} would produce for this
+    geometry, keeping the object store's grown capacities (the warm
+    execution path's reuse).  Re-emits the [heap_init] event into the
+    attached spine, so a warm run folds the identical event sequence a
+    fresh one would.  Safe after aborted runs; same validation as
+    {!create}. *)
+
 val store : t -> Obj_model.store
 (** The underlying object store, for hot loops and tests. *)
 

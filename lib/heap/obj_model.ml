@@ -98,6 +98,24 @@ let create_store () =
   s.count <- 1;
   s
 
+(* Rewind the store to its post-[create_store] state while keeping every
+   array at its grown capacity — the amortisation the warm execution path
+   is built on.  Two invariants make this sound without touching the per-id
+   attribute planes: (a) [alloc] rewrites every attribute of any id it
+   hands out, so stale values above [count] are unreachable; (b) arena
+   extents carved from the bump frontier rely on fresh storage reading as
+   [null] (see [take_extent]), so the used prefix — which holds both live
+   fields and free-list next-pointers — must be re-zeroed before the
+   frontier rewinds. *)
+let reset_store s =
+  Array.fill s.arena 0 s.arena_top null;
+  s.arena_top <- 0;
+  Array.fill s.free_heads 0 (Array.length s.free_heads) (-1);
+  s.free_ids_len <- 0;
+  s.next_serial <- 0;
+  s.count <- 1;
+  s.size.(0) <- header_words
+
 let grow_meta s =
   let old = Array.length s.size in
   let cap = 2 * old in

@@ -36,6 +36,14 @@ type store
 val create_store : unit -> store
 (** Fresh store; id 0 (the null reference) is pre-reserved and dead. *)
 
+val reset_store : store -> unit
+(** Rewind to the post-{!create_store} state, keeping the grown array
+    capacities: the id counter, birth-serial counter, free lists, and
+    arena frontier all restart from zero, and the used arena prefix is
+    re-zeroed (bump-carved extents must read as [null], exactly as fresh
+    storage does).  After a reset the store behaves bit-identically to a
+    fresh one — the warm execution path's reuse contract. *)
+
 val alloc : store -> size:int -> nfields:int -> region:int -> id
 (** A fresh, live, unmarked object of age 0.  [nfields] must fit in
     [size - header_words]; fields start [null].  Recycles the most

@@ -26,7 +26,7 @@ module Counters = struct
     pause_starts : int Vec.t;
     pause_durations : int Vec.t;
     pause_reasons : int Vec.t;  (** string ids *)
-    pause_hist : Histogram.t;
+    mutable pause_hist : Histogram.t;
     mutable safepoint_requests : int;
     phase_begins : int array;  (** per phase, worker-level *)
     phase_ends : int array;
@@ -40,8 +40,8 @@ module Counters = struct
     mutable heap_regions : int;
     mutable heap_region_words : int;
     mutable region_transitions : int;
-    latency_metered : Histogram.t;
-    latency_simple : Histogram.t;
+    mutable latency_metered : Histogram.t;
+    mutable latency_simple : Histogram.t;
     mutable requests_started : int;
     mutable requests_completed : int;
   }
@@ -80,6 +80,43 @@ module Counters = struct
       requests_started = 0;
       requests_completed = 0;
     }
+
+  (* Rewind to the post-[create] state, keeping grown array capacities.
+     The three histograms are REPLACED, not cleared: [Measurement.of_obs]
+     captures them by reference, so mutating them in place would
+     retroactively corrupt the previous run's measurement. *)
+  let reset t =
+    Array.fill t.kind_cycles 0 (Array.length t.kind_cycles) 0;
+    Array.fill t.kind_cycles_stw 0 (Array.length t.kind_cycles_stw) 0;
+    Array.fill t.thread_cycles 0 (Array.length t.thread_cycles) 0;
+    Array.fill t.thread_cycles_stw 0 (Array.length t.thread_cycles_stw) 0;
+    Array.fill t.thread_kind 0 (Array.length t.thread_kind) 0;
+    Vec.clear t.thread_names;
+    t.wall_stw_closed <- 0;
+    t.pause_open <- false;
+    t.pause_open_start <- 0;
+    t.pause_open_reason <- 0;
+    Vec.clear t.pause_starts;
+    Vec.clear t.pause_durations;
+    Vec.clear t.pause_reasons;
+    t.pause_hist <- Histogram.create ();
+    t.safepoint_requests <- 0;
+    Array.fill t.phase_begins 0 (Array.length t.phase_begins) 0;
+    Array.fill t.phase_ends 0 (Array.length t.phase_ends) 0;
+    t.stalls <- 0;
+    t.alloc_stalls <- 0;
+    t.alloc_stall_waited <- 0;
+    t.pacing_stalls <- 0;
+    t.pacing_stall_cycles <- 0;
+    t.degenerations <- 0;
+    t.ooms <- 0;
+    t.heap_regions <- 0;
+    t.heap_region_words <- 0;
+    t.region_transitions <- 0;
+    t.latency_metered <- Histogram.create ();
+    t.latency_simple <- Histogram.create ();
+    t.requests_started <- 0;
+    t.requests_completed <- 0
 
   let grow_threads t tid =
     let cap = Array.length t.thread_cycles in
@@ -257,6 +294,18 @@ let create () =
   }
 
 let counters t = t.counters
+
+(* Rewind the whole spine for the next run of a warm worker: counters,
+   the string intern table, and — critically — the subscriber list, so a
+   previous run's pause probes and trace sinks cannot fire into the next
+   run.  The clock is left wired: the engine that owns this spine resets
+   its own clock to zero and the closure identity stays valid. *)
+let reset t =
+  Counters.reset t.counters;
+  Vec.clear t.strings;
+  Hashtbl.reset t.string_ids;
+  t.subs <- [||];
+  t.nsubs <- 0
 
 let set_clock t f = t.clock <- f
 

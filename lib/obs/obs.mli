@@ -27,6 +27,16 @@ module Counters : sig
   val wall_stw : t -> now:int -> int
   (** Wall cycles inside pauses, counting an open pause up to [now]. *)
 
+  val reset : t -> unit
+  (** Rewind to the post-{!create} state, keeping grown array capacities.
+      The histograms are replaced with fresh ones rather than cleared:
+      measurements capture them by reference, so in-place clearing would
+      corrupt the previous run's report.  Note the thread arrays keep
+      their (zero-filled) capacity, so {!fingerprint} — which flattens
+      whole arrays — may differ from a fresh spine in trailing zeros;
+      differential suites over warm state compare measurements, not
+      fingerprints. *)
+
   val fingerprint : t -> now:int -> int list
   (** Flattened scalar view for differential tests. *)
 end
@@ -59,6 +69,12 @@ type t
 val create : unit -> t
 
 val counters : t -> Counters.t
+
+val reset : t -> unit
+(** Rewind the spine for the next run of a warm worker: {!Counters.reset},
+    a cleared intern table, and an emptied subscriber list (a previous
+    run's pause probes must not fire into the next run).  The clock stays
+    wired — the owning engine resets its own clock. *)
 
 val set_clock : t -> (unit -> int) -> unit
 (** Install the simulated-time source (the engine does this at creation);

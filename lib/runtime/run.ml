@@ -39,6 +39,30 @@ type config = {
 
 let default_region_words = 256
 
+(* A per-worker pool of the big per-run structures.  The engine (and the
+   obs spine it owns) and the heap are built on the first run through a
+   state and reset in place by every later one; collectors, mutators, and
+   PRNGs are still constructed per run (they are cheap and deeply
+   config-dependent).  The heap is created against the pooled engine's
+   spine, and the engine is never replaced within a state, so the
+   heap→obs reference stays correct across reuse. *)
+type state = {
+  mutable st_engine : Engine.t option;
+  mutable st_heap : Heap.t option;
+}
+
+let new_state () = { st_engine = None; st_heap = None }
+
+let state_heap state = state.st_heap
+
+(* Warm-path opt-out for A/B comparison and bisecting: GCR_WARM=0 makes
+   every executor build fresh state per cell, as before.  Read per call —
+   the bench flips it mid-process. *)
+let warm_enabled () =
+  match Sys.getenv_opt "GCR_WARM" with
+  | Some ("0" | "false" | "off") -> false
+  | Some _ | None -> true
+
 (* Healthy runs use a few engine events per packet plus a few dozen per
    collection; 100x headroom separates "slow" from "pathological". *)
 let default_max_events (spec : Spec.t) =
@@ -75,7 +99,8 @@ let check_replay_image config (spec : Spec.t) image =
       (Decision_source.image_threads image)
       spec.Spec.mutator_threads
 
-let execute ?(on_engine = fun (_ : Engine.t) -> ()) ?on_pause config =
+let execute ?state ?(on_engine = fun (_ : Engine.t) -> ()) ?on_pause config =
+  let setup_started = Unix.gettimeofday () in
   let spec = config.spec in
   (match Spec.validate spec with
   | Ok () -> ()
@@ -88,16 +113,36 @@ let execute ?(on_engine = fun (_ : Engine.t) -> ()) ?on_pause config =
     | Registry.Serial_pretenure ->
         config.heap_words
   in
+  let cpus = config.machine.Machine.cpus in
+  let safepoint_sync_cycles =
+    config.cost.Cost_model.safepoint_global
+    + (config.cost.Cost_model.safepoint_per_thread * spec.Spec.mutator_threads)
+  in
+  let cache_disruption_cycles = config.cost.Cost_model.cache_disruption_per_pause in
   let engine =
-    Engine.create ~cpus:config.machine.Machine.cpus
-      ~safepoint_sync_cycles:
-        (config.cost.Cost_model.safepoint_global
-        + (config.cost.Cost_model.safepoint_per_thread * spec.Spec.mutator_threads))
-      ~cache_disruption_cycles:config.cost.Cost_model.cache_disruption_per_pause ()
+    match state with
+    | Some { st_engine = Some e; _ } ->
+        Engine.reset e ~cpus ~safepoint_sync_cycles ~cache_disruption_cycles ();
+        e
+    | Some s ->
+        let e = Engine.create ~cpus ~safepoint_sync_cycles ~cache_disruption_cycles () in
+        s.st_engine <- Some e;
+        e
+    | None -> Engine.create ~cpus ~safepoint_sync_cycles ~cache_disruption_cycles ()
   in
   on_engine engine;
   let obs = Engine.obs engine in
-  let heap = Heap.create ~obs ~capacity_words ~region_words:config.region_words () in
+  let heap =
+    match state with
+    | Some { st_heap = Some h; _ } ->
+        Heap.reset h ~capacity_words ~region_words:config.region_words;
+        h
+    | Some s ->
+        let h = Heap.create ~obs ~capacity_words ~region_words:config.region_words () in
+        s.st_heap <- Some h;
+        h
+    | None -> Heap.create ~obs ~capacity_words ~region_words:config.region_words ()
+  in
   let ctx = Gc_types.make_ctx ~heap ~engine ~cost:config.cost ~machine:config.machine in
   let gc =
     match config.make_collector with
@@ -198,11 +243,14 @@ let execute ?(on_engine = fun (_ : Engine.t) -> ()) ?on_pause config =
   let max_events =
     match config.max_events with Some n -> n | None -> default_max_events spec
   in
+  let simulate_started = Unix.gettimeofday () in
+  Profile.add_setup_s (simulate_started -. setup_started);
   let outcome =
     match Engine.run engine ~max_events () with
     | Engine.All_mutators_finished -> Measurement.Completed
     | Engine.Aborted reason -> Measurement.Failed reason
   in
+  Profile.add_simulate_s (Unix.gettimeofday () -. simulate_started);
   (* Aborted runs still leave a valid tape: the captured prefix plus the
      cursor's PRNG fallback reproduce any longer sibling run exactly. *)
   capture_tape sources !arrivals;

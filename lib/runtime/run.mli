@@ -45,6 +45,27 @@ val default_region_words : int
 (** 256 words (2 KiB): small enough that per-thread allocation buffers
     (one region each) stay a small fraction of even the smallest heaps. *)
 
+type state
+(** A per-worker pool of the expensive per-run structures (engine + obs
+    spine, heap + object store).  The first {!execute} through a state
+    builds them; every later one resets them in place — same results,
+    bit for bit, without the per-cell allocation storm.  A state must
+    only ever be used by one domain at a time. *)
+
+val new_state : unit -> state
+(** An empty pool; the first run through it populates it. *)
+
+val state_heap : state -> Gcr_heap.Heap.t option
+(** The pooled heap, if one has been built — post-run inspection for the
+    reuse≡fresh differential suite ({!Gcr_heap.Heap.history_digest}
+    comparison). *)
+
+val warm_enabled : unit -> bool
+(** Whether executors should pool run state across cells.  [GCR_WARM=0]
+    (or [false] / [off]) disables it — the A/B switch the fabric smoke
+    test and the cold benchmark kernels use.  Read from the environment
+    on every call. *)
+
 val default_config :
   spec:Gcr_workloads.Spec.t -> gc:Gcr_gcs.Registry.kind -> heap_words:int -> seed:int -> config
 (** Default machine, cost model, and {!default_region_words} regions. *)
@@ -61,11 +82,18 @@ type probe = {
 (** A safepoint observation window handed to [on_pause] (below). *)
 
 val execute :
+  ?state:state ->
   ?on_engine:(Gcr_engine.Engine.t -> unit) -> ?on_pause:(probe -> unit) -> config -> Measurement.t
-(** [on_engine] runs right after the engine (and its event spine) is
-    created, before any heap or collector state exists — the place to
-    attach trace subscribers ({!Gcr_obs.Obs.attach_trace}) or keep the
-    engine for post-run inspection.
+(** [state], when given, recycles that pool's engine and heap instead of
+    building fresh ones — the warm execution path.  Results are
+    bit-identical with or without it ([test/test_warm.ml] enforces
+    this), including after a run that aborted or raised: resets assume
+    no clean end state.
+
+    [on_engine] runs right after the engine (and its event spine) is
+    created or reset, before any heap or collector state exists — the
+    place to attach trace subscribers ({!Gcr_obs.Obs.attach_trace}) or
+    keep the engine for post-run inspection.
 
     [on_pause] fires at every pause_begin event: the world is stopped and
     the collector's pause work has not started, so the probe sees the heap

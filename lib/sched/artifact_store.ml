@@ -45,10 +45,43 @@ let tape_path t ~spec_digest ~seed ~threads =
 
 let discard path = if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ())
 
+(* Per-process memo of {e verified} tapes, keyed by artifact path: a
+   worker that just published a tape (or fetched and checksummed it once)
+   serves the next sibling group from memory instead of re-reading and
+   re-hashing the file.  Bounded LRU, newest first.  Trust is strictly
+   per process — a cold reader still verifies the bytes on disk, so
+   corruption still degrades to a clean miss for everyone who has not
+   proven the artifact themselves. *)
+let memo_capacity = 8
+
+let memo_lock = Mutex.create ()
+
+let memo : (string * Tape.t) list ref = ref []
+
+let memo_find path =
+  Mutex.protect memo_lock (fun () ->
+      match List.assoc_opt path !memo with
+      | None -> None
+      | Some tape ->
+          memo := (path, tape) :: List.remove_assoc path !memo;
+          Some tape)
+
+let memo_add path tape =
+  Mutex.protect memo_lock (fun () ->
+      let rest = List.remove_assoc path !memo in
+      let rest = List.filteri (fun i _ -> i < memo_capacity - 1) rest in
+      memo := (path, tape) :: rest)
+
+let memo_drop path =
+  Mutex.protect memo_lock (fun () -> memo := List.remove_assoc path !memo)
+
 let find_tape t ~(spec : Spec.t) ~seed =
   let spec_digest = Spec.digest spec in
   let threads = spec.Spec.mutator_threads in
   let path = tape_path t ~spec_digest ~seed ~threads in
+  match memo_find path with
+  | Some tape -> Some tape
+  | None ->
   match
     let ic = open_in_bin path in
     Fun.protect
@@ -74,9 +107,13 @@ let find_tape t ~(spec : Spec.t) ~seed =
             String.equal tape.Tape.spec_digest spec_digest
             && tape.Tape.seed = seed
             && Array.length tape.Tape.streams = threads
-          then Some tape
+          then begin
+            memo_add path tape;
+            Some tape
+          end
           else begin
             discard path;
+            memo_drop path;
             None
           end)
 
@@ -96,5 +133,8 @@ let store_tape t (tape : Tape.t) =
     let oc = open_out_bin tmp in
     output_string oc (Tape.to_string tape);
     close_out oc;
-    Sys.rename tmp path
+    Sys.rename tmp path;
+    (* the publisher generated these bytes itself — they are proven for
+       this process without a read-back *)
+    memo_add path tape
   with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())

@@ -40,7 +40,15 @@ val store_result : t -> Gcr_runtime.Run.config -> Gcr_runtime.Measurement.t -> u
 val find_tape : t -> spec:Gcr_workloads.Spec.t -> seed:int -> Gcr_tape.Tape.t option
 (** The tape for [(spec, seed)], if a valid artifact exists.  Invalid
     artifacts (bad checksum, header mismatch) are deleted and read as
-    [None]. *)
+    [None].
+
+    Tapes this process has already {e proven} — published via
+    {!store_tape}, or fetched and checksummed once — are served from a
+    small per-process memo without touching the disk again, so a
+    publisher's immediate re-fetch costs no read or re-hash.  The memo
+    never outlives the process: a cold reader always verifies the bytes
+    on disk, and on-disk corruption is still a clean miss for it. *)
 
 val store_tape : t -> Gcr_tape.Tape.t -> unit
-(** Atomically publish a tape under its recipe address. *)
+(** Atomically publish a tape under its recipe address.  The published
+    tape is immediately memoized for this process (see {!find_tape}). *)

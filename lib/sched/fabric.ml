@@ -3,6 +3,7 @@ module Spec = Gcr_workloads.Spec
 module Tape_gen = Gcr_workloads.Tape_gen
 module Decision_source = Gcr_workloads.Decision_source
 module Run = Gcr_runtime.Run
+module Profile = Gcr_runtime.Profile
 module Measurement = Gcr_runtime.Measurement
 
 type group = {
@@ -18,6 +19,7 @@ type stats = {
   per_worker : int array;
   reassigned_cells : int;
   parent_cells : int;
+  worker_profile : Profile.snapshot;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -28,7 +30,7 @@ let tag_group = 'G'
 
 let tag_quit = 'Q'
 
-let tag_result = 'R'
+let tag_batch = 'B'
 
 let rec write_all fd s off len =
   if len > 0 then begin
@@ -39,8 +41,15 @@ let rec write_all fd s off len =
     write_all fd s (off + n) (len - n)
   end
 
-let send_frame fd tag body =
-  let b = Buffer.create (String.length body + 16) in
+(* [scratch], when given, is a caller-owned assembly buffer reused across
+   frames — the worker's result stream allocates no fresh buffer per
+   flush. *)
+let send_frame ?scratch fd tag body =
+  let b =
+    match scratch with
+    | Some b -> Buffer.clear b; b
+    | None -> Buffer.create (String.length body + 16)
+  in
   Wire.put_varint b (1 + String.length body);
   Buffer.add_char b tag;
   Buffer.add_string b body;
@@ -98,40 +107,94 @@ let crash_after ~id =
     | Some n when n >= 0 -> Some n
     | Some _ | None -> None
 
+(* Per-process memo of decoded replay images, keyed by the tape recipe.
+   Sibling groups differing only in collector or heap size land on the
+   same worker back to back; decoding the multi-megabyte tape once per
+   worker instead of once per group is most of the warm-path win on the
+   tape-replay grid.  Tiny LRU — group scheduling is contiguous, so two
+   slots of history already cover interleavings. *)
+let image_memo_cap = 4
+
+let image_memo : ((string * int) * Decision_source.image) list ref = ref []
+
 let group_tape store (g : group) =
   if not g.tapes then Run.Tape_off
-  else
-    (* Content-addressed fetch; first consumer generates and publishes.
-       One image serves every sibling cell of the group — the batched
-       load the fabric's placement exists to enable. *)
-    let tape =
-      match Artifact_store.find_tape store ~spec:g.spec ~seed:g.seed with
-      | Some tape -> tape
+  else begin
+    let started = Unix.gettimeofday () in
+    let key = (Spec.digest g.spec, g.seed) in
+    let image =
+      match List.assoc_opt key !image_memo with
+      | Some image ->
+          image_memo := (key, image) :: List.remove_assoc key !image_memo;
+          image
       | None ->
-          let tape = Tape_gen.generate ~spec:g.spec ~seed:g.seed in
-          Artifact_store.store_tape store tape;
-          tape
+          (* Content-addressed fetch; first consumer generates and
+             publishes.  One image serves every sibling cell of the group
+             — the batched load the fabric's placement exists to enable. *)
+          let tape =
+            match Artifact_store.find_tape store ~spec:g.spec ~seed:g.seed with
+            | Some tape -> tape
+            | None ->
+                let tape = Tape_gen.generate ~spec:g.spec ~seed:g.seed in
+                Artifact_store.store_tape store tape;
+                tape
+          in
+          let image = Decision_source.image_of_tape ~spec:g.spec tape in
+          let rest = List.filteri (fun i _ -> i < image_memo_cap - 1) !image_memo in
+          image_memo := (key, image) :: rest;
+          image
     in
-    Run.Tape_replay (Decision_source.image_of_tape ~spec:g.spec tape)
+    Profile.add_tape_s (Unix.gettimeofday () -. started);
+    Run.Tape_replay image
+  end
 
-let execute_group ~store ~cache ~on_result (g : group) =
+let execute_group ?state ~store ~cache ~on_result (g : group) =
   let tape = group_tape store g in
   List.iter
     (fun (index, config) ->
       let config = { config with Run.tape } in
-      let m, hit = Pool.execute_cached ?cache config in
+      let m, hit = Pool.execute_cached ?cache ?state config in
       on_result index hit m)
     g.cells
 
+(* Results are shipped in batches: fewer, larger frames amortise the
+   marshal and pipe-write cost per cell, and each batch carries the
+   worker's profile self-time accumulated since the last one.  The cap
+   bounds result latency on long groups (and the parent's reassignment
+   loss after a crash). *)
+let batch_cap = 32
+
 let worker_main ~id ~store ~cache ~req_fd ~resp_fd =
   let crash_after = crash_after ~id in
+  let state = if Run.warm_enabled () then Some (Run.new_state ()) else None in
+  let scratch = Buffer.create 65536 in
+  let batch : (int * bool * Measurement.t) list ref = ref [] in
+  let batch_len = ref 0 in
+  let last_prof = ref (Profile.snapshot ()) in
+  let flush () =
+    if !batch_len > 0 then begin
+      let now = Profile.snapshot () in
+      let delta = Profile.diff now !last_prof in
+      last_prof := now;
+      send_frame ~scratch resp_fd tag_batch
+        (Marshal.to_string (List.rev !batch, delta) []);
+      batch := [];
+      batch_len := 0
+    end
+  in
   let sent = ref 0 in
   let on_result index hit m =
-    send_frame resp_fd tag_result (Marshal.to_string (index, hit, m) []);
+    batch := (index, hit, m) :: !batch;
+    incr batch_len;
     incr sent;
-    match crash_after with
-    | Some n when !sent >= n -> Unix._exit 97
-    | Some _ | None -> ()
+    (match crash_after with
+    | Some n when !sent >= n ->
+        (* flush what was completed so far, then die mid-group: the
+           parent sees exactly [n] results and reassigns the rest *)
+        flush ();
+        Unix._exit 97
+    | Some _ | None -> ());
+    if !batch_len >= batch_cap then flush ()
   in
   let rec loop () =
     match read_frame_blocking req_fd with
@@ -140,7 +203,8 @@ let worker_main ~id ~store ~cache ~req_fd ~resp_fd =
     | Some payload when payload.[0] = tag_quit -> Unix._exit 0
     | Some payload when payload.[0] = tag_group ->
         let g : group = Marshal.from_string payload 1 in
-        execute_group ~store ~cache ~on_result g;
+        execute_group ?state ~store ~cache ~on_result g;
+        flush ();
         loop ()
     | Some _ -> Unix._exit 1
   in
@@ -247,6 +311,7 @@ let run ~workers ~store ~cache_results ?(log = fun (_ : string) -> ()) ~n_cells 
   let hits = ref 0 in
   let reassigned = ref 0 in
   let parent_cells = ref 0 in
+  let worker_profile = ref Profile.zero in
   let remaining =
     ref (List.fold_left (fun acc (g : group) -> acc + List.length g.cells) 0 groups)
   in
@@ -316,9 +381,20 @@ let run ~workers ~store ~cache_results ?(log = fun (_ : string) -> ()) ~n_cells 
       match extract_frame w.conn with
       | None -> continue_ := false
       | Some payload ->
-          if String.length payload > 0 && payload.[0] = tag_result then
-            on_result w
-              (Marshal.from_string payload 1 : int * bool * Measurement.t)
+          if String.length payload > 0 && payload.[0] = tag_batch then begin
+            let batch, (delta : Profile.snapshot) =
+              (Marshal.from_string payload 1
+                : (int * bool * Measurement.t) list * Profile.snapshot)
+            in
+            worker_profile :=
+              {
+                Profile.setup_us = !worker_profile.Profile.setup_us + delta.Profile.setup_us;
+                tape_us = !worker_profile.Profile.tape_us + delta.Profile.tape_us;
+                simulate_us =
+                  !worker_profile.Profile.simulate_us + delta.Profile.simulate_us;
+              };
+            List.iter (fun (index, hit, m) -> on_result w (index, hit, m)) batch
+          end
     done
   in
   let chunk = Bytes.create 65536 in
@@ -374,10 +450,16 @@ let run ~workers ~store ~cache_results ?(log = fun (_ : string) -> ()) ~n_cells 
       done;
       (* Backstop: every worker is gone (or was never alive) but cells
          remain — execute them in this process so the campaign always
-         completes.  Reassigned-but-unstarted groups are still queued. *)
+         completes.  Reassigned-but-unstarted groups are still queued.
+         The parent's own setup/tape/simulate time lands in this
+         process's {!Profile} counters, not in [worker_profile]. *)
+      let backstop_state =
+        if Run.warm_enabled () && not (Queue.is_empty queue) then Some (Run.new_state ())
+        else None
+      in
       while not (Queue.is_empty queue) do
         let g = Queue.pop queue in
-        execute_group ~store
+        execute_group ?state:backstop_state ~store
           ~cache:(if cache_results then Some (Artifact_store.results store) else None)
           ~on_result:(fun index hit m ->
             match results.(index) with
@@ -403,4 +485,5 @@ let run ~workers ~store ~cache_results ?(log = fun (_ : string) -> ()) ~n_cells 
       per_worker;
       reassigned_cells = !reassigned;
       parent_cells = !parent_cells;
+      worker_profile = !worker_profile;
     } )

@@ -4,11 +4,19 @@
     pipe pair each.  Workers claim {e sibling groups} — the cells of one
     (benchmark spec, seed) pair, which share a workload tape — execute
     them with the same cache-aware path the in-process pool uses, and
-    stream results back as length-prefixed binary frames (the tape
-    codec's varint length, a tag byte, a [Marshal] body).  The parent
-    reduces results into submission-order slots, so the campaign report
-    is bit-identical to the serial and domain-pool executions at any
-    worker count — [test/test_fabric.ml] enforces exactly that.
+    stream results back in {e batched} length-prefixed binary frames
+    (the tape codec's varint length, a tag byte, a [Marshal] body
+    holding up to 32 results plus the worker's profile self-time since
+    the previous batch).  The parent reduces results into
+    submission-order slots, so the campaign report is bit-identical to
+    the serial and domain-pool executions at any worker count —
+    [test/test_fabric.ml] enforces exactly that.
+
+    Workers run {e warm} unless [GCR_WARM=0]: each recycles one
+    {!Gcr_runtime.Run.state} (engine + heap) across every cell it
+    executes, and memoizes the decoded replay image per (spec, seed) so
+    sibling groups placed back to back decode their tape once.  Warm and
+    cold executions are bit-identical ([test/test_warm.ml]).
 
     Forked processes sidestep the cross-domain stop-the-world minor
     collections that throttle the domain pool: each worker owns a whole
@@ -41,6 +49,11 @@ type stats = {
   per_worker : int array;  (** cells completed by each worker process *)
   reassigned_cells : int;  (** cells requeued after a worker crash *)
   parent_cells : int;  (** cells the parent executed as a backstop *)
+  worker_profile : Gcr_runtime.Profile.snapshot;
+      (** summed setup/tape/simulate self-time the worker processes
+          reported in their result batches.  The parent's own execution
+          (the crash backstop) accrues to this process's
+          {!Gcr_runtime.Profile} counters instead. *)
 }
 
 val run :

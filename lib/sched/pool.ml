@@ -40,41 +40,69 @@ let failed_of_exn (config : Run.config) exn =
     gc_stats = Gc_types.no_stats;
   }
 
-let execute_fresh config =
-  !on_execute config;
-  try Run.execute config with exn -> failed_of_exn config exn
+(* GCR_WARM_CHECK=1: run every warm cell a second time on fresh state and
+   fail loudly on any divergence — the in-line reuse≡fresh oracle for
+   bisecting a warm-state leak in the field.  Orders of magnitude slower;
+   debug only. *)
+let warm_check_enabled () =
+  match Sys.getenv_opt "GCR_WARM_CHECK" with
+  | Some ("0" | "false" | "off") | None -> false
+  | Some _ -> true
 
-let execute_cached ?cache config =
+let execute_fresh ?state config =
+  !on_execute config;
+  let run ?state () = try Run.execute ?state config with exn -> failed_of_exn config exn in
+  match state with
+  | Some _ when warm_check_enabled () ->
+      let warm = run ?state () in
+      let fresh = run () in
+      if warm <> fresh then
+        failwith
+          (Printf.sprintf
+             "GCR_WARM_CHECK: warm-state run diverged from fresh for %s/%s heap=%d seed=%d"
+             config.Run.spec.Spec.name (Registry.name config.Run.gc)
+             config.Run.heap_words config.Run.seed);
+      warm
+  | _ -> run ?state ()
+
+let execute_cached ?cache ?state config =
   match Option.bind cache (fun c -> Result_cache.find c config) with
   | Some measurement -> (measurement, true)
   | None ->
-      let measurement = execute_fresh config in
+      let measurement = execute_fresh ?state config in
       Option.iter (fun c -> Result_cache.store c config measurement) cache;
       (measurement, false)
 
-let execute ?cache config = fst (execute_cached ?cache config)
+let execute ?cache ?state config = fst (execute_cached ?cache ?state config)
 
 let map ?(jobs = 1) ?cache ?hits configs =
   let queue = Array.of_list configs in
   let n = Array.length queue in
   let results = Array.make n None in
   let workers = min jobs n in
-  let execute_slot config =
-    let m, hit = execute_cached ?cache config in
+  (* One run-state pool per draining domain: consecutive cells recycle
+     the engine and heap instead of reallocating them.  A state is only
+     ever touched by its owning domain. *)
+  let make_state () = if Run.warm_enabled () then Some (Run.new_state ()) else None in
+  let execute_slot state config =
+    let m, hit = execute_cached ?cache ?state config in
     if hit then Option.iter Atomic.incr hits;
     Some m
   in
-  if workers <= 1 then
-    Array.iteri (fun i config -> results.(i) <- execute_slot config) queue
+  if workers <= 1 then begin
+    let state = make_state () in
+    Array.iteri (fun i config -> results.(i) <- execute_slot state config) queue
+  end
   else begin
     (* FIFO via an atomic cursor; each slot of [results] is written by
        exactly one domain, and the joins below publish every write. *)
     let next = Atomic.make 0 in
     let worker () =
+      let state = make_state () in
       let rec drain () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          results.(i) <- execute_slot queue.(i);
+          results.(i) <- execute_slot state queue.(i);
           drain ()
         end
       in

@@ -22,13 +22,19 @@ val on_execute : (Gcr_runtime.Run.config -> unit) ref
     atomic counter, not arbitrary shared-state mutation.  Default: no-op. *)
 
 val execute :
-  ?cache:Result_cache.t -> Gcr_runtime.Run.config -> Gcr_runtime.Measurement.t
+  ?cache:Result_cache.t -> ?state:Gcr_runtime.Run.state ->
+  Gcr_runtime.Run.config -> Gcr_runtime.Measurement.t
 (** One crash-isolated, cache-aware invocation: cache hit → stored
     measurement; miss → [Run.execute] (exceptions become [Failed]) and
-    the result is stored for next time. *)
+    the result is stored for next time.  [state], when given, recycles
+    that pool's engine/heap on the miss path (the warm execution path;
+    results are bit-identical either way).  With [GCR_WARM_CHECK] set,
+    every warm execution is re-run on fresh state and any divergence
+    raises — the in-line reuse≡fresh oracle. *)
 
 val execute_cached :
   ?cache:Result_cache.t ->
+  ?state:Gcr_runtime.Run.state ->
   Gcr_runtime.Run.config ->
   Gcr_runtime.Measurement.t * bool
 (** [execute] plus whether the measurement was replayed from the cache —
@@ -45,4 +51,6 @@ val map :
     calling domain — the serial baseline the differential tests compare
     against; higher values spawn [min jobs (length configs)] domains.
     [hits], when given, is incremented once per cache hit (worker domains
-    increment it atomically). *)
+    increment it atomically).  Unless [GCR_WARM=0], each draining domain
+    pools run state across its cells ({!Gcr_runtime.Run.state});
+    results are bit-identical warm or cold. *)

@@ -140,3 +140,8 @@ let clear t =
     done;
     t.len <- 0
   end
+
+let reset t =
+  clear t;
+  t.next_seq <- 0;
+  t.last_prio <- 0

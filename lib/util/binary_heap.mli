@@ -50,3 +50,9 @@ val clear : 'a t -> unit
 (** Empties the heap.  The insertion-sequence counter is preserved, so
     FIFO ordering holds across a clear.  Retains at most the one dummy
     element documented in {!Vec.pop}. *)
+
+val reset : 'a t -> unit
+(** {!clear} plus a rewind of the insertion-sequence counter and the
+    popped-priority slot: a reused heap is indistinguishable from a
+    fresh one to any caller (same tie-break sequence numbers), while
+    keeping its array capacity — the warm-path reuse contract. *)

@@ -30,14 +30,28 @@ type t = {
 let initial_nursery = 16  (* power of two; the ring index is masked *)
 
 (* Sizes are bounded by the spec ([size_max <= 256]), so the ref-density
-   rounding is a table lookup instead of per-allocation float math. *)
+   rounding is a table lookup instead of per-allocation float math.  The
+   table depends only on (size_max, ref_density); a single-slot memo
+   serves every mutator of every sibling cell on the warm path.  The
+   table is read-only after construction, so sharing it across mutators
+   (and pool domains) is safe; a racing slot write only recomputes. *)
+let nfields_memo : (int * float * int array) option ref = ref None
+
 let nfields_table (spec : Spec.t) =
-  Array.init (spec.Spec.size_max + 1) (fun size ->
-      let slots = Obj_model.fields_capacity ~size in
-      let wanted =
-        int_of_float (Float.round (float_of_int slots *. spec.Spec.ref_density))
+  let size_max = spec.Spec.size_max and ref_density = spec.Spec.ref_density in
+  match !nfields_memo with
+  | Some (sm, rd, tab) when sm = size_max && Float.equal rd ref_density -> tab
+  | _ ->
+      let tab =
+        Array.init (size_max + 1) (fun size ->
+            let slots = Obj_model.fields_capacity ~size in
+            let wanted =
+              int_of_float (Float.round (float_of_int slots *. ref_density))
+            in
+            max 1 (min slots wanted))
       in
-      max 1 (min slots wanted))
+      nfields_memo := Some (size_max, ref_density, tab);
+      tab
 
 let create (ctx : Gc_types.ctx) ~gc ~spec ~longlived ~ds ~index =
   let th =

@@ -47,8 +47,15 @@ let live_words_estimate t =
 
 (* Every field, floats rendered in hex so distinct bit patterns never
    collapse; two specs share a digest iff a tape recorded under one
-   replays faithfully under the other. *)
-let digest t =
+   replays faithfully under the other.
+
+   Single-slot memo on physical identity: campaign cells share one spec
+   value per benchmark, and replay verification digests the spec on every
+   cell — the MD5 over the rendered record was measurable on the warm
+   path.  A stale or concurrent slot only costs a recompute. *)
+let digest_memo : (t * string) option ref = ref None
+
+let compute_digest t =
   let f = Printf.sprintf "%h" in
   let latency =
     match t.latency with
@@ -66,6 +73,14 @@ let digest t =
           t.size_mean t.size_max (f t.ref_density) (f t.survival_ratio)
           t.nursery_ttl_packets t.long_lived_target_words
           (f t.long_lived_churn_per_packet) t.reads_per_packet t.writes_per_packet latency))
+
+let digest t =
+  match !digest_memo with
+  | Some (t', d) when t' == t -> d
+  | _ ->
+      let d = compute_digest t in
+      digest_memo := Some (t, d);
+      d
 
 let validate t =
   let err fmt = Printf.ksprintf (fun s -> Error (t.name ^ ": " ^ s)) fmt in

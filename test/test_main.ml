@@ -31,6 +31,7 @@ let () =
       ("tape", Test_tape.suite);
       ("obs", Test_obs.suite);
       ("run-props", Test_run_props.suite);
+      ("warm", Test_warm.suite);
       (* fabric first among the scheduler suites: it forks worker
          processes, which OCaml forbids once any domain has ever been
          spawned — and sched / result-cache campaigns spawn domains *)

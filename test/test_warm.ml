@@ -1,0 +1,156 @@
+(* The warm execution path's contract: pooling engine/heap state across
+   cells (Run.state) is invisible in the results.  Every suite below runs
+   the same cell sequence twice — once through one shared warm state,
+   once with a fresh state per cell — and demands bit-identical
+   measurements plus equal end-of-run heap history digests (the digest
+   folds every birth serial, so any leaked allocation ordering or
+   recycled-id divergence shows up even when the measurement happens to
+   agree). *)
+
+module Registry = Gcr_gcs.Registry
+module Heap = Gcr_heap.Heap
+module Suite = Gcr_workloads.Suite
+module Spec = Gcr_workloads.Spec
+module Tape_gen = Gcr_workloads.Tape_gen
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+
+let check = Alcotest.check
+
+let tiny = Spec.scale (Suite.find_exn "jme") 0.05
+
+let config_of ?(spec = tiny) ?max_events ?(tape = Run.Tape_off) kind ~heap_words ~seed =
+  {
+    (Run.default_config ~spec ~gc:kind ~heap_words ~seed) with
+    Run.max_events;
+    tape;
+  }
+
+let digest_of state =
+  match Run.state_heap state with
+  | Some heap -> Heap.history_digest heap
+  | None -> Alcotest.fail "run left no heap in its state"
+
+let describe (config : Run.config) =
+  Printf.sprintf "%s/%s heap=%d seed=%d" config.Run.spec.Spec.name
+    (Registry.name config.Run.gc) config.Run.heap_words config.Run.seed
+
+(* Execute [configs] in order through one shared warm state, and each
+   config through its own fresh state, comparing after every cell. *)
+let check_sequence configs =
+  let warm_state = Run.new_state () in
+  List.iter
+    (fun config ->
+      let warm = Run.execute ~state:warm_state config in
+      let fresh_state = Run.new_state () in
+      let fresh = Run.execute ~state:fresh_state config in
+      check Alcotest.bool
+        (Printf.sprintf "warm = fresh measurement for %s" (describe config))
+        true (warm = fresh);
+      check Alcotest.int
+        (Printf.sprintf "warm = fresh history digest for %s" (describe config))
+        (digest_of fresh_state) (digest_of warm_state))
+    configs
+
+(* Back-to-back cells across the whole collector frontier through one
+   state: the exact reuse pattern a fabric worker sees when sibling
+   groups (same spec/seed, collector varies) land on it consecutively. *)
+let test_frontier_sequence () =
+  check_sequence
+    (List.concat_map
+       (fun kind ->
+         [
+           config_of kind ~heap_words:30_000 ~seed:5;
+           config_of kind ~heap_words:46_000 ~seed:6;
+         ])
+       Registry.frontier)
+
+(* A run that aborts (OOM on a starved heap) poisons the state
+   mid-flight — collectors bail at arbitrary points, free lists and
+   remsets half-updated.  The next run through that state must still be
+   bit-identical to fresh. *)
+let test_oom_then_clean () =
+  check_sequence
+    [
+      config_of Registry.Serial ~heap_words:768 ~seed:3;
+      config_of Registry.Serial ~heap_words:40_000 ~seed:3;
+      config_of Registry.G1 ~heap_words:768 ~seed:4;
+      config_of Registry.G1 ~heap_words:40_000 ~seed:4;
+    ]
+
+(* Same for the event-budget abort: the engine stops with the event heap
+   and ready ring full of in-flight work. *)
+let test_budget_abort_then_clean () =
+  check_sequence
+    [
+      config_of Registry.Serial ~max_events:10 ~heap_words:30_000 ~seed:2;
+      config_of Registry.Serial ~heap_words:30_000 ~seed:2;
+    ]
+
+(* Tape replay through a warm state: the decoded image is exactly what
+   fabric workers memoize across sibling groups. *)
+let test_tape_replay_warm () =
+  let image = Tape_gen.image ~spec:tiny ~seed:9 in
+  check_sequence
+    [
+      config_of Registry.Serial ~tape:(Run.Tape_replay image) ~heap_words:30_000 ~seed:9;
+      config_of Registry.G1 ~tape:(Run.Tape_replay image) ~heap_words:30_000 ~seed:9;
+      config_of Registry.Shenandoah ~tape:(Run.Tape_replay image) ~heap_words:46_000
+        ~seed:9;
+    ]
+
+(* Random short campaigns over collector × size × heap × seed: any state
+   leak between two specific cells that the deterministic suites above
+   miss has to survive this to ship. *)
+type shape = {
+  kind : Registry.kind;
+  seed : int;
+  packets : int;
+  threads : int;
+  heap_words : int;
+}
+
+let shape_gen =
+  QCheck.Gen.(
+    map
+      (fun (kind, (seed, packets, threads, heap_words)) ->
+        { kind; seed; packets; threads; heap_words })
+      (pair (oneofl Registry.frontier)
+         (quad (int_range 0 10_000) (int_range 3 10) (int_range 1 2)
+            (int_range 2_000 60_000))))
+
+let print_shape s =
+  Printf.sprintf "%s seed=%d packets=%d threads=%d heap=%d" (Registry.name s.kind)
+    s.seed s.packets s.threads s.heap_words
+
+let config_of_shape s =
+  let spec =
+    { tiny with Spec.packets_per_thread = s.packets; mutator_threads = s.threads }
+  in
+  config_of s.kind ~spec ~heap_words:s.heap_words ~seed:s.seed
+
+let prop_warm_equals_fresh =
+  QCheck.Test.make ~name:"warm sequence = fresh, cell by cell" ~count:25
+    (QCheck.make
+       ~print:(fun (a, b, c) ->
+         String.concat " ; " (List.map print_shape [ a; b; c ]))
+       QCheck.Gen.(triple shape_gen shape_gen shape_gen))
+    (fun (a, b, c) ->
+      let configs = List.map config_of_shape [ a; b; c ] in
+      let warm_state = Run.new_state () in
+      List.for_all
+        (fun config ->
+          let warm = Run.execute ~state:warm_state config in
+          let fresh_state = Run.new_state () in
+          let fresh = Run.execute ~state:fresh_state config in
+          warm = fresh && digest_of warm_state = digest_of fresh_state)
+        configs)
+
+let suite =
+  [
+    Alcotest.test_case "frontier sequence, shared state" `Quick test_frontier_sequence;
+    Alcotest.test_case "OOM abort then clean run" `Quick test_oom_then_clean;
+    Alcotest.test_case "budget abort then clean run" `Quick test_budget_abort_then_clean;
+    Alcotest.test_case "tape replay through warm state" `Quick test_tape_replay_warm;
+    QCheck_alcotest.to_alcotest prop_warm_equals_fresh;
+  ]
