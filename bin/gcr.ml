@@ -22,6 +22,8 @@ module Engine = Gcr_engine.Engine
 module Tape = Gcr_tape.Tape
 module Tape_gen = Gcr_workloads.Tape_gen
 module Decision_source = Gcr_workloads.Decision_source
+module Controller = Gcr_policy.Controller
+module Market = Gcr_core.Market
 
 (* ---------- shared argument parsing ---------- *)
 
@@ -152,6 +154,41 @@ let resolve_workers arg =
               reject
                 (Printf.sprintf "GCR_WORKERS must be a positive integer, got %S" s)))
 
+(* Controller lookup mirrors --workers strictness: a typo'd controller
+   name silently falling back to Fixed would quietly turn an adaptive-
+   sizing study into a static one, so bad names refuse to run at all. *)
+let resolve_controller s =
+  match Controller.of_name s with
+  | Some c -> c
+  | None ->
+      Printf.eprintf "gcr: unknown controller %S (valid: %s)\n%!" s
+        (String.concat ", " Controller.valid_names);
+      exit failed_run_exit
+
+let resolve_controllers = function
+  | [] -> [ Controller.fixed ]
+  | names -> List.map resolve_controller names
+
+let controller_arg =
+  let doc =
+    Printf.sprintf
+      "Heap-sizing controller driving the heap limit at safepoints (one of %s; \
+       case-insensitive).  $(b,fixed) is the status quo and is bit-identical to \
+       not passing this flag at all."
+      (String.concat ", " Controller.valid_names)
+  in
+  Arg.(value & opt string "fixed" & info [ "controller" ] ~docv:"NAME" ~doc)
+
+let controllers_arg =
+  let doc =
+    Printf.sprintf
+      "Heap-sizing controllers multiplying the campaign grid as its innermost axis \
+       (comma separated; one of %s).  The default $(b,fixed) reproduces the \
+       historical grid exactly."
+      (String.concat ", " Controller.valid_names)
+  in
+  Arg.(value & opt (list string) [ "fixed" ] & info [ "controllers" ] ~docv:"A,B" ~doc)
+
 let resolve_cache_dir arg =
   match (match arg with Some _ -> arg | None -> Sys.getenv_opt "GCR_CACHE_DIR") with
   | None -> None
@@ -171,8 +208,8 @@ let no_tapes_arg =
   in
   Arg.(value & flag & info [ "no-tapes" ] ~doc)
 
-let harness_config ~invocations ~scale ~seed ~factors ~quiet ~jobs ~workers ~cache_dir
-    ~no_tapes =
+let harness_config ?(controllers = [ Controller.fixed ]) ~invocations ~scale ~seed
+    ~factors ~quiet ~jobs ~workers ~cache_dir ~no_tapes () =
   let defaults = Harness.default_config () in
   {
     defaults with
@@ -185,6 +222,7 @@ let harness_config ~invocations ~scale ~seed ~factors ~quiet ~jobs ~workers ~cac
     workers = resolve_workers workers;
     cache_dir = resolve_cache_dir cache_dir;
     tapes = defaults.Harness.tapes && not no_tapes;
+    controllers;
   }
 
 (* ---------- list ---------- *)
@@ -254,8 +292,9 @@ let execute_traced ~trace_out config =
 
 let run_cmd =
   let run benchmarks gcs factor invocations scale seed jobs cache_dir trace_out tape_file
-      =
+      controller_name =
     let gcs = default_gcs gcs in
+    let controller = resolve_controller controller_name in
     let cache =
       Option.map (fun dir -> Result_cache.create ~dir) (resolve_cache_dir cache_dir)
     in
@@ -270,7 +309,10 @@ let run_cmd =
                 (fun gc ->
                   List.init invocations (fun i ->
                       let heap_words = int_of_float (factor *. float_of_int minheap) in
-                      Run.default_config ~spec ~gc ~heap_words ~seed:(seed + i + 1)))
+                      {
+                        (Run.default_config ~spec ~gc ~heap_words ~seed:(seed + i + 1)) with
+                        Run.controller;
+                      }))
                 gcs)
             (default_benchmarks benchmarks)
       | Some path ->
@@ -294,6 +336,7 @@ let run_cmd =
               {
                 (Run.default_config ~spec ~gc ~heap_words ~seed:tape.Tape.seed) with
                 Run.tape = Run.Tape_replay image;
+                controller;
               })
             gcs
     in
@@ -309,7 +352,20 @@ let run_cmd =
                  collector with -n 1\n";
               exit 1)
     in
-    List.iter (fun m -> Format.printf "%a@." Measurement.pp m) measurements;
+    List.iter
+      (fun m ->
+        Format.printf "%a@." Measurement.pp m;
+        (* only under an adaptive controller, so `--controller fixed`
+           output stays byte-identical to not passing the flag at all
+           (CI diffs the two) *)
+        if not (Controller.is_fixed controller) then
+          Printf.printf
+            "  controller: %d limit moves, peak %d words, mean footprint %.0f words, \
+             memory-time %.3e word-cycles\n"
+            m.Measurement.limit_changes m.Measurement.heap_limit_peak_words
+            (Measurement.mean_footprint_words m)
+            (Measurement.memory_time_integral m))
+      measurements;
     exit_on_failures measurements
   in
   let trace_out_arg =
@@ -332,7 +388,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run benchmark/collector configurations and print measurements")
     Term.(
       const run $ benchmarks_arg $ gcs_arg $ factor_arg $ invocations_arg $ scale_arg
-      $ seed_arg $ jobs_arg $ cache_dir_arg $ trace_out_arg $ tape_arg)
+      $ seed_arg $ jobs_arg $ cache_dir_arg $ trace_out_arg $ tape_arg $ controller_arg)
 
 (* ---------- minheap ---------- *)
 
@@ -353,11 +409,11 @@ let minheap_cmd =
 
 (* ---------- campaign-backed commands ---------- *)
 
-let build_campaign benchmarks gcs invocations scale seed factors quiet jobs workers
-    cache_dir no_tapes =
+let build_campaign ?controllers benchmarks gcs invocations scale seed factors quiet jobs
+    workers cache_dir no_tapes =
   let config =
-    harness_config ~invocations ~scale ~seed ~factors ~quiet ~jobs ~workers ~cache_dir
-      ~no_tapes
+    harness_config ?controllers ~invocations ~scale ~seed ~factors ~quiet ~jobs ~workers
+      ~cache_dir ~no_tapes ()
   in
   Harness.run_campaign config ~benchmarks:(default_benchmarks benchmarks)
     ~gcs:(default_gcs gcs)
@@ -452,13 +508,21 @@ let profile_arg =
 
 let campaign_cmd =
   let run benchmarks gcs invocations scale seed factors quiet jobs workers cache_dir
-      no_tapes profile =
+      no_tapes profile controller_names =
+    let controllers = resolve_controllers controller_names in
     let campaign =
-      build_campaign benchmarks gcs invocations scale seed factors quiet jobs workers
-        cache_dir no_tapes
+      build_campaign ~controllers benchmarks gcs invocations scale seed factors quiet
+        jobs workers cache_dir no_tapes
     in
     print_artefact campaign "all";
-    if profile then print_profile (Harness.summary campaign);
+    let s = Harness.summary campaign in
+    if s.Harness.limit_changes > 0 then
+      Printf.printf
+        "\ncontroller decisions: %d heap-limit changes, peak footprint %d words, mean \
+         footprint %.0f words/cell\n"
+        s.Harness.limit_changes s.Harness.peak_footprint_words
+        s.Harness.mean_footprint_words;
+    if profile then print_profile s;
     exit_on_failures (Harness.all_measurements campaign)
   in
   Cmd.v
@@ -467,7 +531,7 @@ let campaign_cmd =
     Term.(
       const run $ benchmarks_arg $ gcs_arg $ invocations_arg $ scale_arg $ seed_arg
       $ factors_arg $ quiet_arg $ jobs_arg $ workers_arg $ cache_dir_arg $ no_tapes_arg
-      $ profile_arg)
+      $ profile_arg $ controllers_arg)
 
 (* ---------- ablations ---------- *)
 
@@ -506,7 +570,7 @@ let ablation_cmd =
 (* ---------- trace ---------- *)
 
 let trace_cmd =
-  let run bench gc factor scale seed out check =
+  let run bench gc factor scale seed out check controller_name =
     match check with
     | Some file -> (
         match Perfetto.validate_file file with
@@ -520,10 +584,13 @@ let trace_cmd =
             Printf.eprintf "gcr: invalid trace %s: %s\n" file msg;
             exit 1)
     | None ->
+        let controller = resolve_controller controller_name in
         let spec = Spec.scale bench scale in
         let minheap = Minheap.find spec in
         let heap_words = int_of_float (factor *. float_of_int minheap) in
-        let config = Run.default_config ~spec ~gc ~heap_words ~seed in
+        let config =
+          { (Run.default_config ~spec ~gc ~heap_words ~seed) with Run.controller }
+        in
         let m = execute_traced ~trace_out:out config in
         Format.printf "%a@." Measurement.pp m;
         exit_on_failures [ m ]
@@ -555,7 +622,102 @@ let trace_cmd =
        ~doc:"Record one run as a Chrome/Perfetto trace, or validate a trace file")
     Term.(
       const run $ bench_arg $ gc_arg $ factor_arg $ scale_arg $ seed_arg $ out_arg
-      $ check_arg)
+      $ check_arg $ controller_arg)
+
+(* ---------- market ---------- *)
+
+let market_cmd =
+  let run bench tenants gc controller_name budget_factor epoch_cycles deadline_ms scale
+      seed quiet trace_out =
+    let controller = resolve_controller controller_name in
+    let log = if quiet then None else Some (fun s -> Printf.eprintf "%s\n%!" s) in
+    let captured = ref None in
+    let on_tenant_engine =
+      match trace_out with
+      | None -> None
+      | Some _ ->
+          Some
+            (fun tenant engine ->
+              if tenant = 0 then begin
+                let obs = Engine.obs engine in
+                captured := Some (obs, Obs.attach_trace obs)
+              end)
+    in
+    let report =
+      try
+        Market.run ~bench ?epoch_cycles ~deadline_ms ?log ?on_tenant_engine ~tenants ~gc
+          ~controller ~budget_factor ~scale ~seed ()
+      with Invalid_argument msg ->
+        Printf.eprintf "gcr: %s\n" msg;
+        exit 1
+    in
+    (match (trace_out, !captured) with
+    | Some file, Some (obs, trace) ->
+        Perfetto.write_file file obs trace;
+        Printf.eprintf "gcr: wrote %d events (tenant 0) to %s\n%!"
+          (Obs.Trace.length trace) file
+    | _ -> ());
+    Format.printf "%a@." Market.pp_report report;
+    if List.exists (fun t -> not t.Market.completed) report.Market.per_tenant then begin
+      List.iter
+        (fun t ->
+          if not t.Market.completed then
+            Printf.eprintf "gcr: tenant %d (%s) did not complete\n" t.Market.tenant
+              t.Market.bench)
+        report.Market.per_tenant;
+      exit failed_run_exit
+    end
+  in
+  let bench_arg =
+    let doc = "Latency-sensitive benchmark every tenant runs." in
+    Arg.(
+      value
+      & opt (enum (List.map (fun s -> (s.Spec.name, s.Spec.name)) Suite.latency_sensitive))
+          "lusearch"
+      & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+  in
+  let tenants_arg =
+    let doc = "Number of tenant runtimes sharing the machine." in
+    Arg.(value & opt int 4 & info [ "tenants" ] ~docv:"N" ~doc)
+  in
+  let gc_arg =
+    Arg.(
+      value & opt gc_conv Registry.G1
+      & info [ "g"; "gc" ] ~docv:"GC" ~doc:"Collector every tenant runs.")
+  in
+  let budget_factor_arg =
+    let doc =
+      "Machine-wide memory budget as a multiple of (tenants x the benchmark's \
+       baseline footprint).  Below 1.0 the tenants are under-provisioned and the \
+       broker has to arbitrate."
+    in
+    Arg.(value & opt float 1.0 & info [ "budget-factor" ] ~docv:"F" ~doc)
+  in
+  let epoch_arg =
+    let doc = "Broker rebalancing epoch in simulated cycles." in
+    Arg.(value & opt (some int) None & info [ "epoch-cycles" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Request deadline in milliseconds (metered latency above it is a miss)." in
+    Arg.(
+      value & opt float Market.default_deadline_ms
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let trace_out_arg =
+    let doc =
+      "Write tenant 0's event stream as a Chrome/Perfetto trace-event JSON file."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "market"
+       ~doc:
+         "Run the multi-tenant memory market: N runtimes share one machine-wide \
+          budget under a diurnal request wave, with a broker reallocating heap \
+          limits every epoch")
+    Term.(
+      const run $ bench_arg $ tenants_arg $ gc_arg $ controller_arg $ budget_factor_arg
+      $ epoch_arg $ deadline_arg $ scale_arg $ seed_arg $ quiet_arg $ trace_out_arg)
 
 (* ---------- tape ---------- *)
 
@@ -687,7 +849,7 @@ let main =
     (Cmd.info "gcr" ~version:"1.0.0" ~doc)
     [
       list_cmd; run_cmd; minheap_cmd; artefact_cmd; campaign_cmd; ablation_cmd;
-      trace_cmd; tape_cmd;
+      trace_cmd; tape_cmd; market_cmd;
     ]
 
 let () = exit (Cmd.eval main)

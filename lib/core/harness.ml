@@ -9,6 +9,7 @@ module Pool = Gcr_sched.Pool
 module Result_cache = Gcr_sched.Result_cache
 module Artifact_store = Gcr_sched.Artifact_store
 module Fabric = Gcr_sched.Fabric
+module Controller = Gcr_policy.Controller
 
 type config = {
   invocations : int;
@@ -31,6 +32,9 @@ type config = {
       (** replay each (benchmark, seed) cell group from one generated
           workload tape instead of re-deriving the decision stream from
           the PRNG in every cell; results are bit-identical either way *)
+  controllers : Controller.spec list;
+      (** heap-sizing controllers, the innermost grid axis.  The default
+          [[Fixed]] reproduces the historical grid exactly *)
 }
 
 let paper_heap_factors = [ 1.4; 1.9; 2.4; 3.0; 3.7; 4.4; 5.2; 6.0 ]
@@ -71,6 +75,7 @@ let default_config () =
     workers = None;
     cache_dir = Sys.getenv_opt "GCR_CACHE_DIR";
     tapes = Minheap.tapes_enabled ();
+    controllers = [ Controller.fixed ];
   }
 
 type exec_summary = {
@@ -89,11 +94,15 @@ type exec_summary = {
   tape_s : float;
   simulate_s : float;
   cells_per_sec : float;
+  limit_changes : int;  (** controller decisions applied, summed over cells *)
+  peak_footprint_words : int;  (** highest heap limit any cell reached *)
+  mean_footprint_words : float;  (** per-cell mean heap limit, averaged *)
 }
 
-(* Configurations are keyed by (benchmark, collector, factor in permille);
-   Epsilon is heap-independent and stored under factor 0. *)
-type key = string * string * int
+(* Configurations are keyed by (benchmark, collector, factor in permille,
+   controller name); Epsilon is heap-independent and stored under factor 0
+   with the fixed controller. *)
+type key = string * string * int * string
 
 type campaign = {
   config : config;
@@ -106,10 +115,10 @@ type campaign = {
 
 let permille factor = int_of_float (Float.round (factor *. 1000.0))
 
-let key_of ~bench ~gc ~factor : key =
+let key_of ~bench ~gc ~factor ~controller : key =
   match gc with
-  | Registry.Epsilon -> (bench, "Epsilon", 0)
-  | g -> (bench, Registry.name g, permille factor)
+  | Registry.Epsilon -> (bench, "Epsilon", 0, Controller.name Controller.fixed)
+  | g -> (bench, Registry.name g, permille factor, Controller.name controller)
 
 let scaled_machine config =
   {
@@ -136,8 +145,8 @@ let all_measurements t =
   let keyed = List.sort (fun (a, _) (b, _) -> compare a b) keyed in
   List.concat_map snd keyed
 
-let runs t ~bench ~gc ~factor =
-  match Hashtbl.find_opt t.cells (key_of ~bench ~gc ~factor) with
+let runs ?(controller = Controller.fixed) t ~bench ~gc ~factor =
+  match Hashtbl.find_opt t.cells (key_of ~bench ~gc ~factor ~controller) with
   | Some cell -> List.rev !cell
   | None -> []
 
@@ -264,14 +273,14 @@ let run_campaign config ~benchmarks ~gcs =
       Hashtbl.replace minheaps spec.Spec.name words)
     specs;
   let plan =
-    Planner.plan ~invocations:config.invocations ~base_seed:config.base_seed ~machine
-      ~cost:config.cost ~region_words:config.region_words
-      ~heap_factors:config.heap_factors
+    Planner.plan ~controllers:config.controllers ~invocations:config.invocations
+      ~base_seed:config.base_seed ~machine ~cost:config.cost
+      ~region_words:config.region_words ~heap_factors:config.heap_factors
       ~minheap:(fun ~bench ->
         match Hashtbl.find_opt minheaps bench with
         | Some w -> w
         | None -> invalid_arg "Harness: plan references an unmeasured benchmark")
-      ~specs ~gcs
+      ~specs ~gcs ()
   in
   let n_cells = Planner.n_cells plan in
   let results : Measurement.t option array = Array.make n_cells None in
@@ -296,8 +305,8 @@ let run_campaign config ~benchmarks ~gcs =
   (* Reduce in submission order: the recorded campaign is a pure function
      of the plan, identical whatever executor (or parallelism) ran it. *)
   let cells = Hashtbl.create 512 in
-  let record ~bench ~gc ~factor m =
-    let key = key_of ~bench ~gc ~factor in
+  let record ~bench ~gc ~factor ~controller m =
+    let key = key_of ~bench ~gc ~factor ~controller in
     let cell =
       match Hashtbl.find_opt cells key with
       | Some c -> c
@@ -311,9 +320,26 @@ let run_campaign config ~benchmarks ~gcs =
   List.iter
     (fun (c : Planner.cell) ->
       match results.(c.Planner.index) with
-      | Some m -> record ~bench:c.Planner.bench ~gc:c.Planner.gc ~factor:c.Planner.factor m
+      | Some m ->
+          record ~bench:c.Planner.bench ~gc:c.Planner.gc ~factor:c.Planner.factor
+            ~controller:c.Planner.controller m
       | None -> invalid_arg "Harness: executor left a cell unfilled")
     (Planner.cells plan);
+  (* Controller visibility: how much the limit moved and where footprint
+     ended up, aggregated over the filled slots. *)
+  let limit_changes_total = ref 0 in
+  let peak_footprint = ref 0 in
+  let footprint_sum = ref 0.0 in
+  let footprint_cells = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (m : Measurement.t) ->
+          limit_changes_total := !limit_changes_total + m.Measurement.limit_changes;
+          peak_footprint := max !peak_footprint m.Measurement.heap_limit_peak_words;
+          footprint_sum := !footprint_sum +. Measurement.mean_footprint_words m;
+          incr footprint_cells)
+    results;
   let finished = Unix.gettimeofday () in
   let elapsed_s = finished -. started in
   let plan_s = plan_done -. started in
@@ -338,6 +364,11 @@ let run_campaign config ~benchmarks ~gcs =
       tape_s = self (fun p -> p.Gcr_runtime.Profile.tape_us);
       simulate_s = self (fun p -> p.Gcr_runtime.Profile.simulate_us);
       cells_per_sec = (if execute_s > 0.0 then float_of_int n_cells /. execute_s else 0.0);
+      limit_changes = !limit_changes_total;
+      peak_footprint_words = !peak_footprint;
+      mean_footprint_words =
+        (if !footprint_cells = 0 then 0.0
+         else !footprint_sum /. float_of_int !footprint_cells);
     }
   in
   if config.log_progress then begin
@@ -356,7 +387,13 @@ let run_campaign config ~benchmarks ~gcs =
        %.2fs): %d cache hits, %d executed; %s\n\
        %!"
       n_cells elapsed_s plan_s execute_s summary.cells_per_sec reduce_s cache_hits
-      summary.cache_misses worker_note
+      summary.cache_misses worker_note;
+    if summary.limit_changes > 0 then
+      Printf.eprintf
+        "[harness] controllers: %d limit changes, peak footprint %d words, mean %.0f \
+         words/cell\n\
+         %!"
+        summary.limit_changes summary.peak_footprint_words summary.mean_footprint_words
   end;
   { config = { config with machine }; specs; gc_kinds = gcs; minheaps; cells; summary }
 

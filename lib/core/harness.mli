@@ -46,6 +46,11 @@ type config = {
           cell group generates its decision stream once and every cell in
           the group replays it.  Campaign results are bit-identical with
           tapes on or off; [GCR_TAPES=0] turns them off *)
+  controllers : Gcr_policy.Controller.spec list;
+      (** heap-sizing controllers, multiplying each non-Epsilon
+          (collector, factor) cell as the innermost grid axis.  The
+          default [[Fixed]] reproduces the historical grid — same cells,
+          same keys, same goldens *)
 }
 
 val paper_heap_factors : float list
@@ -87,6 +92,13 @@ type exec_summary = {
       (** tape generate/fetch/decode self-time within the execute phase *)
   simulate_s : float;  (** in-simulation self-time within the execute phase *)
   cells_per_sec : float;  (** cells / [execute_s] — the execution rate *)
+  limit_changes : int;
+      (** heap-limit moves controllers made, summed over all cells (0 for
+          an all-Fixed campaign) *)
+  peak_footprint_words : int;  (** highest heap limit any cell reached *)
+  mean_footprint_words : float;
+      (** per-cell mean heap limit (footprint integral / wall time),
+          averaged over cells *)
 }
 (** How a campaign was executed — the accounting behind the CLI summary
     line and [gcr campaign --profile].  Pure reporting: no field feeds
@@ -124,10 +136,13 @@ val all_measurements : campaign -> Gcr_runtime.Measurement.t list
     order — the failure audit the CLI exit code is based on. *)
 
 val runs :
+  ?controller:Gcr_policy.Controller.spec ->
   campaign -> bench:string -> gc:Gcr_gcs.Registry.kind -> factor:float ->
   Gcr_runtime.Measurement.t list
 (** Invocations for one configuration (Epsilon: any factor returns its
-    single configuration). *)
+    single configuration).  [controller] defaults to [Fixed], so existing
+    reports and LBO readers see exactly the historical cells; pass a
+    non-fixed spec to read that controller's column. *)
 
 (** {1 LBO over a campaign} *)
 

@@ -1,0 +1,320 @@
+(* The multi-tenant memory market: N simulated runtimes share one
+   machine-wide memory budget under a diurnal request wave.
+
+   Each tenant is a full [Run.session] (its own engine, heap, collector,
+   and workload) advanced in lockstep epochs by [Engine.run_until].  A
+   broker owns the budget: every epoch it asks each tenant's sizing
+   controller for a demand, scales the demands to fit the budget, and
+   applies the resulting limits with [Heap.set_capacity].  The tenants'
+   own in-run controllers are disabled (configs carry [Fixed]) — sizing
+   authority lives in one place, the broker.
+
+   Under [Fixed] the market degrades to a static even split of the
+   budget: the broker never moves a limit, which is the baseline the
+   adaptive controllers are judged against. *)
+
+module Machine = Gcr_mach.Machine
+module Units = Gcr_util.Units
+module Histogram = Gcr_util.Histogram
+module Prng = Gcr_util.Prng
+module Obs = Gcr_obs.Obs
+module Event = Gcr_obs.Event
+module Heap = Gcr_heap.Heap
+module Engine = Gcr_engine.Engine
+module Registry = Gcr_gcs.Registry
+module Spec = Gcr_workloads.Spec
+module Suite = Gcr_workloads.Suite
+module Latency = Gcr_workloads.Latency
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+module Controller = Gcr_policy.Controller
+
+type tenant_summary = {
+  tenant : int;
+  bench : string;
+  completed : bool;
+  requests : int;
+  deadline_misses : int;
+  metered_mean_ms : float;
+  metered_p99_ms : float;
+  limit_changes : int;
+  peak_words : int;
+  mean_footprint_words : float;
+}
+
+type report = {
+  gc : string;
+  controller : string;
+  tenants : int;
+  budget_words : int;
+  deadline_ms : float;
+  per_tenant : tenant_summary list;
+  total_requests : int;
+  total_deadline_misses : int;
+  agg_metered_mean_ms : float;
+  agg_metered_p99_ms : float;
+  total_limit_changes : int;
+  peak_total_words : int;
+  wall_cycles : int;
+}
+
+let default_epoch_cycles = 250_000
+
+let default_deadline_ms = 10.0
+
+(* Diurnal wave as a monotone time-warp of the Poisson schedule:
+   t ↦ t + A·sin(2πt/period + phase).  With A = period/4π the derivative
+   stays ≥ 1/2, so order (and count) are preserved while arrivals bunch
+   into rush hours and stretch into lulls.  Three full waves per run;
+   each tenant gets a phase shift, so peaks land at different times —
+   the whole point of brokering one budget. *)
+let diurnal_warp ~phase arrivals =
+  let n = Array.length arrivals in
+  if n = 0 then arrivals
+  else begin
+    let span = float_of_int (max 1 arrivals.(n - 1)) in
+    let period = span /. 3.0 in
+    let amp = period /. (4.0 *. Float.pi) in
+    let two_pi = 2.0 *. Float.pi in
+    let warped =
+      Array.map
+        (fun t ->
+          let ft = float_of_int t in
+          let t' = ft +. (amp *. sin ((two_pi *. ft /. period) +. phase)) in
+          max 0 (int_of_float t'))
+        arrivals
+    in
+    (* int rounding can nick the monotone warp by one cycle; repair to
+       nondecreasing, which the tape format and Latency require *)
+    for i = 1 to n - 1 do
+      if warped.(i) < warped.(i - 1) then warped.(i) <- warped.(i - 1)
+    done;
+    warped
+  end
+
+let round_regions ~region_words w = max (2 * region_words) (w / region_words * region_words)
+
+let run ?(bench = "lusearch") ?(epoch_cycles = default_epoch_cycles)
+    ?(deadline_ms = default_deadline_ms) ?(log = fun (_ : string) -> ())
+    ?(on_tenant_engine = fun (_ : int) (_ : Engine.t) -> ()) ~tenants ~gc ~controller
+    ~budget_factor ~scale ~seed () =
+  if tenants < 1 then invalid_arg "Market.run: need at least one tenant";
+  if gc = Registry.Epsilon then
+    invalid_arg "Market.run: Epsilon never collects, so there is no market to broker";
+  let base_spec =
+    match Suite.find bench with
+    | Some s when s.Spec.latency <> None -> Spec.scale s scale
+    | Some _ ->
+        invalid_arg
+          (Printf.sprintf "Market.run: %S is not latency-sensitive; pick one of: %s" bench
+             (String.concat ", "
+                (List.map (fun s -> s.Spec.name) Suite.latency_sensitive)))
+    | None -> invalid_arg (Printf.sprintf "Market.run: unknown benchmark %S" bench)
+  in
+  let region_words = Run.default_region_words in
+  (* Per-tenant baseline from the spec's live-set estimate: cheap and
+     deterministic where a full minheap search would dwarf the scenario
+     itself.  The budget is what the market divides; the baseline only
+     anchors its magnitude. *)
+  let per_tenant_base =
+    round_regions ~region_words
+      (max (16 * region_words) (3 * Spec.live_words_estimate base_spec))
+  in
+  let budget_words =
+    round_regions ~region_words
+      (int_of_float (budget_factor *. float_of_int (tenants * per_tenant_base)))
+  in
+  let initial_words = round_regions ~region_words (budget_words / tenants) in
+  let deadline_cycles = Units.cycles_of_us (1000.0 *. deadline_ms) in
+  log
+    (Printf.sprintf
+       "market: %d × %s under %s/%s, budget %d words (%d/tenant), deadline %.1fms"
+       tenants base_spec.Spec.name (Registry.name gc) (Controller.name controller)
+       budget_words initial_words deadline_ms);
+  let misses = Array.make tenants 0 in
+  let requests = Array.make tenants 0 in
+  let sessions =
+    Array.init tenants (fun i ->
+        let tenant_seed = seed + (37 * i) in
+        let config =
+          {
+            (Run.default_config ~spec:base_spec ~gc ~heap_words:initial_words
+               ~seed:tenant_seed)
+            with
+            (* broker holds the sizing authority; in-run controllers stay off *)
+            Run.controller = Controller.fixed;
+          }
+        in
+        let phase = 2.0 *. Float.pi *. float_of_int i /. float_of_int tenants in
+        let arrivals =
+          diurnal_warp ~phase
+            (Latency.arrival_schedule ~spec:base_spec
+               ~threads:base_spec.Spec.mutator_threads
+               (Prng.create tenant_seed))
+        in
+        let on_engine engine =
+          on_tenant_engine i engine;
+          let obs = Engine.obs engine in
+          Obs.subscribe obs
+            {
+              Obs.sub_name = "market-deadline";
+              on_event =
+                (fun ~time:_ ~code ~a:_ ~b:_ ~c ->
+                  if code = Event.code_request_complete then begin
+                    requests.(i) <- requests.(i) + 1;
+                    if c > deadline_cycles then misses.(i) <- misses.(i) + 1
+                  end);
+            }
+        in
+        Run.prepare ~on_engine ~arrivals_override:arrivals config)
+  in
+  let ctls =
+    Array.map
+      (fun _ ->
+        Controller.make controller ~min_heap_words:(2 * region_words)
+          ~max_heap_words:budget_words)
+      sessions
+  in
+  let cause_ids =
+    Array.map
+      (fun s -> Obs.intern (Run.session_obs s) ("market-" ^ Controller.name controller))
+      sessions
+  in
+  let capacity i = Heap.capacity_words (Run.session_heap sessions.(i)) in
+  let live = Array.make tenants true in
+  let peak_total = ref (tenants * initial_words) in
+  let total_limit_moves = ref 0 in
+  let rebalance () =
+    (* Demands: each live tenant's controller proposal (or its current
+       holding when the controller abstains / is Fixed).  Finished
+       tenants release their share back to the pool. *)
+    let floors = Array.make tenants 0 in
+    let desired = Array.make tenants 0 in
+    Array.iteri
+      (fun i s ->
+        if live.(i) then begin
+          let heap = Run.session_heap s in
+          let obs = Run.session_obs s in
+          let live_words = Heap.live_words_exact heap in
+          floors.(i) <- max (2 * region_words) (live_words + (live_words / 4));
+          let sample =
+            {
+              Controller.now = Run.session_now s;
+              live_words;
+              capacity_words = Heap.capacity_words heap;
+              allocated_words = Heap.words_allocated_total heap;
+              gc_cycles = Obs.cycles_of_kind obs Event.gc_worker_kind;
+              mutator_cycles = Obs.cycles_of_kind obs Event.mutator_kind;
+            }
+          in
+          desired.(i) <-
+            (match Controller.observe ctls.(i) sample with
+            | Some w -> max floors.(i) w
+            | None -> max floors.(i) (Heap.capacity_words heap))
+        end)
+      sessions;
+    let total = Array.fold_left ( + ) 0 desired in
+    let scale_down =
+      if total > budget_words then float_of_int budget_words /. float_of_int total
+      else 1.0
+    in
+    Array.iteri
+      (fun i s ->
+        if live.(i) then begin
+          let target =
+            max floors.(i) (int_of_float (float_of_int desired.(i) *. scale_down))
+          in
+          let before = capacity i in
+          let after =
+            Heap.set_capacity (Run.session_heap s) ~capacity_words:target
+              ~cause_id:cause_ids.(i)
+          in
+          if after <> before then incr total_limit_moves
+        end)
+      sessions
+  in
+  let horizon = ref 0 in
+  let epochs = ref 0 in
+  while Array.exists Fun.id live do
+    horizon := !horizon + epoch_cycles;
+    incr epochs;
+    Array.iteri
+      (fun i s -> if live.(i) then live.(i) <- Run.step s ~until:!horizon)
+      sessions;
+    rebalance ();
+    let in_use = ref 0 in
+    Array.iteri (fun i _ -> if live.(i) then in_use := !in_use + capacity i) sessions;
+    peak_total := max !peak_total !in_use
+  done;
+  log (Printf.sprintf "market: all tenants done after %d epochs" !epochs);
+  let measurements = Array.map Run.finish sessions in
+  let agg = Histogram.create () in
+  Array.iter
+    (fun (m : Measurement.t) ->
+      match m.Measurement.latency_metered with
+      | Some h -> Histogram.merge_into ~dst:agg h
+      | None -> ())
+    measurements;
+  let per_tenant =
+    Array.to_list
+      (Array.mapi
+         (fun i (m : Measurement.t) ->
+           let metered = m.Measurement.latency_metered in
+           {
+             tenant = i;
+             bench = m.Measurement.benchmark;
+             completed = Measurement.completed m;
+             requests = requests.(i);
+             deadline_misses = misses.(i);
+             metered_mean_ms =
+               (match metered with
+               | Some h -> Units.ms_of_cycles (int_of_float (Histogram.mean h))
+               | None -> 0.0);
+             metered_p99_ms =
+               (match metered with
+               | Some h -> Units.ms_of_cycles (Histogram.percentile h 99.0)
+               | None -> 0.0);
+             limit_changes = m.Measurement.limit_changes;
+             peak_words = m.Measurement.heap_limit_peak_words;
+             mean_footprint_words = Measurement.mean_footprint_words m;
+           })
+         measurements)
+  in
+  {
+    gc = Registry.name gc;
+    controller = Controller.name controller;
+    tenants;
+    budget_words;
+    deadline_ms;
+    per_tenant;
+    total_requests = Array.fold_left ( + ) 0 requests;
+    total_deadline_misses = Array.fold_left ( + ) 0 misses;
+    agg_metered_mean_ms = Units.ms_of_cycles (int_of_float (Histogram.mean agg));
+    agg_metered_p99_ms = Units.ms_of_cycles (Histogram.percentile agg 99.0);
+    total_limit_changes = !total_limit_moves;
+    peak_total_words = !peak_total;
+    wall_cycles =
+      Array.fold_left (fun acc (m : Measurement.t) -> max acc m.Measurement.wall_total) 0
+        measurements;
+  }
+
+let pp_report ppf r =
+  let open Format in
+  fprintf ppf "market: %d tenants, %s + %s, budget %a@." r.tenants r.gc r.controller
+    Units.pp_words r.budget_words;
+  List.iter
+    (fun t ->
+      fprintf ppf
+        "  tenant %d: %s %s: %d requests, %d deadline misses (>%.1fms), metered mean \
+         %.2fms p99 %.2fms, %d limit moves, peak %a, mean footprint %a@."
+        t.tenant t.bench
+        (if t.completed then "ok" else "FAILED")
+        t.requests t.deadline_misses r.deadline_ms t.metered_mean_ms t.metered_p99_ms
+        t.limit_changes Units.pp_words t.peak_words Units.pp_words
+        (int_of_float t.mean_footprint_words))
+    r.per_tenant;
+  fprintf ppf
+    "  aggregate: %d requests, %d deadline misses, metered mean %.2fms p99 %.2fms@."
+    r.total_requests r.total_deadline_misses r.agg_metered_mean_ms r.agg_metered_p99_ms;
+  fprintf ppf "  %d broker limit moves, peak total footprint %a, wall %a@."
+    r.total_limit_changes Units.pp_words r.peak_total_words Units.pp_cycles r.wall_cycles

@@ -1,0 +1,75 @@
+(** The multi-tenant memory market: N simulated runtimes share one
+    machine-wide memory budget under a diurnal request wave.
+
+    Each tenant is a full {!Gcr_runtime.Run.session} advanced in lockstep
+    epochs; a broker owns the budget, asks each tenant's heap-sizing
+    controller for a demand every epoch, scales the demands to fit, and
+    applies the limits with {!Gcr_heap.Heap.set_capacity}.  Under [Fixed]
+    the market is a static even split — the baseline the adaptive
+    controllers (membalancer, monk) are judged against on aggregate
+    metered latency, deadline misses, and footprint. *)
+
+type tenant_summary = {
+  tenant : int;
+  bench : string;
+  completed : bool;
+  requests : int;
+  deadline_misses : int;  (** requests whose metered latency exceeded the deadline *)
+  metered_mean_ms : float;
+  metered_p99_ms : float;
+  limit_changes : int;  (** broker moves applied to this tenant's heap *)
+  peak_words : int;  (** highest limit this tenant ever held *)
+  mean_footprint_words : float;  (** time-weighted mean limit *)
+}
+
+type report = {
+  gc : string;
+  controller : string;
+  tenants : int;
+  budget_words : int;
+  deadline_ms : float;
+  per_tenant : tenant_summary list;
+  total_requests : int;
+  total_deadline_misses : int;
+  agg_metered_mean_ms : float;  (** mean over all tenants' metered requests *)
+  agg_metered_p99_ms : float;
+  total_limit_changes : int;
+  peak_total_words : int;
+      (** highest sum of live tenants' limits observed at an epoch
+          boundary — the machine-wide footprint the budget constrains *)
+  wall_cycles : int;  (** slowest tenant's wall clock *)
+}
+
+val default_epoch_cycles : int
+(** 250k cycles (~70µs simulated) — comfortably past the controllers'
+    decision period, so every epoch can move limits. *)
+
+val default_deadline_ms : float
+(** 10ms. *)
+
+val run :
+  ?bench:string ->
+  ?epoch_cycles:int ->
+  ?deadline_ms:float ->
+  ?log:(string -> unit) ->
+  ?on_tenant_engine:(int -> Gcr_engine.Engine.t -> unit) ->
+  tenants:int ->
+  gc:Gcr_gcs.Registry.kind ->
+  controller:Gcr_policy.Controller.spec ->
+  budget_factor:float ->
+  scale:float ->
+  seed:int ->
+  unit ->
+  report
+(** Run the scenario to completion (every tenant finishes or fails) and
+    report.  [bench] (default ["lusearch"]) must be latency-sensitive;
+    [budget_factor] scales the machine-wide budget relative to
+    [tenants × baseline] where the baseline derives from the spec's
+    live-set estimate; tenant [i] runs seed [seed + 37i] with its arrival
+    wave phase-shifted by [2πi/N].  [on_tenant_engine] fires as each
+    tenant's engine is built — the hook the CLI uses to attach a Perfetto
+    trace to tenant 0.  Deterministic: equal arguments, equal report.
+    Raises [Invalid_argument] for Epsilon (nothing to broker), a
+    non-latency benchmark, or [tenants < 1]. *)
+
+val pp_report : Format.formatter -> report -> unit

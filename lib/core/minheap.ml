@@ -129,6 +129,9 @@ let completes config spec ?state ~tape heap_words =
         Some ((12 * spec.Spec.mutator_threads * spec.Spec.packets_per_thread) + 2_000_000);
       make_collector = None;
       tape;
+      (* probes define the static minimum: controllers never move the
+         limit during a minheap search *)
+      controller = Gcr_policy.Controller.fixed;
     }
   in
   Measurement.completed (Pool.execute ?cache:(Lazy.force result_cache) ?state run_config)

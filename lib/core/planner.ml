@@ -4,6 +4,7 @@ module Registry = Gcr_gcs.Registry
 module Spec = Gcr_workloads.Spec
 module Run = Gcr_runtime.Run
 module Cache_key = Gcr_sched.Cache_key
+module Controller = Gcr_policy.Controller
 
 type cell = {
   index : int;
@@ -11,6 +12,7 @@ type cell = {
   bench : string;
   gc : Registry.kind;
   factor : float;
+  controller : Controller.spec;
   config : Run.config;
   key : string;
 }
@@ -42,11 +44,12 @@ let seed_of ~base_seed ~invocation = base_seed + (1000 * (invocation + 1))
 let with_epsilon gcs =
   if List.mem Registry.Epsilon gcs then gcs else Registry.Epsilon :: gcs
 
-let plan ~invocations ~base_seed ~machine ~cost ~region_words ~heap_factors ~minheap
-    ~specs ~gcs =
+let plan ?(controllers = [ Controller.fixed ]) ~invocations ~base_seed ~machine ~cost
+    ~region_words ~heap_factors ~minheap ~specs ~gcs () =
   let gcs = with_epsilon gcs in
+  let controllers = if controllers = [] then [ Controller.fixed ] else controllers in
   let index = ref 0 in
-  let cell ~invocation ~spec ~seed ~gc ~factor =
+  let cell ~invocation ~spec ~seed ~gc ~factor ~controller =
     let bench = spec.Spec.name in
     let heap_words =
       match gc with
@@ -65,6 +68,7 @@ let plan ~invocations ~base_seed ~machine ~cost ~region_words ~heap_factors ~min
         max_events = None;
         make_collector = None;
         tape = Run.Tape_off;
+        controller;
       }
     in
     let key =
@@ -72,7 +76,7 @@ let plan ~invocations ~base_seed ~machine ~cost ~region_words ~heap_factors ~min
       | Some digest -> digest
       | None -> assert false (* make_collector is None above *)
     in
-    let c = { index = !index; invocation; bench; gc; factor; config; key } in
+    let c = { index = !index; invocation; bench; gc; factor; controller; config; key } in
     incr index;
     c
   in
@@ -88,10 +92,20 @@ let plan ~invocations ~base_seed ~machine ~cost ~region_words ~heap_factors ~min
           List.concat_map
             (fun gc ->
               match gc with
-              | Registry.Epsilon -> [ cell ~invocation ~spec ~seed ~gc ~factor:0.0 ]
+              | Registry.Epsilon ->
+                  (* no heap pressure, nothing for a controller to move:
+                     one cell, always [Fixed] *)
+                  [
+                    cell ~invocation ~spec ~seed ~gc ~factor:0.0
+                      ~controller:Controller.fixed;
+                  ]
               | _ ->
-                  List.map
-                    (fun factor -> cell ~invocation ~spec ~seed ~gc ~factor)
+                  List.concat_map
+                    (fun factor ->
+                      List.map
+                        (fun controller ->
+                          cell ~invocation ~spec ~seed ~gc ~factor ~controller)
+                        controllers)
                     heap_factors)
             gcs
         in

@@ -21,6 +21,8 @@ type cell = {
   bench : string;
   gc : Gcr_gcs.Registry.kind;
   factor : float;  (** heap factor; 0.0 for Epsilon *)
+  controller : Gcr_policy.Controller.spec;
+      (** heap-sizing controller; always [Fixed] for Epsilon *)
   config : Gcr_runtime.Run.config;  (** carries [Tape_off]; executors attach tapes *)
   key : string;  (** {!Gcr_sched.Cache_key.of_config} digest *)
 }
@@ -50,6 +52,7 @@ val seed_of : base_seed:int -> invocation:int -> int
 (** The per-invocation seed schedule ([base_seed + 1000 × (i + 1)]). *)
 
 val plan :
+  ?controllers:Gcr_policy.Controller.spec list ->
   invocations:int ->
   base_seed:int ->
   machine:Gcr_mach.Machine.t ->
@@ -59,8 +62,12 @@ val plan :
   minheap:(bench:string -> int) ->
   specs:Gcr_workloads.Spec.t list ->
   gcs:Gcr_gcs.Registry.kind list ->
+  unit ->
   t
 (** [specs] must already be scaled; [machine] already memory-scaled;
     [minheap] is consulted once per (benchmark, factor) cell.  Epsilon
     is included implicitly (heap = machine memory, factor 0.0) even when
-    absent from [gcs], leading each benchmark's cell block. *)
+    absent from [gcs], leading each benchmark's cell block.
+    [controllers] (default [[Fixed]], in which case the grid is exactly
+    the historical one) multiplies each non-Epsilon (gc, factor) pair —
+    the innermost axis; Epsilon always runs a single [Fixed] cell. *)

@@ -424,13 +424,19 @@ let process_event t = function
       | Idle | Queued | Parked_safepoint | Parked | Finished -> assert false)
   | Timer cb -> cb ()
 
-let run t ?(max_events = 50_000_000) () =
+(* Shared loop under [run] and [run_until].  [until = Some horizon]
+   additionally pauses — returning [None] — once the next event lies
+   strictly beyond [horizon]; the event stays queued and a later call
+   resumes exactly where this one stopped.  With [until = None] the
+   horizon check compiles away and the loop is the historical [run]. *)
+let run_general t ~until ~max_events =
   let outcome = ref None in
+  let paused = ref false in
   let events_seen = ref 0 in
   (* a stop may have been requested before the engine started *)
   check_stop_ready t;
   dispatch t;
-  while !outcome = None do
+  while !outcome = None && not !paused do
     match t.aborted with
     | Some reason -> outcome := Some (Aborted reason)
     | None ->
@@ -438,17 +444,34 @@ let run t ?(max_events = 50_000_000) () =
         else if Binary_heap.is_empty t.events then
           outcome := Some (Aborted "deadlock: no runnable threads or events")
         else begin
-          incr events_seen;
-          if !events_seen > max_events then outcome := Some (Aborted "event budget exhausted")
-          else begin
-            (* pop_min_value + popped_priority: one heap removal per event,
-               no min_priority peek and no (priority, value) pair. *)
-            let ev = Binary_heap.pop_min_value t.events in
-            advance_clock t (Binary_heap.popped_priority t.events);
-            process_event t ev;
-            check_stop_ready t;
-            dispatch t
-          end
+          match until with
+          | Some horizon when Binary_heap.min_priority t.events > horizon ->
+              paused := true
+          | _ ->
+              incr events_seen;
+              if !events_seen > max_events then
+                outcome := Some (Aborted "event budget exhausted")
+              else begin
+                (* pop_min_value + popped_priority: one heap removal per event,
+                   no min_priority peek and no (priority, value) pair. *)
+                let ev = Binary_heap.pop_min_value t.events in
+                advance_clock t (Binary_heap.popped_priority t.events);
+                process_event t ev;
+                check_stop_ready t;
+                dispatch t
+              end
         end
   done;
-  match !outcome with Some o -> o | None -> assert false
+  match !outcome with
+  | Some o -> Some o
+  | None ->
+      assert !paused;
+      None
+
+let run t ?(max_events = 50_000_000) () =
+  match run_general t ~until:None ~max_events with
+  | Some o -> o
+  | None -> assert false
+
+let run_until t ~time ?(max_events = 50_000_000) () =
+  run_general t ~until:(Some time) ~max_events

@@ -174,3 +174,12 @@ val run : t -> ?max_events:int -> unit -> outcome
     the engine detects that no progress is possible (reported as
     [Aborted "deadlock"]).  [max_events] (default 50 million) guards
     against runaway simulations. *)
+
+val run_until : t -> time:int -> ?max_events:int -> unit -> outcome option
+(** Like {!run}, but additionally pauses once the next queued event lies
+    strictly after [time]: [None] means the simulation is still alive and
+    a later [run_until]/[run] resumes it losslessly (the horizon event
+    stays queued; the clock stays at the last processed event).  The
+    epoch-stepping primitive under the multi-tenant memory market, where
+    several engines advance in lockstep between broker decisions.
+    [Some outcome] means the run ended before the horizon. *)

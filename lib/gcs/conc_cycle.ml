@@ -11,7 +11,9 @@ type t = {
   ctx : Gc_types.ctx;
   pool : Worker_pool.t;
   garbage_threshold : float;
-  reserve_regions : int;
+  reserve_regions : unit -> int;
+      (** re-evaluated at cset selection so controller-driven heap resizes
+          are seen by the very next cycle *)
   concurrent_copy : bool;
   old_only : bool;  (** restrict the cset to old regions (generational mode) *)
   mutable phase : phase;
@@ -96,7 +98,7 @@ let select_cset t =
      ascending-liveness order — each garbage-rich region grows the budget
      for the next.  Only the initial headroom is bounded by the free
      pool. *)
-  let budget = ref (max 0 (Heap.free_regions heap - t.reserve_regions) * region_words) in
+  let budget = ref (max 0 (Heap.free_regions heap - t.reserve_regions ()) * region_words) in
   List.filter
     (fun r ->
       if r.Region.live_words <= !budget then begin

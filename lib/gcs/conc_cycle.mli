@@ -21,14 +21,16 @@ val create :
   Gc_types.ctx ->
   pool:Worker_pool.t ->
   garbage_threshold:float ->
-  reserve_regions:int ->
+  reserve_regions:(unit -> int) ->
   concurrent_copy:bool ->
   ?old_only:bool ->
   unit ->
   t
 (** [garbage_threshold]: regions with more than this fraction of garbage
     enter the cset.  [reserve_regions]: free regions kept out of the
-    evacuation budget.  [concurrent_copy]: use the CAS-guarded copy cost.
+    evacuation budget — a thunk, re-evaluated every cset selection, so a
+    heap resized mid-run by a sizing controller is never budgeted against
+    stale geometry.  [concurrent_copy]: use the CAS-guarded copy cost.
     [old_only]: restrict the cset to old regions (generational
     Shenandoah leaves the young generation to its scavenges). *)
 

@@ -128,6 +128,10 @@ let debug = Sys.getenv_opt "GCR_DEBUG" <> None
 
 let start_cycle s =
   if s.degenerated then s.degenerated_collections <- s.degenerated_collections + 1;
+  (* re-derive the mutator reserve from live geometry: a sizing controller
+     may have grown or shrunk the heap since the last cycle *)
+  Heap.set_alloc_reserve s.ctx.Gc_types.heap
+    (max 2 (Heap.total_regions s.ctx.Gc_types.heap / 10));
   let free_before = Heap.free_regions s.ctx.Gc_types.heap in
   s.free_at_cycle_start <- free_before;
   Conc_cycle.start s.cycle
@@ -151,7 +155,7 @@ let make (ctx : Gc_types.ctx) config =
   let pool = Worker_pool.create ctx ~count:config.conc_workers ~name:"Shenandoah" in
   let cycle =
     Conc_cycle.create ctx ~pool ~garbage_threshold:config.garbage_threshold
-      ~reserve_regions:(max 2 (Heap.total_regions ctx.Gc_types.heap / 20))
+      ~reserve_regions:(fun () -> max 2 (Heap.total_regions ctx.Gc_types.heap / 20))
       ~concurrent_copy:true ()
   in
   let s =

@@ -191,7 +191,7 @@ let make (ctx : Gc_types.ctx) config =
   let conc_pool = Worker_pool.create ctx ~count:config.conc_workers ~name:"GenShen-conc" in
   let cycle =
     Conc_cycle.create ctx ~pool:conc_pool ~garbage_threshold:config.garbage_threshold
-      ~reserve_regions:(max 2 (Heap.total_regions ctx.Gc_types.heap / 20))
+      ~reserve_regions:(fun () -> max 2 (Heap.total_regions ctx.Gc_types.heap / 20))
       ~concurrent_copy:true ~old_only:true ()
   in
   let s =

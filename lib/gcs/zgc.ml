@@ -118,6 +118,10 @@ let rec end_cycle s ~evac_failed =
     start_cycle s
 
 and start_cycle s =
+  (* re-derive the mutator reserve from live geometry: a sizing controller
+     may have grown or shrunk the heap since the last cycle *)
+  Heap.set_alloc_reserve s.ctx.Gc_types.heap
+    (max 2 (Heap.total_regions s.ctx.Gc_types.heap / 10));
   let free_before = Heap.free_regions s.ctx.Gc_types.heap in
   Conc_cycle.start s.cycle
     ~pause:(pause_broker s)
@@ -141,7 +145,7 @@ let make (ctx : Gc_types.ctx) config =
   let pool = Worker_pool.create ctx ~count:config.conc_workers ~name:"ZGC" in
   let cycle =
     Conc_cycle.create ctx ~pool ~garbage_threshold:config.garbage_threshold
-      ~reserve_regions:(max 2 (Heap.total_regions ctx.Gc_types.heap / 20))
+      ~reserve_regions:(fun () -> max 2 (Heap.total_regions ctx.Gc_types.heap / 20))
       ~concurrent_copy:true ()
   in
   let s =

@@ -116,6 +116,58 @@ let reset t ~capacity_words ~region_words =
   | Some o -> Obs.heap_init o ~time:(Obs.now o) ~regions:n ~region_words
   | None -> ()
 
+(* Safepoint-only geometry change: resize the region array in place while
+   objects stay live.  Growth appends fresh free regions; shrink can only
+   drop a trailing run of FREE regions — region indices are baked into the
+   object store, so any non-free region pins every index up to its own.
+   The request is therefore clamped (never an error): the achieved
+   capacity is returned, and a [limit-change] event is emitted iff the
+   geometry actually moved. *)
+let set_capacity t ~capacity_words ~cause_id =
+  let requested = max 2 (capacity_words / t.region_words) in
+  let old_n = Array.length t.regions in
+  let n =
+    if requested >= old_n then requested
+    else begin
+      (* highest non-free index pins the floor *)
+      let hi = ref (-1) in
+      for i = old_n - 1 downto 0 do
+        if !hi < 0 && not (Region.space_equal t.regions.(i).Region.space Region.Free)
+        then hi := i
+      done;
+      max requested (max 2 (!hi + 1))
+    end
+  in
+  if n <> old_n then begin
+    if n < old_n then begin
+      (* every dropped region is free by construction of [n]; surviving
+         pool entries keep their LIFO order *)
+      t.regions <- Array.sub t.regions 0 n;
+      let kept = ref [] in
+      Vec.iter (fun i -> if i < n then kept := i :: !kept) t.free_pool;
+      Vec.clear t.free_pool;
+      List.iter (Vec.push t.free_pool) (List.rev !kept);
+      t.space_regions.(0) <- t.space_regions.(0) - (old_n - n)
+    end
+    else begin
+      let grown =
+        Array.init n (fun i -> if i < old_n then t.regions.(i) else Region.make ~index:i)
+      in
+      t.regions <- grown;
+      (* lowest fresh index on top of the pool, matching [create]'s order *)
+      for i = n - 1 downto old_n do
+        Vec.push t.free_pool i
+      done;
+      t.space_regions.(0) <- t.space_regions.(0) + (n - old_n)
+    end;
+    match t.obs with
+    | Some o ->
+        Obs.limit_change o ~time:(Obs.now o) ~regions:n ~old_regions:old_n
+          ~controller_id:cause_id
+    | None -> ()
+  end;
+  n * t.region_words
+
 let store t = t.store
 
 let region_words t = t.region_words

@@ -28,6 +28,17 @@ val reset : t -> capacity_words:int -> region_words:int -> unit
 val store : t -> Obj_model.store
 (** The underlying object store, for hot loops and tests. *)
 
+val set_capacity : t -> capacity_words:int -> cause_id:int -> int
+(** Resize the region array at a safepoint while the heap stays live —
+    the mechanism under dynamic heap-sizing controllers.  Growth appends
+    fresh free regions; shrink drops only a trailing run of free regions
+    (region indices are baked into the object store), so a request below
+    the highest non-free region — or below two regions — clamps instead
+    of raising.  Returns the capacity actually in effect, and emits a
+    [limit-change] event (tagged with the interned [cause_id]) iff the
+    geometry moved.  Live objects, counters, and {!history_digest} are
+    untouched. *)
+
 (** {1 Geometry and accounting} *)
 
 val region_words : t -> int

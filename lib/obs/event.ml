@@ -85,8 +85,9 @@ let code_heap_init = 14
 let code_region_transition = 15
 let code_request_start = 16
 let code_request_complete = 17
+let code_limit_change = 18
 
-let num_codes = 18
+let num_codes = 19
 
 let code_name = function
   | 0 -> "step-complete"
@@ -107,6 +108,7 @@ let code_name = function
   | 15 -> "region-transition"
   | 16 -> "request-start"
   | 17 -> "request-complete"
+  | 18 -> "limit-change"
   | _ -> "unknown"
 
 (* Step_complete packs kind and in-pause into [b]: b = kind*2 + stw. *)
@@ -136,6 +138,7 @@ type t =
   | Region_transition of { index : int; from_space : int; to_space : int }
   | Request_start of { index : int; tid : int }
   | Request_complete of { index : int; service : int; metered : int }
+  | Limit_change of { regions : int; old_regions : int; controller : string }
 
 let decode ~string_of_id ~code ~a ~b ~c =
   match code with
@@ -158,6 +161,7 @@ let decode ~string_of_id ~code ~a ~b ~c =
   | 15 -> Region_transition { index = a; from_space = b; to_space = c }
   | 16 -> Request_start { index = a; tid = b }
   | 17 -> Request_complete { index = a; service = b; metered = c }
+  | 18 -> Limit_change { regions = a; old_regions = b; controller = string_of_id c }
   | _ -> invalid_arg (Printf.sprintf "Event.decode: unknown code %d" code)
 
 let pp ~string_of_id ppf (time, code, a, b, c) =
@@ -189,3 +193,5 @@ let pp ~string_of_id ppf (time, code, a, b, c) =
   | Request_start { index; tid } -> p "@%d request-start #%d tid=%d" time index tid
   | Request_complete { index; service; metered } ->
       p "@%d request-complete #%d service=%d metered=%d" time index service metered
+  | Limit_change { regions; old_regions; controller } ->
+      p "@%d limit-change %d -> %d regions (%s)" time old_regions regions controller

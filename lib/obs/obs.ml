@@ -40,6 +40,13 @@ module Counters = struct
     mutable heap_regions : int;
     mutable heap_region_words : int;
     mutable region_transitions : int;
+    mutable limit_changes : int;
+    mutable heap_limit_regions : int;  (** live heap limit, in regions *)
+    mutable heap_limit_peak : int;
+    mutable limit_region_cycles : int;
+        (** time-weighted integral of the limit (region·cycles), accrued up
+            to [limit_since]; {!footprint_region_cycles} closes it at [now] *)
+    mutable limit_since : int;
     mutable latency_metered : Histogram.t;
     mutable latency_simple : Histogram.t;
     mutable requests_started : int;
@@ -75,6 +82,11 @@ module Counters = struct
       heap_regions = 0;
       heap_region_words = 0;
       region_transitions = 0;
+      limit_changes = 0;
+      heap_limit_regions = 0;
+      heap_limit_peak = 0;
+      limit_region_cycles = 0;
+      limit_since = 0;
       latency_metered = Histogram.create ();
       latency_simple = Histogram.create ();
       requests_started = 0;
@@ -113,6 +125,11 @@ module Counters = struct
     t.heap_regions <- 0;
     t.heap_region_words <- 0;
     t.region_transitions <- 0;
+    t.limit_changes <- 0;
+    t.heap_limit_regions <- 0;
+    t.heap_limit_peak <- 0;
+    t.limit_region_cycles <- 0;
+    t.limit_since <- 0;
     t.latency_metered <- Histogram.create ();
     t.latency_simple <- Histogram.create ();
     t.requests_started <- 0;
@@ -176,19 +193,38 @@ module Counters = struct
       | 13 (* oom *) -> t.ooms <- t.ooms + 1
       | 14 (* heap-init *) ->
           t.heap_regions <- a;
-          t.heap_region_words <- b
+          t.heap_region_words <- b;
+          t.limit_region_cycles <-
+            t.limit_region_cycles + (t.heap_limit_regions * (time - t.limit_since));
+          t.heap_limit_regions <- a;
+          t.heap_limit_peak <- max t.heap_limit_peak a;
+          t.limit_since <- time
       | 15 (* region-transition *) -> t.region_transitions <- t.region_transitions + 1
       | 16 (* request-start *) -> t.requests_started <- t.requests_started + 1
       | 17 (* request-complete *) ->
           t.requests_completed <- t.requests_completed + 1;
           Histogram.record t.latency_simple b;
           Histogram.record t.latency_metered c
+      | 18 (* limit-change *) ->
+          t.limit_changes <- t.limit_changes + 1;
+          t.heap_regions <- a;
+          t.limit_region_cycles <-
+            t.limit_region_cycles + (t.heap_limit_regions * (time - t.limit_since));
+          t.heap_limit_regions <- a;
+          t.heap_limit_peak <- max t.heap_limit_peak a;
+          t.limit_since <- time
       | _ -> invalid_arg (Printf.sprintf "Obs.Counters.apply: unknown code %d" code)
 
   (* Wall time inside pauses, counting the currently open pause (if any) up
      to [now] — an aborted run's partial pause still costs wall time. *)
   let wall_stw t ~now =
     t.wall_stw_closed + if t.pause_open then now - t.pause_open_start else 0
+
+  (* Memory·time integral of the heap limit (region·cycles), the accrued
+     sum closed at [now] — the live-footprint cost a sizing controller is
+     trying to shrink. *)
+  let footprint_region_cycles t ~now =
+    t.limit_region_cycles + (t.heap_limit_regions * (now - t.limit_since))
 
   (* Flattened scalar view for differential tests: replaying a trace must
      reproduce the same fingerprint as the online fold. *)
@@ -212,6 +248,8 @@ module Counters = struct
         [ t.stalls; t.alloc_stalls; t.alloc_stall_waited;
           t.pacing_stalls; t.pacing_stall_cycles; t.degenerations; t.ooms;
           t.heap_regions; t.heap_region_words; t.region_transitions ];
+        [ t.limit_changes; t.heap_limit_regions; t.heap_limit_peak;
+          footprint_region_cycles t ~now ];
         hist t.latency_metered;
         hist t.latency_simple;
         [ t.requests_started; t.requests_completed ];
@@ -406,6 +444,9 @@ let request_start t ~time ~index ~tid =
 let request_complete t ~time ~index ~service ~metered =
   emit t ~time ~code:Event.code_request_complete ~a:index ~b:service ~c:metered
 
+let limit_change t ~time ~regions ~old_regions ~controller_id =
+  emit t ~time ~code:Event.code_limit_change ~a:regions ~b:old_regions ~c:controller_id
+
 (* ---------- derived views ---------- *)
 
 let wall_stw t ~now = Counters.wall_stw t.counters ~now
@@ -438,6 +479,17 @@ let pauses t =
 let latency_metered t = t.counters.Counters.latency_metered
 
 let latency_simple t = t.counters.Counters.latency_simple
+
+let limit_changes t = t.counters.Counters.limit_changes
+
+let heap_limit_regions t = t.counters.Counters.heap_limit_regions
+
+let heap_region_words t = t.counters.Counters.heap_region_words
+
+let heap_limit_peak_regions t = t.counters.Counters.heap_limit_peak
+
+let footprint_region_cycles t ~now =
+  Counters.footprint_region_cycles t.counters ~now
 
 let decode_event t ~code ~a ~b ~c =
   Event.decode ~string_of_id:(string_of_id t) ~code ~a ~b ~c

@@ -27,6 +27,11 @@ module Counters : sig
   val wall_stw : t -> now:int -> int
   (** Wall cycles inside pauses, counting an open pause up to [now]. *)
 
+  val footprint_region_cycles : t -> now:int -> int
+  (** Time-weighted integral of the heap limit (region·cycles), accrued
+      over [heap-init] and [limit-change] events and closed at [now] —
+      the memory·time cost heap-sizing controllers minimise. *)
+
   val reset : t -> unit
   (** Rewind to the post-{!create} state, keeping grown array capacities.
       The histograms are replaced with fresh ones rather than cleared:
@@ -142,6 +147,12 @@ val request_start : t -> time:int -> index:int -> tid:int -> unit
 val request_complete :
   t -> time:int -> index:int -> service:int -> metered:int -> unit
 
+val limit_change :
+  t -> time:int -> regions:int -> old_regions:int -> controller_id:int -> unit
+(** A heap-sizing controller changed the region-array limit.  Also
+    refreshes the heap-geometry counters ([heap_regions], peak, and the
+    footprint integral). *)
+
 (** {1 Derived views} *)
 
 val wall_stw : t -> now:int -> int
@@ -167,6 +178,20 @@ val pauses : t -> pause list
 val latency_metered : t -> Gcr_util.Histogram.t
 
 val latency_simple : t -> Gcr_util.Histogram.t
+
+val limit_changes : t -> int
+(** Number of [limit-change] events folded so far. *)
+
+val heap_limit_regions : t -> int
+(** The live heap limit, in regions (initialised by [heap-init]). *)
+
+val heap_limit_peak_regions : t -> int
+
+val heap_region_words : t -> int
+(** Region size recorded by the last heap-init event; 0 before any. *)
+
+val footprint_region_cycles : t -> now:int -> int
+(** See {!Counters.footprint_region_cycles}. *)
 
 val decode_event : t -> code:int -> a:int -> b:int -> c:int -> Event.t
 

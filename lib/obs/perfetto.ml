@@ -124,7 +124,14 @@ let write_events w obs trace =
       | E.Oom { reason } -> emit_instant w ~time ~tid:safepoint_tid ~cat:"oom" ~name:reason
       | E.Heap_init { regions; region_words = _ } ->
           free_regions := regions;
-          emit_counter w ~time ~name:"regions" ~key:"free" ~value:!free_regions
+          emit_counter w ~time ~name:"regions" ~key:"free" ~value:!free_regions;
+          emit_counter w ~time ~name:"heap-limit" ~key:"regions" ~value:regions
+      | E.Limit_change { regions; old_regions; controller = _ } ->
+          (* grow appends free regions, shrink removes only free ones, so
+             the delta lands entirely on the free counter *)
+          free_regions := !free_regions + (regions - old_regions);
+          emit_counter w ~time ~name:"regions" ~key:"free" ~value:!free_regions;
+          emit_counter w ~time ~name:"heap-limit" ~key:"regions" ~value:regions
       | E.Region_transition { index = _; from_space; to_space } ->
           if from_space = 0 then decr free_regions;
           if to_space = 0 then incr free_regions;

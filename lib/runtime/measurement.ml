@@ -23,6 +23,13 @@ type t = {
   allocated_words : int;
   allocated_objects : int;
   gc_stats : Gcr_gcs.Gc_types.stats;
+  limit_changes : int;
+  heap_limit_peak_words : int;
+  footprint_word_cycles : float;
+      (** time-weighted integral of the heap limit over the run
+          (word·cycles) — the memory half of the memory·time cost a
+          sizing controller trades against; float because the product
+          overflows 63 bits on long runs *)
 }
 
 let completed t = t.outcome = Completed
@@ -57,8 +64,16 @@ let mean_pause_ms t =
   | 0 -> 0.0
   | n -> Units.ms_of_cycles (Histogram.total t.pause_hist) /. float_of_int n
 
+let mean_footprint_words t =
+  if t.wall_total = 0 then float_of_int t.heap_words
+  else t.footprint_word_cycles /. float_of_int t.wall_total
+
+let memory_time_integral t = t.footprint_word_cycles
+
 let of_obs ~benchmark ~gc ~heap_words ~seed ~outcome ~wall_total ~has_latency
     ~allocated_words ~allocated_objects ~gc_stats obs =
+  (* regions → words via the heap-init geometry the spine recorded *)
+  let region_words = Obs.heap_region_words obs in
   {
     benchmark;
     gc;
@@ -77,6 +92,11 @@ let of_obs ~benchmark ~gc ~heap_words ~seed ~outcome ~wall_total ~has_latency
     allocated_words;
     allocated_objects;
     gc_stats;
+    limit_changes = Obs.limit_changes obs;
+    heap_limit_peak_words = Obs.heap_limit_peak_regions obs * region_words;
+    footprint_word_cycles =
+      float_of_int (Obs.footprint_region_cycles obs ~now:wall_total)
+      *. float_of_int region_words;
   }
 
 let failure_line t =

@@ -36,6 +36,14 @@ type t = {
   allocated_words : int;
   allocated_objects : int;
   gc_stats : Gcr_gcs.Gc_types.stats;
+  limit_changes : int;
+      (** heap-limit moves made by the sizing controller (0 under Fixed) *)
+  heap_limit_peak_words : int;
+      (** highest heap limit ever in effect (= [heap_words] under Fixed) *)
+  footprint_word_cycles : float;
+      (** time-weighted integral of the heap limit (word·cycles) — the
+          memory half of the memory·time product sizing controllers
+          minimise; float because the product overflows 63 bits *)
 }
 
 val completed : t -> bool
@@ -68,6 +76,13 @@ val pause_count : t -> int
 
 val mean_pause_ms : t -> float
 (** 0 when there were no pauses. *)
+
+val mean_footprint_words : t -> float
+(** Footprint integral over total wall time: the run's average heap
+    limit.  Equals [heap_words] under Fixed (up to region rounding). *)
+
+val memory_time_integral : t -> float
+(** The raw word·cycles integral ({!field-footprint_word_cycles}). *)
 
 val of_obs :
   benchmark:string ->

@@ -12,6 +12,7 @@ module Longlived = Gcr_workloads.Longlived
 module Latency = Gcr_workloads.Latency
 module Decision_source = Gcr_workloads.Decision_source
 module Tape = Gcr_tape.Tape
+module Controller = Gcr_policy.Controller
 
 type tape_mode =
   | Tape_off
@@ -35,6 +36,7 @@ type config = {
   max_events : int option;
   make_collector : (Gc_types.ctx -> Gc_types.t) option;
   tape : tape_mode;
+  controller : Controller.spec;
 }
 
 let default_region_words = 256
@@ -80,6 +82,7 @@ let default_config ~spec ~gc ~heap_words ~seed =
     max_events = None;
     make_collector = None;
     tape = Tape_off;
+    controller = Controller.fixed;
   }
 
 let check_replay_image config (spec : Spec.t) image =
@@ -99,7 +102,28 @@ let check_replay_image config (spec : Spec.t) image =
       (Decision_source.image_threads image)
       spec.Spec.mutator_threads
 
-let execute ?state ?(on_engine = fun (_ : Engine.t) -> ()) ?on_pause config =
+(* A run split at the engine boundary: [prepare] builds the whole stack
+   and starts the workload without processing a single event; [step]
+   advances it to a time horizon; [finish] runs it to completion and
+   produces the measurement.  [execute] below is prepare∘finish — the
+   historical single-shot path, bit-identical to the pre-split code.  The
+   split exists for the multi-tenant memory market, which interleaves
+   several prepared runs in epochs under one machine-wide budget. *)
+type session = {
+  ses_config : config;
+  ses_engine : Engine.t;
+  ses_heap : Heap.t;
+  ses_obs : Obs.t;
+  ses_gc : Gc_types.t;
+  ses_capacity_words : int;
+  ses_has_latency : bool;
+  ses_max_events : int;
+  ses_capture : unit -> unit;
+  mutable ses_outcome : Engine.outcome option;
+}
+
+let prepare ?state ?(on_engine = fun (_ : Engine.t) -> ()) ?on_pause
+    ?arrivals_override config =
   let setup_started = Unix.gettimeofday () in
   let spec = config.spec in
   (match Spec.validate spec with
@@ -149,6 +173,40 @@ let execute ?state ?(on_engine = fun (_ : Engine.t) -> ()) ?on_pause config =
     | Some make -> make ctx
     | None -> Registry.make config.gc ctx
   in
+  (* The sizing controller observes at pause_end — the world is stopped
+     and this collection's reclamation is complete, so live_words is as
+     honest as it gets and resizing the region array is safe.  [Fixed]
+     wires nothing at all: no subscriber, no events, and therefore a
+     spine bit-identical to a build that predates controllers. *)
+  if not (Controller.is_fixed config.controller) then begin
+    let ctl =
+      Controller.make config.controller
+        ~min_heap_words:(2 * config.region_words)
+        ~max_heap_words:config.machine.Machine.memory_words
+    in
+    let cause_id = Obs.intern obs (Controller.name config.controller) in
+    Obs.subscribe obs
+      {
+        Obs.sub_name = "heap-controller";
+        on_event =
+          (fun ~time ~code ~a:_ ~b:_ ~c:_ ->
+            if code = Gcr_obs.Event.code_pause_end then begin
+              let sample =
+                {
+                  Controller.now = time;
+                  live_words = Heap.live_words_exact heap;
+                  capacity_words = Heap.capacity_words heap;
+                  allocated_words = Heap.words_allocated_total heap;
+                  gc_cycles = Obs.cycles_of_kind obs Gcr_obs.Event.gc_worker_kind;
+                  mutator_cycles = Obs.cycles_of_kind obs Gcr_obs.Event.mutator_kind;
+                }
+              in
+              match Controller.observe ctl sample with
+              | None -> ()
+              | Some w -> ignore (Heap.set_capacity heap ~capacity_words:w ~cause_id)
+            end);
+      }
+  end;
   (* The PRNG split order (long-lived graph, then one stream per mutator
      thread, then the latency schedule) is the contract tapes are recorded
      against — Tape_gen.generate replicates it exactly.  In replay mode no
@@ -235,7 +293,8 @@ let execute ?state ?(on_engine = fun (_ : Engine.t) -> ()) ?on_pause config =
         List.iter Mutator.start_batch mutators;
         None
     | Some _ ->
-        arrivals := arrivals_for ();
+        arrivals :=
+          (match arrivals_override with Some a -> a | None -> arrivals_for ());
         let l = Latency.create ctx ~spec ~mutators ~arrivals:!arrivals in
         Latency.start l;
         Some l
@@ -243,23 +302,68 @@ let execute ?state ?(on_engine = fun (_ : Engine.t) -> ()) ?on_pause config =
   let max_events =
     match config.max_events with Some n -> n | None -> default_max_events spec
   in
-  let simulate_started = Unix.gettimeofday () in
-  Profile.add_setup_s (simulate_started -. setup_started);
+  Profile.add_setup_s (Unix.gettimeofday () -. setup_started);
+  {
+    ses_config = config;
+    ses_engine = engine;
+    ses_heap = heap;
+    ses_obs = obs;
+    ses_gc = gc;
+    ses_capacity_words = capacity_words;
+    ses_has_latency = latency <> None;
+    ses_max_events = max_events;
+    (* Aborted runs still leave a valid tape: the captured prefix plus the
+       cursor's PRNG fallback reproduce any longer sibling run exactly. *)
+    ses_capture = (fun () -> capture_tape sources !arrivals);
+    ses_outcome = None;
+  }
+
+let session_engine s = s.ses_engine
+
+let session_heap s = s.ses_heap
+
+let session_obs s = s.ses_obs
+
+let session_now s = Engine.now s.ses_engine
+
+let step s ~until =
+  match s.ses_outcome with
+  | Some _ -> false
+  | None ->
+      let simulate_started = Unix.gettimeofday () in
+      let r = Engine.run_until s.ses_engine ~time:until ~max_events:s.ses_max_events () in
+      Profile.add_simulate_s (Unix.gettimeofday () -. simulate_started);
+      (match r with
+      | Some o -> s.ses_outcome <- Some o
+      | None -> ());
+      r = None
+
+let finish s =
+  (match s.ses_outcome with
+  | Some _ -> ()
+  | None ->
+      let simulate_started = Unix.gettimeofday () in
+      let o = Engine.run s.ses_engine ~max_events:s.ses_max_events () in
+      Profile.add_simulate_s (Unix.gettimeofday () -. simulate_started);
+      s.ses_outcome <- Some o);
   let outcome =
-    match Engine.run engine ~max_events () with
-    | Engine.All_mutators_finished -> Measurement.Completed
-    | Engine.Aborted reason -> Measurement.Failed reason
+    match s.ses_outcome with
+    | Some Engine.All_mutators_finished -> Measurement.Completed
+    | Some (Engine.Aborted reason) -> Measurement.Failed reason
+    | None -> assert false
   in
-  Profile.add_simulate_s (Unix.gettimeofday () -. simulate_started);
-  (* Aborted runs still leave a valid tape: the captured prefix plus the
-     cursor's PRNG fallback reproduce any longer sibling run exactly. *)
-  capture_tape sources !arrivals;
+  s.ses_capture ();
+  let config = s.ses_config in
+  let spec = config.spec in
   Measurement.of_obs ~benchmark:spec.Spec.name ~gc:(Registry.name config.gc)
-    ~heap_words:capacity_words ~seed:config.seed ~outcome
-    ~wall_total:(Engine.now engine) ~has_latency:(latency <> None)
-    ~allocated_words:(Heap.words_allocated_total heap)
-    ~allocated_objects:(Heap.objects_allocated_total heap)
-    ~gc_stats:(gc.Gc_types.stats ()) obs
+    ~heap_words:s.ses_capacity_words ~seed:config.seed ~outcome
+    ~wall_total:(Engine.now s.ses_engine) ~has_latency:s.ses_has_latency
+    ~allocated_words:(Heap.words_allocated_total s.ses_heap)
+    ~allocated_objects:(Heap.objects_allocated_total s.ses_heap)
+    ~gc_stats:(s.ses_gc.Gc_types.stats ()) s.ses_obs
+
+let execute ?state ?on_engine ?on_pause config =
+  finish (prepare ?state ?on_engine ?on_pause config)
 
 let execute_ideal ~spec ~machine ~seed =
   let config =
@@ -274,6 +378,7 @@ let execute_ideal ~spec ~machine ~seed =
       max_events = None;
       make_collector = None;
       tape = Tape_off;
+      controller = Controller.fixed;
     }
   in
   execute config

@@ -39,6 +39,12 @@ type config = {
       (** where workload decisions come from.  Replay refuses an image
           whose spec digest, seed, or thread count disagree with this
           config ([Invalid_argument]) *)
+  controller : Gcr_policy.Controller.spec;
+      (** the dynamic heap-sizing controller.  [Fixed] (the default)
+          attaches nothing at all — runs are bit-identical to builds that
+          predate controllers.  Non-fixed controllers observe at every
+          pause_end and may grow/shrink the heap between the configured
+          [heap_words] floor and the machine's memory *)
 }
 
 val default_region_words : int
@@ -80,6 +86,43 @@ type probe = {
           collector-independent progress coordinate *)
 }
 (** A safepoint observation window handed to [on_pause] (below). *)
+
+type session
+(** A prepared run whose engine has not finished: the stack is built, the
+    workload is started, and events are processed on demand.  Obtained
+    from {!prepare}; advanced with {!step}; closed with {!finish}.  The
+    multi-tenant memory market interleaves several sessions in epochs. *)
+
+val prepare :
+  ?state:state ->
+  ?on_engine:(Gcr_engine.Engine.t -> unit) ->
+  ?on_pause:(probe -> unit) ->
+  ?arrivals_override:int array ->
+  config ->
+  session
+(** Build the stack and start the workload without processing any events.
+    [arrivals_override] replaces the PRNG-drawn request arrival schedule
+    (latency-sensitive specs only) — the market's diurnal waves enter
+    here, leaving {!Gcr_workloads.Spec} and its digest untouched.  Other
+    optional arguments as in {!execute}. *)
+
+val session_engine : session -> Gcr_engine.Engine.t
+
+val session_heap : session -> Gcr_heap.Heap.t
+
+val session_obs : session -> Gcr_obs.Obs.t
+
+val session_now : session -> int
+(** The session's simulated clock (last processed event). *)
+
+val step : session -> until:int -> bool
+(** Advance until the next event lies strictly beyond [until].  [true]
+    means the run is still in flight; [false] means it ended (finished,
+    aborted, or already over) — {!finish} has the verdict. *)
+
+val finish : session -> Measurement.t
+(** Run any remaining events to completion and produce the measurement.
+    [execute config] ≡ [finish (prepare config)], bit for bit. *)
 
 val execute :
   ?state:state ->

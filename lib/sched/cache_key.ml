@@ -5,8 +5,10 @@ module Spec = Gcr_workloads.Spec
 module Run = Gcr_runtime.Run
 
 (* Bump whenever the rendering, Run semantics, or Measurement layout
-   change incompatibly: old cache entries then miss instead of lying. *)
-let version = "gcr-run-v4"
+   change incompatibly: old cache entries then miss instead of lying.
+   v5: the heap-sizing controller joined the key (and Measurement grew
+   footprint fields). *)
+let version = "gcr-run-v5"
 
 (* Floats are rendered in hex ("%h") so distinct bit patterns never
    collapse to one decimal rendering. *)
@@ -80,6 +82,7 @@ let render (c : Run.config) =
              | Run.Tape_replay image ->
                  "tape=replay:" ^ Gcr_workloads.Decision_source.image_digest image
              | Run.Tape_record _ -> assert false);
+             Gcr_policy.Controller.render c.Run.controller;
            ])
 
 let of_config c = Option.map (fun s -> Digest.to_hex (Digest.string s)) (render c)

@@ -38,6 +38,9 @@ let failed_of_exn (config : Run.config) exn =
     allocated_words = 0;
     allocated_objects = 0;
     gc_stats = Gc_types.no_stats;
+    limit_changes = 0;
+    heap_limit_peak_words = 0;
+    footprint_word_cycles = 0.0;
   }
 
 (* GCR_WARM_CHECK=1: run every warm cell a second time on fresh state and

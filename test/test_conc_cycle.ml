@@ -21,7 +21,7 @@ let setup ?(regions = 64) () =
   in
   let pool = Worker_pool.create ctx ~count:2 ~name:"cycle-test" in
   let cycle =
-    Conc_cycle.create ctx ~pool ~garbage_threshold:0.25 ~reserve_regions:2
+    Conc_cycle.create ctx ~pool ~garbage_threshold:0.25 ~reserve_regions:(fun () -> 2)
       ~concurrent_copy:true ()
   in
   (ctx, heap, engine, cycle)

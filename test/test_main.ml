@@ -28,6 +28,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("latency", Test_latency.suite);
       ("run", Test_run.suite);
+      ("policy", Test_policy.suite);
       ("tape", Test_tape.suite);
       ("obs", Test_obs.suite);
       ("run-props", Test_run_props.suite);

@@ -24,6 +24,9 @@ let measurement ~wall_total ~wall_stw ~cycles_mutator ~cycles_gc ~cycles_gc_stw 
     allocated_words = 0;
     allocated_objects = 0;
     gc_stats = Gcr_gcs.Gc_types.no_stats;
+    limit_changes = 0;
+    heap_limit_peak_words = 1000;
+    footprint_word_cycles = 0.0;
   }
 
 let m =

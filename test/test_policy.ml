@@ -1,0 +1,310 @@
+(* Heap-sizing controllers: spec parsing and rendering, decision
+   behaviour, safe capacity moves on the region heap, bit-identity of the
+   Fixed/passive paths across the collector frontier, and the memory
+   market's aggregate accounting. *)
+
+module Controller = Gcr_policy.Controller
+module Heap = Gcr_heap.Heap
+module Region = Gcr_heap.Region
+module Obj_model = Gcr_heap.Obj_model
+module Registry = Gcr_gcs.Registry
+module Suite = Gcr_workloads.Suite
+module Spec = Gcr_workloads.Spec
+module Run = Gcr_runtime.Run
+module Measurement = Gcr_runtime.Measurement
+module Market = Gcr_core.Market
+module Obs = Gcr_obs.Obs
+module Engine = Gcr_engine.Engine
+
+let check = Alcotest.check
+
+(* ---------- spec: names and cache-key rendering ---------- *)
+
+let test_of_name () =
+  List.iter
+    (fun n ->
+      check Alcotest.bool (n ^ " resolves") true (Controller.of_name n <> None))
+    Controller.valid_names;
+  check Alcotest.bool "case-insensitive" true
+    (Controller.of_name "MemBalancer" = Some Controller.membalancer);
+  check Alcotest.bool "none aliases fixed" true
+    (Controller.of_name "none" = Some Controller.fixed);
+  check Alcotest.bool "off aliases fixed" true
+    (Controller.of_name "off" = Some Controller.fixed);
+  check Alcotest.bool "sqrt aliases membalancer" true
+    (Controller.of_name "sqrt" = Some Controller.membalancer);
+  check Alcotest.bool "opportunistic aliases monk" true
+    (Controller.of_name "opportunistic" = Some Controller.monk);
+  check Alcotest.bool "unknown rejected" true (Controller.of_name "bogus" = None);
+  List.iter
+    (fun n ->
+      let c = Option.get (Controller.of_name n) in
+      check Alcotest.string "canonical name round-trips" n
+        (Controller.name c))
+    Controller.valid_names
+
+(* Distinct specs must render distinctly: the render string is the cache
+   key's controller field, and a collision would replay one controller's
+   measurement as another's. *)
+let test_render_distinct () =
+  let specs =
+    [
+      Controller.fixed;
+      Controller.membalancer;
+      Controller.monk;
+      Controller.Membalancer { tuning = 1024.0; min_period = Controller.default_min_period };
+      Controller.Membalancer { tuning = 65536.0; min_period = 1 };
+      Controller.Monk { target_overhead = 0.20; band = 0.5; min_period = Controller.default_min_period };
+      Controller.Monk { target_overhead = 0.08; band = 0.1; min_period = Controller.default_min_period };
+    ]
+  in
+  let renders = List.map Controller.render specs in
+  List.iteri
+    (fun i ri ->
+      List.iteri
+        (fun j rj ->
+          if i < j then
+            check Alcotest.bool
+              (Printf.sprintf "render %d vs %d distinct" i j)
+              true (not (String.equal ri rj)))
+        renders)
+    renders
+
+(* ---------- decisions: rate limit, dead band, clamps ---------- *)
+
+let sample ~now ~live ~capacity ~gc ~mutator =
+  {
+    Controller.now;
+    live_words = live;
+    capacity_words = capacity;
+    allocated_words = 0;
+    gc_cycles = gc;
+    mutator_cycles = mutator;
+  }
+
+let test_rate_limit () =
+  let c = Controller.make Controller.membalancer ~min_heap_words:128 ~max_heap_words:1_000_000 in
+  (* before min_period elapses no decision fires, however hot GC runs *)
+  check Alcotest.bool "early sample suppressed" true
+    (Controller.observe c (sample ~now:50_000 ~live:10_000 ~capacity:12_000 ~gc:40_000 ~mutator:10_000)
+     = None);
+  (* past the period, a hot GC fraction grows the heap *)
+  (match
+     Controller.observe c
+       (sample ~now:200_000 ~live:10_000 ~capacity:12_000 ~gc:100_000 ~mutator:100_000)
+   with
+  | Some w -> check Alcotest.bool "grows above current" true (w > 12_000)
+  | None -> Alcotest.fail "expected a grow decision");
+  (* immediately after a decision the limiter re-arms *)
+  check Alcotest.bool "follow-up suppressed" true
+    (Controller.observe c
+       (sample ~now:210_000 ~live:10_000 ~capacity:20_000 ~gc:110_000 ~mutator:105_000)
+     = None)
+
+let test_fixed_never_decides () =
+  let c = Controller.make Controller.fixed ~min_heap_words:128 ~max_heap_words:1_000_000 in
+  check Alcotest.bool "fixed is silent" true
+    (Controller.observe c
+       (sample ~now:10_000_000 ~live:10_000 ~capacity:12_000 ~gc:9_000_000 ~mutator:1)
+     = None)
+
+let test_monk_dead_band () =
+  let mk () = Controller.make Controller.monk ~min_heap_words:128 ~max_heap_words:1_000_000 in
+  (* hot: gc fraction far above the 8% target -> grow *)
+  (match
+     Controller.observe (mk ())
+       (sample ~now:200_000 ~live:50_000 ~capacity:100_000 ~gc:100_000 ~mutator:100_000)
+   with
+  | Some w -> check Alcotest.bool "hot grows" true (w > 100_000)
+  | None -> Alcotest.fail "expected a grow decision");
+  (* cold: essentially no GC -> shrink (clamped to live + headroom) *)
+  (match
+     Controller.observe (mk ())
+       (sample ~now:200_000 ~live:50_000 ~capacity:100_000 ~gc:0 ~mutator:200_000)
+   with
+  | Some w ->
+      check Alcotest.bool "cold shrinks" true (w < 100_000);
+      check Alcotest.bool "never below live + headroom" true (w >= 50_000 + (50_000 / 4))
+  | None -> Alcotest.fail "expected a shrink decision");
+  (* in band: 8% +/- 50% -> no decision *)
+  check Alcotest.bool "in-band is silent" true
+    (Controller.observe (mk ())
+       (sample ~now:200_000 ~live:50_000 ~capacity:100_000 ~gc:16_000 ~mutator:184_000)
+     = None)
+
+let test_clamps () =
+  let c =
+    Controller.make
+      (Controller.Membalancer { tuning = 1.0e18; min_period = 1 })
+      ~min_heap_words:128 ~max_heap_words:40_000
+  in
+  (* an absurd tuning wants an enormous heap; the machine bound caps it *)
+  match
+    Controller.observe c
+      (sample ~now:200_000 ~live:10_000 ~capacity:12_000 ~gc:100_000 ~mutator:100_000)
+  with
+  | Some w -> check Alcotest.int "capped at machine memory" 40_000 w
+  | None -> Alcotest.fail "expected a decision"
+
+(* ---------- Heap.set_capacity: safe grow/shrink at a safepoint ---------- *)
+
+let region_words = 64
+
+(* A heap with [taken] regions occupied (one small object each) and the
+   rest free, mimicking a mid-run safepoint. *)
+let occupied_heap ~regions ~taken =
+  let h = Heap.create ~capacity_words:(regions * region_words) ~region_words () in
+  let objs =
+    List.init taken (fun _ ->
+        let r = Option.get (Heap.take_free_region h ~space:Region.Old) in
+        let o = Heap.alloc_in_region h r ~size:8 ~nfields:0 in
+        assert (not (Obj_model.is_null o));
+        o)
+  in
+  (h, objs)
+
+let prop_set_capacity_safe =
+  QCheck.Test.make ~name:"set_capacity preserves live set and digest" ~count:200
+    QCheck.(triple (int_range 2 24) (int_range 0 24) (int_range 0 64))
+    (fun (regions, taken, target_regions) ->
+      let taken = min taken regions in
+      let h, objs = occupied_heap ~regions ~taken in
+      let digest_before = Heap.history_digest h in
+      let live_before = Heap.live_words_exact h in
+      let returned =
+        Heap.set_capacity h ~capacity_words:(target_regions * region_words) ~cause_id:0
+      in
+      (* every object survives the move *)
+      List.for_all (Heap.is_live h) objs
+      && Heap.live_words_exact h = live_before
+      (* the history digest never sees a resize *)
+      && Heap.history_digest h = digest_before
+      (* geometry invariants: the return value is the real capacity, at
+         least two regions, and never below the occupied prefix *)
+      && returned = Heap.capacity_words h
+      && Heap.total_regions h >= 2
+      && Heap.total_regions h >= taken
+      && Heap.free_regions h = Heap.total_regions h - taken
+      (* and a grow request is honoured exactly *)
+      && (target_regions <= regions
+         || Heap.total_regions h = max 2 target_regions))
+
+let test_shrink_clamps_to_live () =
+  let h, objs = occupied_heap ~regions:8 ~taken:5 in
+  (* asking for one region clamps to the five occupied (never raises) *)
+  let w = Heap.set_capacity h ~capacity_words:region_words ~cause_id:0 in
+  check Alcotest.int "clamped to occupied prefix" (5 * region_words) w;
+  check Alcotest.int "regions" 5 (Heap.total_regions h);
+  check Alcotest.bool "live set intact" true (List.for_all (Heap.is_live h) objs);
+  (* growing back restores free regions *)
+  let w = Heap.set_capacity h ~capacity_words:(10 * region_words) ~cause_id:0 in
+  check Alcotest.int "regrown" (10 * region_words) w;
+  check Alcotest.int "free regions" 5 (Heap.free_regions h);
+  (* the freed regions are allocatable *)
+  check Alcotest.bool "new region usable" true
+    (Heap.take_free_region h ~space:Region.Eden <> None)
+
+(* ---------- Fixed / passive wiring is invisible, frontier-wide ---------- *)
+
+let tiny = Spec.scale (Suite.find_exn "jme") 0.05
+
+let tiny_config ~gc ~controller =
+  let heap_words = 40_000 in
+  { (Run.default_config ~spec:tiny ~gc ~heap_words ~seed:11) with Run.controller }
+
+let execute_with_fingerprint config =
+  let captured = ref None in
+  let on_engine engine = captured := Some (Engine.obs engine) in
+  let m = Run.execute ~on_engine config in
+  let fp =
+    match !captured with
+    | Some obs -> Obs.fingerprint obs ~now:(Obs.now obs)
+    | None -> []
+  in
+  (m, fp)
+
+(* A controller that subscribes (samples the heap at every pause end) but
+   whose rate limit never lets a decision fire.  If the wiring itself
+   perturbed the run — an extra event, a counter nudge, an interned
+   string leaking into the fingerprint — this catches it on every
+   collector in the frontier. *)
+let passive =
+  Controller.Membalancer { tuning = 65536.0; min_period = max_int }
+
+let test_fixed_bit_identical_frontier () =
+  List.iter
+    (fun gc ->
+      let name = Registry.name gc in
+      let m_fixed, fp_fixed =
+        execute_with_fingerprint (tiny_config ~gc ~controller:Controller.fixed)
+      in
+      let m_passive, fp_passive =
+        execute_with_fingerprint (tiny_config ~gc ~controller:passive)
+      in
+      check Alcotest.bool (name ^ ": measurements bit-identical") true
+        (m_fixed = m_passive);
+      check (Alcotest.list Alcotest.int) (name ^ ": fingerprints identical") fp_fixed
+        fp_passive;
+      check Alcotest.int (name ^ ": fixed moves no limits") 0
+        m_fixed.Measurement.limit_changes)
+    Registry.frontier
+
+(* Active controllers stay deterministic and safe: same config, same
+   measurement, and the run completes with the limit trajectory recorded. *)
+let test_active_deterministic () =
+  List.iter
+    (fun controller ->
+      let config = tiny_config ~gc:Registry.G1 ~controller in
+      let a = Run.execute config and b = Run.execute config in
+      let name = Controller.name controller in
+      check Alcotest.bool (name ^ ": deterministic") true (a = b);
+      check Alcotest.bool (name ^ ": completed") true
+        (a.Measurement.outcome = Measurement.Completed);
+      (* peak is region-rounded, so compare against the region floor of
+         the configured heap rather than the raw word count *)
+      check Alcotest.bool (name ^ ": peak recorded") true
+        (a.Measurement.heap_limit_peak_words > 0))
+    [ Controller.membalancer; Controller.monk ]
+
+(* ---------- market smoke: determinism and aggregate accounting ---------- *)
+
+let test_market_accounting () =
+  let run () =
+    Market.run ~tenants:2 ~gc:Registry.G1 ~controller:Controller.membalancer
+      ~budget_factor:0.9 ~scale:0.05 ~seed:5 ()
+  in
+  let r = run () in
+  check Alcotest.int "two tenants" 2 (List.length r.Market.per_tenant);
+  check Alcotest.bool "all completed" true
+    (List.for_all (fun t -> t.Market.completed) r.Market.per_tenant);
+  check Alcotest.int "requests sum" r.Market.total_requests
+    (List.fold_left (fun acc t -> acc + t.Market.requests) 0 r.Market.per_tenant);
+  check Alcotest.int "misses sum" r.Market.total_deadline_misses
+    (List.fold_left (fun acc t -> acc + t.Market.deadline_misses) 0 r.Market.per_tenant);
+  check Alcotest.bool "requests flowed" true (r.Market.total_requests > 0);
+  (* the broker may exceed the budget only through the live + 25% floors
+     (it never shrinks a tenant below its live set), so the peak stays
+     bounded — it cannot run away past the tenants' combined peaks *)
+  check Alcotest.bool "peak footprint recorded" true
+    (r.Market.peak_total_words > 0
+    && r.Market.peak_total_words
+       <= List.fold_left (fun acc t -> acc + t.Market.peak_words) 0 r.Market.per_tenant);
+  (* equal arguments, equal report *)
+  check Alcotest.bool "deterministic" true (run () = r)
+
+let suite =
+  [
+    Alcotest.test_case "of_name aliases" `Quick test_of_name;
+    Alcotest.test_case "render is injective" `Quick test_render_distinct;
+    Alcotest.test_case "decision rate limit" `Quick test_rate_limit;
+    Alcotest.test_case "fixed never decides" `Quick test_fixed_never_decides;
+    Alcotest.test_case "monk dead band" `Quick test_monk_dead_band;
+    Alcotest.test_case "decisions clamp to machine" `Quick test_clamps;
+    QCheck_alcotest.to_alcotest prop_set_capacity_safe;
+    Alcotest.test_case "shrink clamps to live regions" `Quick test_shrink_clamps_to_live;
+    Alcotest.test_case "fixed == passive across frontier" `Slow
+      test_fixed_bit_identical_frontier;
+    Alcotest.test_case "active controllers deterministic" `Quick
+      test_active_deterministic;
+    Alcotest.test_case "market aggregate accounting" `Quick test_market_accounting;
+  ]
