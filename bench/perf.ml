@@ -42,6 +42,8 @@ module Tape_gen = Gcr_workloads.Tape_gen
 module Decision_source = Gcr_workloads.Decision_source
 module Harness = Gcr_core.Harness
 module Minheap = Gcr_core.Minheap
+module Fabric = Gcr_sched.Fabric
+module Transport = Gcr_sched.Transport
 
 (* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
@@ -557,6 +559,156 @@ let bench_campaign ~smoke ~workers ~jobs =
   done;
   1.0 /. !best
 
+(* The same grid over the socket transport on loopback: the coordinator
+   binds an ephemeral port and the workers are forked [worker_connect]
+   children with no artifact store, so every tape crosses the wire and
+   every result rides a marshalled batch frame.  The spread between this
+   and the pipe figure above is the TCP framing + tape-transfer tax the
+   cross-host deployment pays. *)
+let fork_socket_worker ~port =
+  match Unix.fork () with
+  | 0 ->
+      (* the connect banner is progress chatter, not bench output *)
+      (let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+       Unix.dup2 devnull Unix.stderr;
+       Unix.close devnull);
+      Unix._exit
+        (match
+           Fabric.worker_connect ~host:"127.0.0.1" ~port ~retry_for:20.0 ()
+         with
+        | Ok code -> code
+        | Error msg ->
+            Printf.eprintf "bench worker: %s\n%!" msg;
+            3)
+  | pid -> pid
+
+let bench_dist_campaign ~smoke ~workers =
+  let config, spec = campaign_grid ~smoke in
+  let pids = ref [] in
+  let config =
+    {
+      config with
+      Harness.workers = Some workers;
+      jobs = 1;
+      listen = Some ("127.0.0.1", 0);
+      connect_timeout = 30.0;
+      on_listen =
+        Some
+          (fun port ->
+            for _ = 1 to workers do
+              pids := fork_socket_worker ~port :: !pids
+            done);
+    }
+  in
+  let reps = if smoke then 1 else 2 in
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let campaign =
+      Harness.run_campaign config ~benchmarks:[ spec ] ~gcs:Registry.production
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    List.iter (fun pid -> ignore (Unix.waitpid [] pid)) !pids;
+    pids := [];
+    let cells = (Harness.summary campaign).Harness.cells in
+    best := min !best (dt /. float_of_int cells)
+  done;
+  1.0 /. !best
+
+(* Size-aware vs round-robin dealing on a deliberately skewed grid: six
+   specs spanning a ~30x per-group cost range, three invocations each on
+   four workers.  Group sizes are diverse (the classic LPT instance),
+   so cost-blind plan-order dealing stacks two big groups on one worker
+   while a neighbour prefetches two featherweights, and only
+   tail-stealing partially recovers; size-aware dealing sorts the ready
+   list by cost *and* balances queued cost across workers, so the big
+   groups are spread from the start.  The residual gap is modest by
+   design — queue-based dealing and prefetch stealing bound any
+   straggler penalty — which is itself a property this kernel
+   documents. *)
+let bench_sched_skew ~smoke ~workers =
+  let specs =
+    List.map Suite.find_exn
+      [ "jme"; "luindex"; "batik"; "fop"; "h2"; "lusearch" ]
+  in
+  let config =
+    {
+      (Harness.default_config ()) with
+      Harness.invocations = 3;
+      scale = 0.02;
+      heap_factors = (if smoke then [ 1.9 ] else [ 1.9; 3.0 ]);
+      log_progress = false;
+      cache_dir = None;
+      jobs = 1;
+      workers = Some workers;
+    }
+  in
+  (* settle every spec's minheap outside the timed region so the probe
+     wave doesn't pollute the scheduler comparison *)
+  List.iter
+    (fun spec ->
+      ignore
+        (Minheap.find
+           ~config:
+             {
+               Minheap.machine = config.Harness.machine;
+               cost = config.Harness.cost;
+               region_words = config.Harness.region_words;
+               seed = config.Harness.base_seed;
+               gc = Registry.G1;
+               tapes = config.Harness.tapes;
+             }
+           (Spec.scale spec config.Harness.scale)))
+    specs;
+  let time sched =
+    let config = { config with Harness.sched = Some sched } in
+    let t0 = Unix.gettimeofday () in
+    let campaign =
+      Harness.run_campaign config ~benchmarks:specs ~gcs:Registry.production
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, (Harness.summary campaign).Harness.cells)
+  in
+  (* interleave the reps so slow host phases hit both schedulers alike,
+     and keep the best of each: the comparison is about deal order, not
+     about who drew the noisier time slice *)
+  let reps = if smoke then 1 else 3 in
+  let best_sa = ref infinity and best_rr = ref infinity and cells = ref 1 in
+  for _ = 1 to reps do
+    let dt_sa, n = time Fabric.Size_aware in
+    let dt_rr, _ = time Fabric.Round_robin in
+    best_sa := min !best_sa dt_sa;
+    best_rr := min !best_rr dt_rr;
+    cells := n
+  done;
+  (float_of_int !cells /. !best_sa, float_of_int !cells /. !best_rr)
+
+(* Socket-frame overhead in isolation: a request/reply pair of modest
+   frames over a Unix socketpair, both endpoints in-process.  µs per
+   roundtrip (encode + checksum + write + read + verify + decode, twice);
+   the floor under every fabric message that isn't a tape transfer. *)
+let bench_frame_roundtrip ~frames ~reps =
+  let a, z = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let req = Transport.of_socket a and rsp = Transport.of_socket z in
+  let payload = String.init 512 (fun i -> Char.chr (i land 0xff)) in
+  let scratch = Buffer.create 1024 in
+  let run () =
+    for _ = 1 to frames do
+      Transport.send ~scratch req ~tag:'B' payload;
+      (match Transport.recv rsp with
+      | Some ('B', _) -> ()
+      | _ -> failwith "frame roundtrip: bad request frame");
+      Transport.send ~scratch rsp ~tag:'A' payload;
+      match Transport.recv req with
+      | Some ('A', _) -> ()
+      | _ -> failwith "frame roundtrip: bad reply frame"
+    done
+  in
+  let dt = best_of reps run in
+  Transport.close req;
+  Transport.close rsp;
+  dt *. 1e6 /. float_of_int frames
+
 let run_campaign_kernels () =
   let smoke = options.smoke in
   (* warm the in-process minheap memo outside every timed region (the
@@ -588,6 +740,19 @@ let run_campaign_kernels () =
   record ~tracked:false "campaign/cold_cells_per_sec" fabric_cold "cells/s"
     Higher_is_better;
   record ~tracked:false "campaign/warm_speedup_vs_cold" (fabric /. fabric_cold) "x"
+    Higher_is_better;
+  (* socket fabric and the scheduler A/B also fork — they too must stay
+     ahead of the domain-spawning pool kernels *)
+  let dist = bench_dist_campaign ~smoke ~workers:4 in
+  record "campaign/dist_cells_per_sec" dist "cells/s" Higher_is_better;
+  record ~tracked:false "campaign/dist_tax_vs_pipe" (fabric /. dist) "x"
+    Lower_is_better;
+  let sa, rr = bench_sched_skew ~smoke ~workers:4 in
+  record ~tracked:false "campaign/sizeaware_cells_per_sec" sa "cells/s"
+    Higher_is_better;
+  record ~tracked:false "campaign/roundrobin_cells_per_sec" rr "cells/s"
+    Higher_is_better;
+  record ~tracked:false "campaign/sizeaware_speedup_vs_rr" (sa /. rr) "x"
     Higher_is_better;
   let pool_serial = bench_campaign ~smoke ~workers:None ~jobs:1 in
   record ~tracked:false "campaign/pool_j1_cells_per_sec" pool_serial "cells/s"
@@ -621,6 +786,12 @@ let run_wall_clock () =
     bench_tape_decisions ~passes:(if options.smoke then 4 else 16) ~reps
   in
   record "tape/decisions_per_sec" decisions "decisions/s" Higher_is_better;
+  record ~tracked:false "tape/replay_draw_ns" (1e9 /. decisions) "ns/draw"
+    Lower_is_better;
+  let roundtrip =
+    bench_frame_roundtrip ~frames:(if options.smoke then 2_000 else 10_000) ~reps
+  in
+  record "fabric/frame_roundtrip_us" roundtrip "us/roundtrip" Lower_is_better;
   let warm_us, fresh_us =
     bench_warm_overhead
       ~cells:(if options.smoke then 20 else 60)

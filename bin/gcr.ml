@@ -97,9 +97,41 @@ let workers_arg =
     "Forked worker processes executing the campaign through the multi-process \
      fabric (default: $(b,GCR_WORKERS) if set, else in-process).  Each worker owns \
      a whole OCaml runtime, so throughput scales with cores; campaign output is \
-     bit-identical for every worker count."
+     bit-identical for every worker count.  When both $(b,--workers) and \
+     $(b,--jobs) are given, the fabric wins: $(b,--jobs) is ignored with a notice."
   in
   Arg.(value & opt (some int) None & info [ "w"; "workers" ] ~docv:"N" ~doc)
+
+let listen_arg =
+  let doc =
+    "With $(b,--workers N): accept the N workers as TCP connections at \
+     $(i,HOST:PORT) instead of forking them — start each with \
+     $(b,gcr worker --connect HOST:PORT).  Port 0 binds an ephemeral port.  \
+     Campaign output stays bit-identical to the forked fabric and to in-process \
+     runs."
+  in
+  Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
+
+let connect_timeout_arg =
+  let doc =
+    "Seconds to wait for $(b,--listen) workers to connect before proceeding with \
+     however many arrived (the coordinator backstops an empty fleet inline)."
+  in
+  Arg.(value & opt float 30.0 & info [ "connect-timeout" ] ~docv:"S" ~doc)
+
+(* HOST:PORT with the port after the last ':' so bare IPv6 addresses keep
+   working once resolve_addr learns about them. *)
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "expected HOST:PORT, got %S" s)
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 65535 ->
+          Ok ((if host = "" then "127.0.0.1" else host), p)
+      | Some p -> Error (Printf.sprintf "port %d out of range" p)
+      | None -> Error (Printf.sprintf "expected HOST:PORT, got %S" s))
 
 let cache_dir_arg =
   let doc =
@@ -208,9 +240,35 @@ let no_tapes_arg =
   in
   Arg.(value & flag & info [ "no-tapes" ] ~doc)
 
-let harness_config ?(controllers = [ Controller.fixed ]) ~invocations ~scale ~seed
-    ~factors ~quiet ~jobs ~workers ~cache_dir ~no_tapes () =
+let resolve_listen = function
+  | None -> None
+  | Some s -> (
+      match parse_host_port s with
+      | Ok hp -> Some hp
+      | Error msg ->
+          Printf.eprintf "gcr: invalid --listen address: %s\n%!" msg;
+          exit failed_run_exit)
+
+let harness_config ?(controllers = [ Controller.fixed ]) ?listen
+    ?(connect_timeout = 30.0) ~invocations ~scale ~seed ~factors ~quiet ~jobs ~workers
+    ~cache_dir ~no_tapes () =
   let defaults = Harness.default_config () in
+  let workers = resolve_workers workers in
+  (* Both parallelism knobs at once: the fabric subsumes the domain pool,
+     so it wins — but say so rather than silently ignoring a flag. *)
+  (match (workers, jobs) with
+  | Some w, Some j ->
+      Printf.eprintf
+        "gcr: both --workers %d and --jobs %d given; the multi-process fabric wins \
+         and --jobs is ignored\n%!"
+        w j
+  | _ -> ());
+  let listen = resolve_listen listen in
+  (match (listen, workers) with
+  | Some _, None ->
+      Printf.eprintf "gcr: --listen requires --workers N (the fleet size)\n%!";
+      exit failed_run_exit
+  | _ -> ());
   {
     defaults with
     Harness.invocations;
@@ -219,10 +277,12 @@ let harness_config ?(controllers = [ Controller.fixed ]) ~invocations ~scale ~se
     heap_factors = factors;
     log_progress = not quiet;
     jobs = resolve_jobs jobs;
-    workers = resolve_workers workers;
+    workers;
     cache_dir = resolve_cache_dir cache_dir;
     tapes = defaults.Harness.tapes && not no_tapes;
     controllers;
+    listen;
+    connect_timeout;
   }
 
 (* ---------- list ---------- *)
@@ -409,11 +469,11 @@ let minheap_cmd =
 
 (* ---------- campaign-backed commands ---------- *)
 
-let build_campaign ?controllers benchmarks gcs invocations scale seed factors quiet jobs
-    workers cache_dir no_tapes =
+let build_campaign ?controllers ?listen ?connect_timeout benchmarks gcs invocations
+    scale seed factors quiet jobs workers cache_dir no_tapes =
   let config =
-    harness_config ?controllers ~invocations ~scale ~seed ~factors ~quiet ~jobs ~workers
-      ~cache_dir ~no_tapes ()
+    harness_config ?controllers ?listen ?connect_timeout ~invocations ~scale ~seed
+      ~factors ~quiet ~jobs ~workers ~cache_dir ~no_tapes ()
   in
   Harness.run_campaign config ~benchmarks:(default_benchmarks benchmarks)
     ~gcs:(default_gcs gcs)
@@ -508,11 +568,11 @@ let profile_arg =
 
 let campaign_cmd =
   let run benchmarks gcs invocations scale seed factors quiet jobs workers cache_dir
-      no_tapes profile controller_names =
+      no_tapes profile controller_names listen connect_timeout =
     let controllers = resolve_controllers controller_names in
     let campaign =
-      build_campaign ~controllers benchmarks gcs invocations scale seed factors quiet
-        jobs workers cache_dir no_tapes
+      build_campaign ~controllers ?listen ~connect_timeout benchmarks gcs invocations
+        scale seed factors quiet jobs workers cache_dir no_tapes
     in
     print_artefact campaign "all";
     let s = Harness.summary campaign in
@@ -531,7 +591,62 @@ let campaign_cmd =
     Term.(
       const run $ benchmarks_arg $ gcs_arg $ invocations_arg $ scale_arg $ seed_arg
       $ factors_arg $ quiet_arg $ jobs_arg $ workers_arg $ cache_dir_arg $ no_tapes_arg
-      $ profile_arg $ controllers_arg)
+      $ profile_arg $ controllers_arg $ listen_arg $ connect_timeout_arg)
+
+(* ---------- worker ---------- *)
+
+let worker_cmd =
+  let run connect store_dir retry_for =
+    let host, port =
+      match parse_host_port connect with
+      | Ok hp -> hp
+      | Error msg ->
+          Printf.eprintf "gcr: invalid --connect address: %s\n%!" msg;
+          exit failed_run_exit
+    in
+    let store =
+      match store_dir with
+      | None -> None
+      | Some dir -> (
+          try Some (Gcr_sched.Artifact_store.create ~dir)
+          with Sys_error msg ->
+            Printf.eprintf "gcr: unusable store directory: %s\n%!" msg;
+            exit 1)
+    in
+    match Gcr_sched.Fabric.worker_connect ~host ~port ?store ~retry_for () with
+    | Ok code -> exit code
+    | Error msg ->
+        Printf.eprintf "gcr: %s\n%!" msg;
+        exit failed_run_exit
+  in
+  let connect_arg =
+    let doc =
+      "Coordinator address — the $(i,HOST:PORT) a $(b,gcr campaign --listen) \
+       coordinator is accepting on.  Refused connections are retried until \
+       $(b,--retry-for) elapses, so workers can start before the coordinator."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let store_arg =
+    let doc =
+      "Content-addressed artifact store for tapes and cached results (point \
+       co-located workers at the coordinator's $(b,--cache-dir)).  Without it the \
+       worker fetches tapes over the socket — digest-verified on receipt — and \
+       caches nothing."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let retry_for_arg =
+    let doc = "Seconds to keep retrying a refused connection." in
+    Arg.(value & opt float 30.0 & info [ "retry-for" ] ~docv:"S" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Join a campaign coordinator over TCP and execute dealt cell groups until \
+          told to quit (the cross-host half of `gcr campaign --listen`)")
+    Term.(const run $ connect_arg $ store_arg $ retry_for_arg)
 
 (* ---------- ablations ---------- *)
 
@@ -848,8 +963,8 @@ let main =
   Cmd.group
     (Cmd.info "gcr" ~version:"1.0.0" ~doc)
     [
-      list_cmd; run_cmd; minheap_cmd; artefact_cmd; campaign_cmd; ablation_cmd;
-      trace_cmd; tape_cmd; market_cmd;
+      list_cmd; run_cmd; minheap_cmd; artefact_cmd; campaign_cmd; worker_cmd;
+      ablation_cmd; trace_cmd; tape_cmd; market_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -35,6 +35,18 @@ type config = {
   controllers : Controller.spec list;
       (** heap-sizing controllers, the innermost grid axis.  The default
           [[Fixed]] reproduces the historical grid exactly *)
+  listen : (string * int) option;
+      (** with [workers = Some n]: accept [n] TCP socket workers here
+          instead of forking ([gcr campaign --listen]); port 0 binds an
+          ephemeral port announced via [on_listen] *)
+  connect_timeout : float;
+      (** seconds to wait for socket workers before proceeding short *)
+  on_listen : (int -> unit) option;
+      (** called with the actual bound port once accepting (tests and
+          benches fork their workers from here, race-free) *)
+  sched : Gcr_sched.Fabric.sched option;
+      (** fabric scheduling policy; [None] = [GCR_FABRIC_SCHED] or
+          size-aware *)
 }
 
 let paper_heap_factors = [ 1.4; 1.9; 2.4; 3.0; 3.7; 4.4; 5.2; 6.0 ]
@@ -76,6 +88,10 @@ let default_config () =
     cache_dir = Sys.getenv_opt "GCR_CACHE_DIR";
     tapes = Minheap.tapes_enabled ();
     controllers = [ Controller.fixed ];
+    listen = None;
+    connect_timeout = 30.0;
+    on_listen = None;
+    sched = None;
   }
 
 type exec_summary = {
@@ -97,6 +113,11 @@ type exec_summary = {
   limit_changes : int;  (** controller decisions applied, summed over cells *)
   peak_footprint_words : int;  (** highest heap limit any cell reached *)
   mean_footprint_words : float;  (** per-cell mean heap limit, averaged *)
+  probe_cells : int;  (** minheap probe runs dispatched through the fabric *)
+  worker_deaths : int;
+  stolen_groups : int;
+  wire_tapes : int;  (** tapes served over the socket to storeless workers *)
+  worker_rows : Fabric.worker_row list;  (** per-worker accounting (fabric) *)
 }
 
 (* Configurations are keyed by (benchmark, collector, factor in permille,
@@ -152,6 +173,22 @@ let runs ?(controller = Controller.fixed) t ~bench ~gc ~factor =
 
 (* --- Executors: fill the plan's result slots. --- *)
 
+(* Execution accounting threaded from the executor branch into the
+   summary; the pool branch leaves the fabric-only fields at zero. *)
+type exec_info = {
+  x_hits : int;
+  x_workers : int;
+  x_per_worker : int array;
+  x_reassigned : int;
+  x_parent : int;
+  x_profile : Gcr_runtime.Profile.snapshot;
+  x_probe_cells : int;
+  x_deaths : int;
+  x_stolen : int;
+  x_wire : int;
+  x_rows : Fabric.worker_row list;
+}
+
 (* In-process domain pool, one sibling group at a time: generate the
    group's tape image once, replay it in every cell, then drop it before
    the next group (images of full-size benchmarks are tens of MB). *)
@@ -183,7 +220,19 @@ let execute_pool config plan results =
     (Planner.groups plan);
   (* the pool runs in this process, so its setup/tape/simulate self-time
      is already on the local [Profile] counters *)
-  (Atomic.get hit_counter, 0, [||], 0, 0, Gcr_runtime.Profile.zero)
+  {
+    x_hits = Atomic.get hit_counter;
+    x_workers = 0;
+    x_per_worker = [||];
+    x_reassigned = 0;
+    x_parent = 0;
+    x_profile = Gcr_runtime.Profile.zero;
+    x_probe_cells = 0;
+    x_deaths = 0;
+    x_stolen = 0;
+    x_wire = 0;
+    x_rows = [];
+  }
 
 let rec make_temp_store_dir n =
   let dir =
@@ -204,55 +253,100 @@ let remove_dir dir =
         entries;
       (try Unix.rmdir dir with Unix.Unix_error _ -> ())
 
-(* Multi-process fabric: sibling groups fan out to forked workers, tapes
-   travel through the content-addressed artifact store, results stream
-   back into the plan's slots. *)
-let execute_fabric config plan results ~workers =
-  let store, cleanup =
-    match config.cache_dir with
-    | Some dir -> (Artifact_store.create ~dir, fun () -> ())
-    | None ->
-        (* tapes still need a rendezvous point; results stay uncached *)
-        let dir = make_temp_store_dir 0 in
-        (Artifact_store.create ~dir, fun () -> remove_dir dir)
+(* One planner group as a fabric group: the cost estimate rides along so
+   the size-aware scheduler can deal largest-first. *)
+let fabric_group_of config (g : Planner.group) =
+  {
+    Fabric.spec = g.Planner.spec;
+    seed = g.Planner.seed;
+    tapes = config.tapes;
+    cost = Planner.group_cost g;
+    cells =
+      List.map (fun (c : Planner.cell) -> (c.Planner.index, c.Planner.config)) g.Planner.cells;
+  }
+
+(* What a socket worker pins in its handshake before any plan exists
+   (minheap probes precede planning): a digest of the whole campaign
+   request plus the cache-key format version.  Builds that would plan
+   different grids — or key results differently — get different digests. *)
+let campaign_digest config specs gcs =
+  let b = Buffer.create 256 in
+  Buffer.add_string b Gcr_sched.Cache_key.version;
+  Printf.bprintf b "|inv=%d|seed=%d|scale=%g|region=%d" config.invocations
+    config.base_seed config.scale config.region_words;
+  List.iter (fun f -> Printf.bprintf b "|f=%g" f) config.heap_factors;
+  List.iter (fun c -> Printf.bprintf b "|ctl=%s" (Controller.name c)) config.controllers;
+  List.iter (fun (s : Spec.t) -> Printf.bprintf b "|spec=%s" (Spec.digest s)) specs;
+  List.iter (fun g -> Printf.bprintf b "|gc=%s" (Registry.name g)) gcs;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* Minheap searches as fabric waves: every benchmark's search advances
+   one probe per wave, each probe a first-class single-cell group, so
+   probe runs ride the same transport, result cache, and warm worker
+   state as the grid — and N benchmarks search concurrently on N
+   workers instead of serially in the coordinator. *)
+let fabric_minheaps session minheap_config config specs minheaps ~log_minheap =
+  let searches =
+    List.filter_map
+      (fun (spec : Spec.t) ->
+        match Minheap.find_cached minheap_config spec with
+        | Some words ->
+            Hashtbl.replace minheaps spec.Spec.name words;
+            log_minheap spec words;
+            None
+        | None -> Some (spec, Minheap.Search.start minheap_config spec))
+      specs
   in
-  let log =
-    if config.log_progress then fun line -> Printf.eprintf "[fabric] %s\n%!" line
-    else fun _ -> ()
+  let probe_cells = ref 0 in
+  let rec waves actives =
+    let running, finished =
+      List.partition (fun (_, s) -> Minheap.Search.result_words s = None) actives
+    in
+    List.iter
+      (fun ((spec : Spec.t), s) ->
+        match Minheap.Search.result_words s with
+        | Some words ->
+            Minheap.record minheap_config spec words;
+            Hashtbl.replace minheaps spec.Spec.name words;
+            log_minheap spec words
+        | None -> assert false)
+      finished;
+    if running <> [] then begin
+      let groups =
+        List.mapi
+          (fun i ((spec : Spec.t), s) ->
+            let rc =
+              match Minheap.Search.probe_config s with
+              | Some rc -> rc
+              | None -> assert false (* running implies a next probe *)
+            in
+            {
+              Fabric.spec;
+              seed = minheap_config.Minheap.seed;
+              tapes = config.tapes;
+              cost = Planner.probe_cost spec;
+              cells = [ (i, rc) ];
+            })
+          running
+      in
+      let measurements, _stats =
+        Fabric.dispatch session ~n_cells:(List.length running) groups
+      in
+      probe_cells := !probe_cells + List.length running;
+      List.iteri
+        (fun i (_, s) ->
+          Minheap.Search.advance s ~completed:(Measurement.completed measurements.(i)))
+        running;
+      waves running
+    end
   in
-  let groups =
-    List.map
-      (fun (g : Planner.group) ->
-        {
-          Fabric.spec = g.Planner.spec;
-          seed = g.Planner.seed;
-          tapes = config.tapes;
-          cells =
-            List.map
-              (fun (c : Planner.cell) -> (c.Planner.index, c.Planner.config))
-              g.Planner.cells;
-        })
-      (Planner.groups plan)
-  in
-  let measurements, stats =
-    Fun.protect
-      ~finally:(fun () -> cleanup ())
-      (fun () ->
-        Fabric.run ~workers ~store
-          ~cache_results:(config.cache_dir <> None)
-          ~log ~n_cells:(Planner.n_cells plan) groups)
-  in
-  Array.iteri (fun i m -> results.(i) <- Some m) measurements;
-  ( stats.Fabric.cache_hits,
-    workers,
-    stats.Fabric.per_worker,
-    stats.Fabric.reassigned_cells,
-    stats.Fabric.parent_cells,
-    stats.Fabric.worker_profile )
+  waves searches;
+  !probe_cells
 
 let run_campaign config ~benchmarks ~gcs =
   let started = Unix.gettimeofday () in
   let machine = scaled_machine config in
+  let config = { config with machine } in
   let specs = List.map (fun s -> Spec.scale s config.scale) benchmarks in
   let minheap_config =
     {
@@ -265,14 +359,11 @@ let run_campaign config ~benchmarks ~gcs =
     }
   in
   let minheaps = Hashtbl.create 32 in
-  List.iter
-    (fun spec ->
-      let words = Minheap.find ~config:minheap_config spec in
-      if config.log_progress then
-        Printf.eprintf "[harness] minheap %-12s = %d words\n%!" spec.Spec.name words;
-      Hashtbl.replace minheaps spec.Spec.name words)
-    specs;
-  let plan =
+  let log_minheap (spec : Spec.t) words =
+    if config.log_progress then
+      Printf.eprintf "[harness] minheap %-12s = %d words\n%!" spec.Spec.name words
+  in
+  let mk_plan () =
     Planner.plan ~controllers:config.controllers ~invocations:config.invocations
       ~base_seed:config.base_seed ~machine ~cost:config.cost
       ~region_words:config.region_words ~heap_factors:config.heap_factors
@@ -282,24 +373,86 @@ let run_campaign config ~benchmarks ~gcs =
         | None -> invalid_arg "Harness: plan references an unmeasured benchmark")
       ~specs ~gcs ()
   in
-  let n_cells = Planner.n_cells plan in
-  let results : Measurement.t option array = Array.make n_cells None in
   (* Phase boundaries: wall-clock stamps around execution, plus local
      {!Gcr_runtime.Profile} snapshots so setup/tape/simulate self-time is
-     attributed to the execute window only (the minheap probes above also
-     tick those counters, but inside [plan_s]). *)
-  let plan_done = Unix.gettimeofday () in
-  let prof_plan = Gcr_runtime.Profile.snapshot () in
-  let ( cache_hits,
-        worker_processes,
-        per_worker,
-        reassigned_cells,
-        parent_cells,
-        worker_profile ) =
+     attributed to the execute window only (minheap probes also tick
+     those counters, but inside [plan_s]). *)
+  let plan, results, plan_done, prof_plan, info =
     match config.workers with
-    | None -> execute_pool { config with machine } plan results
-    | Some workers -> execute_fabric { config with machine } plan results ~workers
+    | None ->
+        (* In-process path: minheap searches run inline (memoised), then
+           the domain pool fills the plan. *)
+        List.iter
+          (fun spec ->
+            let words = Minheap.find ~config:minheap_config spec in
+            log_minheap spec words;
+            Hashtbl.replace minheaps spec.Spec.name words)
+          specs;
+        let plan = mk_plan () in
+        let n_cells = Planner.n_cells plan in
+        let results : Measurement.t option array = Array.make n_cells None in
+        let plan_done = Unix.gettimeofday () in
+        let prof_plan = Gcr_runtime.Profile.snapshot () in
+        let info = execute_pool config plan results in
+        (plan, results, plan_done, prof_plan, info)
+    | Some workers ->
+        (* Fabric path: one session carries the minheap probe waves and
+           then the grid, so probes share the workers' transport, warm
+           state, and result cache. *)
+        let store, cleanup =
+          match config.cache_dir with
+          | Some dir -> (Artifact_store.create ~dir, fun () -> ())
+          | None ->
+              (* tapes still need a rendezvous point; results stay uncached *)
+              let dir = make_temp_store_dir 0 in
+              (Artifact_store.create ~dir, fun () -> remove_dir dir)
+        in
+        let log =
+          if config.log_progress then fun line -> Printf.eprintf "[fabric] %s\n%!" line
+          else fun _ -> ()
+        in
+        let session =
+          Fabric.start ~workers ~store
+            ~cache_results:(config.cache_dir <> None)
+            ~log ?sched:config.sched ?listen:config.listen
+            ~connect_timeout:config.connect_timeout ?on_listen:config.on_listen
+            ~plan_digest:(campaign_digest config specs gcs) ()
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Fabric.shutdown session;
+            cleanup ())
+          (fun () ->
+            let probe_cells =
+              fabric_minheaps session minheap_config config specs minheaps ~log_minheap
+            in
+            let plan = mk_plan () in
+            let n_cells = Planner.n_cells plan in
+            let results : Measurement.t option array = Array.make n_cells None in
+            let plan_done = Unix.gettimeofday () in
+            let prof_plan = Gcr_runtime.Profile.snapshot () in
+            let groups = List.map (fabric_group_of config) (Planner.groups plan) in
+            let measurements, stats = Fabric.dispatch session ~n_cells groups in
+            Array.iteri (fun i m -> results.(i) <- Some m) measurements;
+            let info =
+              {
+                x_hits = stats.Fabric.cache_hits;
+                x_workers = workers;
+                x_per_worker = stats.Fabric.per_worker;
+                x_reassigned = stats.Fabric.reassigned_cells;
+                x_parent = stats.Fabric.parent_cells;
+                x_profile = stats.Fabric.worker_profile;
+                x_probe_cells = probe_cells;
+                x_deaths = Fabric.worker_deaths session;
+                x_stolen = Fabric.stolen_groups session;
+                x_wire = stats.Fabric.wire_tapes;
+                x_rows = Fabric.worker_rows session;
+              }
+            in
+            (plan, results, plan_done, prof_plan, info))
   in
+  let n_cells = Planner.n_cells plan in
+  let cache_hits = info.x_hits in
   let execute_done = Unix.gettimeofday () in
   let prof_exec = Gcr_runtime.Profile.snapshot () in
   (* Reduce in submission order: the recorded campaign is a pure function
@@ -346,16 +499,18 @@ let run_campaign config ~benchmarks ~gcs =
   let execute_s = execute_done -. plan_done in
   let reduce_s = finished -. execute_done in
   let exec_profile = Gcr_runtime.Profile.diff prof_exec prof_plan in
-  let self field = Gcr_runtime.Profile.seconds (field exec_profile + field worker_profile) in
+  let self field =
+    Gcr_runtime.Profile.seconds (field exec_profile + field info.x_profile)
+  in
   let summary =
     {
       cells = n_cells;
       cache_hits;
       cache_misses = n_cells - cache_hits;
-      worker_processes;
-      per_worker;
-      reassigned_cells;
-      parent_cells;
+      worker_processes = info.x_workers;
+      per_worker = info.x_per_worker;
+      reassigned_cells = info.x_reassigned;
+      parent_cells = info.x_parent;
       elapsed_s;
       plan_s;
       execute_s;
@@ -369,18 +524,27 @@ let run_campaign config ~benchmarks ~gcs =
       mean_footprint_words =
         (if !footprint_cells = 0 then 0.0
          else !footprint_sum /. float_of_int !footprint_cells);
+      probe_cells = info.x_probe_cells;
+      worker_deaths = info.x_deaths;
+      stolen_groups = info.x_stolen;
+      wire_tapes = info.x_wire;
+      worker_rows = info.x_rows;
     }
   in
   if config.log_progress then begin
     let worker_note =
-      if worker_processes = 0 then Printf.sprintf "pool jobs=%d" config.jobs
+      if info.x_workers = 0 then Printf.sprintf "pool jobs=%d" config.jobs
       else
-        Printf.sprintf "fabric workers=%d [%s]%s%s" worker_processes
+        Printf.sprintf "fabric workers=%d [%s]%s%s%s%s%s" info.x_workers
           (String.concat " "
-             (Array.to_list (Array.mapi (Printf.sprintf "w%d=%d") per_worker)))
-          (if reassigned_cells > 0 then Printf.sprintf " reassigned=%d" reassigned_cells
+             (Array.to_list (Array.mapi (Printf.sprintf "w%d=%d") info.x_per_worker)))
+          (if info.x_reassigned > 0 then Printf.sprintf " reassigned=%d" info.x_reassigned
            else "")
-          (if parent_cells > 0 then Printf.sprintf " parent=%d" parent_cells else "")
+          (if info.x_parent > 0 then Printf.sprintf " parent=%d" info.x_parent else "")
+          (if info.x_probe_cells > 0 then Printf.sprintf " probes=%d" info.x_probe_cells
+           else "")
+          (if info.x_stolen > 0 then Printf.sprintf " stolen=%d" info.x_stolen else "")
+          (if info.x_wire > 0 then Printf.sprintf " wire-tapes=%d" info.x_wire else "")
     in
     Printf.eprintf
       "[harness] %d cells in %.1fs (plan %.1fs, execute %.1fs at %.1f cells/s, reduce \
@@ -393,9 +557,18 @@ let run_campaign config ~benchmarks ~gcs =
         "[harness] controllers: %d limit changes, peak footprint %d words, mean %.0f \
          words/cell\n\
          %!"
-        summary.limit_changes summary.peak_footprint_words summary.mean_footprint_words
+        summary.limit_changes summary.peak_footprint_words summary.mean_footprint_words;
+    List.iter
+      (fun (r : Fabric.worker_row) ->
+        Printf.eprintf "[harness]   worker %d (%s, %s): %d cells%s%s\n%!" r.Fabric.row_id
+          r.Fabric.row_transport r.Fabric.row_host r.Fabric.row_cells
+          (if r.Fabric.row_wire_tapes > 0 then
+             Printf.sprintf ", %d wire tapes" r.Fabric.row_wire_tapes
+           else "")
+          (if r.Fabric.row_alive then "" else " (died)"))
+      summary.worker_rows
   end;
-  { config = { config with machine }; specs; gc_kinds = gcs; minheaps; cells; summary }
+  { config; specs; gc_kinds = gcs; minheaps; cells; summary }
 
 let observations t metric ~bench ~factor =
   let kinds =

@@ -51,6 +51,25 @@ type config = {
           (collector, factor) cell as the innermost grid axis.  The
           default [[Fixed]] reproduces the historical grid — same cells,
           same keys, same goldens *)
+  listen : (string * int) option;
+      (** with [workers = Some n]: accept [n] TCP socket workers at this
+          (host, port) instead of forking — [gcr campaign --listen].
+          Port 0 binds an ephemeral port, announced via [on_listen].
+          Campaign results remain bit-identical to every other executor:
+          the socket fabric is just a transport. *)
+  connect_timeout : float;
+      (** seconds to wait for socket workers before proceeding with
+          however many connected (default 30; the coordinator's inline
+          backstop covers even an empty fleet) *)
+  on_listen : (int -> unit) option;
+      (** called once with the actual bound port when the coordinator
+          starts accepting — tests and benches fork their workers from
+          here, race-free *)
+  sched : Gcr_sched.Fabric.sched option;
+      (** fabric scheduling policy; [None] defers to [GCR_FABRIC_SCHED]
+          (default size-aware).  Either policy yields the identical
+          report — scheduling moves cells between workers, never changes
+          their results *)
 }
 
 val paper_heap_factors : float list
@@ -99,6 +118,17 @@ type exec_summary = {
   mean_footprint_words : float;
       (** per-cell mean heap limit (footprint integral / wall time),
           averaged over cells *)
+  probe_cells : int;
+      (** minheap probe runs dispatched through the fabric as first-class
+          cells (0 on the in-process path, where searches run inline) *)
+  worker_deaths : int;  (** workers declared dead during the session *)
+  stolen_groups : int;
+      (** prefetched groups revoked from stragglers and re-dealt *)
+  wire_tapes : int;
+      (** tapes served over the socket to workers without a shared store *)
+  worker_rows : Gcr_sched.Fabric.worker_row list;
+      (** per-worker accounting (host, transport, session-cumulative
+          cells); empty on the in-process path *)
 }
 (** How a campaign was executed — the accounting behind the CLI summary
     line and [gcr campaign --profile].  Pure reporting: no field feeds

@@ -114,34 +114,104 @@ let tape_image ~spec ~seed =
   Gcr_runtime.Profile.add_tape_s (Unix.gettimeofday () -. started);
   image
 
+let probe_run_config config (spec : Spec.t) ~tape heap_words =
+  {
+    Run.spec;
+    gc = config.gc;
+    heap_words;
+    machine = config.machine;
+    cost = config.cost;
+    seed = config.seed;
+    region_words = config.region_words;
+    max_events =
+      (* probes must fail fast when the heap is too small to be useful *)
+      Some ((12 * spec.Spec.mutator_threads * spec.Spec.packets_per_thread) + 2_000_000);
+    make_collector = None;
+    tape;
+    (* probes define the static minimum: controllers never move the
+       limit during a minheap search *)
+    controller = Gcr_policy.Controller.fixed;
+  }
+
 let completes config spec ?state ~tape heap_words =
-  let run_config =
+  Measurement.completed
+    (Pool.execute
+       ?cache:(Lazy.force result_cache)
+       ?state
+       (probe_run_config config spec ~tape heap_words))
+
+(* The search as an explicit state machine, so an external driver — the
+   fabric's probe waves — can run many searches concurrently, one probe
+   per step, while the inline driver below walks the identical sequence:
+   exponential doubling from the floor to a completing upper bound, then
+   bisection down to one region.  The probe order is a pure function of
+   the completion answers, so any driver lands on the same minimum. *)
+module Search = struct
+  type phase = Upper of int | Bisect of int * int | Finished of int
+
+  type t = {
+    s_config : config;
+    s_spec : Spec.t;
+    floor_regions : int;
+    memory_regions : int;
+    mutable phase : phase;
+  }
+
+  let start config (spec : Spec.t) =
+    let region = config.region_words in
     {
-      Run.spec;
-      gc = config.gc;
-      heap_words;
-      machine = config.machine;
-      cost = config.cost;
-      seed = config.seed;
-      region_words = config.region_words;
-      max_events =
-        (* probes must fail fast when the heap is too small to be useful *)
-        Some ((12 * spec.Spec.mutator_threads * spec.Spec.packets_per_thread) + 2_000_000);
-      make_collector = None;
-      tape;
-      (* probes define the static minimum: controllers never move the
-         limit during a minheap search *)
-      controller = Gcr_policy.Controller.fixed;
+      s_config = config;
+      s_spec = spec;
+      floor_regions = max 8 (Spec.live_words_estimate spec / region);
+      memory_regions = config.machine.Machine.memory_words / region;
+      phase = Upper (max 8 (Spec.live_words_estimate spec / region));
     }
-  in
-  Measurement.completed (Pool.execute ?cache:(Lazy.force result_cache) ?state run_config)
+
+  (* The next heap size to probe, in regions; [None] when finished.
+     Raises [Failure] when doubling escapes machine memory — the
+     benchmark cannot complete at all. *)
+  let probe_regions t =
+    match t.phase with
+    | Finished _ -> None
+    | Upper n ->
+        if n > t.memory_regions then
+          failwith
+            (Printf.sprintf "Minheap.find: %s does not complete even in machine memory"
+               t.s_spec.Spec.name)
+        else Some n
+    | Bisect (lo, hi) -> Some ((lo + hi) / 2)
+
+  let advance t ~completed =
+    match t.phase with
+    | Finished _ -> invalid_arg "Minheap.Search.advance: search already finished"
+    | Upper n ->
+        if completed then begin
+          (* invariant entering bisection: hi completes, lo does not
+             (or is 0 — the floor itself completed on the first probe) *)
+          let known_failing = if n > t.floor_regions then n / 2 else 0 in
+          if n - known_failing <= 1 then t.phase <- Finished n
+          else t.phase <- Bisect (known_failing, n)
+        end
+        else t.phase <- Upper (n * 2)
+    | Bisect (lo, hi) ->
+        let mid = (lo + hi) / 2 in
+        let lo, hi = if completed then (lo, mid) else (mid, hi) in
+        if hi - lo <= 1 then t.phase <- Finished hi else t.phase <- Bisect (lo, hi)
+
+  let result_words t =
+    match t.phase with
+    | Finished hi -> Some (hi * t.s_config.region_words)
+    | Upper _ | Bisect _ -> None
+
+  let probe_config t =
+    match probe_regions t with
+    | None -> None
+    | Some n ->
+        Some (probe_run_config t.s_config t.s_spec ~tape:Run.Tape_off
+                (n * t.s_config.region_words))
+end
 
 let search config spec =
-  let region = config.region_words in
-  let memory_regions = config.machine.Machine.memory_words / region in
-  let floor_regions =
-    max 8 (Spec.live_words_estimate spec / region)
-  in
   (* Every probe shares (spec, seed): one tape image serves the whole
      search.  Thrashing probes overrun the recorded stream with retry
      re-draws; the cursor's PRNG fallback keeps them bit-identical. *)
@@ -153,41 +223,43 @@ let search config spec =
      is a long chain of same-spec runs, exactly the reuse the warm path
      exists for. *)
   let state = if Run.warm_enabled () then Some (Run.new_state ()) else None in
-  let completes_regions n = completes config spec ?state ~tape (n * region) in
-  (* Exponential probe for a completing size. *)
-  let rec find_upper n =
-    if n > memory_regions then
-      failwith
-        (Printf.sprintf "Minheap.find: %s does not complete even in machine memory"
-           spec.Spec.name)
-    else if completes_regions n then n
-    else find_upper (n * 2)
+  let s = Search.start config spec in
+  let rec loop () =
+    match Search.probe_regions s with
+    | None -> (
+        match Search.result_words s with
+        | Some words -> words
+        | None -> assert false)
+    | Some n ->
+        let completed = completes config spec ?state ~tape (n * config.region_words) in
+        Search.advance s ~completed;
+        loop ()
   in
-  let upper = find_upper floor_regions in
-  (* Binary search for the smallest completing size (treating completion
-     as monotone in the heap size). *)
-  let rec bisect lo hi =
-    (* invariant: hi completes; lo does not (or is 0) *)
-    if hi - lo <= 1 then hi
-    else begin
-      let mid = (lo + hi) / 2 in
-      if completes_regions mid then bisect lo mid else bisect mid hi
-    end
-  in
-  let known_failing = if upper > floor_regions then upper / 2 else 0 in
-  bisect known_failing upper * region
+  loop ()
 
-let find ?config spec =
-  let config = match config with Some c -> c | None -> default_config () in
+let ensure_file_cache () =
   if not !file_cache_loaded then begin
     file_cache_loaded := true;
     load_file_cache ()
-  end;
+  end
+
+let find_cached config spec =
+  ensure_file_cache ();
+  Hashtbl.find_opt memo (cache_key config spec)
+
+let record config spec words =
+  ensure_file_cache ();
   let key = cache_key config spec in
-  match Hashtbl.find_opt memo key with
+  if not (Hashtbl.mem memo key) then begin
+    Hashtbl.replace memo key words;
+    append_file_cache key words
+  end
+
+let find ?config spec =
+  let config = match config with Some c -> c | None -> default_config () in
+  match find_cached config spec with
   | Some words -> words
   | None ->
       let words = search config spec in
-      Hashtbl.replace memo key words;
-      append_file_cache key words;
+      record config spec words;
       words

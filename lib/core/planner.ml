@@ -39,6 +39,51 @@ let heap_words ~region_words ~minheap ~factor =
 
 let seed_of ~base_seed ~invocation = base_seed + (1000 * (invocation + 1))
 
+(* --- Cost model for the size-aware fabric scheduler. ---
+
+   A unitless estimate of how long a cell takes to simulate; only the
+   relative order of group costs matters.  The dominant term is workload
+   volume (threads × packets — simulation steps scale with it); tight
+   heaps add collection work on top, roughly in proportion to how close
+   the heap sits to the minimum (factor 1.3 reclaims far more often than
+   factor 6.0), hence the [1 + 2/factor] weight.  Epsilon never collects:
+   weight 1.  Deliberately crude — the scheduler only needs "this group
+   is several times that one", and work-stealing mops up the residue. *)
+
+let spec_weight (spec : Spec.t) =
+  float_of_int (spec.Spec.mutator_threads * spec.Spec.packets_per_thread)
+
+let cell_cost c =
+  let gc_weight =
+    match c.gc with
+    | Registry.Epsilon -> 1.0
+    | _ -> if c.factor > 0.0 then 1.0 +. (2.0 /. c.factor) else 1.0
+  in
+  spec_weight c.config.Run.spec *. gc_weight
+
+let group_cost g = List.fold_left (fun acc c -> acc +. cell_cost c) 0.0 g.cells
+
+(* Probe cells (minheap search) run one invocation of the workload with no
+   collector pressure worth modelling: weight them as a bare workload. *)
+let probe_cost spec = spec_weight spec
+
+(* The digest a socket worker pins in its handshake: every cell key (each
+   already a digest of the full run config) plus the cell count, so two
+   builds disagreeing on any planned cell — or on the cache-key format —
+   cannot silently serve each other. *)
+let digest t =
+  let b = Buffer.create (40 * t.n_cells) in
+  Buffer.add_string b (string_of_int t.n_cells);
+  List.iter
+    (fun g ->
+      List.iter
+        (fun c ->
+          Buffer.add_char b '|';
+          Buffer.add_string b c.key)
+        g.cells)
+    t.groups;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 (* Epsilon participates implicitly even if not requested; it leads the
    cell order exactly as the serial harness always emitted it. *)
 let with_epsilon gcs =

@@ -51,6 +51,25 @@ val heap_words : region_words:int -> minheap:int -> factor:float -> int
 val seed_of : base_seed:int -> invocation:int -> int
 (** The per-invocation seed schedule ([base_seed + 1000 × (i + 1)]). *)
 
+val cell_cost : cell -> float
+(** Unitless runtime estimate for the size-aware fabric scheduler:
+    workload volume (threads × packets) weighted by heap tightness
+    ([1 + 2/factor]; Epsilon, which never collects, weighs 1).  Only
+    relative order across groups matters. *)
+
+val group_cost : group -> float
+(** Sum of {!cell_cost} over the group's cells — the scheduler's key. *)
+
+val probe_cost : Gcr_workloads.Spec.t -> float
+(** Cost estimate for one minheap probe cell of [spec] (a bare workload
+    run), so probe waves ride the same size-aware scheduling. *)
+
+val digest : t -> string
+(** Digest over every cell key plus the cell count — the plan identity a
+    socket worker pins in its handshake.  Two builds that disagree on any
+    planned config (or on the cache-key format itself) get different
+    digests. *)
+
 val plan :
   ?controllers:Gcr_policy.Controller.spec list ->
   invocations:int ->

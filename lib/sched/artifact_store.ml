@@ -117,7 +117,70 @@ let find_tape t ~(spec : Spec.t) ~seed =
             None
           end)
 
+(* Raw-bytes access for the fabric's wire tape fetch/publish: the
+   coordinator serves verified GCRTAPE1 bytes to storeless workers and
+   accepts published bytes back, applying exactly the
+   digest-verify-on-read discipline of [find_tape]/[store_tape] — bytes
+   that fail the checksum or the header cross-check degrade to a miss
+   (or a rejected publish), never to a wrong stream on either end. *)
+
+let check_bytes ~spec_digest ~seed ~threads data =
+  match Tape.of_string data with
+  | Error _ -> None
+  | Ok tape ->
+      if
+        String.equal tape.Tape.spec_digest spec_digest
+        && tape.Tape.seed = seed
+        && Array.length tape.Tape.streams = threads
+      then Some tape
+      else None
+
+let find_tape_bytes t ~spec_digest ~seed ~threads =
+  let path = tape_path t ~spec_digest ~seed ~threads in
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ -> None
+  | exception End_of_file ->
+      discard path;
+      None
+  | data -> (
+      match check_bytes ~spec_digest ~seed ~threads data with
+      | Some _ -> Some data
+      | None ->
+          discard path;
+          memo_drop path;
+          None)
+
 let stamp = Atomic.make 0
+
+let write_tape_file t ~spec_digest ~seed ~threads data tape =
+  let path = tape_path t ~spec_digest ~seed ~threads in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d.%d" path (Unix.getpid ())
+      (Domain.self () :> int)
+      (Atomic.fetch_and_add stamp 1)
+  in
+  try
+    let oc = open_out_bin tmp in
+    output_string oc data;
+    close_out oc;
+    Sys.rename tmp path;
+    memo_add path tape
+  with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+
+let store_tape_bytes t data =
+  match Tape.of_string data with
+  | Error e -> Error e
+  | Ok tape ->
+      let spec_digest = tape.Tape.spec_digest in
+      let seed = tape.Tape.seed in
+      let threads = Array.length tape.Tape.streams in
+      write_tape_file t ~spec_digest ~seed ~threads data tape;
+      Ok ()
 
 let store_tape t (tape : Tape.t) =
   let path =

@@ -52,3 +52,26 @@ val find_tape : t -> spec:Gcr_workloads.Spec.t -> seed:int -> Gcr_tape.Tape.t op
 val store_tape : t -> Gcr_tape.Tape.t -> unit
 (** Atomically publish a tape under its recipe address.  The published
     tape is immediately memoized for this process (see {!find_tape}). *)
+
+val find_tape_bytes :
+  t -> spec_digest:string -> seed:int -> threads:int -> string option
+(** The verified [GCRTAPE1] serialisation for the recipe, for shipping
+    over the fabric's wire protocol: bytes are checksum-validated and
+    header-cross-checked before being served, so a storeless worker
+    receives exactly what {!find_tape} would have decoded.  Invalid
+    artifacts are deleted and read as [None] — the same
+    verify-on-read-degrades-to-miss discipline. *)
+
+val store_tape_bytes : t -> string -> (unit, string) result
+(** Accept tape bytes published over the wire: validated first
+    ([Tape.of_string]), then written atomically under the address the
+    {e bytes themselves} prove (their header), never an address the
+    sender claims.  [Error] if the bytes fail validation — a corrupt
+    publish cannot poison the store. *)
+
+val check_bytes :
+  spec_digest:string -> seed:int -> threads:int -> string ->
+  Gcr_tape.Tape.t option
+(** Validate wire-received tape bytes against the recipe that was asked
+    for: checksummed decode plus header cross-check.  [None] means the
+    receiver must treat the transfer as a miss and regenerate. *)

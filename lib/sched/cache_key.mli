@@ -9,6 +9,11 @@
     Configs carrying a custom [make_collector] closure have no canonical
     content and are never keyed (they bypass the cache entirely). *)
 
+val version : string
+(** The key-format version folded into every rendering.  The fabric's
+    socket handshake carries it: a worker whose build renders keys
+    differently must not share a result store with the coordinator. *)
+
 val render : Gcr_runtime.Run.config -> string option
 (** The canonical single-line rendering that is hashed.  Exposed so tests
     (and cache-entry validation) can compare the full content, not just

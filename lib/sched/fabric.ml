@@ -1,17 +1,22 @@
 module Wire = Gcr_tape.Wire
+module Tape = Gcr_tape.Tape
 module Spec = Gcr_workloads.Spec
 module Tape_gen = Gcr_workloads.Tape_gen
 module Decision_source = Gcr_workloads.Decision_source
 module Run = Gcr_runtime.Run
 module Profile = Gcr_runtime.Profile
 module Measurement = Gcr_runtime.Measurement
+module Obs = Gcr_obs.Obs
 
 type group = {
   spec : Spec.t;
   seed : int;
   tapes : bool;
+  cost : float;
   cells : (int * Run.config) list;
 }
+
+type sched = Size_aware | Round_robin
 
 type stats = {
   cells : int;
@@ -19,93 +24,131 @@ type stats = {
   per_worker : int array;
   reassigned_cells : int;
   parent_cells : int;
+  stolen_groups : int;
+  wire_tapes : int;
   worker_profile : Profile.snapshot;
 }
 
+type worker_row = {
+  row_id : int;
+  row_host : string;
+  row_transport : string;
+  row_cells : int;
+  row_wire_tapes : int;
+  row_alive : bool;
+}
+
 (* ------------------------------------------------------------------ *)
-(* Framing: varint length prefix (the tape codec) + 1 tag byte + body.  *)
+(* Protocol                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Checksummed frames (see {!Transport}); one tag byte each.  The
+   coordinator speaks the identical protocol to forked pipe workers and
+   TCP socket workers — the only differences are the handshake (sockets
+   only) and how tapes travel (shared store vs wire fetch). *)
+
+let protocol_version = 1
+
+(* coordinator -> worker *)
+let tag_welcome = 'W'
 let tag_group = 'G'
-
+let tag_revoke = 'R'
+let tag_tape_data = 'T'
+let tag_tape_miss = 'M'
 let tag_quit = 'Q'
 
+(* worker -> coordinator *)
+let tag_hello = 'H'
 let tag_batch = 'B'
+let tag_ack = 'A'
+let tag_tape_fetch = 'F'
+let tag_tape_publish = 'P'
+let tag_heartbeat = 'h'
 
-let rec write_all fd s off len =
-  if len > 0 then begin
-    let n =
-      try Unix.write_substring fd s off len
-      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    in
-    write_all fd s (off + n) (len - n)
-  end
+let heartbeat_interval_s = 1.0
 
-(* [scratch], when given, is a caller-owned assembly buffer reused across
-   frames — the worker's result stream allocates no fresh buffer per
-   flush. *)
-let send_frame ?scratch fd tag body =
-  let b =
-    match scratch with
-    | Some b -> Buffer.clear b; b
-    | None -> Buffer.create (String.length body + 16)
-  in
-  Wire.put_varint b (1 + String.length body);
-  Buffer.add_char b tag;
-  Buffer.add_string b body;
-  let s = Buffer.contents b in
-  write_all fd s 0 (String.length s)
+(* A worker that has sent nothing for this long while holding assigned
+   groups is declared dead and its cells are requeued.  Heartbeats flow
+   between cells, so the timeout must comfortably exceed one cell's
+   runtime; [GCR_FABRIC_TIMEOUT_S] overrides (0 disables). *)
+let default_timeout_s = 600.0
 
-(* Blocking frame reader (worker side): returns [None] on a clean EOF at
-   a frame boundary — the parent has gone away. *)
+let timeout_of_env () =
+  match Option.bind (Sys.getenv_opt "GCR_FABRIC_TIMEOUT_S") float_of_string_opt with
+  | Some t -> t
+  | None -> default_timeout_s
 
-let rec read_byte fd =
-  let b = Bytes.create 1 in
-  match Unix.read fd b 0 1 with
-  | 0 -> None
-  | _ -> Some (Bytes.get_uint8 b 0)
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_byte fd
+let sched_of_env () =
+  match Sys.getenv_opt "GCR_FABRIC_SCHED" with
+  | Some ("fifo" | "roundrobin" | "rr") -> Round_robin
+  | Some _ | None -> Size_aware
 
-let read_exact fd n =
-  let buf = Bytes.create n in
-  let rec go off =
-    if off >= n then Some (Bytes.unsafe_to_string buf)
-    else
-      match Unix.read fd buf off (n - off) with
-      | 0 -> None
-      | k -> go (off + k)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-  in
-  go 0
+(* Handshake payloads are Wire-encoded, not marshalled: they are parsed
+   before the two sides have proven they run the same build, so the
+   format must be robust to any byte sequence (the cursor raises
+   [Wire.Corrupt], it never faults). *)
 
-let read_frame_blocking fd =
-  let rec varint shift acc =
-    match read_byte fd with
-    | None -> if shift = 0 then None else failwith "fabric: truncated frame length"
-    | Some b ->
-        let acc = acc lor ((b land 0x7f) lsl shift) in
-        if b land 0x80 = 0 then Some acc else varint (shift + 7) acc
-  in
-  match varint 0 0 with
-  | None -> None
-  | Some len -> (
-      match read_exact fd len with
-      | None -> failwith "fabric: truncated frame body"
-      | Some payload -> Some payload)
+let hello_payload ~has_store =
+  let b = Buffer.create 80 in
+  Wire.put_varint b protocol_version;
+  Wire.put_string b Cache_key.version;
+  Buffer.add_char b (if has_store then '\001' else '\000');
+  Wire.put_string b (Printf.sprintf "%s/%d" (Unix.gethostname ()) (Unix.getpid ()));
+  Buffer.contents b
+
+let read_hello payload =
+  let c = Wire.cursor payload in
+  let proto = Wire.get_varint c "hello protocol version" in
+  let ckv = Wire.get_string c "hello cache-key version" in
+  let has_store = Wire.get_byte c "hello has-store" <> 0 in
+  let host = Wire.get_string c "hello host" in
+  (proto, ckv, has_store, host)
+
+let welcome_payload ~worker_id ~plan_digest ~cache_results =
+  let b = Buffer.create 120 in
+  Wire.put_varint b protocol_version;
+  Wire.put_string b Cache_key.version;
+  Wire.put_string b plan_digest;
+  Wire.put_varint b worker_id;
+  Buffer.add_char b (if cache_results then '\001' else '\000');
+  Buffer.contents b
+
+let read_welcome payload =
+  let c = Wire.cursor payload in
+  let proto = Wire.get_varint c "welcome protocol version" in
+  let ckv = Wire.get_string c "welcome cache-key version" in
+  let plan_digest = Wire.get_string c "welcome plan digest" in
+  let worker_id = Wire.get_varint c "welcome worker id" in
+  let cache_results = Wire.get_byte c "welcome cache-results" <> 0 in
+  (proto, ckv, plan_digest, worker_id, cache_results)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection for the differential suite                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Worker 0 calls [_exit] right after sending its [GCR_FABRIC_CRASH_AFTER]-th
+   result, mid-group, so the coordinator must reassign the rest. *)
+let env_after name ~id =
+  if id <> 0 then None
+  else
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some n when n >= 0 -> Some n
+    | Some _ | None -> None
+
+let crash_after = env_after "GCR_FABRIC_CRASH_AFTER"
+
+(* Worker 0 writes raw garbage below the framing after its n-th result and
+   dies: the coordinator's decoder must refuse the stream ([Corrupt]) and
+   requeue, exactly as for a clean EOF. *)
+let garble_after = env_after "GCR_FABRIC_GARBLE_AFTER"
+
+(* Ten 0x80-continuation bytes: an unterminated varint that overflows the
+   62-bit cap — [Corrupt] the moment it is read, deterministic. *)
+let garble_bytes = String.make 10 '\xff'
 
 (* ------------------------------------------------------------------ *)
 (* Worker process                                                      *)
 (* ------------------------------------------------------------------ *)
-
-(* Deterministic crash injection for the differential suite: worker 0
-   calls [_exit] right after sending its [GCR_FABRIC_CRASH_AFTER]-th
-   result, mid-group, so the parent must reassign the rest. *)
-let crash_after ~id =
-  if id <> 0 then None
-  else
-    match Option.bind (Sys.getenv_opt "GCR_FABRIC_CRASH_AFTER") int_of_string_opt with
-    | Some n when n >= 0 -> Some n
-    | Some _ | None -> None
 
 (* Per-process memo of decoded replay images, keyed by the tape recipe.
    Sibling groups differing only in collector or heap size land on the
@@ -117,39 +160,41 @@ let image_memo_cap = 4
 
 let image_memo : ((string * int) * Decision_source.image) list ref = ref []
 
-let group_tape store (g : group) =
+let memoized_image key make =
+  match List.assoc_opt key !image_memo with
+  | Some image ->
+      image_memo := (key, image) :: List.remove_assoc key !image_memo;
+      image
+  | None ->
+      let image = make () in
+      let rest = List.filteri (fun i _ -> i < image_memo_cap - 1) !image_memo in
+      image_memo := (key, image) :: rest;
+      image
+
+(* Tape via the shared store: content-addressed fetch; first consumer
+   generates and publishes. *)
+let store_tape_fetch store ~spec ~seed =
+  match Artifact_store.find_tape store ~spec ~seed with
+  | Some tape -> tape
+  | None ->
+      let tape = Tape_gen.generate ~spec ~seed in
+      Artifact_store.store_tape store tape;
+      tape
+
+let group_tape ~fetch (g : group) =
   if not g.tapes then Run.Tape_off
   else begin
     let started = Unix.gettimeofday () in
     let key = (Spec.digest g.spec, g.seed) in
     let image =
-      match List.assoc_opt key !image_memo with
-      | Some image ->
-          image_memo := (key, image) :: List.remove_assoc key !image_memo;
-          image
-      | None ->
-          (* Content-addressed fetch; first consumer generates and
-             publishes.  One image serves every sibling cell of the group
-             — the batched load the fabric's placement exists to enable. *)
-          let tape =
-            match Artifact_store.find_tape store ~spec:g.spec ~seed:g.seed with
-            | Some tape -> tape
-            | None ->
-                let tape = Tape_gen.generate ~spec:g.spec ~seed:g.seed in
-                Artifact_store.store_tape store tape;
-                tape
-          in
-          let image = Decision_source.image_of_tape ~spec:g.spec tape in
-          let rest = List.filteri (fun i _ -> i < image_memo_cap - 1) !image_memo in
-          image_memo := (key, image) :: rest;
-          image
+      memoized_image key (fun () -> Decision_source.image_of_tape ~spec:g.spec (fetch g))
     in
     Profile.add_tape_s (Unix.gettimeofday () -. started);
     Run.Tape_replay image
   end
 
-let execute_group ?state ~store ~cache ~on_result (g : group) =
-  let tape = group_tape store g in
+let execute_group ?state ~fetch ~cache ~on_result (g : group) =
+  let tape = group_tape ~fetch g in
   List.iter
     (fun (index, config) ->
       let config = { config with Run.tape } in
@@ -158,26 +203,37 @@ let execute_group ?state ~store ~cache ~on_result (g : group) =
     g.cells
 
 (* Results are shipped in batches: fewer, larger frames amortise the
-   marshal and pipe-write cost per cell, and each batch carries the
-   worker's profile self-time accumulated since the last one.  The cap
-   bounds result latency on long groups (and the parent's reassignment
+   marshal and write cost per cell, and each batch carries the worker's
+   profile self-time accumulated since the last one.  The cap bounds
+   result latency on long groups (and the coordinator's reassignment
    loss after a crash). *)
 let batch_cap = 32
 
-let worker_main ~id ~store ~cache ~req_fd ~resp_fd =
+exception Quit_worker of int
+
+(* The worker loop, shared by forked pipe workers and socket workers.
+   [store = None] is the storeless remote worker: tapes are fetched over
+   the wire ([tag_tape_fetch]) and generated-then-published on a miss.
+   Returns the exit code; forked workers wrap it in [_exit]. *)
+let worker_main ~id ~store ~cache ~ep ~verbose =
   let crash_after = crash_after ~id in
+  let garble_after = garble_after ~id in
   let state = if Run.warm_enabled () then Some (Run.new_state ()) else None in
   let scratch = Buffer.create 65536 in
   let batch : (int * bool * Measurement.t) list ref = ref [] in
   let batch_len = ref 0 in
   let last_prof = ref (Profile.snapshot ()) in
+  let last_tx = ref (Unix.gettimeofday ()) in
+  let send tag payload =
+    Transport.send ~scratch ep ~tag payload;
+    last_tx := Unix.gettimeofday ()
+  in
   let flush () =
     if !batch_len > 0 then begin
       let now = Profile.snapshot () in
       let delta = Profile.diff now !last_prof in
       last_prof := now;
-      send_frame ~scratch resp_fd tag_batch
-        (Marshal.to_string (List.rev !batch, delta) []);
+      send tag_batch (Marshal.to_string (List.rev !batch, delta) []);
       batch := [];
       batch_len := 0
     end
@@ -190,77 +246,321 @@ let worker_main ~id ~store ~cache ~req_fd ~resp_fd =
     (match crash_after with
     | Some n when !sent >= n ->
         (* flush what was completed so far, then die mid-group: the
-           parent sees exactly [n] results and reassigns the rest *)
+           coordinator sees exactly [n] results and reassigns the rest *)
         flush ();
         Unix._exit 97
     | Some _ | None -> ());
+    (match garble_after with
+    | Some n when !sent >= n ->
+        flush ();
+        (try Transport.send_raw ep garble_bytes with Unix.Unix_error _ -> ());
+        Unix._exit 96
+    | Some _ | None -> ());
     if !batch_len >= batch_cap then flush ()
   in
-  let rec loop () =
-    match read_frame_blocking req_fd with
-    | None -> Unix._exit 0
-    | Some payload when String.length payload = 0 -> Unix._exit 1
-    | Some payload when payload.[0] = tag_quit -> Unix._exit 0
-    | Some payload when payload.[0] = tag_group ->
-        let g : group = Marshal.from_string payload 1 in
-        execute_group ?state ~store ~cache ~on_result g;
-        flush ();
-        loop ()
-    | Some _ -> Unix._exit 1
+  let inbox : (int * group) list ref = ref [] in
+  let quit = ref false in
+  let handle tag payload =
+    if tag = tag_group then begin
+      let (gid, g) : int * group = Marshal.from_string payload 0 in
+      inbox := !inbox @ [ (gid, g) ]
+    end
+    else if tag = tag_revoke then begin
+      let c = Wire.cursor payload in
+      let gid = Wire.get_varint c "revoke gid" in
+      let had = List.mem_assoc gid !inbox in
+      if had then inbox := List.remove_assoc gid !inbox;
+      let b = Buffer.create 8 in
+      Wire.put_varint b gid;
+      Buffer.add_char b (if had then '\001' else '\000');
+      send tag_ack (Buffer.contents b)
+    end
+    else if tag = tag_quit then quit := true
+    else raise (Quit_worker 3) (* tape reply outside a fetch, or unknown tag *)
   in
-  (* Any escape here (a marshalling bug, a closed pipe) must look like a
-     crashed worker, not a wedged one: exit abruptly, without flushing
-     the channel buffers inherited from the parent. *)
-  (try loop () with _ -> Unix._exit 1)
+  let heartbeat () =
+    if Unix.gettimeofday () -. !last_tx >= heartbeat_interval_s then begin
+      if !batch_len > 0 then flush () else send tag_heartbeat ""
+    end
+  in
+  let generate_and_publish (g : group) =
+    let tape = Tape_gen.generate ~spec:g.spec ~seed:g.seed in
+    (match store with
+    | Some st -> Artifact_store.store_tape st tape
+    | None -> (
+        (* publish the bytes so the coordinator (and its other workers)
+           never generate this tape again *)
+        try send tag_tape_publish (Tape.to_string tape) with Unix.Unix_error _ -> ()));
+    tape
+  in
+  let fetch_tape (g : group) =
+    match store with
+    | Some st -> store_tape_fetch st ~spec:g.spec ~seed:g.seed
+    | None ->
+        let spec_digest = Spec.digest g.spec in
+        let threads = g.spec.Spec.mutator_threads in
+        let b = Buffer.create 80 in
+        Wire.put_string b spec_digest;
+        Wire.put_varint b g.seed;
+        Wire.put_varint b threads;
+        send tag_tape_fetch (Buffer.contents b);
+        (* The reply is the next tape frame; group/revoke/quit frames may
+           arrive interleaved and are handled in place. *)
+        let rec wait () =
+          match Transport.recv ep with
+          | None -> raise (Quit_worker 0)
+          | Some (tag, payload) ->
+              if tag = tag_tape_data then begin
+                match Artifact_store.check_bytes ~spec_digest ~seed:g.seed ~threads payload with
+                | Some tape -> tape
+                | None ->
+                    (* damaged in flight: the verify-on-read discipline
+                       degrades the transfer to a miss *)
+                    generate_and_publish g
+              end
+              else if tag = tag_tape_miss then generate_and_publish g
+              else begin
+                handle tag payload;
+                wait ()
+              end
+        in
+        wait ()
+  in
+  let execute (_gid, g) =
+    let fetch = fetch_tape in
+    let tape = group_tape ~fetch g in
+    List.iter
+      (fun (index, config) ->
+        heartbeat ();
+        let config = { config with Run.tape } in
+        let m, hit = Pool.execute_cached ?cache ?state config in
+        on_result index hit m)
+      g.cells;
+    flush ()
+  in
+  (* Pick up already-arrived control frames (revokes!) without blocking,
+     so a queued group stolen while we were busy is dropped before we
+     start it. *)
+  let drain_pending () =
+    let rec frames () =
+      match Transport.next_frame ep with
+      | Some (tag, payload) ->
+          handle tag payload;
+          frames ()
+      | None -> ()
+    in
+    frames ();
+    let rec poll () =
+      match Unix.select [ Transport.recv_fd ep ] [] [] 0.0 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Transport.read_step ep with
+          | `Eof -> raise (Quit_worker (if Transport.mid_frame ep then 3 else 0))
+          | `Ready ->
+              frames ();
+              poll ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    in
+    poll ()
+  in
+  let rec loop () =
+    drain_pending ();
+    match !inbox with
+    | job :: rest ->
+        inbox := rest;
+        execute job;
+        loop ()
+    | [] ->
+        if !quit then 0
+        else begin
+          match Transport.recv ep with
+          | None -> 0
+          | Some (tag, payload) ->
+              handle tag payload;
+              loop ()
+        end
+  in
+  try loop () with
+  | Quit_worker code -> code
+  | Transport.Corrupt msg | Wire.Corrupt msg ->
+      if verbose then Printf.eprintf "gcr worker: corrupt stream from coordinator: %s\n%!" msg;
+      3
+  | Unix.Unix_error _ -> 1
+  | exn ->
+      if verbose then
+        Printf.eprintf "gcr worker: uncaught exception: %s\n%!" (Printexc.to_string exn);
+      1
+
+(* --- Remote worker entry point (gcr worker --connect). --- *)
+
+let resolve_addr host port =
+  match Unix.inet_addr_of_string host with
+  | addr -> Unix.ADDR_INET (addr, port)
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> failwith ("no address for host " ^ host)
+      | { Unix.h_addr_list; _ } -> Unix.ADDR_INET (h_addr_list.(0), port)
+      | exception Not_found -> failwith ("unknown host " ^ host))
+
+let worker_connect ~host ~port ?store ?(retry_for = 30.0) () =
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+  match resolve_addr host port with
+  | exception Failure msg -> Error msg
+  | addr -> (
+      let deadline = Unix.gettimeofday () +. retry_for in
+      (* The coordinator may not be listening yet (workers are typically
+         started first): retry connection refusals until the deadline. *)
+      let rec connect () =
+        let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+        match Unix.connect fd addr with
+        | () ->
+            (* the protocol is request/response (tape fetch, revoke/ack):
+               Nagle + delayed ACK would serialise those exchanges into
+               ~40ms stalls *)
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
+            Some fd
+        | exception
+            Unix.Unix_error
+              ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENETUNREACH
+                | Unix.EHOSTUNREACH | Unix.ETIMEDOUT ),
+                _,
+                _ ) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            if Unix.gettimeofday () >= deadline then None
+            else begin
+              Unix.sleepf 0.2;
+              connect ()
+            end
+        | exception Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            failwith (Unix.error_message e)
+      in
+      match connect () with
+      | exception Failure msg ->
+          Error (Printf.sprintf "cannot connect to %s:%d: %s" host port msg)
+      | None ->
+          Error
+            (Printf.sprintf "could not connect to %s:%d within %.0fs" host port retry_for)
+      | Some fd -> (
+          let ep = Transport.of_socket fd in
+          let fail msg =
+            Transport.close ep;
+            Error msg
+          in
+          match
+            Transport.send ep ~tag:tag_hello (hello_payload ~has_store:(store <> None));
+            Transport.recv ep
+          with
+          | exception Transport.Corrupt msg | exception Wire.Corrupt msg ->
+              fail ("corrupt handshake: " ^ msg)
+          | exception Unix.Unix_error (e, _, _) ->
+              fail ("handshake failed: " ^ Unix.error_message e)
+          | None -> fail "coordinator closed the connection during the handshake"
+          | Some (tag, _) when tag <> tag_welcome ->
+              fail (Printf.sprintf "expected welcome frame, got tag %C" tag)
+          | Some (_, payload) -> (
+              match read_welcome payload with
+              | exception Wire.Corrupt msg -> fail ("corrupt welcome: " ^ msg)
+              | proto, ckv, plan_digest, worker_id, cache_results ->
+                  if proto <> protocol_version then
+                    fail
+                      (Printf.sprintf
+                         "protocol version mismatch: coordinator speaks v%d, this build v%d"
+                         proto protocol_version)
+                  else if not (String.equal ckv Cache_key.version) then
+                    fail
+                      (Printf.sprintf
+                         "cache-key version mismatch: coordinator %s, this build %s"
+                         ckv Cache_key.version)
+                  else begin
+                    Printf.eprintf
+                      "gcr worker %d: connected to %s:%d (plan %s%s)\n%!"
+                      worker_id host port
+                      (if plan_digest = "" then "unnamed" else plan_digest)
+                      (match store with
+                      | Some st -> "; store " ^ Artifact_store.dir st
+                      | None -> "; tapes over the wire");
+                    let cache =
+                      match store with
+                      | Some st when cache_results -> Some (Artifact_store.results st)
+                      | Some _ | None -> None
+                    in
+                    let code =
+                      worker_main ~id:worker_id ~store ~cache ~ep ~verbose:true
+                    in
+                    Transport.close ep;
+                    Ok code
+                  end)))
 
 (* ------------------------------------------------------------------ *)
-(* Parent: assignment, reduction, crash reassignment                   *)
+(* Coordinator                                                         *)
 (* ------------------------------------------------------------------ *)
 
-type conn = { mutable rbuf : Bytes.t; mutable rlen : int }
-
-type worker = {
-  id : int;
-  pid : int;
-  req_fd : Unix.file_descr;
-  resp_fd : Unix.file_descr;
-  conn : conn;
+type wrec = {
+  w_id : int;
+  w_host : string;
+  w_transport : string;
+  ep : Transport.t;
+  pid : int option;  (** forked workers only, for [waitpid] *)
   mutable alive : bool;
-  mutable group : group option;
-  mutable pending : (int * Run.config) list;
+  mutable queue : slot list;  (** assigned, in send order; head in progress *)
+  mutable revoking : int option;  (** gid of an in-flight revoke *)
+  mutable last_rx : float;
+  mutable cells_total : int;  (** session-cumulative, probe waves included *)
+  mutable wire_tapes_total : int;
 }
 
-(* Extract one complete frame payload from the connection buffer. *)
-let extract_frame conn =
-  let rec header i shift len =
-    if i >= conn.rlen then None
-    else
-      let b = Bytes.get_uint8 conn.rbuf i in
-      let len = len lor ((b land 0x7f) lsl shift) in
-      if b land 0x80 <> 0 then header (i + 1) (shift + 7) len else Some (i + 1, len)
-  in
-  match header 0 0 0 with
-  | None -> None
-  | Some (hdr, len) ->
-      if conn.rlen < hdr + len then None
-      else begin
-        let payload = Bytes.sub_string conn.rbuf hdr len in
-        let rest = conn.rlen - (hdr + len) in
-        Bytes.blit conn.rbuf (hdr + len) conn.rbuf 0 rest;
-        conn.rlen <- rest;
-        Some payload
-      end
+and slot = {
+  gid : int;
+  g : group;
+  mutable pending : (int * Run.config) list;
+  mutable sstate : [ `Ready | `Assigned of int | `Done ];
+  mutable stolen_from : int option;
+}
 
-let append_conn conn bytes n =
-  if conn.rlen + n > Bytes.length conn.rbuf then begin
-    let grown = Bytes.create (max (2 * Bytes.length conn.rbuf) (conn.rlen + n)) in
-    Bytes.blit conn.rbuf 0 grown 0 conn.rlen;
-    conn.rbuf <- grown
-  end;
-  Bytes.blit bytes 0 conn.rbuf conn.rlen n;
-  conn.rlen <- conn.rlen + n
+type session = {
+  store : Artifact_store.t;
+  cache_results : bool;
+  log : string -> unit;
+  obs : Obs.t option;
+  sched : sched;
+  timeout_s : float;
+  ws : wrec array;
+  scratch : Buffer.t;
+  old_sigpipe : Sys.signal_behavior option;
+  plan_digest : string;
+  mutable tick : int;  (** monotonic obs event time for lifecycle events *)
+  mutable deaths : int;
+  mutable stolen_total : int;
+  mutable closed : bool;
+}
 
-let spawn_worker ~store ~cache_results ~id ~close_in_child =
+let obs_tick session =
+  session.tick <- session.tick + 1;
+  session.tick
+
+let emit_spawn session w =
+  match session.obs with
+  | None -> ()
+  | Some obs ->
+      Obs.fabric_worker_spawn obs ~time:(obs_tick session) ~worker:w.w_id
+        ~transport:(if w.w_transport = "socket" then 1 else 0)
+
+let emit_dead session w ~requeued =
+  match session.obs with
+  | None -> ()
+  | Some obs ->
+      Obs.fabric_worker_dead obs ~time:(obs_tick session) ~worker:w.w_id ~requeued
+
+let emit_steal session ~victim ~thief ~cells =
+  match session.obs with
+  | None -> ()
+  | Some obs -> Obs.fabric_group_steal obs ~time:(obs_tick session) ~victim ~thief ~cells
+
+(* --- Spawning: forked pipe workers. --- *)
+
+let spawn_forked ~store ~cache_results ~id ~close_in_child =
   let req_read, req_write = Unix.pipe ~cloexec:false () in
   let resp_read, resp_write = Unix.pipe ~cloexec:false () in
   match Unix.fork () with
@@ -271,196 +571,554 @@ let spawn_worker ~store ~cache_results ~id ~close_in_child =
          fork: close them so sibling EOFs are not kept artificially open *)
       List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) close_in_child;
       let cache = if cache_results then Some (Artifact_store.results store) else None in
-      worker_main ~id ~store ~cache ~req_fd:req_read ~resp_fd:resp_write
+      let ep = Transport.of_fds ~recv:req_read ~send:resp_write in
+      Unix._exit
+        (try worker_main ~id ~store:(Some store) ~cache ~ep ~verbose:false with _ -> 1)
   | pid ->
       Unix.close req_read;
       Unix.close resp_write;
       {
-        id;
-        pid;
-        req_fd = req_write;
-        resp_fd = resp_read;
-        conn = { rbuf = Bytes.create 65536; rlen = 0 };
+        w_id = id;
+        w_host = "local";
+        w_transport = "pipe";
+        ep = Transport.of_fds ~recv:resp_read ~send:req_write;
+        pid = Some pid;
         alive = true;
-        group = None;
-        pending = [];
+        queue = [];
+        revoking = None;
+        last_rx = Unix.gettimeofday ();
+        cells_total = 0;
+        wire_tapes_total = 0;
       }
+
+(* --- Socket accept + handshake. --- *)
+
+let accept_workers ~log ~host ~port ~expected ~connect_timeout ~plan_digest
+    ~cache_results ~on_listen =
+  let addr = resolve_addr host port in
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock addr;
+  Unix.listen sock (max 1 expected);
+  let actual_port =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  Option.iter (fun f -> f actual_port) on_listen;
+  log
+    (Printf.sprintf "listening on %s:%d; waiting up to %.0fs for %d worker(s)" host
+       actual_port connect_timeout expected);
+  let deadline = Unix.gettimeofday () +. connect_timeout in
+  let ws = ref [] in
+  let count = ref 0 in
+  let handshake fd =
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    let ep = Transport.of_socket fd in
+    let reject msg =
+      log ("rejected worker connection: " ^ msg);
+      Transport.close ep
+    in
+    match Transport.recv ep with
+    | exception Transport.Corrupt msg -> reject ("corrupt hello: " ^ msg)
+    | exception Unix.Unix_error (e, _, _) -> reject (Unix.error_message e)
+    | None -> reject "closed before hello"
+    | Some (tag, _) when tag <> tag_hello ->
+        reject (Printf.sprintf "expected hello, got tag %C" tag)
+    | Some (_, payload) -> (
+        match read_hello payload with
+        | exception Wire.Corrupt msg -> reject ("corrupt hello: " ^ msg)
+        | proto, ckv, has_store, peer_host -> (
+            let id = !count in
+            (* answer with our versions even on mismatch, so the worker can
+               print the precise incompatibility before exiting 3 *)
+            match
+              Transport.send ep ~tag:tag_welcome
+                (welcome_payload ~worker_id:id ~plan_digest ~cache_results)
+            with
+            | exception Unix.Unix_error (e, _, _) -> reject (Unix.error_message e)
+            | () ->
+                if proto <> protocol_version then
+                  reject
+                    (Printf.sprintf "protocol version mismatch (worker v%d, ours v%d)"
+                       proto protocol_version)
+                else if not (String.equal ckv Cache_key.version) then
+                  reject
+                    (Printf.sprintf "cache-key version mismatch (worker %s, ours %s)" ckv
+                       Cache_key.version)
+                else begin
+                  incr count;
+                  log
+                    (Printf.sprintf "worker %d connected from %s%s" id peer_host
+                       (if has_store then " (own store)" else " (tapes over the wire)"));
+                  ws :=
+                    {
+                      w_id = id;
+                      w_host = peer_host;
+                      w_transport = "socket";
+                      ep;
+                      pid = None;
+                      alive = true;
+                      queue = [];
+                      revoking = None;
+                      last_rx = Unix.gettimeofday ();
+                      cells_total = 0;
+                      wire_tapes_total = 0;
+                    }
+                    :: !ws
+                end))
+  in
+  let rec accept_loop () =
+    if !count < expected then begin
+      let left = deadline -. Unix.gettimeofday () in
+      if left > 0.0 then begin
+        match Unix.select [ sock ] [] [] left with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        | [], _, _ -> ()
+        | _ :: _, _, _ ->
+            (match Unix.accept sock with
+            | fd, _ -> handshake fd
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            accept_loop ()
+      end
+    end
+  in
+  accept_loop ();
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  if !count < expected then
+    log
+      (Printf.sprintf
+         "only %d of %d worker(s) connected before the deadline; proceeding%s" !count
+         expected
+         (if !count = 0 then " (coordinator executes everything inline)" else ""));
+  List.rev !ws
+
+(* --- Session lifecycle. --- *)
+
+let start ~workers ~store ~cache_results ?(log = fun (_ : string) -> ()) ?obs
+    ?sched ?listen ?(connect_timeout = 30.0) ?on_listen ?(plan_digest = "") () =
+  if workers < 1 then invalid_arg "Fabric.start: workers must be >= 1";
+  let sched = match sched with Some s -> s | None -> sched_of_env () in
+  let old_sigpipe =
+    (* a worker that died mid-read must surface as EPIPE, not kill us *)
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
+  in
+  let ws =
+    match listen with
+    | Some (host, port) ->
+        accept_workers ~log ~host ~port ~expected:workers ~connect_timeout ~plan_digest
+          ~cache_results ~on_listen
+    | None ->
+        (* spawn in id order; each child closes the parent-side pipe ends
+           of the workers spawned before it *)
+        let rec spawn id acc close_fds =
+          if id >= workers then List.rev acc
+          else begin
+            let w = spawn_forked ~store ~cache_results ~id ~close_in_child:close_fds in
+            let close_fds = Transport.recv_fd w.ep :: Transport.send_fd w.ep :: close_fds in
+            spawn (id + 1) (w :: acc) close_fds
+          end
+        in
+        spawn 0 [] []
+  in
+  let session =
+    {
+      store;
+      cache_results;
+      log;
+      obs;
+      sched;
+      timeout_s = timeout_of_env ();
+      ws = Array.of_list ws;
+      scratch = Buffer.create 65536;
+      old_sigpipe;
+      plan_digest;
+      tick = 0;
+      deaths = 0;
+      stolen_total = 0;
+      closed = false;
+    }
+  in
+  Array.iter (fun w -> emit_spawn session w) session.ws;
+  session
+
+let close_worker w =
+  Transport.close w.ep;
+  w.alive <- false
+
+let shutdown session =
+  if not session.closed then begin
+    session.closed <- true;
+    Array.iter
+      (fun w ->
+        if w.alive then begin
+          (try Transport.send ~scratch:session.scratch w.ep ~tag:tag_quit "" with _ -> ());
+          close_worker w
+        end)
+      session.ws;
+    Array.iter
+      (fun w ->
+        match w.pid with
+        | Some pid -> ( try ignore (Unix.waitpid [] pid) with _ -> ())
+        | None -> ())
+      session.ws;
+    match session.old_sigpipe with
+    | Some behaviour -> ( try Sys.set_signal Sys.sigpipe behaviour with _ -> ())
+    | None -> ()
+  end
+
+let worker_rows session =
+  Array.to_list
+    (Array.map
+       (fun w ->
+         {
+           row_id = w.w_id;
+           row_host = w.w_host;
+           row_transport = w.w_transport;
+           row_cells = w.cells_total;
+           row_wire_tapes = w.wire_tapes_total;
+           row_alive = w.alive;
+         })
+       session.ws)
+
+let worker_deaths session = session.deaths
+
+let stolen_groups session = session.stolen_total
+
+(* --- Dispatch: execute one wave of groups through the session. --- *)
 
 let validate_groups groups =
   List.iter
     (fun (g : group) ->
       List.iter
         (fun (index, (config : Run.config)) ->
-          if index < 0 then invalid_arg "Fabric.run: negative cell index";
+          if index < 0 then invalid_arg "Fabric.dispatch: negative cell index";
           if config.Run.make_collector <> None then
-            invalid_arg "Fabric.run: custom collectors cannot cross processes";
+            invalid_arg "Fabric.dispatch: custom collectors cannot cross processes";
           match config.Run.tape with
           | Run.Tape_off -> ()
           | Run.Tape_record _ | Run.Tape_replay _ ->
               invalid_arg
-                "Fabric.run: cell configs must carry Tape_off (workers attach the \
+                "Fabric.dispatch: cell configs must carry Tape_off (workers attach the \
                  group tape themselves)")
         g.cells)
     groups
 
-let run ~workers ~store ~cache_results ?(log = fun (_ : string) -> ()) ~n_cells groups =
-  if workers < 1 then invalid_arg "Fabric.run: workers must be >= 1";
+(* How many groups a worker holds before new ones go elsewhere: 2 = one
+   in progress + one prefetched, hiding transport latency.  The prefetch
+   is what work-stealing revokes. *)
+let queue_depth = 2
+
+let dispatch session ~n_cells groups =
+  if session.closed then invalid_arg "Fabric.dispatch: session is shut down";
   validate_groups groups;
+  let slots =
+    Array.of_list
+      (List.mapi
+         (fun gid (g : group) ->
+           { gid; g; pending = g.cells; sstate = `Ready; stolen_from = None })
+         (List.filter (fun (g : group) -> g.cells <> []) groups))
+  in
+  let index_gid = Array.make n_cells (-1) in
+  Array.iter
+    (fun s ->
+      List.iter
+        (fun (i, _) ->
+          if i >= n_cells then invalid_arg "Fabric.dispatch: cell index out of range";
+          if index_gid.(i) <> -1 then invalid_arg "Fabric.dispatch: duplicate cell index";
+          index_gid.(i) <- s.gid)
+        s.pending)
+    slots;
   let results : Measurement.t option array = Array.make n_cells None in
-  let per_worker = Array.make workers 0 in
+  let remaining = ref (Array.fold_left (fun acc s -> acc + List.length s.pending) 0 slots) in
+  let per_worker = Array.make (Array.length session.ws) 0 in
   let hits = ref 0 in
   let reassigned = ref 0 in
   let parent_cells = ref 0 in
+  let stolen = ref 0 in
+  let wire_tapes = ref 0 in
   let worker_profile = ref Profile.zero in
-  let remaining =
-    ref (List.fold_left (fun acc (g : group) -> acc + List.length g.cells) 0 groups)
+  (* The ready list is the scheduler: size-aware keeps it sorted by
+     descending cost (largest first — LPT — so the big groups cannot land
+     last on an otherwise-drained fleet), round-robin keeps plan order. *)
+  let before a b =
+    (* strict priority of slot a over slot b *)
+    slots.(a).g.cost > slots.(b).g.cost
+    || (slots.(a).g.cost = slots.(b).g.cost && a < b)
   in
-  if !remaining > n_cells then invalid_arg "Fabric.run: more cells than n_cells";
-  let queue : group Queue.t = Queue.create () in
-  List.iter (fun (g : group) -> if g.cells <> [] then Queue.add g queue) groups;
-  let old_sigpipe =
-    (* a worker that died mid-read must surface as EPIPE, not kill us *)
-    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
+  let ready =
+    let ids = List.init (Array.length slots) Fun.id in
+    ref
+      (match session.sched with
+      | Round_robin -> ids
+      | Size_aware -> List.stable_sort (fun a b -> if before a b then -1 else 1) ids)
   in
-  let ws =
-    (* spawn in id order; each child closes the parent-side pipe ends of
-       the workers spawned before it *)
-    let rec spawn_all id acc =
-      if id >= workers then List.rev acc
-      else
-        let close_in_child =
-          List.concat_map (fun w -> [ w.req_fd; w.resp_fd ]) acc
+  let insert_ready gid =
+    slots.(gid).sstate <- `Ready;
+    match session.sched with
+    | Round_robin -> ready := !ready @ [ gid ]
+    | Size_aware ->
+        let rec ins = function
+          | [] -> [ gid ]
+          | x :: rest -> if before x gid then x :: ins rest else gid :: x :: rest
         in
-        spawn_all (id + 1) (spawn_worker ~store ~cache_results ~id ~close_in_child :: acc)
-    in
-    Array.of_list (spawn_all 0 [])
+        ready := ins !ready
   in
-  let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> () in
   let worker_died w =
     if w.alive then begin
-      w.alive <- false;
-      close_quiet w.req_fd;
-      close_quiet w.resp_fd;
-      (match w.group with
-      | None -> ()
-      | Some g ->
-          let lost = List.length w.pending in
-          reassigned := !reassigned + lost;
-          log
-            (Printf.sprintf "worker %d died; reassigning %d cell(s) of %s seed=%d"
-               w.id lost g.spec.Spec.name g.seed);
-          if w.pending <> [] then Queue.add { g with cells = w.pending } queue;
-          w.group <- None;
-          w.pending <- [])
+      close_worker w;
+      session.deaths <- session.deaths + 1;
+      let lost = List.fold_left (fun acc s -> acc + List.length s.pending) 0 w.queue in
+      reassigned := !reassigned + lost;
+      emit_dead session w ~requeued:lost;
+      session.log
+        (Printf.sprintf "worker %d died; requeueing %d group(s), %d cell(s)" w.w_id
+           (List.length w.queue) lost);
+      List.iter
+        (fun s -> if s.pending <> [] then insert_ready s.gid else s.sstate <- `Done)
+        w.queue;
+      w.queue <- [];
+      w.revoking <- None
     end
   in
-  let assign w g =
-    w.group <- Some g;
-    w.pending <- g.cells;
-    log
-      (Printf.sprintf "worker %d <- %s seed=%d (%d cells)" w.id g.spec.Spec.name g.seed
-         (List.length g.cells));
-    match send_frame w.req_fd tag_group (Marshal.to_string g []) with
+  let send_group w s =
+    s.sstate <- `Assigned w.w_id;
+    w.queue <- w.queue @ [ s ];
+    (match s.stolen_from with
+    | Some victim ->
+        s.stolen_from <- None;
+        emit_steal session ~victim ~thief:w.w_id ~cells:(List.length s.pending);
+        session.log
+          (Printf.sprintf "worker %d stole %s seed=%d (%d cells) from worker %d" w.w_id
+             s.g.spec.Spec.name s.g.seed (List.length s.pending) victim)
+    | None ->
+        session.log
+          (Printf.sprintf "worker %d <- %s seed=%d (%d cells, cost %.0f)" w.w_id
+             s.g.spec.Spec.name s.g.seed (List.length s.pending) s.g.cost));
+    match
+      Transport.send ~scratch:session.scratch w.ep ~tag:tag_group
+        (Marshal.to_string (s.gid, { s.g with cells = s.pending }) [])
+    with
     | () -> ()
     | exception Unix.Unix_error _ -> worker_died w
   in
   let on_result w (index, hit, m) =
     (match results.(index) with
-    | Some _ -> ()  (* duplicate after reassignment race: first write wins *)
+    | Some _ -> () (* duplicate after a reassignment race: first write wins *)
     | None ->
         results.(index) <- Some m;
-        per_worker.(w.id) <- per_worker.(w.id) + 1;
+        per_worker.(w.w_id) <- per_worker.(w.w_id) + 1;
+        w.cells_total <- w.cells_total + 1;
         if hit then incr hits;
         decr remaining);
-    w.pending <- List.filter (fun (i, _) -> i <> index) w.pending;
-    if w.pending = [] then w.group <- None
+    if index < n_cells && index_gid.(index) >= 0 then begin
+      let s = slots.(index_gid.(index)) in
+      s.pending <- List.filter (fun (i, _) -> i <> index) s.pending;
+      if s.pending = [] && s.sstate <> `Ready then begin
+        s.sstate <- `Done;
+        w.queue <- List.filter (fun s' -> s'.gid <> s.gid) w.queue
+      end
+    end
   in
-  let drain_frames w =
+  let handle_frame w (tag, payload) =
+    if tag = tag_batch then begin
+      let batch, (delta : Profile.snapshot) =
+        (Marshal.from_string payload 0
+          : (int * bool * Measurement.t) list * Profile.snapshot)
+      in
+      let acc = !worker_profile in
+      worker_profile :=
+        {
+          Profile.setup_us = acc.Profile.setup_us + delta.Profile.setup_us;
+          tape_us = acc.Profile.tape_us + delta.Profile.tape_us;
+          simulate_us = acc.Profile.simulate_us + delta.Profile.simulate_us;
+        };
+      List.iter (fun r -> on_result w r) batch
+    end
+    else if tag = tag_heartbeat then ()
+    else if tag = tag_ack then begin
+      let c = Wire.cursor payload in
+      let gid = Wire.get_varint c "ack gid" in
+      let dropped = Wire.get_byte c "ack dropped" <> 0 in
+      if w.revoking = Some gid then w.revoking <- None;
+      if dropped && gid >= 0 && gid < Array.length slots then begin
+        let s = slots.(gid) in
+        w.queue <- List.filter (fun s' -> s'.gid <> gid) w.queue;
+        if s.sstate = `Assigned w.w_id && s.pending <> [] then begin
+          incr stolen;
+          session.stolen_total <- session.stolen_total + 1;
+          s.stolen_from <- Some w.w_id;
+          insert_ready gid
+        end
+      end
+    end
+    else if tag = tag_tape_fetch then begin
+      let c = Wire.cursor payload in
+      let spec_digest = Wire.get_string c "tape fetch spec digest" in
+      let seed = Wire.get_varint c "tape fetch seed" in
+      let threads = Wire.get_varint c "tape fetch threads" in
+      match
+        Artifact_store.find_tape_bytes session.store ~spec_digest ~seed ~threads
+      with
+      | Some bytes ->
+          w.wire_tapes_total <- w.wire_tapes_total + 1;
+          incr wire_tapes;
+          Transport.send ~scratch:session.scratch w.ep ~tag:tag_tape_data bytes
+      | None -> Transport.send ~scratch:session.scratch w.ep ~tag:tag_tape_miss ""
+    end
+    else if tag = tag_tape_publish then begin
+      match Artifact_store.store_tape_bytes session.store payload with
+      | Ok () -> ()
+      | Error e -> session.log ("rejected published tape: " ^ e)
+    end
+    else begin
+      session.log (Printf.sprintf "worker %d: unexpected frame tag %C" w.w_id tag);
+      worker_died w
+    end
+  in
+  let drain w =
     let continue_ = ref true in
-    while !continue_ do
-      match extract_frame w.conn with
+    while !continue_ && w.alive do
+      match Transport.next_frame w.ep with
       | None -> continue_ := false
-      | Some payload ->
-          if String.length payload > 0 && payload.[0] = tag_batch then begin
-            let batch, (delta : Profile.snapshot) =
-              (Marshal.from_string payload 1
-                : (int * bool * Measurement.t) list * Profile.snapshot)
-            in
-            worker_profile :=
-              {
-                Profile.setup_us = !worker_profile.Profile.setup_us + delta.Profile.setup_us;
-                tape_us = !worker_profile.Profile.tape_us + delta.Profile.tape_us;
-                simulate_us =
-                  !worker_profile.Profile.simulate_us + delta.Profile.simulate_us;
-              };
-            List.iter (fun (index, hit, m) -> on_result w (index, hit, m)) batch
-          end
+      | Some frame -> handle_frame w frame
+      | exception Transport.Corrupt msg ->
+          session.log (Printf.sprintf "worker %d: corrupt stream (%s)" w.w_id msg);
+          worker_died w
+      | exception (Wire.Corrupt msg | Failure msg) ->
+          (* a frame that passed the checksum but failed payload parsing:
+             treat the peer as gone, exactly like transport corruption *)
+          session.log (Printf.sprintf "worker %d: bad frame payload (%s)" w.w_id msg);
+          worker_died w
     done
   in
-  let chunk = Bytes.create 65536 in
-  let finally () =
-    Array.iter
-      (fun w ->
-        if w.alive then begin
-          (try send_frame w.req_fd tag_quit "" with _ -> ());
-          close_quiet w.req_fd;
-          close_quiet w.resp_fd;
-          w.alive <- false
-        end)
-      ws;
-    Array.iter (fun w -> try ignore (Unix.waitpid [] w.pid) with _ -> ()) ws;
-    match old_sigpipe with
-    | Some behaviour -> ( try Sys.set_signal Sys.sigpipe behaviour with _ -> ())
-    | None -> ()
+  let check_timeouts () =
+    if session.timeout_s > 0.0 then begin
+      let now = Unix.gettimeofday () in
+      Array.iter
+        (fun w ->
+          if w.alive && w.queue <> [] && now -. w.last_rx > session.timeout_s then begin
+            session.log
+              (Printf.sprintf "worker %d: no frames for %.0fs, declaring dead" w.w_id
+                 (now -. w.last_rx));
+            worker_died w
+          end)
+        session.ws
+    end
   in
-  Fun.protect ~finally (fun () ->
-      while !remaining > 0 && Array.exists (fun w -> w.alive) ws do
-        (* hand a group to every idle live worker *)
+  while !remaining > 0 && Array.exists (fun w -> w.alive) session.ws do
+    (* deal: largest group to the least-loaded live worker (LPT).  Never
+       fill one worker's queue before another sees anything — that would
+       re-deal a freshly stolen group straight back to its victim.
+       Size-aware load is the *cost* already queued on the worker (so a
+       prefetched heavyweight counts for what it is, and two big groups
+       are never stacked while a neighbour holds two cheap ones);
+       round-robin stays cost-blind and compares queue length only. *)
+    let queued_cost w =
+      List.fold_left (fun acc s -> acc +. s.g.cost) 0.0 w.queue
+    in
+    let lighter a b =
+      (* strict: is a less loaded than b? *)
+      match session.sched with
+      | Round_robin -> List.length a.queue < List.length b.queue
+      | Size_aware ->
+          let ca = queued_cost a and cb = queued_cost b in
+          ca < cb || (ca = cb && List.length a.queue < List.length b.queue)
+    in
+    let rec deal () =
+      match !ready with
+      | [] -> ()
+      | gid :: rest -> (
+          let best = ref None in
+          Array.iter
+            (fun w ->
+              if w.alive && List.length w.queue < queue_depth then
+                match !best with
+                | Some b when not (lighter w b) -> ()
+                | Some _ | None -> best := Some w)
+            session.ws;
+          match !best with
+          | None -> ()
+          | Some w ->
+              ready := rest;
+              send_group w slots.(gid);
+              deal ())
+    in
+    deal ();
+    (* steal: idle workers + an empty ready list means stragglers hold
+       prefetched groups — revoke queue tails (never the in-progress
+       head), one in-flight revoke per victim *)
+    if !ready = [] && !remaining > 0 then begin
+      let idle = ref 0 in
+      Array.iter
+        (fun w -> if w.alive && w.queue = [] && w.revoking = None then incr idle)
+        session.ws;
+      if !idle > 0 then
         Array.iter
-          (fun w ->
-            if w.alive && w.group = None && not (Queue.is_empty queue) then
-              assign w (Queue.pop queue))
-          ws;
-        let busy =
-          Array.to_list ws |> List.filter (fun w -> w.alive && w.group <> None)
-        in
-        if busy = [] then begin
-          (* live workers but nothing in flight and nothing queued: every
-             remaining cell was lost to a crash race — fall through to the
-             parent-side executor below *)
-          if Queue.is_empty queue then Array.iter worker_died ws
-        end
-        else begin
-          let fds = List.map (fun w -> w.resp_fd) busy in
-          match Unix.select fds [] [] 5.0 with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-          | readable, _, _ ->
-              List.iter
-                (fun fd ->
-                  let w = List.find (fun w -> w.resp_fd == fd) busy in
-                  match Unix.read fd chunk 0 (Bytes.length chunk) with
-                  | 0 -> worker_died w
-                  | n ->
-                      append_conn w.conn chunk n;
-                      drain_frames w
+          (fun v ->
+            if !idle > 0 && v.alive && v.revoking = None && List.length v.queue >= 2
+            then begin
+              let tail = List.nth v.queue (List.length v.queue - 1) in
+              v.revoking <- Some tail.gid;
+              decr idle;
+              let b = Buffer.create 8 in
+              Wire.put_varint b tail.gid;
+              match Transport.send ~scratch:session.scratch v.ep ~tag:tag_revoke
+                      (Buffer.contents b)
+              with
+              | () -> ()
+              | exception Unix.Unix_error _ -> worker_died v
+            end)
+          session.ws
+    end;
+    let busy =
+      Array.exists (fun w -> w.alive && (w.queue <> [] || w.revoking <> None)) session.ws
+    in
+    if (not busy) && !ready = [] && !remaining > 0 then
+      (* live workers but nothing in flight and nothing queued: every
+         remaining cell was lost to a crash race — fall through to the
+         coordinator-side backstop below *)
+      Array.iter worker_died session.ws
+    else begin
+      let live = Array.to_list session.ws |> List.filter (fun w -> w.alive) in
+      let fds = List.map (fun w -> Transport.recv_fd w.ep) live in
+      match Unix.select fds [] [] 5.0 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, _, _ ->
+          List.iter
+            (fun fd ->
+              match List.find_opt (fun w -> Transport.recv_fd w.ep == fd) live with
+              | None -> ()
+              | Some w when not w.alive -> ()
+              | Some w -> (
+                  w.last_rx <- Unix.gettimeofday ();
+                  match Transport.read_step w.ep with
+                  | `Eof -> worker_died w
+                  | `Ready -> drain w
                   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-                  | exception Unix.Unix_error _ -> worker_died w)
-                readable
-        end
-      done;
-      (* Backstop: every worker is gone (or was never alive) but cells
-         remain — execute them in this process so the campaign always
-         completes.  Reassigned-but-unstarted groups are still queued.
-         The parent's own setup/tape/simulate time lands in this
-         process's {!Profile} counters, not in [worker_profile]. *)
-      let backstop_state =
-        if Run.warm_enabled () && not (Queue.is_empty queue) then Some (Run.new_state ())
-        else None
-      in
-      while not (Queue.is_empty queue) do
-        let g = Queue.pop queue in
-        execute_group ?state:backstop_state ~store
-          ~cache:(if cache_results then Some (Artifact_store.results store) else None)
+                  | exception Unix.Unix_error _ -> worker_died w))
+            readable;
+          check_timeouts ()
+    end
+  done;
+  (* Backstop: every worker is gone (or none ever connected) but cells
+     remain — execute them in this process so the campaign always
+     completes.  The coordinator's own setup/tape/simulate time lands in
+     this process's {!Profile} counters, not in [worker_profile]. *)
+  let backstop_state =
+    if Run.warm_enabled () && !ready <> [] then Some (Run.new_state ()) else None
+  in
+  let cache =
+    if session.cache_results then Some (Artifact_store.results session.store) else None
+  in
+  while !ready <> [] do
+    match !ready with
+    | [] -> ()
+    | gid :: rest ->
+        ready := rest;
+        let s = slots.(gid) in
+        s.sstate <- `Done;
+        execute_group ?state:backstop_state
+          ~fetch:(fun (g : group) -> store_tape_fetch session.store ~spec:g.spec ~seed:g.seed)
+          ~cache
           ~on_result:(fun index hit m ->
             match results.(index) with
             | Some _ -> ()
@@ -469,13 +1127,13 @@ let run ~workers ~store ~cache_results ?(log = fun (_ : string) -> ()) ~n_cells 
                 incr parent_cells;
                 if hit then incr hits;
                 decr remaining)
-          g
-      done);
+          { s.g with cells = s.pending }
+  done;
   let out =
     Array.map
       (function
         | Some m -> m
-        | None -> invalid_arg "Fabric.run: unfilled cell (planner/index mismatch)")
+        | None -> invalid_arg "Fabric.dispatch: unfilled cell (planner/index mismatch)")
       results
   in
   ( out,
@@ -485,5 +1143,19 @@ let run ~workers ~store ~cache_results ?(log = fun (_ : string) -> ()) ~n_cells 
       per_worker;
       reassigned_cells = !reassigned;
       parent_cells = !parent_cells;
+      stolen_groups = !stolen;
+      wire_tapes = !wire_tapes;
       worker_profile = !worker_profile;
     } )
+
+(* --- One-shot compatibility wrapper. --- *)
+
+let run ~workers ~store ~cache_results ?log ?obs ?sched ?listen ?connect_timeout
+    ?on_listen ?plan_digest ~n_cells groups =
+  let session =
+    start ~workers ~store ~cache_results ?log ?obs ?sched ?listen ?connect_timeout
+      ?on_listen ?plan_digest ()
+  in
+  Fun.protect
+    ~finally:(fun () -> shutdown session)
+    (fun () -> dispatch session ~n_cells groups)

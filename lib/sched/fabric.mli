@@ -1,41 +1,46 @@
-(** Multi-process campaign fabric.
+(** Multi-process campaign fabric: one coordinator deals sibling groups
+    to worker processes over checksummed frames (see {!Transport}) and
+    reduces their result batches by plan index, so the report is
+    bit-identical to a serial run at every worker and host count.
 
-    [run] forks [workers] worker processes connected to the parent by a
-    pipe pair each.  Workers claim {e sibling groups} — the cells of one
-    (benchmark spec, seed) pair, which share a workload tape — execute
-    them with the same cache-aware path the in-process pool uses, and
-    stream results back in {e batched} length-prefixed binary frames
-    (the tape codec's varint length, a tag byte, a [Marshal] body
-    holding up to 32 results plus the worker's profile self-time since
-    the previous batch).  The parent reduces results into
-    submission-order slots, so the campaign report is bit-identical to
-    the serial and domain-pool executions at any worker count —
-    [test/test_fabric.ml] enforces exactly that.
+    Two transports, one protocol:
+
+    - {e pipe}: the coordinator forks [workers] children sharing its
+      artifact store — the classic single-host fabric.
+    - {e socket}: with [listen], the coordinator accepts TCP workers
+      started elsewhere via [gcr worker --connect] ({!worker_connect}).
+      The handshake pins the protocol version, the {!Cache_key.version},
+      and the plan digest.  A worker without a shared store fetches tapes
+      over the wire (digest-verified on receipt, exactly like a store
+      read) and publishes tapes it had to generate.
 
     Workers run {e warm} unless [GCR_WARM=0]: each recycles one
     {!Gcr_runtime.Run.state} (engine + heap) across every cell it
     executes, and memoizes the decoded replay image per (spec, seed) so
-    sibling groups placed back to back decode their tape once.  Warm and
-    cold executions are bit-identical ([test/test_warm.ml]).
+    sibling groups placed back to back decode their tape once.
 
-    Forked processes sidestep the cross-domain stop-the-world minor
-    collections that throttle the domain pool: each worker owns a whole
-    OCaml runtime, so campaign throughput scales with cores.
+    Scheduling is size-aware by default: the coordinator deals the
+    costliest groups first (LPT) with a per-worker queue depth of 2, and
+    when workers go idle it revokes the {e prefetched} tail of a
+    straggler's queue and re-deals it (work-stealing at group
+    granularity).  Reduction is by plan index and first-write-wins, so
+    neither stealing nor worker death can change a byte of the report —
+    only who computes it.
 
-    Crash handling: a worker that disappears (EOF or write error on its
-    pipes) has its unfinished cells requeued for the surviving workers;
-    if every worker is gone the parent finishes the queue inline.  The
-    report is unchanged either way.
-
-    Tapes travel through the content-addressed {!Artifact_store}, not
-    over the wire: the first consumer of a (spec, seed) group generates
-    and publishes the tape, later consumers (including other campaigns)
-    fetch it by recipe digest. *)
+    Fault model: a worker is dead on EOF, on a corrupt frame, on a failed
+    send, or after [GCR_FABRIC_TIMEOUT_S] (default 600 s) of silence
+    while holding work.  Its unfinished cells are requeued for the
+    survivors; with no workers left, the coordinator executes the
+    remainder inline.  The report is unchanged either way. *)
 
 type group = {
   spec : Gcr_workloads.Spec.t;
   seed : int;
   tapes : bool;  (** attach the group's replay tape to every cell *)
+  cost : float;
+      (** the planner's cost estimate (cells × heap factor × invocation
+          weight) — the size-aware scheduler's sort key; any
+          non-negative number, only relative order matters *)
   cells : (int * Gcr_runtime.Run.config) list;
       (** (result slot, config); configs must carry [Tape_off] — the
           worker attaches the group tape itself — and no
@@ -43,34 +48,125 @@ type group = {
 }
 (** One sibling batch: every cell shares (spec, seed), hence one tape. *)
 
+type sched =
+  | Size_aware  (** deal largest-first, steal from stragglers (default) *)
+  | Round_robin  (** FIFO in plan order — kept for scheduler A/B runs *)
+
 type stats = {
   cells : int;  (** total result slots *)
   cache_hits : int;  (** cells replayed from the result store *)
-  per_worker : int array;  (** cells completed by each worker process *)
-  reassigned_cells : int;  (** cells requeued after a worker crash *)
-  parent_cells : int;  (** cells the parent executed as a backstop *)
+  per_worker : int array;  (** cells completed by each worker, this wave *)
+  reassigned_cells : int;  (** cells requeued after a worker death *)
+  parent_cells : int;  (** cells the coordinator executed as a backstop *)
+  stolen_groups : int;  (** groups revoked and re-dealt, this wave *)
+  wire_tapes : int;  (** tapes served to storeless workers, this wave *)
   worker_profile : Gcr_runtime.Profile.snapshot;
       (** summed setup/tape/simulate self-time the worker processes
-          reported in their result batches.  The parent's own execution
-          (the crash backstop) accrues to this process's
+          reported in their result batches.  The coordinator's own
+          execution (the backstop) accrues to this process's
           {!Gcr_runtime.Profile} counters instead. *)
 }
+
+type worker_row = {
+  row_id : int;
+  row_host : string;  (** ["local"] for forked workers, else "host/pid" *)
+  row_transport : string;  (** ["pipe"] or ["socket"] *)
+  row_cells : int;  (** session-cumulative, probe waves included *)
+  row_wire_tapes : int;
+  row_alive : bool;
+}
+
+val sched_of_env : unit -> sched
+(** [GCR_FABRIC_SCHED]: ["fifo"], ["roundrobin"], or ["rr"] select
+    {!Round_robin}; anything else (or unset) is {!Size_aware}. *)
+
+(** {2 Sessions}
+
+    A session owns the worker fleet; {!dispatch} runs one wave of groups
+    through it.  The harness dispatches minheap probe waves and then the
+    campaign grid through a single session, so probe runs ride the same
+    transport, result cache, and warm worker state as the grid. *)
+
+type session
+
+val start :
+  workers:int ->
+  store:Artifact_store.t ->
+  cache_results:bool ->
+  ?log:(string -> unit) ->
+  ?obs:Gcr_obs.Obs.t ->
+  ?sched:sched ->
+  ?listen:string * int ->
+  ?connect_timeout:float ->
+  ?on_listen:(int -> unit) ->
+  ?plan_digest:string ->
+  unit ->
+  session
+(** Spawn (pipe) or accept (socket) the fleet.  With [listen:(host,
+    port)] no processes are forked: the coordinator binds, announces the
+    actual port via [on_listen] (after [listen(2)], before waiting —
+    port [0] requests an ephemeral port), and accepts handshakes until
+    [workers] have joined or [connect_timeout] seconds (default 30)
+    pass.  A mismatched worker is answered with our versions and then
+    dropped, so it can report the precise incompatibility before exiting.
+    A short fleet — even an empty one — is not an error: the backstop
+    guarantees completion.  [obs] receives worker lifecycle events
+    (spawn, death, steal).  Raises [Invalid_argument] on [workers < 1]. *)
+
+val dispatch :
+  session ->
+  n_cells:int ->
+  group list ->
+  Gcr_runtime.Measurement.t array * stats
+(** Execute one wave.  Returns measurements indexed by plan index (every
+    index in \[0, n_cells) must be covered by exactly one cell) plus the
+    wave's stats.  Raises [Invalid_argument] on malformed groups
+    (out-of-range or duplicate indices, collector closures, non-[Tape_off]
+    cell configs) and on a session already shut down. *)
+
+val shutdown : session -> unit
+(** Send quit, close endpoints, reap forked children, restore the
+    SIGPIPE disposition.  Idempotent. *)
+
+val worker_rows : session -> worker_row list
+(** Per-worker session-cumulative accounting for the campaign summary. *)
+
+val worker_deaths : session -> int
+(** Workers declared dead over the session's lifetime. *)
+
+val stolen_groups : session -> int
+(** Session-cumulative; {!stats}[.stolen_groups] is per wave. *)
 
 val run :
   workers:int ->
   store:Artifact_store.t ->
   cache_results:bool ->
   ?log:(string -> unit) ->
+  ?obs:Gcr_obs.Obs.t ->
+  ?sched:sched ->
+  ?listen:string * int ->
+  ?connect_timeout:float ->
+  ?on_listen:(int -> unit) ->
+  ?plan_digest:string ->
   n_cells:int ->
   group list ->
   Gcr_runtime.Measurement.t array * stats
-(** [run ~workers ~store ~cache_results ~n_cells groups] executes every
-    cell and returns the measurements indexed by cell slot, plus
-    execution statistics.  [n_cells] is the result array length; every
-    slot in \[0, n_cells) must be covered by exactly one cell.
-    [cache_results] controls whether run results are read from / written
-    to [store] (tapes always go through it).  [log] receives progress
-    lines (assignments, crash reassignments).
+(** {!start} + one {!dispatch} + {!shutdown}. *)
 
-    Raises [Invalid_argument] on [workers < 1], on cell configs carrying
-    tapes or collector closures, and on slot/index mismatches. *)
+(** {2 Worker side} *)
+
+val worker_connect :
+  host:string ->
+  port:int ->
+  ?store:Artifact_store.t ->
+  ?retry_for:float ->
+  unit ->
+  (int, string) result
+(** The [gcr worker --connect] entry point: connect (retrying refused
+    connections for [retry_for] seconds, default 30 — workers are often
+    started before the coordinator), handshake, then serve groups until
+    quit or EOF.  With [store], tapes and result caching go through it;
+    without, tapes arrive over the wire.  [Ok code] is the process exit
+    code (0 = clean, 3 = corrupt stream or protocol trouble); [Error]
+    describes a connect or handshake failure (callers print it and
+    exit 3). *)

@@ -8,6 +8,9 @@ module Registry = Gcr_gcs.Registry
 module Suite = Gcr_workloads.Suite
 module Harness = Gcr_core.Harness
 module Metrics = Gcr_core.Metrics
+module Minheap = Gcr_core.Minheap
+module Fabric = Gcr_sched.Fabric
+module Artifact_store = Gcr_sched.Artifact_store
 
 let check = Alcotest.check
 
@@ -134,6 +137,152 @@ let test_worker_crash_reassigns () =
     (Array.fold_left ( + ) 0 s.Harness.per_worker + s.Harness.parent_cells);
   check_campaigns_identical ~what:"serial vs crashed fabric" (Lazy.force serial) crashed
 
+(* --- Scheduler A/B: either policy yields the identical report. --- *)
+
+let test_round_robin_identical () =
+  let config =
+    { (campaign_config ~workers:(Some 2) ~jobs:1) with
+      Harness.sched = Some Fabric.Round_robin
+    }
+  in
+  let rr = Harness.run_campaign config ~benchmarks ~gcs:Registry.production in
+  check_campaigns_identical ~what:"serial vs round-robin fabric" (Lazy.force serial) rr
+
+(* --- S2: both parallelism knobs at once — the fabric wins. --- *)
+
+let test_fabric_wins_over_jobs () =
+  let both = run_with ~jobs:4 ~workers:(Some 2) () in
+  let s = Harness.summary both in
+  check Alcotest.int "fabric executed (jobs ignored)" 2 s.Harness.worker_processes;
+  check_campaigns_identical ~what:"serial vs jobs+workers" (Lazy.force serial) both
+
+(* --- Socket transport: the same fabric over TCP. ---
+
+   Workers are forked from [on_listen] — after the coordinator has bound
+   its (ephemeral) port, before it starts accepting — so the connection
+   is race-free.  Each child becomes a real [gcr worker --connect]
+   process via [Fabric.worker_connect]. *)
+
+let fork_socket_worker ~port ~store_dir =
+  match Unix.fork () with
+  | 0 ->
+      let store = Option.map (fun dir -> Artifact_store.create ~dir) store_dir in
+      Unix._exit
+        (match
+           Fabric.worker_connect ~host:"127.0.0.1" ~port ?store ~retry_for:20.0 ()
+         with
+        | Ok code -> code
+        | Error msg ->
+            Printf.eprintf "socket worker failed: %s\n%!" msg;
+            3)
+  | pid -> pid
+
+(* [store_dirs]: one entry per worker; [None] forks a storeless worker
+   that fetches tapes over the wire. *)
+let run_socket ?cache_dir ~store_dirs () =
+  let pids = ref [] in
+  let config =
+    {
+      (campaign_config ~workers:(Some (List.length store_dirs)) ~jobs:1) with
+      Harness.cache_dir;
+      listen = Some ("127.0.0.1", 0);
+      connect_timeout = 30.0;
+      on_listen =
+        Some
+          (fun port ->
+            List.iter
+              (fun store_dir -> pids := fork_socket_worker ~port ~store_dir :: !pids)
+              store_dirs);
+    }
+  in
+  let campaign = Harness.run_campaign config ~benchmarks ~gcs:Registry.production in
+  let statuses = List.map (fun pid -> snd (Unix.waitpid [] pid)) !pids in
+  (campaign, statuses)
+
+(* Two storeless workers: every tape crosses the wire (fetch on hit,
+   generate-and-publish on miss).  The minheap memo is cleared first so
+   the probe searches ride the socket as first-class plan cells. *)
+let test_socket_fabric_identical () =
+  let reference = Lazy.force serial in
+  Minheap.clear_memo ();
+  let campaign, statuses = run_socket ~store_dirs:[ None; None ] () in
+  check_campaigns_identical ~what:"serial vs socket fabric" reference campaign;
+  let s = Harness.summary campaign in
+  check Alcotest.bool "probes rode the fabric" true (s.Harness.probe_cells > 0);
+  check Alcotest.int "two socket workers" 2 (List.length s.Harness.worker_rows);
+  List.iter
+    (fun (r : Fabric.worker_row) ->
+      check Alcotest.string
+        (Printf.sprintf "worker %d transport" r.Fabric.row_id)
+        "socket" r.Fabric.row_transport)
+    s.Harness.worker_rows;
+  List.iter
+    (fun st ->
+      check Alcotest.bool "socket worker exited cleanly" true (st = Unix.WEXITED 0))
+    statuses
+
+(* One worker sharing the coordinator's store, one fetching over the
+   wire: warm the store's tapes first (a pipe-fabric campaign on a
+   narrower factor grid — same (spec, seed) groups, so the same tapes),
+   then check the mixed fleet reproduces the serial report and that
+   tapes really were served over the socket. *)
+let test_socket_mixed_store_identical () =
+  let dir = fresh_dir () in
+  let warm_config =
+    { (campaign_config ~workers:(Some 1) ~jobs:1) with
+      Harness.cache_dir = Some dir;
+      heap_factors = [ 1.9 ];
+    }
+  in
+  let (_ : Harness.campaign) =
+    Harness.run_campaign warm_config ~benchmarks ~gcs:Registry.production
+  in
+  let campaign, statuses =
+    run_socket ~cache_dir:dir ~store_dirs:[ Some dir; None ] ()
+  in
+  check_campaigns_identical ~what:"serial vs mixed-store socket fabric"
+    (Lazy.force serial) campaign;
+  let s = Harness.summary campaign in
+  check Alcotest.bool "tapes were served over the wire" true (s.Harness.wire_tapes > 0);
+  List.iter
+    (fun st ->
+      check Alcotest.bool "socket worker exited cleanly" true (st = Unix.WEXITED 0))
+    statuses
+
+(* Kill a socket worker mid-campaign (the crash hook makes worker 0
+   _exit after two results): the coordinator must requeue its cells and
+   the report must not show a trace. *)
+let test_socket_worker_crash_reassigns () =
+  Unix.putenv "GCR_FABRIC_CRASH_AFTER" "2";
+  let campaign, statuses =
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "GCR_FABRIC_CRASH_AFTER" "")
+      (fun () -> run_socket ~store_dirs:[ None; None ] ())
+  in
+  let s = Harness.summary campaign in
+  check Alcotest.bool "cells were reassigned" true (s.Harness.reassigned_cells > 0);
+  check Alcotest.bool "a worker death was recorded" true (s.Harness.worker_deaths >= 1);
+  check Alcotest.bool "the crash exit code surfaced" true
+    (List.mem (Unix.WEXITED 97) statuses);
+  check_campaigns_identical ~what:"serial vs socket fabric with a killed worker"
+    (Lazy.force serial) campaign
+
+(* A worker that garbles its stream (raw bytes below the framing — an
+   unterminated varint) must read as Corrupt at the coordinator and be
+   treated exactly like a death: requeue, identical report, never a
+   parse of untrusted bytes. *)
+let test_garbled_stream_reassigns () =
+  Unix.putenv "GCR_FABRIC_GARBLE_AFTER" "2";
+  let garbled =
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "GCR_FABRIC_GARBLE_AFTER" "")
+      (fun () -> run_with ~workers:(Some 2) ())
+  in
+  let s = Harness.summary garbled in
+  check Alcotest.bool "cells were reassigned" true (s.Harness.reassigned_cells > 0);
+  check Alcotest.bool "the garbler was declared dead" true (s.Harness.worker_deaths >= 1);
+  check_campaigns_identical ~what:"serial vs garbled fabric" (Lazy.force serial) garbled
+
 (* --- Artifact-store corruption: flip one byte, observe a clean miss. --- *)
 
 let tiny_campaign ~workers ~cache_dir =
@@ -176,6 +325,10 @@ let flip_byte path =
 
 let test_result_corruption_reexecutes () =
   let dir = fresh_dir () in
+  (* settle the minheap memo first (uncached throwaway campaign): probe
+     runs otherwise ride the fabric into the same store, and "the first
+     .run entry" below could name a probe instead of a grid cell *)
+  let (_ : Harness.campaign) = tiny_campaign ~workers:(Some 1) ~cache_dir:None in
   let cold = tiny_campaign ~workers:(Some 1) ~cache_dir:(Some dir) in
   check Alcotest.int "cold campaign misses everything" 0
     (Harness.summary cold).Harness.cache_hits;
@@ -232,6 +385,16 @@ let suite =
       test_fabric_four_workers_identical;
     Alcotest.test_case "summary accounting" `Quick test_summary_accounting;
     Alcotest.test_case "worker crash reassigns cells" `Quick test_worker_crash_reassigns;
+    Alcotest.test_case "round-robin scheduler identical" `Quick test_round_robin_identical;
+    Alcotest.test_case "--workers wins over --jobs" `Quick test_fabric_wins_over_jobs;
+    Alcotest.test_case "socket fabric identical (probes over the wire)" `Quick
+      test_socket_fabric_identical;
+    Alcotest.test_case "mixed-store socket fleet identical" `Quick
+      test_socket_mixed_store_identical;
+    Alcotest.test_case "socket worker crash reassigns cells" `Quick
+      test_socket_worker_crash_reassigns;
+    Alcotest.test_case "garbled worker stream reassigns cells" `Quick
+      test_garbled_stream_reassigns;
     Alcotest.test_case "result corruption re-executes" `Quick
       test_result_corruption_reexecutes;
     Alcotest.test_case "tape corruption regenerates" `Quick test_tape_corruption_regenerates;

@@ -36,6 +36,7 @@ let () =
       (* fabric first among the scheduler suites: it forks worker
          processes, which OCaml forbids once any domain has ever been
          spawned — and sched / result-cache campaigns spawn domains *)
+      ("transport", Test_transport.suite);
       ("fabric", Test_fabric.suite);
       ("sched", Test_sched.suite);
       ("result-cache", Test_result_cache.suite);
